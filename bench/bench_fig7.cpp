@@ -1,0 +1,56 @@
+// Figure 7 reproduction: constant-keyword counts in request bodies/query
+// strings and response bodies, per analysis source. Keywords are the keys of
+// key-value pairs, JSON keys, and XML tags/attributes (§5.1 "Signature
+// quality").
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace extractocol;
+using namespace extractocol::bench;
+
+int main() {
+    std::printf("== Figure 7: number of constant keywords ==\n\n");
+
+    struct Row {
+        std::size_t req = 0, resp = 0;
+    };
+    auto run_group = [](const std::vector<std::string>& names, bool open_source) {
+        Row x, man, aut, truth;
+        for (const auto& name : names) {
+            AppEvaluation ev = evaluate_app(name);
+            x.req += request_keywords_from_report(ev.report).size();
+            x.resp += response_keywords_from_report(ev.report).size();
+            man.req += request_keywords_from_trace(ev.manual_trace).size();
+            man.resp += response_keywords_from_trace(ev.manual_trace).size();
+            aut.req += request_keywords_from_trace(ev.auto_trace).size();
+            aut.resp += response_keywords_from_trace(ev.auto_trace).size();
+            // Ground truth: keywords the source actually uses (read keys for
+            // responses, all request keys).
+            std::set<std::string> gt_req, gt_resp;
+            for (const auto& gt : ev.app.ground_truth) {
+                for (const auto& k : gt.request_keywords) gt_req.insert(k);
+                for (const auto& k : gt.response_keywords) gt_resp.insert(k);
+            }
+            truth.req += gt_req.size();
+            truth.resp += gt_resp.size();
+        }
+        std::printf("%s\n", open_source ? "-- open-source apps --"
+                                        : "-- closed-source apps --");
+        std::printf("  %-26s %12s %12s %12s %12s\n", "", "Extractocol", "Manual fuzz",
+                    open_source ? "SourceCode" : "Auto fuzz", "WireTruth*");
+        std::printf("  %-26s %12zu %12zu %12zu %12s\n", "Request body/query string",
+                    x.req, man.req, open_source ? truth.req : aut.req, "-");
+        std::printf("  %-26s %12zu %12zu %12zu %12s\n\n", "Response body", x.resp,
+                    man.resp, open_source ? truth.resp : aut.resp, "-");
+    };
+
+    run_group(corpus::open_source_apps(), true);
+    run_group(corpus::closed_source_apps(), false);
+
+    std::printf(
+        "Paper shape (§5.1): Extractocol's request keywords exceed what fuzzing\n"
+        "observes (hidden endpoints), while its response keywords stay below the\n"
+        "wire totals because apps do not inspect every key the server sends.\n");
+    return 0;
+}

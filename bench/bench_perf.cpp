@@ -1,0 +1,65 @@
+// §5.1 timing reproduction (google-benchmark): per-app analysis latency.
+// The paper reports ~4 minutes per open-source app and 11 minutes-3 hours
+// per closed-source app on real APKs; the shape to reproduce is that
+// analysis cost scales with app protocol surface (closed >> open), while
+// our synthetic substrate keeps absolute numbers in milliseconds.
+#include <benchmark/benchmark.h>
+
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "xapk/serialize.hpp"
+
+using namespace extractocol;
+
+namespace {
+
+void analyze_app(benchmark::State& state, const std::string& name, bool open_source) {
+    corpus::CorpusApp app = corpus::build_app(name);
+    core::AnalyzerOptions options;
+    options.async_heuristic = !open_source;
+    core::Analyzer analyzer(options);
+    std::size_t txns = 0;
+    for (auto _ : state) {
+        core::AnalysisReport report = analyzer.analyze(app.program);
+        txns = report.transactions.size();
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["statements"] = static_cast<double>(app.program.total_statements());
+    state.counters["transactions"] = static_cast<double>(txns);
+}
+
+void register_benches() {
+    // Representative small / medium / large apps from each group.
+    for (const char* name : {"blippex", "radio reddit", "Diode"}) {
+        benchmark::RegisterBenchmark(("analyze_open/" + std::string(name)).c_str(),
+                                     [name](benchmark::State& s) {
+                                         analyze_app(s, name, true);
+                                     });
+    }
+    for (const char* name : {"TED", "KAYAK", "Pinterest"}) {
+        benchmark::RegisterBenchmark(("analyze_closed/" + std::string(name)).c_str(),
+                                     [name](benchmark::State& s) {
+                                         analyze_app(s, name, false);
+                                     });
+    }
+}
+
+void bench_parse_xapk(benchmark::State& state) {
+    corpus::CorpusApp app = corpus::build_app("radio reddit");
+    std::string text = xapk::write_xapk(app.program);
+    for (auto _ : state) {
+        auto parsed = xapk::parse_xapk(text);
+        benchmark::DoNotOptimize(parsed);
+    }
+    state.counters["bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(bench_parse_xapk);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    register_benches();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,84 @@
+// Table 1 reproduction: per-app signature counts for Extractocol vs manual
+// UI fuzzing vs (source-code ground truth | automatic UI fuzzing).
+//
+// Open-source rows print (Extractocol / manual fuzz / source code); closed-
+// source rows (gray in the paper) print (Extractocol / manual / auto).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace extractocol;
+using namespace extractocol::bench;
+
+namespace {
+
+void print_header(const char* third_label) {
+    std::printf("%-24s | %-17s | %-17s | %-17s | %-11s | %-11s | %-11s | %s\n", "App",
+                "GET", "POST", "PUT/DELETE", "Query str", "JSON resp", "XML resp",
+                "#Pair");
+    std::printf("%-24s | %-17s | %-17s | %-17s | %-11s | %-11s | %-11s |\n", "",
+                "(X/Man/Thd)", "(X/Man/Thd)", "(X/Man/Thd)", "(X/Man/Thd)",
+                "(X/Man/Thd)", "(X/Man/Thd)");
+    std::printf("  X = Extractocol, Man = manual UI fuzzing, Thd = %s\n", third_label);
+    print_rule();
+}
+
+void print_row(const std::string& name, const SignatureCounts& x,
+               const SignatureCounts& man, const SignatureCounts& third) {
+    auto cell = [](std::size_t a, std::size_t b, std::size_t c) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%zu/%zu/%zu", a, b, c);
+        return std::string(buf);
+    };
+    std::printf("%-24s | %-17s | %-17s | %-17s | %-11s | %-11s | %-11s | %zu\n",
+                name.c_str(), cell(x.get, man.get, third.get).c_str(),
+                cell(x.post, man.post, third.post).c_str(),
+                cell(x.put + x.del, man.put + man.del, third.put + third.del).c_str(),
+                cell(x.query_string, man.query_string, third.query_string).c_str(),
+                cell(x.json, man.json, third.json).c_str(),
+                cell(x.xml, man.xml, third.xml).c_str(), x.pairs);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Table 1: signatures identified per app ==\n\n");
+    std::printf("-- open-source apps (third number: source-code ground truth) --\n");
+    print_header("source code analysis");
+    SignatureCounts open_x, open_man, open_src;
+    for (const auto& name : corpus::open_source_apps()) {
+        AppEvaluation ev = evaluate_app(name);
+        SignatureCounts x = counts_from_report(ev.report);
+        SignatureCounts man = counts_from_trace(ev.manual_trace);
+        SignatureCounts src = counts_from_ground_truth(ev.app);
+        print_row(name, x, man, src);
+        open_x += x;
+        open_man += man;
+        open_src += src;
+    }
+    print_rule();
+    print_row("TOTAL (open source)", open_x, open_man, open_src);
+
+    std::printf("\n-- closed-source apps (third number: automatic UI fuzzing) --\n");
+    print_header("automatic UI fuzzing (PUMA-like)");
+    SignatureCounts closed_x, closed_man, closed_auto;
+    for (const auto& name : corpus::closed_source_apps()) {
+        AppEvaluation ev = evaluate_app(name);
+        SignatureCounts x = counts_from_report(ev.report);
+        SignatureCounts man = counts_from_trace(ev.manual_trace);
+        SignatureCounts aut = counts_from_trace(ev.auto_trace);
+        print_row(name, x, man, aut);
+        closed_x += x;
+        closed_man += man;
+        closed_auto += aut;
+    }
+    print_rule();
+    print_row("TOTAL (closed source)", closed_x, closed_man, closed_auto);
+
+    std::printf(
+        "\nShape checks (paper §5.1): static analysis exceeds fuzzing on "
+        "timer/push/action\nmessages; manual fuzzing exceeds auto fuzzing; "
+        "intent-routed and multi-hop-async\nmessages appear in traces but not in "
+        "Extractocol's output.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Table 2 reproduction: matched byte fractions on actual traffic.
+//   Rk — bytes matched by constant keywords of the signature,
+//   Rv — bytes of values whose key the signature identifies,
+//   Rn — bytes covered only by wildcards.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace extractocol;
+using namespace extractocol::bench;
+
+int main() {
+    std::printf("== Table 2: matched byte count %% on actual traffic ==\n\n");
+
+    auto run_group = [](const std::vector<std::string>& names, const char* title) {
+        core::ByteAccounting request, response;
+        for (const auto& name : names) {
+            AppEvaluation ev = evaluate_app(name);
+            core::TraceMatcher matcher(ev.report);
+            auto summary = matcher.evaluate(ev.manual_trace);
+            request += summary.request_bytes;
+            response += summary.response_bytes;
+        }
+        std::printf("%-20s  request body/query string: Rk=%2.0f%% Rv=%2.0f%% Rn=%2.0f%%\n",
+                    title, 100 * request.rk(), 100 * request.rv(), 100 * request.rn());
+        std::printf("%-20s  response body:             Rk=%2.0f%% Rv=%2.0f%% Rn=%2.0f%%\n\n",
+                    "", 100 * response.rk(), 100 * response.rv(), 100 * response.rn());
+    };
+
+    run_group(corpus::open_source_apps(), "open-source apps");
+    run_group(corpus::closed_source_apps(), "closed-source apps");
+
+    std::printf(
+        "Paper values: open-source request 47/52/1, response 7/48/45;\n"
+        "closed-source request 48/31/21, response 16/35/49. The shape to match:\n"
+        "requests are (almost) fully key-value attributed (Rk+Rv ~ 100%% open,\n"
+        "~80-90%% closed), while roughly half of response bytes fall to wildcards\n"
+        "because apps read only part of each response.\n");
+    return 0;
+}

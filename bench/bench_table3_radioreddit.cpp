@@ -1,0 +1,84 @@
+// Table 3 reproduction: the radio reddit case study — six reconstructed
+// HTTP transactions and their dependency graph (login modhash/cookie feeding
+// later requests, the status response's relay URI feeding the media player).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace extractocol;
+using namespace extractocol::bench;
+
+int main() {
+    std::printf("== Table 3: reconstructed HTTP transactions for radio reddit ==\n\n");
+    AppEvaluation ev = evaluate_app("radio reddit");
+    std::printf("%s\n", ev.report.to_text().c_str());
+
+    // ---- checks against the paper's table ----
+    int failures = 0;
+    auto expect = [&failures](bool ok, const char* what) {
+        std::printf("[%s] %s\n", ok ? "ok" : "MISSING", what);
+        if (!ok) ++failures;
+    };
+
+    const auto& txns = ev.report.transactions;
+    auto find = [&](const char* fragment) -> const core::ReportTransaction* {
+        for (const auto& t : txns) {
+            if (t.uri_regex.find(fragment) != std::string::npos) return &t;
+        }
+        return nullptr;
+    };
+    const auto* login = find("/api/login");
+    const auto* save = find("/api/save");
+    const auto* vote = find("/api/vote");
+    const auto* status = find("status\\.json");
+
+    expect(txns.size() == 6, "six transactions reconstructed (paper: #1..#6)");
+    expect(login && login->body_regex.find("user=") != std::string::npos &&
+               login->body_regex.find("passwd=") != std::string::npos &&
+               login->body_regex.find("api_type=json") != std::string::npos,
+           "login body (user=).*(&passwd=)(&api_type=json)");
+    expect(login && login->response_regex.find("modhash") != std::string::npos &&
+               login->response_regex.find("cookie") != std::string::npos,
+           "login response carries modhash + cookie keys");
+    expect(save && save->uri_regex.find("save") != std::string::npos &&
+               save->uri_regex.find("|") != std::string::npos,
+           "save|unsave URI alternation");
+    expect(vote && vote->body_regex.find("dir=") != std::string::npos &&
+               vote->body_regex.find("uh=") != std::string::npos,
+           "vote body id/dir/uh fields");
+
+    auto has_edge = [&](const char* from_frag, const char* field, const char* to_frag) {
+        for (const auto& d : ev.report.dependencies) {
+            if (d.response_field != field) continue;
+            if (txns[d.from].uri_regex.find(from_frag) == std::string::npos) continue;
+            if (txns[d.to].uri_regex.find(to_frag) == std::string::npos &&
+                std::string(to_frag) != "*") {
+                continue;
+            }
+            return true;
+        }
+        return false;
+    };
+    expect(has_edge("/api/login", "modhash", "/api/save"),
+           "dependency: login.modhash -> save (uh field)");
+    expect(has_edge("/api/login", "modhash", "/api/vote"),
+           "dependency: login.modhash -> vote (uh field)");
+    expect(has_edge("/api/login", "cookie", "/api/save"),
+           "dependency: login.cookie -> save (header)");
+    expect(has_edge("status\\.json", "relay", ".*"),
+           "dependency: status.relay -> GET (.*) media stream (txn #6)");
+    expect(status && status->response_regex.find("playlist") != std::string::npos,
+           "status response includes playlist/listeners keys");
+    const auto* stream = find("^") ? nullptr : [&]() -> const core::ReportTransaction* {
+        for (const auto& t : txns) {
+            if (t.uri_regex == ".*") return &t;
+        }
+        return nullptr;
+    }();
+    expect(stream && !stream->consumers.empty() &&
+               stream->consumers[0] == "media_player",
+           "transaction #6 response goes to the media player");
+
+    std::printf("\n%d missing elements\n", failures);
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Table 4 reproduction: the TED case study — eight notable transactions and
+// the dependency graph flowing through the resource table (api-key), the
+// SQLite database (thumbnail / video URIs), and heap statics (ad URIs),
+// ending in media-player / image-loader consumption.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace extractocol;
+using namespace extractocol::bench;
+
+int main() {
+    std::printf("== Table 4: selected HTTP transactions for TED ==\n\n");
+    AppEvaluation ev = evaluate_app("TED");
+    std::printf("%s\n", ev.report.to_text().c_str());
+
+    int failures = 0;
+    auto expect = [&failures](bool ok, const char* what) {
+        std::printf("[%s] %s\n", ok ? "ok" : "MISSING", what);
+        if (!ok) ++failures;
+    };
+    const auto& txns = ev.report.transactions;
+    auto find = [&](const char* fragment) -> const core::ReportTransaction* {
+        for (const auto& t : txns) {
+            if (t.uri_regex.find(fragment) != std::string::npos) return &t;
+        }
+        return nullptr;
+    };
+
+    const auto* speakers = find("speakers\\.json");
+    const auto* ad_query = find("android_ad\\.json");
+    const auto* catalog = find("talk_catalogs");
+    expect(speakers != nullptr, "txn #1: speakers.json (static URI, api-key)");
+    expect(speakers && speakers->uri_regex.find("api-key=") != std::string::npos,
+           "txn #1 carries api-key=(.*) from the resource table");
+    expect(speakers && !speakers->signature.resource_refs.empty(),
+           "txn #1 records the resource dependency (ted_api_key)");
+    expect(find("graph\\.facebook\\.com") != nullptr, "txn #2: Facebook sharing");
+    expect(ad_query && ad_query->uri_regex.find("/v1/talks/") != std::string::npos &&
+               ad_query->uri_regex.find("[0-9]+") != std::string::npos,
+           "txn #3: talks/[0-9]*/android_ad.json advertisement query");
+    expect(ad_query && ad_query->response_regex.find("companions") != std::string::npos,
+           "txn #3 response: companions/on_page/preroll JSON tree (Fig. 1)");
+    expect(catalog && catalog->response_regex.find("thumbnail") != std::string::npos,
+           "txn #6 response carries thumbnail/video URIs inserted into the DB");
+
+    auto edge = [&](const char* field, const char* via_fragment) {
+        for (const auto& d : ev.report.dependencies) {
+            if (d.response_field == field &&
+                d.via.find(via_fragment) != std::string::npos) {
+                return true;
+            }
+        }
+        return false;
+    };
+    expect(edge("url", "static:"), "txn #3.url -> txn #4 request (ad query URI)");
+    expect(edge("video_url", "static:"), "txn #4.video_url -> txn #5 (ad video)");
+    expect(edge("thumbnail", "db:talks"), "txn #6.thumbnail -> txn #7 via DB");
+    expect(edge("video", "db:talks"), "txn #6.video -> txn #8 via DB");
+
+    bool media = false, image = false;
+    for (const auto& t : txns) {
+        for (const auto& c : t.consumers) {
+            if (c == "media_player") media = true;
+            if (c == "image_view") image = true;
+        }
+    }
+    expect(media, "ad/talk video responses go to the media player");
+    expect(image, "thumbnail responses go to the image loader");
+
+    std::printf("\n%d missing elements\n", failures);
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+// REST-API reverse engineering (§5.3): reproduce the Kayak study, including
+// the 73-line replay client the paper wrote in Python. We scope the analysis
+// to com.kayak classes, print the recovered private API, then *use* it: a
+// generated client performs the authajax -> flight/start -> flight/poll
+// session against the fake service and retrieves fares — including the
+// app-gating User-Agent header without which the service refuses access.
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "interp/interpreter.hpp"
+#include "support/strings.hpp"
+
+using namespace extractocol;
+
+namespace {
+
+/// The fare service wrapper: enforces the User-Agent gate the paper found.
+class GatedKayakService : public interp::FakeServer {
+public:
+    explicit GatedKayakService(std::unique_ptr<interp::FakeServer> inner)
+        : inner_(std::move(inner)) {}
+
+    http::Response handle(const http::Request& request) override {
+        const std::string* agent = request.header("User-Agent");
+        if (!agent || agent->find("kayakandroid") == std::string::npos) {
+            http::Response denied;
+            denied.status = 403;
+            denied.body_kind = http::BodyKind::kText;
+            denied.body = "unauthorized platform";
+            return denied;
+        }
+        return inner_->handle(request);
+    }
+
+private:
+    std::unique_ptr<interp::FakeServer> inner_;
+};
+
+/// Fills a signature's wildcards with example values to produce a concrete
+/// request — the "generate HTTPS requests based on our signatures" step.
+http::Request instantiate(const core::ReportTransaction& sig,
+                          const std::vector<std::pair<std::string, std::string>>& fills) {
+    http::Request request;
+    request.method = sig.signature.method;
+    // Build the URI from the signature's display pattern: constants stay,
+    // wildcards take fill values by position of their key.
+    std::string uri = sig.uri_regex;
+    uri = strings::replace_all(uri, "\\.", ".");
+    uri = strings::replace_all(uri, "\\?", "?");
+    // Replace each "key=.*"-ish wildcard with a fill.
+    for (const auto& [key, value] : fills) {
+        uri = strings::replace_all(uri, key + "=.*", key + "=" + value);
+        uri = strings::replace_all(uri, key + "=[0-9]+", key + "=" + value);
+    }
+    // Drop any leftover wildcards.
+    uri = strings::replace_all(uri, ".*", "x");
+    uri = strings::replace_all(uri, "[0-9]+", "1");
+    request.uri = text::parse_uri(uri).value_or(text::Uri{});
+    for (const auto& [name, value] : sig.signature.headers) {
+        if (name.is_const() && value.is_const()) {
+            request.headers.push_back({name.text, value.text});
+        }
+    }
+    if (sig.signature.has_body) {
+        std::string body = strings::replace_all(sig.body_regex, "\\.", ".");
+        for (const auto& [key, value] : fills) {
+            body = strings::replace_all(body, key + "=.*", key + "=" + value);
+            body = strings::replace_all(body, key + "=[0-9]+", key + "=" + value);
+        }
+        body = strings::replace_all(body, ".*", "x");
+        body = strings::replace_all(body, "[0-9]+", "1");
+        request.body = body;
+        request.body_kind = sig.signature.body_kind;
+    }
+    return request;
+}
+
+const core::ReportTransaction* find_sig(const core::AnalysisReport& report,
+                                        const char* fragment) {
+    for (const auto& t : report.transactions) {
+        std::string unescaped = strings::replace_all(t.uri_regex, "\\.", ".");
+        if (unescaped.find(fragment) != std::string::npos) return &t;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Kayak private-API reverse engineering (§5.3) ==\n\n");
+    corpus::CorpusApp app = corpus::build_app("KAYAK");
+    core::AnalyzerOptions options;
+    options.class_scope = "com.kayak";
+    core::AnalysisReport report = core::Analyzer(options).analyze(app.program);
+    std::printf("recovered %zu API transactions; flight-search subset:\n",
+                report.transactions.size());
+    for (const auto& t : report.transactions) {
+        if (t.uri_regex.find("flight") != std::string::npos ||
+            t.uri_regex.find("authajax") != std::string::npos) {
+            std::printf("  %s %s\n", http::method_name(t.signature.method).data(),
+                        t.uri_regex.c_str());
+        }
+    }
+
+    // ---- the replay client (the paper's 73-LOC Python script) ----
+    std::printf("\n-- replay session against the gated fare service --\n");
+    GatedKayakService service(app.make_server());
+
+    const auto* auth_sig = find_sig(report, "/k/authajax");
+    const auto* start_sig = find_sig(report, "/flight/start");
+    const auto* poll_sig = find_sig(report, "/flight/poll");
+    if (!auth_sig || !start_sig || !poll_sig) {
+        std::printf("FAIL: required signatures missing\n");
+        return 1;
+    }
+
+    // Step 0: without the recovered User-Agent the service refuses.
+    {
+        http::Request bare = instantiate(*auth_sig, {});
+        bare.headers.clear();
+        http::Response denied = service.handle(bare);
+        std::printf("without User-Agent: HTTP %d (%s)\n", denied.status,
+                    denied.body.c_str());
+        if (denied.status != 403) return 1;
+    }
+
+    // Step 1: /k/authajax with action=registerandroid.
+    http::Request auth = instantiate(*auth_sig, {{"uuid", "dev-42"},
+                                                 {"hash", "cafe"},
+                                                 {"model", "Pixel"},
+                                                 {"os", "6.0"},
+                                                 {"locale", "en_US"},
+                                                 {"tz", "UTC"}});
+    http::Response auth_resp = service.handle(auth);
+    std::printf("POST /k/authajax -> HTTP %d, body %s\n", auth_resp.status,
+                auth_resp.body.c_str());
+    auto auth_doc = text::parse_json(auth_resp.body);
+    std::string sid = auth_doc.ok() && auth_doc.value().find("sid")
+                          ? auth_doc.value().find("sid")->as_string()
+                          : "";
+
+    // Step 2: /flight/start with the session id.
+    http::Request start = instantiate(
+        *start_sig, {{"cabin", "economy"}, {"origin", "SFO"}, {"destination", "ICN"},
+                     {"depart_date", "2016-12-12"}, {"_sid_", sid}});
+    http::Response start_resp = service.handle(start);
+    std::printf("GET /flight/start -> HTTP %d, body %s\n", start_resp.status,
+                start_resp.body.c_str());
+    auto start_doc = text::parse_json(start_resp.body);
+    std::string searchid = start_doc.ok() && start_doc.value().find("searchid")
+                               ? start_doc.value().find("searchid")->as_string()
+                               : "";
+
+    // Step 3: /flight/poll retrieves the fares.
+    http::Request poll =
+        instantiate(*poll_sig, {{"searchid", searchid}, {"currency", "USD"}});
+    http::Response poll_resp = service.handle(poll);
+    std::printf("GET /flight/poll  -> HTTP %d\n", poll_resp.status);
+    auto fares = text::parse_json(poll_resp.body);
+    if (!fares.ok() || !fares.value().find("legs")) {
+        std::printf("FAIL: no fares retrieved\n");
+        return 1;
+    }
+    std::printf("fares: %s\n", fares.value().find("legs")->dump().c_str());
+    std::printf("\n[ok] reverse-engineered API session retrieved flight fares\n");
+    return 0;
+}

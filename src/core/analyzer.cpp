@@ -1,0 +1,328 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "semantics/deobfuscate.hpp"
+#include "slicing/slicer.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+#include "xapk/serialize.hpp"
+
+namespace extractocol::core {
+
+using namespace xir;
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(std::move(options)), model_(semantics::SemanticModel::standard()) {}
+
+AnalysisReport Analyzer::analyze(const Program& input_program) const {
+    auto start = std::chrono::steady_clock::now();
+
+    // Library de-obfuscation pre-pass (§3.4): map renamed bundled libraries
+    // back to canonical API names so the semantic model applies.
+    const Program* program = &input_program;
+    Program deobfuscated;
+    if (options_.deobfuscate_libraries) {
+        auto mapping = semantics::infer_deobfuscation(input_program, model_);
+        if (!mapping.classes.empty()) {
+            deobfuscated = input_program;  // deep copy, then rewrite in place
+            semantics::apply_deobfuscation(deobfuscated, mapping);
+            program = &deobfuscated;
+            log::info() << "de-obfuscated " << mapping.classes.size()
+                        << " library classes (" << mapping.unresolved.size()
+                        << " unresolved)";
+        }
+    }
+
+    AnalysisReport report;
+    report.app_name = program->app_name;
+    report.stats.total_statements = program->total_statements();
+
+    slicing::SlicerOptions slicer_options;
+    slicer_options.async_heuristic = options_.async_heuristic;
+    slicer_options.max_async_hops = options_.max_async_hops;
+    slicing::Slicer slicer(*program, model_, slicer_options);
+
+    std::vector<slicing::SlicedTransaction> sliced;
+    for (const StmtRef& site : slicer.demarcation_sites()) {
+        if (!options_.class_scope.empty()) {
+            const Method& method = program->method_at(site.method_index);
+            if (!strings::starts_with(method.class_name, options_.class_scope)) continue;
+        }
+        auto txns = slicer.slice_site(site);
+        sliced.insert(sliced.end(), std::make_move_iterator(txns.begin()),
+                      std::make_move_iterator(txns.end()));
+        report.stats.dp_sites += 1;
+    }
+    report.stats.contexts = sliced.size();
+    report.stats.slice_statements = 0;
+    {
+        std::set<StmtRef> all;
+        for (const auto& txn : sliced) {
+            all.insert(txn.combined_slice.begin(), txn.combined_slice.end());
+        }
+        report.stats.slice_statements = all.size();
+    }
+
+    // Signature extraction per transaction context.
+    sig::SignatureBuilder builder(*program, slicer.callgraph(), model_);
+    txn::DependencyAnalyzer deps(*program, slicer.callgraph(), model_, slicer.engine());
+
+    // Extractocol does not model Android intents (§4): transactions whose
+    // only entry is an intent handler are invisible to the analysis. Drop
+    // them here — they still appear in fuzzing traces, reproducing the
+    // coverage gap of §5.1.
+    sliced.erase(std::remove_if(sliced.begin(), sliced.end(),
+                                [](const slicing::SlicedTransaction& t) {
+                                    return t.trigger_kind == EventKind::kOnIntent &&
+                                           !strings::starts_with(t.trigger, "unknown:");
+                                }),
+                 sliced.end());
+
+    struct Built {
+        std::size_t sliced_index;
+        sig::TransactionSignature signature;
+    };
+    std::vector<Built> built;
+    for (std::size_t i = 0; i < sliced.size(); ++i) {
+        sig::BuildRequest request;
+        request.dp_site = sliced[i].dp_site;
+        request.dp = sliced[i].dp;
+        request.context = sliced[i].context;
+        request.slice = &sliced[i].combined_slice;
+        auto signature = builder.build(request);
+        if (!signature) continue;
+        built.push_back({i, std::move(*signature)});
+    }
+
+    // Dependencies are computed over the sliced transactions, then remapped
+    // onto the deduplicated report records.
+    std::vector<slicing::SlicedTransaction> built_sliced;
+    built_sliced.reserve(built.size());
+    for (const auto& b : built) built_sliced.push_back(sliced[b.sliced_index]);
+    std::vector<txn::Dependency> raw_edges = deps.analyze(built_sliced);
+
+    // Deduplicate: one report transaction per distinct signature.
+    std::vector<std::size_t> report_index_of(built.size());
+    for (std::size_t bi = 0; bi < built.size(); ++bi) {
+        const auto& signature = built[bi].signature;
+        const auto& source = sliced[built[bi].sliced_index];
+        std::string uri_regex = signature.uri.to_regex();
+        std::string body_regex = signature.has_body ? signature.body.to_regex() : "";
+        std::string response_regex =
+            signature.has_response_body ? signature.response_body.to_regex() : "";
+
+        std::size_t found = report.transactions.size();
+        for (std::size_t ri = 0; ri < report.transactions.size(); ++ri) {
+            const auto& existing = report.transactions[ri];
+            if (existing.signature.method == signature.method &&
+                existing.uri_regex == uri_regex && existing.body_regex == body_regex &&
+                existing.response_regex == response_regex &&
+                existing.signature.consumer == signature.consumer &&
+                existing.dp_site == source.dp_site) {
+                found = ri;
+                break;
+            }
+        }
+        auto tags = deps.tags(source);
+        if (found == report.transactions.size()) {
+            ReportTransaction record;
+            record.signature = signature;
+            record.uri_regex = std::move(uri_regex);
+            record.body_regex = std::move(body_regex);
+            record.response_regex = std::move(response_regex);
+            record.dp_site = source.dp_site;
+            record.triggers.push_back(source.trigger);
+            record.trigger_kinds.push_back(source.trigger_kind);
+            for (auto& c : tags.consumers) record.consumers.push_back(std::move(c));
+            if (record.signature.consumer != semantics::ConsumerKind::kNone) {
+                std::string name =
+                    record.signature.consumer == semantics::ConsumerKind::kMediaPlayer
+                        ? "media_player"
+                        : "image_view";
+                if (std::find(record.consumers.begin(), record.consumers.end(), name) ==
+                    record.consumers.end()) {
+                    record.consumers.push_back(std::move(name));
+                }
+            }
+            record.sources = std::move(tags.sources);
+            report.transactions.push_back(std::move(record));
+        } else {
+            ReportTransaction& record = report.transactions[found];
+            record.context_count += 1;
+            if (std::find(record.triggers.begin(), record.triggers.end(),
+                          source.trigger) == record.triggers.end()) {
+                record.triggers.push_back(source.trigger);
+                record.trigger_kinds.push_back(source.trigger_kind);
+            }
+        }
+        report_index_of[bi] = found;
+    }
+
+    for (const auto& edge : raw_edges) {
+        txn::Dependency mapped = edge;
+        mapped.from = report_index_of[edge.from];
+        mapped.to = report_index_of[edge.to];
+        if (mapped.from == mapped.to) continue;
+        if (std::find(report.dependencies.begin(), report.dependencies.end(), mapped) ==
+            report.dependencies.end()) {
+            report.dependencies.push_back(mapped);
+        }
+    }
+
+    report.stats.analysis_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return report;
+}
+
+Result<AnalysisReport> Analyzer::analyze_xapk(std::string_view xapk_text) const {
+    auto program = xapk::parse_xapk(xapk_text);
+    if (!program.ok()) return program.error();
+    return analyze(program.value());
+}
+
+// ------------------------------------------------------------ tabulation --
+
+std::size_t AnalysisReport::count_method(http::Method method) const {
+    return static_cast<std::size_t>(
+        std::count_if(transactions.begin(), transactions.end(),
+                      [method](const ReportTransaction& t) {
+                          return t.signature.method == method;
+                      }));
+}
+
+std::size_t AnalysisReport::count_body_kind(http::BodyKind kind, bool response) const {
+    std::size_t n = 0;
+    for (const auto& t : transactions) {
+        if (response) {
+            if (t.signature.has_response_body && t.signature.response_kind == kind) ++n;
+        } else {
+            if (t.signature.has_body && t.signature.body_kind == kind) ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t AnalysisReport::pair_count() const {
+    return static_cast<std::size_t>(
+        std::count_if(transactions.begin(), transactions.end(),
+                      [](const ReportTransaction& t) { return t.is_paired(); }));
+}
+
+std::size_t AnalysisReport::request_payload_count() const {
+    std::set<std::string> unique;
+    for (const auto& t : transactions) {
+        if (t.signature.has_body) unique.insert(t.body_regex);
+    }
+    return unique.size();
+}
+
+std::vector<std::string> AnalysisReport::keywords(bool response) const {
+    std::set<std::string> unique;
+    for (const auto& t : transactions) {
+        if (response) {
+            if (t.signature.has_response_body) {
+                for (auto& k : t.signature.response_body.keywords()) {
+                    unique.insert(std::move(k));
+                }
+            }
+        } else {
+            if (t.signature.has_body) {
+                for (auto& k : t.signature.body.keywords()) unique.insert(std::move(k));
+            }
+            // Query-string keys embedded in the URI count as request keywords.
+            for (auto& k : t.signature.uri.keywords()) unique.insert(std::move(k));
+        }
+    }
+    return {unique.begin(), unique.end()};
+}
+
+std::string AnalysisReport::to_text() const {
+    std::string out;
+    out += "App: " + app_name + "\n";
+    out += "Transactions: " + std::to_string(transactions.size()) +
+           "  (pairs: " + std::to_string(pair_count()) + ")\n";
+    for (std::size_t i = 0; i < transactions.size(); ++i) {
+        const auto& t = transactions[i];
+        out += "#" + std::to_string(i + 1) + " " +
+               std::string(http::method_name(t.signature.method)) + " " + t.uri_regex +
+               "\n";
+        if (t.signature.has_body) {
+            out += "    body[" + std::string(http::body_kind_name(t.signature.body_kind)) +
+                   "]: " + t.body_regex + "\n";
+        }
+        for (const auto& [name, value] : t.signature.headers) {
+            out += "    header: " + name.to_regex() + ": " + value.to_regex() + "\n";
+        }
+        if (t.signature.has_response_body) {
+            out += "    response[" +
+                   std::string(http::body_kind_name(t.signature.response_kind)) +
+                   "]: " + t.response_regex + "\n";
+        }
+        if (!t.consumers.empty()) {
+            out += "    consumed-by: " + strings::join(t.consumers, ", ") + "\n";
+        }
+        if (!t.sources.empty()) {
+            out += "    originates-from: " + strings::join(t.sources, ", ") + "\n";
+        }
+        if (!t.triggers.empty()) {
+            out += "    triggers: " + strings::join(t.triggers, ", ") + "\n";
+        }
+    }
+    if (!dependencies.empty()) {
+        out += "Dependency graph:\n";
+        for (const auto& d : dependencies) {
+            out += "  #" + std::to_string(d.from + 1) + "." +
+                   (d.response_field.empty() ? "<body>" : d.response_field) + " -> #" +
+                   std::to_string(d.to + 1) + "." + d.request_field;
+            if (!d.via.empty()) out += " (via " + d.via + ")";
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+text::Json AnalysisReport::to_json() const {
+    text::Json doc = text::Json::object();
+    doc.set("app", text::Json(app_name));
+    text::Json txns = text::Json::array();
+    for (const auto& t : transactions) {
+        text::Json obj = text::Json::object();
+        obj.set("method", text::Json(std::string(http::method_name(t.signature.method))));
+        obj.set("uri", text::Json(t.uri_regex));
+        if (t.signature.has_body) {
+            obj.set("body_kind",
+                    text::Json(std::string(http::body_kind_name(t.signature.body_kind))));
+            obj.set("body", text::Json(t.body_regex));
+        }
+        if (t.signature.has_response_body) {
+            obj.set("response_kind", text::Json(std::string(http::body_kind_name(
+                                         t.signature.response_kind))));
+            obj.set("response", text::Json(t.response_regex));
+            obj.set("response_schema", t.signature.response_body.to_json_schema());
+        }
+        if (!t.consumers.empty()) {
+            text::Json arr = text::Json::array();
+            for (const auto& c : t.consumers) arr.push_back(text::Json(c));
+            obj.set("consumers", std::move(arr));
+        }
+        txns.push_back(std::move(obj));
+    }
+    doc.set("transactions", std::move(txns));
+    text::Json edges = text::Json::array();
+    for (const auto& d : dependencies) {
+        text::Json obj = text::Json::object();
+        obj.set("from", text::Json(static_cast<std::int64_t>(d.from)));
+        obj.set("response_field", text::Json(d.response_field));
+        obj.set("to", text::Json(static_cast<std::int64_t>(d.to)));
+        obj.set("request_field", text::Json(d.request_field));
+        if (!d.via.empty()) obj.set("via", text::Json(d.via));
+        edges.push_back(std::move(obj));
+    }
+    doc.set("dependencies", std::move(edges));
+    return doc;
+}
+
+}  // namespace extractocol::core

@@ -1,0 +1,117 @@
+// extractocol::core — the public facade. Give it an app (an xir::Program or
+// .xapk text) and it runs the full pipeline of Fig. 2:
+//
+//   program slicing  ->  signature extraction  ->  transaction
+//   (src/slicing)        (src/sig)                 reconstruction +
+//                                                  dependency analysis
+//                                                  (src/txn)
+//
+// and returns an AnalysisReport: the deduplicated HTTP transactions with
+// regex signatures, their pairings, the inter-transaction dependency graph,
+// and behavior tags.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "semantics/model.hpp"
+#include "sig/builder.hpp"
+#include "support/result.hpp"
+#include "text/json.hpp"
+#include "txn/dependency.hpp"
+#include "xir/ir.hpp"
+
+namespace extractocol::core {
+
+struct ReportTransaction {
+    sig::TransactionSignature signature;
+    /// Cached regex renderings.
+    std::string uri_regex;
+    std::string body_regex;
+    std::string response_regex;
+
+    /// Events that can trigger this transaction.
+    std::vector<std::string> triggers;
+    std::vector<xir::EventKind> trigger_kinds;
+    /// Behavior tags (§2): consumption sinks / data origins.
+    std::vector<std::string> consumers;
+    std::vector<std::string> sources;
+    /// Demarcation-point site (first occurrence).
+    xir::StmtRef dp_site;
+    /// Number of calling contexts merged into this record.
+    std::size_t context_count = 1;
+
+    [[nodiscard]] bool is_paired() const { return signature.has_response_body; }
+};
+
+struct AnalysisStats {
+    std::size_t total_statements = 0;
+    std::size_t slice_statements = 0;
+    std::size_t dp_sites = 0;
+    std::size_t contexts = 0;
+    double analysis_seconds = 0;
+
+    [[nodiscard]] double slice_fraction() const {
+        return total_statements == 0
+                   ? 0.0
+                   : static_cast<double>(slice_statements) /
+                         static_cast<double>(total_statements);
+    }
+};
+
+struct AnalysisReport {
+    std::string app_name;
+    std::vector<ReportTransaction> transactions;
+    std::vector<txn::Dependency> dependencies;  // indices into `transactions`
+    AnalysisStats stats;
+
+    // ----------------------------------------------------- tabulations --
+    [[nodiscard]] std::size_t count_method(http::Method method) const;
+    [[nodiscard]] std::size_t count_body_kind(http::BodyKind kind, bool response) const;
+    /// Transactions whose response body is processed by the app (Table 1's
+    /// #Pair column).
+    [[nodiscard]] std::size_t pair_count() const;
+    /// Unique request body / query-string signatures.
+    [[nodiscard]] std::size_t request_payload_count() const;
+    /// Constant keywords across request (or response) signatures (Fig. 7).
+    [[nodiscard]] std::vector<std::string> keywords(bool response) const;
+
+    /// Paper-style text rendering (transaction table + dependency graph).
+    [[nodiscard]] std::string to_text() const;
+    [[nodiscard]] text::Json to_json() const;
+};
+
+struct AnalyzerOptions {
+    /// §3.4 async-event heuristic; the paper disables it for open-source
+    /// apps and enables it for closed-source apps (§5.1).
+    bool async_heuristic = true;
+    /// Attempt semantic-model de-obfuscation of renamed bundled libraries.
+    bool deobfuscate_libraries = true;
+    /// Async-chain depth (paper default: one hop, §4). Raising it implements
+    /// the "multiple iterations" extension the paper proposes.
+    unsigned max_async_hops = 1;
+    /// Restrict analysis to DPs inside classes with this prefix (the §5.3
+    /// Kayak study scopes to "com.kayak"). Empty = whole app.
+    std::string class_scope;
+};
+
+class Analyzer {
+public:
+    explicit Analyzer(AnalyzerOptions options = {});
+
+    /// Runs the full pipeline on a program.
+    [[nodiscard]] AnalysisReport analyze(const xir::Program& program) const;
+
+    /// Parses .xapk text and analyzes it (the binary-only entry point).
+    [[nodiscard]] Result<AnalysisReport> analyze_xapk(std::string_view xapk_text) const;
+
+    [[nodiscard]] const semantics::SemanticModel& model() const { return model_; }
+
+private:
+    AnalyzerOptions options_;
+    semantics::SemanticModel model_;
+};
+
+}  // namespace extractocol::core

@@ -1,0 +1,881 @@
+#include "corpus/spec.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/strings.hpp"
+#include "text/json.hpp"
+#include "xir/builder.hpp"
+
+namespace extractocol::corpus {
+
+using namespace xir;
+
+namespace {
+
+std::string trigger_label(const EndpointSpec& e) {
+    return std::string(event_kind_name(e.trigger)) + ":" + e.name;
+}
+
+/// Static field holding a token: Session.s_<endpoint>_<field>.
+std::string token_static(const std::string& ref) {
+    return "s_" + strings::replace_all(ref, ".", "_");
+}
+
+// ------------------------------------------------------------- codegen ---
+
+class AppGenerator {
+public:
+    explicit AppGenerator(AppSpec spec)
+        : spec_(std::move(spec)), pb_(spec_.name) {}
+
+    CorpusApp run() {
+        main_class_ = spec_.package + ".MainActivity";
+        session_class_ = spec_.package + ".Session";
+        pb_.add_class(session_class_);
+        auto main = pb_.add_class(main_class_, "android.app.Activity");
+
+        for (const auto& endpoint : spec_.endpoints) {
+            emit_endpoint(main, endpoint);
+        }
+        emit_filler();
+
+        CorpusApp app;
+        app.spec = spec_;
+        app.program = pb_.build();
+        for (const auto& endpoint : spec_.endpoints) {
+            app.ground_truth.push_back(ground_truth_of(endpoint));
+        }
+        return app;
+    }
+
+private:
+    std::string scheme() const { return spec_.https ? "https://" : "http://"; }
+
+    // ---- parameter value expressions -------------------------------------
+    Operand param_value(MethodBuilder& mb, const ParamSpec& p, int* unique) {
+        switch (p.value) {
+            case ParamSpec::Value::kConst:
+                return cs(p.text);
+            case ParamSpec::Value::kDynamicInt: {
+                LocalId v = mb.local("dyn" + std::to_string((*unique)++), "int");
+                // A small computation so the value is not a constant.
+                mb.binop(v, BinaryOp::Op::kMul, ci(12347), ci(67));
+                return Operand(v);
+            }
+            case ParamSpec::Value::kUserInput: {
+                LocalId et = mb.local("edit" + std::to_string((*unique)++),
+                                      "android.widget.EditText");
+                LocalId v = mb.local("input" + std::to_string((*unique)++),
+                                     "java.lang.String");
+                mb.vcall(v, et, "android.widget.EditText.getText");
+                return Operand(v);
+            }
+            case ParamSpec::Value::kResource: {
+                LocalId res = mb.local("res" + std::to_string((*unique)++),
+                                       "android.content.res.Resources");
+                LocalId v = mb.local("resv" + std::to_string((*unique)++),
+                                     "java.lang.String");
+                mb.vcall(v, res, "android.content.res.Resources.getString", {cs(p.text)});
+                return Operand(v);
+            }
+            case ParamSpec::Value::kToken: {
+                LocalId v = mb.local("tok" + std::to_string((*unique)++),
+                                     "java.lang.String");
+                mb.load_static(v, session_class_, token_static(p.text));
+                return Operand(v);
+            }
+            case ParamSpec::Value::kLocation: {
+                LocalId v = mb.local("loc" + std::to_string((*unique)++),
+                                     "java.lang.String");
+                mb.load_static(v, session_class_, "s_loc_" + p.text);
+                return Operand(v);
+            }
+        }
+        return cs("");
+    }
+
+    // ---- URI construction ------------------------------------------------
+    LocalId build_url(MethodBuilder& mb, const EndpointSpec& e, int* unique) {
+        LocalId sb = mb.local("sb", "java.lang.StringBuilder");
+        mb.new_object(sb, "java.lang.StringBuilder");
+        mb.special(sb, "java.lang.StringBuilder.<init>", {cs(scheme() + e.host)});
+
+        if (!e.path_alternatives.empty()) {
+            // Branchy path selection (Fig. 3 shape): a mode value set by the
+            // UI picks which path variant is appended.
+            LocalId mode = mb.local("mode", "java.lang.String");
+            mb.load_static(mode, session_class_, "s_mode_" + e.name);
+            std::function<void(MethodBuilder&, std::size_t)> chain =
+                [&](MethodBuilder& b, std::size_t index) {
+                    if (index >= e.path_alternatives.size()) {
+                        b.vcall(sb, sb, "java.lang.StringBuilder.append", {cs(e.path)});
+                        return;
+                    }
+                    b.if_then_else(
+                        eq(Operand(mode), cs("alt" + std::to_string(index))),
+                        [&](MethodBuilder& bb) {
+                            bb.vcall(sb, sb, "java.lang.StringBuilder.append",
+                                     {cs(e.path_alternatives[index])});
+                        },
+                        [&](MethodBuilder& bb) { chain(bb, index + 1); });
+                };
+            chain(mb, 0);
+        } else if (e.dynamic_path_id) {
+            auto slash = e.path.rfind('/');
+            std::string prefix = e.path.substr(0, slash + 1);  // keeps '/'
+            std::string suffix = e.path.substr(slash + 1);
+            LocalId id = mb.local("pathid", "int");
+            mb.binop(id, BinaryOp::Op::kMul, ci(6), ci(7));
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {cs(prefix)});
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {Operand(id)});
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {cs("/" + suffix)});
+        } else {
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {cs(e.path)});
+        }
+
+        bool first = true;
+        for (const auto& p : e.query) {
+            std::string sep = first ? "?" : "&";
+            first = false;
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {cs(sep + p.key + "=")});
+            Operand value = param_value(mb, p, unique);
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {value});
+        }
+        if (e.async_hops > 0) {
+            // The produced fragment arrives through N static hops.
+            LocalId frag = mb.local("frag", "java.lang.String");
+            mb.load_static(frag, session_class_,
+                           "s_hop" + std::to_string(e.async_hops) + "_" + e.name);
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append",
+                     {cs(e.query.empty() ? "?" : "&")});
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {Operand(frag)});
+        }
+        LocalId url = mb.local("url", "java.lang.String");
+        mb.vcall(url, sb, "java.lang.StringBuilder.toString");
+        return url;
+    }
+
+    // ---- request bodies --------------------------------------------------
+    /// Returns a local holding the body string (query-string form).
+    LocalId build_query_body(MethodBuilder& mb, const EndpointSpec& e, int* unique,
+                             LocalId* list_out) {
+        LocalId list = mb.local("params", "java.util.ArrayList");
+        mb.new_object(list, "java.util.ArrayList");
+        mb.special(list, "java.util.ArrayList.<init>");
+        for (const auto& p : e.body_params) {
+            LocalId pair = mb.local("pair" + std::to_string((*unique)++),
+                                    "org.apache.http.message.BasicNameValuePair");
+            mb.new_object(pair, "org.apache.http.message.BasicNameValuePair");
+            Operand value = param_value(mb, p, unique);
+            mb.special(pair, "org.apache.http.message.BasicNameValuePair.<init>",
+                       {cs(p.key), value});
+            mb.vcall(std::nullopt, list, "java.util.ArrayList.add", {Operand(pair)});
+        }
+        *list_out = list;
+        return list;
+    }
+
+    void put_json_fields(MethodBuilder& mb, LocalId json,
+                         const std::vector<FieldSpec>& fields, int* unique, int depth) {
+        for (const auto& f : fields) {
+            switch (f.kind) {
+                case FieldSpec::Kind::kObject: {
+                    LocalId child = mb.local("jo" + std::to_string((*unique)++),
+                                             "org.json.JSONObject");
+                    mb.new_object(child, "org.json.JSONObject");
+                    mb.special(child, "org.json.JSONObject.<init>", {cnull()});
+                    if (depth < 3) put_json_fields(mb, child, f.children, unique, depth + 1);
+                    mb.vcall(std::nullopt, json, "org.json.JSONObject.put",
+                             {cs(f.key), Operand(child)});
+                    break;
+                }
+                case FieldSpec::Kind::kArray: {
+                    LocalId arr = mb.local("ja" + std::to_string((*unique)++),
+                                           "org.json.JSONArray");
+                    mb.new_object(arr, "org.json.JSONArray");
+                    mb.special(arr, "org.json.JSONArray.<init>", {cnull()});
+                    LocalId item = mb.local("ji" + std::to_string((*unique)++),
+                                            "org.json.JSONObject");
+                    mb.new_object(item, "org.json.JSONObject");
+                    mb.special(item, "org.json.JSONObject.<init>", {cnull()});
+                    if (depth < 3) put_json_fields(mb, item, f.children, unique, depth + 1);
+                    mb.vcall(std::nullopt, arr, "org.json.JSONArray.put", {Operand(item)});
+                    mb.vcall(std::nullopt, json, "org.json.JSONObject.put",
+                             {cs(f.key), Operand(arr)});
+                    break;
+                }
+                case FieldSpec::Kind::kInt: {
+                    LocalId v = mb.local("jn" + std::to_string((*unique)++), "int");
+                    mb.binop(v, BinaryOp::Op::kAdd, ci(20), ci(5));
+                    mb.vcall(std::nullopt, json, "org.json.JSONObject.put",
+                             {cs(f.key), Operand(v)});
+                    break;
+                }
+                case FieldSpec::Kind::kBool:
+                    mb.vcall(std::nullopt, json, "org.json.JSONObject.put",
+                             {cs(f.key), cb(true)});
+                    break;
+                case FieldSpec::Kind::kString: {
+                    LocalId et = mb.local("je" + std::to_string((*unique)++),
+                                          "android.widget.EditText");
+                    LocalId v = mb.local("jv" + std::to_string((*unique)++),
+                                         "java.lang.String");
+                    mb.vcall(v, et, "android.widget.EditText.getText");
+                    mb.vcall(std::nullopt, json, "org.json.JSONObject.put",
+                             {cs(f.key), Operand(v)});
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- response parsing -------------------------------------------------
+    void parse_json_fields(MethodBuilder& mb, const EndpointSpec& e, LocalId json,
+                           const std::vector<FieldSpec>& fields, int* unique, int depth) {
+        for (const auto& f : fields) {
+            if (!f.read_by_app) continue;
+            switch (f.kind) {
+                case FieldSpec::Kind::kObject: {
+                    LocalId child = mb.local("ro" + std::to_string((*unique)++),
+                                             "org.json.JSONObject");
+                    mb.vcall(child, json, "org.json.JSONObject.getJSONObject",
+                             {cs(f.key)});
+                    if (depth < 3) {
+                        parse_json_fields(mb, e, child, f.children, unique, depth + 1);
+                    }
+                    break;
+                }
+                case FieldSpec::Kind::kArray: {
+                    LocalId arr = mb.local("ra" + std::to_string((*unique)++),
+                                           "org.json.JSONArray");
+                    mb.vcall(arr, json, "org.json.JSONObject.getJSONArray", {cs(f.key)});
+                    LocalId item = mb.local("ri" + std::to_string((*unique)++),
+                                            "org.json.JSONObject");
+                    mb.vcall(item, arr, "org.json.JSONArray.getJSONObject", {ci(0)});
+                    if (depth < 3) {
+                        parse_json_fields(mb, e, item, f.children, unique, depth + 1);
+                    }
+                    break;
+                }
+                case FieldSpec::Kind::kInt: {
+                    LocalId v = mb.local("rn" + std::to_string((*unique)++), "int");
+                    mb.vcall(v, json, "org.json.JSONObject.getInt", {cs(f.key)});
+                    break;
+                }
+                case FieldSpec::Kind::kBool: {
+                    LocalId v = mb.local("rb" + std::to_string((*unique)++), "boolean");
+                    mb.vcall(v, json, "org.json.JSONObject.getBoolean", {cs(f.key)});
+                    break;
+                }
+                case FieldSpec::Kind::kString: {
+                    LocalId v = mb.local("rs" + std::to_string((*unique)++),
+                                         "java.lang.String");
+                    mb.vcall(v, json, "org.json.JSONObject.getString", {cs(f.key)});
+                    store_response_value(mb, e, f, v, unique);
+                    break;
+                }
+            }
+        }
+    }
+
+    void parse_xml_fields(MethodBuilder& mb, LocalId body, const EndpointSpec& e,
+                          int* unique) {
+        LocalId parser = mb.local("parser", "javax.xml.parsers.DocumentBuilder");
+        LocalId doc = mb.local("doc", "org.w3c.dom.Document");
+        mb.vcall(doc, parser, "javax.xml.parsers.DocumentBuilder.parse", {Operand(body)});
+        for (const auto& f : e.response_fields) {
+            if (!f.read_by_app) continue;
+            LocalId nodes = mb.local("nl" + std::to_string((*unique)++),
+                                     "org.w3c.dom.NodeList");
+            mb.vcall(nodes, doc, "org.w3c.dom.Document.getElementsByTagName", {cs(f.key)});
+            LocalId el = mb.local("el" + std::to_string((*unique)++),
+                                  "org.w3c.dom.Element");
+            mb.vcall(el, nodes, "org.w3c.dom.NodeList.item", {ci(0)});
+            LocalId v = mb.local("xv" + std::to_string((*unique)++), "java.lang.String");
+            mb.vcall(v, el, "org.w3c.dom.Element.getTextContent");
+            store_response_value(mb, e, f, v, unique);
+        }
+    }
+
+    /// Persists a read response value into the session static and/or the
+    /// SQLite database, as the field spec demands.
+    void store_response_value(MethodBuilder& mb, const EndpointSpec& e, const FieldSpec& f,
+                              LocalId v, int* unique) {
+        if (f.store_to_static) {
+            mb.store_static(session_class_, token_static(e.name + "." + f.key),
+                            Operand(v));
+        }
+        if (!f.store_to_db.empty()) {
+            LocalId values = mb.local("cv" + std::to_string((*unique)++),
+                                      "android.content.ContentValues");
+            mb.new_object(values, "android.content.ContentValues");
+            mb.special(values, "android.content.ContentValues.<init>");
+            mb.vcall(std::nullopt, values, "android.content.ContentValues.put",
+                     {cs(f.key), Operand(v)});
+            LocalId database = mb.local("db" + std::to_string((*unique)++),
+                                        "android.database.sqlite.SQLiteDatabase");
+            mb.vcall(std::nullopt, database,
+                     "android.database.sqlite.SQLiteDatabase.insert",
+                     {cs(f.store_to_db), cnull(), Operand(values)});
+        }
+    }
+
+    void parse_response(MethodBuilder& mb, const EndpointSpec& e, LocalId body,
+                        int* unique) {
+        if (e.response == EndpointSpec::Response::kJson) {
+            LocalId json = mb.local("rjson", "org.json.JSONObject");
+            mb.new_object(json, "org.json.JSONObject");
+            mb.special(json, "org.json.JSONObject.<init>", {Operand(body)});
+            parse_json_fields(mb, e, json, e.response_fields, unique, 0);
+        } else if (e.response == EndpointSpec::Response::kXml) {
+            parse_xml_fields(mb, body, e, unique);
+        }
+    }
+
+    // ---- per-library request/response plumbing ----------------------------
+    void emit_apache(MethodBuilder& mb, const EndpointSpec& e, LocalId url, int* unique) {
+        std::string req_class = "org.apache.http.client.methods.Http";
+        switch (e.method) {
+            case http::Method::kGet: req_class += "Get"; break;
+            case http::Method::kPost: req_class += "Post"; break;
+            case http::Method::kPut: req_class += "Put"; break;
+            default: req_class += "Delete"; break;
+        }
+        LocalId req = mb.local("req", req_class);
+        mb.new_object(req, req_class);
+        mb.special(req, req_class + ".<init>", {Operand(url)});
+        for (const auto& h : e.headers) {
+            Operand value = param_value(mb, h, unique);
+            mb.vcall(std::nullopt, req, req_class + ".setHeader", {cs(h.key), value});
+        }
+
+        if (e.body == EndpointSpec::Body::kQueryString) {
+            LocalId list = 0;
+            build_query_body(mb, e, unique, &list);
+            LocalId entity =
+                mb.local("entity", "org.apache.http.client.entity.UrlEncodedFormEntity");
+            mb.new_object(entity, "org.apache.http.client.entity.UrlEncodedFormEntity");
+            mb.special(entity,
+                       "org.apache.http.client.entity.UrlEncodedFormEntity.<init>",
+                       {Operand(list)});
+            mb.vcall(std::nullopt, req, req_class + ".setEntity", {Operand(entity)});
+        } else if (e.body == EndpointSpec::Body::kJson) {
+            LocalId json = mb.local("bjson", "org.json.JSONObject");
+            mb.new_object(json, "org.json.JSONObject");
+            mb.special(json, "org.json.JSONObject.<init>", {cnull()});
+            put_json_fields(mb, json, e.body_fields, unique, 0);
+            LocalId body_str = mb.local("bodyStr", "java.lang.String");
+            mb.vcall(body_str, json, "org.json.JSONObject.toString");
+            LocalId entity = mb.local("entity", "org.apache.http.entity.StringEntity");
+            mb.new_object(entity, "org.apache.http.entity.StringEntity");
+            mb.special(entity, "org.apache.http.entity.StringEntity.<init>",
+                       {Operand(body_str)});
+            mb.vcall(std::nullopt, req, req_class + ".setEntity", {Operand(entity)});
+        }
+
+        LocalId client = mb.local("client", "org.apache.http.client.HttpClient");
+        LocalId resp = mb.local("resp", "org.apache.http.HttpResponse");
+        mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute",
+                 {Operand(req)});
+        if (e.response != EndpointSpec::Response::kNone) {
+            LocalId entity2 = mb.local("rentity", "org.apache.http.HttpEntity");
+            mb.vcall(entity2, resp, "org.apache.http.HttpResponse.getEntity");
+            LocalId body = mb.local("rbody", "java.lang.String");
+            mb.scall(body, "org.apache.http.util.EntityUtils.toString",
+                     {Operand(entity2)});
+            parse_response(mb, e, body, unique);
+        }
+    }
+
+    void emit_okhttp(MethodBuilder& mb, const EndpointSpec& e, LocalId url, int* unique) {
+        LocalId builder = mb.local("builder", "okhttp3.Request$Builder");
+        mb.new_object(builder, "okhttp3.Request$Builder");
+        mb.special(builder, "okhttp3.Request$Builder.<init>");
+        mb.vcall(builder, builder, "okhttp3.Request$Builder.url", {Operand(url)});
+        for (const auto& h : e.headers) {
+            Operand value = param_value(mb, h, unique);
+            mb.vcall(builder, builder, "okhttp3.Request$Builder.header",
+                     {cs(h.key), value});
+        }
+        if (e.body == EndpointSpec::Body::kJson) {
+            LocalId json = mb.local("bjson", "org.json.JSONObject");
+            mb.new_object(json, "org.json.JSONObject");
+            mb.special(json, "org.json.JSONObject.<init>", {cnull()});
+            put_json_fields(mb, json, e.body_fields, unique, 0);
+            LocalId body_str = mb.local("bodyStr", "java.lang.String");
+            mb.vcall(body_str, json, "org.json.JSONObject.toString");
+            LocalId rb = mb.local("rb", "okhttp3.RequestBody");
+            mb.scall(rb, "okhttp3.RequestBody.create", {cnull(), Operand(body_str)});
+            std::string verb = e.method == http::Method::kPut ? "put" : "post";
+            mb.vcall(builder, builder, "okhttp3.Request$Builder." + verb, {Operand(rb)});
+        } else if (e.method == http::Method::kDelete) {
+            mb.vcall(builder, builder, "okhttp3.Request$Builder.delete");
+        } else {
+            mb.vcall(builder, builder, "okhttp3.Request$Builder.get");
+        }
+        LocalId req = mb.local("okreq", "okhttp3.Request");
+        mb.vcall(req, builder, "okhttp3.Request$Builder.build");
+        LocalId client = mb.local("okclient", "okhttp3.OkHttpClient");
+        mb.new_object(client, "okhttp3.OkHttpClient");
+        LocalId okcall = mb.local("okcall", "okhttp3.Call");
+        mb.vcall(okcall, client, "okhttp3.OkHttpClient.newCall", {Operand(req)});
+        LocalId resp = mb.local("okresp", "okhttp3.Response");
+        mb.vcall(resp, okcall, "okhttp3.Call.execute");
+        if (e.response != EndpointSpec::Response::kNone) {
+            LocalId rbody = mb.local("okbody", "okhttp3.ResponseBody");
+            mb.vcall(rbody, resp, "okhttp3.Response.body");
+            LocalId body = mb.local("rbodys", "java.lang.String");
+            mb.vcall(body, rbody, "okhttp3.ResponseBody.string");
+            parse_response(mb, e, body, unique);
+        }
+    }
+
+    void emit_urlconn(MethodBuilder& mb, const EndpointSpec& e, LocalId url, int* unique) {
+        LocalId u = mb.local("u", "java.net.URL");
+        mb.new_object(u, "java.net.URL");
+        mb.special(u, "java.net.URL.<init>", {Operand(url)});
+        LocalId conn = mb.local("conn", "java.net.HttpURLConnection");
+        mb.vcall(conn, u, "java.net.URL.openConnection");
+        for (const auto& h : e.headers) {
+            Operand value = param_value(mb, h, unique);
+            mb.vcall(std::nullopt, conn, "java.net.HttpURLConnection.setRequestProperty",
+                     {cs(h.key), value});
+        }
+        if (e.method != http::Method::kGet) {
+            mb.vcall(std::nullopt, conn, "java.net.HttpURLConnection.setRequestMethod",
+                     {cs(std::string(http::method_name(e.method)))});
+        }
+        if (e.body == EndpointSpec::Body::kQueryString) {
+            LocalId sb2 = mb.local("bsb", "java.lang.StringBuilder");
+            mb.new_object(sb2, "java.lang.StringBuilder");
+            mb.special(sb2, "java.lang.StringBuilder.<init>", {cs("")});
+            bool first = true;
+            for (const auto& p : e.body_params) {
+                std::string sep = first ? "" : "&";
+                first = false;
+                mb.vcall(sb2, sb2, "java.lang.StringBuilder.append",
+                         {cs(sep + p.key + "=")});
+                Operand value = param_value(mb, p, unique);
+                mb.vcall(sb2, sb2, "java.lang.StringBuilder.append", {value});
+            }
+            LocalId body_str = mb.local("bodyStr", "java.lang.String");
+            mb.vcall(body_str, sb2, "java.lang.StringBuilder.toString");
+            LocalId os = mb.local("os", "java.io.OutputStream");
+            mb.vcall(os, conn, "java.net.HttpURLConnection.getOutputStream");
+            mb.vcall(std::nullopt, os, "java.io.OutputStream.write", {Operand(body_str)});
+        }
+        LocalId in = mb.local("in", "java.io.InputStream");
+        mb.vcall(in, conn, "java.net.HttpURLConnection.getInputStream");
+        if (e.response != EndpointSpec::Response::kNone) {
+            LocalId reader = mb.local("isr", "java.io.InputStreamReader");
+            mb.new_object(reader, "java.io.InputStreamReader");
+            mb.special(reader, "java.io.InputStreamReader.<init>", {Operand(in)});
+            LocalId br = mb.local("br", "java.io.BufferedReader");
+            mb.new_object(br, "java.io.BufferedReader");
+            mb.special(br, "java.io.BufferedReader.<init>", {Operand(reader)});
+            LocalId body = mb.local("rbody", "java.lang.String");
+            mb.vcall(body, br, "java.io.BufferedReader.readLine");
+            parse_response(mb, e, body, unique);
+        }
+    }
+
+    /// volley / loopj: response arrives in a listener callback class.
+    void emit_callback_lib(ClassBuilder& main, MethodBuilder& mb, const EndpointSpec& e,
+                           LocalId url, int* unique) {
+        std::string listener_class = spec_.package + ".Listener_" + e.name;
+        {
+            auto listener = pb_.add_class(listener_class);
+            auto cb = listener.method(e.lib == HttpLib::kVolley ? "onResponse"
+                                                                : "onSuccess");
+            LocalId body = cb.param("body", "java.lang.String");
+            int cb_unique = 0;
+            if (e.response != EndpointSpec::Response::kNone) {
+                // Parsing inside the callback.
+                EndpointSpec copy = e;
+                AppGenerator* self = this;
+                (void)self;
+                if (e.response == EndpointSpec::Response::kJson) {
+                    LocalId json = cb.local("rjson", "org.json.JSONObject");
+                    cb.new_object(json, "org.json.JSONObject");
+                    cb.special(json, "org.json.JSONObject.<init>", {Operand(body)});
+                    parse_json_fields(cb, copy, json, copy.response_fields, &cb_unique, 0);
+                } else {
+                    parse_xml_fields(cb, body, copy, &cb_unique);
+                }
+            }
+            cb.ret();
+        }
+        (void)main;
+        if (e.lib == HttpLib::kVolley) {
+            LocalId ctx = mb.local("ctx", "android.content.Context");
+            LocalId queue = mb.local("queue", "com.android.volley.RequestQueue");
+            mb.scall(queue, "com.android.volley.toolbox.Volley.newRequestQueue",
+                     {Operand(ctx)});
+            LocalId listener = mb.local("listener", listener_class);
+            mb.new_object(listener, listener_class);
+            LocalId req = mb.local("vreq", "com.android.volley.toolbox.StringRequest");
+            mb.new_object(req, "com.android.volley.toolbox.StringRequest");
+            std::int64_t code = e.method == http::Method::kPost   ? 1
+                                : e.method == http::Method::kPut  ? 2
+                                : e.method == http::Method::kDelete ? 3
+                                                                    : 0;
+            mb.special(req, "com.android.volley.toolbox.StringRequest.<init>",
+                       {ci(code), Operand(url), Operand(listener), cnull()});
+            mb.vcall(std::nullopt, queue, "com.android.volley.RequestQueue.add",
+                     {Operand(req)});
+        } else {  // loopj
+            LocalId client = mb.local("lclient", "com.loopj.android.http.AsyncHttpClient");
+            mb.new_object(client, "com.loopj.android.http.AsyncHttpClient");
+            LocalId handler = mb.local("lhandler", listener_class);
+            mb.new_object(handler, listener_class);
+            std::string verb = e.method == http::Method::kPost ? "post" : "get";
+            mb.vcall(std::nullopt, client,
+                     "com.loopj.android.http.AsyncHttpClient." + verb,
+                     {Operand(url), Operand(handler)});
+        }
+        (void)unique;
+    }
+
+    // ---- async producers ---------------------------------------------------
+    void emit_async_producers(const EndpointSpec& e) {
+        // Hop 1: a location callback builds a query fragment with constant
+        // keys and stores it.
+        std::string cls = spec_.package + ".Producer_" + e.name;
+        auto producer = pb_.add_class(cls);
+        {
+            auto mb = producer.method("onLocationChanged");
+            LocalId loc = mb.param("location", "android.location.Location");
+            LocalId lat = mb.local("lat", "java.lang.String");
+            LocalId latd = mb.local("latd", "double");
+            mb.vcall(latd, loc, "android.location.Location.getLatitude");
+            mb.scall(lat, "java.lang.String.valueOf", {Operand(latd)});
+            LocalId sb = mb.local("fsb", "java.lang.StringBuilder");
+            mb.new_object(sb, "java.lang.StringBuilder");
+            mb.special(sb, "java.lang.StringBuilder.<init>", {cs("lat=")});
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {Operand(lat)});
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {cs("&units=metric")});
+            LocalId frag = mb.local("frag", "java.lang.String");
+            mb.vcall(frag, sb, "java.lang.StringBuilder.toString");
+            mb.store_static(session_class_, "s_hop1_" + e.name, Operand(frag));
+            mb.ret();
+        }
+        pb_.register_event({cls, "onLocationChanged"}, EventKind::kOnLocation,
+                           "location:" + e.name);
+        if (e.async_hops >= 2) {
+            // Hop 2: a custom-UI handler relays the fragment (appending one
+            // more constant key) through a second static.
+            auto mb = producer.method("onRelay");
+            LocalId frag = mb.local("frag1", "java.lang.String");
+            mb.load_static(frag, session_class_, "s_hop1_" + e.name);
+            LocalId sb = mb.local("rsb", "java.lang.StringBuilder");
+            mb.new_object(sb, "java.lang.StringBuilder");
+            mb.special(sb, "java.lang.StringBuilder.<init>", {cnull()});
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {Operand(frag)});
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {cs("&lang=en")});
+            LocalId frag2 = mb.local("frag2", "java.lang.String");
+            mb.vcall(frag2, sb, "java.lang.StringBuilder.toString");
+            mb.store_static(session_class_, "s_hop2_" + e.name, Operand(frag2));
+            mb.ret();
+        }
+        if (e.async_hops >= 2) {
+            pb_.register_event({cls, "onRelay"}, EventKind::kOnCustomUi,
+                               "custom_ui:relay_" + e.name);
+        }
+    }
+
+    // ---- intent routing ------------------------------------------------------
+    void emit_intent_receiver(const EndpointSpec& e) {
+        std::string cls = spec_.package + ".Receiver_" + e.name;
+        auto receiver = pb_.add_class(cls);
+        auto mb = receiver.method("onReceive");
+        LocalId intent = mb.param("intent", "android.content.Intent");
+        LocalId url = mb.local("url", "java.lang.String");
+        mb.vcall(url, intent, "android.content.Intent.getStringExtra", {cs("url")});
+        LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+        mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+        mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+        LocalId client = mb.local("client", "org.apache.http.client.HttpClient");
+        LocalId resp = mb.local("resp", "org.apache.http.HttpResponse");
+        mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute",
+                 {Operand(req)});
+        mb.ret();
+        pb_.register_event({cls, "onReceive"}, EventKind::kOnIntent, "intent:" + e.name);
+    }
+
+    // ---- endpoint entry ------------------------------------------------------
+    void emit_endpoint(ClassBuilder& main, const EndpointSpec& e) {
+        if (e.async_hops > 0) emit_async_producers(e);
+
+        std::string handler_name = "on_" + e.name;
+        auto mb = main.method(handler_name);
+        int unique = 0;
+        LocalId url;
+        if (strings::starts_with(e.uri_from, "static:")) {
+            url = mb.local("url", "java.lang.String");
+            mb.load_static(url, session_class_, token_static(e.uri_from.substr(7)));
+        } else if (strings::starts_with(e.uri_from, "db:")) {
+            std::string ref = e.uri_from.substr(3);
+            auto dot = ref.rfind('.');
+            std::string table = ref.substr(0, dot);
+            std::string column = ref.substr(dot + 1);
+            LocalId database =
+                mb.local("db", "android.database.sqlite.SQLiteDatabase");
+            LocalId cursor = mb.local("cursor", "android.database.Cursor");
+            mb.vcall(cursor, database, "android.database.sqlite.SQLiteDatabase.query",
+                     {cs(table)});
+            LocalId moved = mb.local("moved", "boolean");
+            mb.vcall(moved, cursor, "android.database.Cursor.moveToNext");
+            url = mb.local("url", "java.lang.String");
+            mb.vcall(url, cursor, "android.database.Cursor.getString", {cs(column)});
+        } else {
+            url = build_url(mb, e, &unique);
+        }
+
+        if (e.consumer == EndpointSpec::Consumer::kMediaPlayer) {
+            LocalId player = mb.local("player", "android.media.MediaPlayer");
+            mb.vcall(std::nullopt, player, "android.media.MediaPlayer.setDataSource",
+                     {Operand(url)});
+            mb.ret();
+            pb_.register_event({main_class_, handler_name}, e.trigger, trigger_label(e));
+            return;
+        }
+        if (e.consumer == EndpointSpec::Consumer::kImageLoader) {
+            LocalId loader = mb.local("loader", "com.squareup.picasso.Picasso");
+            mb.vcall(std::nullopt, loader, "com.squareup.picasso.Picasso.load",
+                     {Operand(url)});
+            mb.ret();
+            pb_.register_event({main_class_, handler_name}, e.trigger, trigger_label(e));
+            return;
+        }
+
+        if (e.via_intent) {
+            emit_intent_receiver(e);
+            LocalId intent = mb.local("intent", "android.content.Intent");
+            mb.new_object(intent, "android.content.Intent");
+            mb.special(intent, "android.content.Intent.<init>");
+            mb.vcall(std::nullopt, intent, "android.content.Intent.putExtra",
+                     {cs("action"), cs(e.name)});
+            mb.vcall(std::nullopt, intent, "android.content.Intent.putExtra",
+                     {cs("url"), Operand(url)});
+            LocalId ctx = mb.local("ctx", "android.content.Context");
+            mb.vcall(std::nullopt, ctx, "android.content.Context.startActivity",
+                     {Operand(intent)});
+        } else {
+            switch (e.lib) {
+                case HttpLib::kApache: emit_apache(mb, e, url, &unique); break;
+                case HttpLib::kOkHttp: emit_okhttp(mb, e, url, &unique); break;
+                case HttpLib::kUrlConnection: emit_urlconn(mb, e, url, &unique); break;
+                case HttpLib::kVolley:
+                case HttpLib::kLoopj:
+                    emit_callback_lib(main, mb, e, url, &unique);
+                    break;
+            }
+        }
+        mb.ret();
+        pb_.register_event({main_class_, handler_name}, e.trigger, trigger_label(e));
+
+        // One extra UI entry per path alternative so dynamic fuzzing can
+        // reach every branch (each registered wrapper sets the mode first).
+        for (std::size_t i = 0; i < e.path_alternatives.size(); ++i) {
+            std::string wrapper_name = handler_name + "_alt" + std::to_string(i);
+            auto wb = main.method(wrapper_name);
+            wb.store_static(session_class_, "s_mode_" + e.name,
+                            cs("alt" + std::to_string(i)));
+            wb.vcall(std::nullopt, wb.self(), main_class_ + "." + handler_name);
+            wb.ret();
+            pb_.register_event({main_class_, wrapper_name}, e.trigger,
+                               trigger_label(e) + "_alt" + std::to_string(i));
+        }
+
+        // Resource-table entries referenced by parameters.
+        auto add_resources = [this](const std::vector<ParamSpec>& params) {
+            for (const auto& p : params) {
+                if (p.value == ParamSpec::Value::kResource) {
+                    pb_.add_resource(p.text, "RES-" + p.text + "-VALUE");
+                }
+            }
+        };
+        add_resources(e.query);
+        add_resources(e.body_params);
+    }
+
+    // ---- non-protocol bulk -----------------------------------------------------
+    /// Emits UI/settings-style code with no network involvement: string
+    /// shuffling, arithmetic loops, field bookkeeping. Some methods are
+    /// registered as (network-silent) click handlers so they are reachable.
+    void emit_filler() {
+        if (spec_.filler_methods == 0) return;
+        std::string cls_name = spec_.package + ".Ui";
+        auto ui = pb_.add_class(cls_name);
+        ui.field("mState", "java.lang.String");
+        for (std::size_t i = 0; i < spec_.filler_methods; ++i) {
+            std::string name = "layout" + std::to_string(i);
+            auto mb = ui.method(name);
+            LocalId acc = mb.local("acc", "int");
+            mb.assign(acc, ci(static_cast<std::int64_t>(i)));
+            LocalId j = mb.local("j", "int");
+            mb.assign(j, ci(0));
+            mb.while_loop(lt(Operand(j), ci(8)), [&](MethodBuilder& b) {
+                b.binop(acc, BinaryOp::Op::kAdd, Operand(acc), Operand(j));
+                b.binop(j, BinaryOp::Op::kAdd, Operand(j), ci(1));
+            });
+            LocalId label = mb.local("label", "java.lang.String");
+            LocalId sb = mb.local("sb", "java.lang.StringBuilder");
+            mb.new_object(sb, "java.lang.StringBuilder");
+            mb.special(sb, "java.lang.StringBuilder.<init>", {cs("item-")});
+            mb.vcall(sb, sb, "java.lang.StringBuilder.append", {Operand(acc)});
+            mb.vcall(label, sb, "java.lang.StringBuilder.toString");
+            mb.store_field(mb.self(), "mState", Operand(label));
+            mb.ret();
+            if (i % 7 == 0) {
+                pb_.register_event({cls_name, name}, EventKind::kOnClick,
+                                   "click:ui_" + std::to_string(i));
+            }
+        }
+    }
+
+    // ---- ground truth ---------------------------------------------------------
+    static void collect_field_keywords(const std::vector<FieldSpec>& fields,
+                                       std::vector<std::string>& read,
+                                       std::vector<std::string>& wire, int depth) {
+        for (const auto& f : fields) {
+            wire.push_back(f.key);
+            if (f.read_by_app) read.push_back(f.key);
+            if (depth < 3 && (f.kind == FieldSpec::Kind::kObject ||
+                              f.kind == FieldSpec::Kind::kArray)) {
+                // Children visible only when the parent is read.
+                std::vector<std::string> child_read, child_wire;
+                collect_field_keywords(f.children, child_read, child_wire, depth + 1);
+                wire.insert(wire.end(), child_wire.begin(), child_wire.end());
+                if (f.read_by_app) {
+                    read.insert(read.end(), child_read.begin(), child_read.end());
+                }
+            }
+        }
+    }
+
+    GroundTruthEndpoint ground_truth_of(const EndpointSpec& e) const {
+        GroundTruthEndpoint gt;
+        gt.name = e.name;
+        gt.method = e.method;
+        gt.trigger = e.trigger;
+        gt.via_intent = e.via_intent;
+        gt.async_hops = e.async_hops;
+        for (const auto& p : e.query) gt.request_keywords.push_back(p.key);
+        for (const auto& p : e.body_params) gt.request_keywords.push_back(p.key);
+        if (e.async_hops > 0) {
+            gt.request_keywords.push_back("lat");
+            gt.request_keywords.push_back("units");
+            if (e.async_hops >= 2) gt.request_keywords.push_back("lang");
+        }
+        if (e.body == EndpointSpec::Body::kJson) {
+            std::vector<std::string> read, wire;
+            collect_field_keywords(e.body_fields, read, wire, 0);
+            gt.request_keywords.insert(gt.request_keywords.end(), wire.begin(),
+                                       wire.end());
+            gt.request_payload = http::BodyKind::kJson;
+        } else if (e.body == EndpointSpec::Body::kQueryString || !e.query.empty() ||
+                   e.async_hops > 0) {
+            gt.request_payload = http::BodyKind::kQueryString;
+        }
+        if (e.response != EndpointSpec::Response::kNone) {
+            std::vector<std::string> read, wire;
+            collect_field_keywords(e.response_fields, read, wire, 0);
+            gt.response_keywords = std::move(read);
+            gt.wire_response_keywords = std::move(wire);
+            gt.has_response_body = !gt.response_keywords.empty();
+            gt.response_kind = e.response == EndpointSpec::Response::kJson
+                                   ? http::BodyKind::kJson
+                                   : http::BodyKind::kXml;
+            gt.paired = gt.has_response_body;
+        }
+        return gt;
+    }
+
+    AppSpec spec_;
+    ProgramBuilder pb_;
+    std::string main_class_;
+    std::string session_class_;
+};
+
+// ------------------------------------------------------------ fake server --
+
+text::Json synthesize_json(const std::vector<FieldSpec>& fields, int depth) {
+    text::Json obj = text::Json::object();
+    for (const auto& f : fields) {
+        switch (f.kind) {
+            case FieldSpec::Kind::kString:
+                obj.set(f.key,
+                        text::Json(f.is_url
+                                       ? "http://cdn.example.com/" + f.key + "/1"
+                                       : "value-" + f.key + "-abcdefghijklmnopqrstuv"));
+                break;
+            case FieldSpec::Kind::kInt: obj.set(f.key, text::Json(7)); break;
+            case FieldSpec::Kind::kBool: obj.set(f.key, text::Json(true)); break;
+            case FieldSpec::Kind::kObject:
+                obj.set(f.key, depth < 3 ? synthesize_json(f.children, depth + 1)
+                                         : text::Json::object());
+                break;
+            case FieldSpec::Kind::kArray: {
+                text::Json arr = text::Json::array();
+                if (depth < 3) {
+                    arr.push_back(synthesize_json(f.children, depth + 1));
+                    arr.push_back(synthesize_json(f.children, depth + 1));
+                }
+                obj.set(f.key, std::move(arr));
+                break;
+            }
+        }
+    }
+    return obj;
+}
+
+std::string synthesize_xml(const std::vector<FieldSpec>& fields) {
+    std::string out = "<resp>";
+    for (const auto& f : fields) {
+        std::string value =
+            f.is_url ? "http://cdn.example.com/" + f.key + "/1" : "v-" + f.key;
+        out += "<" + f.key + ">" + value + "</" + f.key + ">";
+    }
+    out += "</resp>";
+    return out;
+}
+
+}  // namespace
+
+std::unique_ptr<interp::FakeServer> CorpusApp::make_server() const {
+    auto server = std::make_unique<interp::ScriptedServer>();
+    for (const auto& e : spec.endpoints) {
+        std::string route = e.host;
+        if (e.dynamic_path_id) {
+            auto slash = e.path.rfind('/');
+            route += e.path.substr(0, slash + 1);
+        } else {
+            route += e.path;
+        }
+        if (e.response == EndpointSpec::Response::kJson) {
+            // Real servers decorate responses with metadata the app ignores;
+            // these keys appear on the wire but never in signatures (the
+            // Fig. 7 trace>signature direction and Table 2's response Rn).
+            text::Json body = synthesize_json(e.response_fields, 0);
+            body.set("meta_ts", text::Json("2016-12-12T09:00:00Z"));
+            body.set("meta_node", text::Json("edge-cache-sfo-0042.example.net"));
+            body.set("meta_version", text::Json("api-build-20161212-rc7"));
+            body.set("meta_trace", text::Json("0f9a3c77-52b1-4d66-9d20-8e2f9f1b6a31"));
+            server->route_fixed(route, http::BodyKind::kJson, body.dump());
+        } else if (e.response == EndpointSpec::Response::kXml) {
+            server->route_fixed(route, http::BodyKind::kXml,
+                                synthesize_xml(e.response_fields));
+        } else {
+            server->route_fixed(route, http::BodyKind::kNone, "");
+        }
+    }
+    // Media/thumbnail CDN catch-all for response-derived fetches.
+    server->route_fixed("cdn.example.com", http::BodyKind::kBinary, "MEDIA-PAYLOAD");
+    return server;
+}
+
+CorpusApp generate(AppSpec spec) { return AppGenerator(std::move(spec)).run(); }
+
+}  // namespace extractocol::corpus

@@ -1,0 +1,146 @@
+// Synthetic app corpus (the evaluation substrate). Real Google-Play APKs are
+// not available offline, so each evaluated app is generated from a spec that
+// reproduces the protocol-relevant *shape* of the paper's subjects:
+// which HTTP library it uses, how many endpoints of which method/body kind,
+// which events trigger them (plain clicks vs custom UI vs logins vs timers
+// vs server pushes vs purchase-style actions), token dependencies, async
+// event chains, and intent-routed messages.
+//
+// From one spec the corpus derives three mutually consistent artifacts:
+//   1. the app's IR program (built with the xir builder DSL),
+//   2. the scripted fake server answering its endpoints,
+//   3. the machine-readable ground truth used as the "source code analysis"
+//      column of Table 1.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "interp/interpreter.hpp"
+#include "xir/ir.hpp"
+
+namespace extractocol::corpus {
+
+enum class HttpLib { kApache, kOkHttp, kVolley, kUrlConnection, kLoopj };
+
+/// One query-string / form parameter.
+struct ParamSpec {
+    enum class Value {
+        kConst,      // constant string baked into code
+        kDynamicInt, // integer computed at runtime -> [0-9]+
+        kUserInput,  // EditText.getText() -> .*
+        kResource,   // value from the resource table (api keys) -> .*
+        kToken,      // field of an earlier login response, via a static
+        kLocation,   // location-service value crossing one async hop
+    };
+    std::string key;
+    Value value = Value::kConst;
+    std::string text;  // kConst: the value; kResource: resource id;
+                       // kToken: "<endpoint>.<field>"
+};
+
+/// One field of a JSON (or XML) payload.
+struct FieldSpec {
+    enum class Kind { kString, kInt, kBool, kObject, kArray };
+    std::string key;
+    Kind kind = Kind::kString;
+    std::vector<FieldSpec> children;  // kObject / kArray (element shape)
+    /// Response-only: whether app code reads this field (unread keys appear
+    /// on the wire but not in Extractocol's signature — the Fig. 7 gap).
+    bool read_by_app = true;
+    /// Response-only: store the read value into a session static so later
+    /// requests can reference it via ParamSpec::kToken.
+    bool store_to_static = false;
+    /// Response-only: insert the read value into this SQLite table (column =
+    /// key) — the TED-style DB-mediated dependency channel.
+    std::string store_to_db;
+    /// Response-only: the server synthesizes a fetchable URL for this field
+    /// (ad/media/thumbnail URIs consumed by later transactions).
+    bool is_url = false;
+};
+
+struct EndpointSpec {
+    std::string name;  // unique per app; used in labels and ground truth
+    http::Method method = http::Method::kGet;
+    HttpLib lib = HttpLib::kApache;
+    std::string host;                 // "api.example.com"
+    std::string path;                 // "/v1/feed.json"
+    /// Branchy path construction (Diode-style): the handler selects between
+    /// `path` and each alternative -> an alternation in the URI signature.
+    std::vector<std::string> path_alternatives;
+    bool dynamic_path_id = false;     // numeric id segment inserted before the
+                                      // last path element -> [0-9]+
+    std::vector<ParamSpec> query;     // URI query string
+    /// Extra request headers (name = ParamSpec::key), e.g. Kayak's
+    /// app-gating User-Agent or radio reddit's session cookie.
+    std::vector<ParamSpec> headers;
+    /// When set, the URI is not built in code but comes verbatim from an
+    /// earlier response: "static:<endpoint>.<field>" or "db:<table>.<column>".
+    /// Its signature degrades to GET (.*) with a dependency edge.
+    std::string uri_from;
+    /// How the fetched data is consumed: plain HTTP client, a media player
+    /// (MediaPlayer.setDataSource — its own DP), or an image loader.
+    enum class Consumer { kHttp, kMediaPlayer, kImageLoader };
+    Consumer consumer = Consumer::kHttp;
+
+    enum class Body { kNone, kQueryString, kJson };
+    Body body = Body::kNone;
+    std::vector<ParamSpec> body_params;   // kQueryString
+    std::vector<FieldSpec> body_fields;   // kJson
+
+    enum class Response { kNone, kJson, kXml };
+    Response response = Response::kNone;
+    std::vector<FieldSpec> response_fields;
+
+    xir::EventKind trigger = xir::EventKind::kOnClick;
+    /// Message routed through an Android intent: Extractocol's documented
+    /// blind spot (§4); visible to manual fuzzing.
+    bool via_intent = false;
+    /// Number of async-event hops the URI's dynamic part crosses (0 = none,
+    /// 1 = one static-field hop — recovered when the heuristic is on,
+    /// 2 = beyond the one-hop limit — Extractocol degrades to wildcards).
+    int async_hops = 0;
+};
+
+struct AppSpec {
+    std::string name;
+    std::string package;  // "com.fivemiles"
+    bool open_source = false;
+    bool https = true;
+    std::vector<EndpointSpec> endpoints;
+    /// Non-protocol code bulk (UI logic, settings, layout math...). Real apps
+    /// are mostly such code, which is why slices cover only a few percent of
+    /// statements (Fig. 3's 6.3%).
+    std::size_t filler_methods = 40;
+};
+
+/// Per-endpoint ground truth derived from the spec ("source code analysis").
+struct GroundTruthEndpoint {
+    std::string name;
+    http::Method method = http::Method::kGet;
+    http::BodyKind request_payload = http::BodyKind::kNone;  // query/json incl. uri query
+    bool has_response_body = false;
+    http::BodyKind response_kind = http::BodyKind::kNone;
+    std::vector<std::string> request_keywords;
+    std::vector<std::string> response_keywords;       // keys the app reads
+    std::vector<std::string> wire_response_keywords;  // keys on the wire
+    xir::EventKind trigger = xir::EventKind::kOnClick;
+    bool via_intent = false;
+    int async_hops = 0;
+    bool paired = false;
+};
+
+struct CorpusApp {
+    AppSpec spec;
+    xir::Program program;
+    std::vector<GroundTruthEndpoint> ground_truth;
+
+    [[nodiscard]] std::unique_ptr<interp::FakeServer> make_server() const;
+};
+
+/// Generates the program + server + ground truth from a spec.
+CorpusApp generate(AppSpec spec);
+
+}  // namespace extractocol::corpus

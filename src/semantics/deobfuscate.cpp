@@ -1,0 +1,186 @@
+#include "semantics/deobfuscate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace extractocol::semantics {
+
+using namespace xir;
+
+namespace {
+
+/// Structural fingerprint of one (possibly obfuscated) API method, derived
+/// purely from how call sites use it — names are assumed meaningless.
+struct MethodFeature {
+    int argc = 0;
+    bool returns_value = false;
+    bool chained = false;  // receiver type == result type (builder pattern)
+    bool is_ctor = false;
+    std::size_t call_count = 0;  // observed uses (tie-breaking)
+};
+
+bool feature_match(const MethodFeature& a, const MethodFeature& b) {
+    return a.argc == b.argc && a.returns_value == b.returns_value &&
+           a.chained == b.chained && a.is_ctor == b.is_ctor;
+}
+
+/// Fingerprint of a semantic-model method, derived from its flow rules.
+MethodFeature model_feature(const ApiModel& api) {
+    MethodFeature f;
+    f.is_ctor = api.method == "<init>";
+    int max_arg = -1;
+    bool base_to_ret = false;
+    bool arg_to_base = false;
+    for (const auto& rule : api.flows) {
+        if (rule.from.pos == Role::Pos::kArg) max_arg = std::max(max_arg, rule.from.arg_index);
+        if (rule.to.pos == Role::Pos::kArg) max_arg = std::max(max_arg, rule.to.arg_index);
+        if (rule.to.pos == Role::Pos::kReturn) f.returns_value = true;
+        if (rule.from.pos == Role::Pos::kBase && rule.to.pos == Role::Pos::kReturn) {
+            base_to_ret = true;
+        }
+        if (rule.from.pos == Role::Pos::kArg && rule.to.pos == Role::Pos::kBase) {
+            arg_to_base = true;
+        }
+    }
+    f.argc = max_arg + 1;
+    f.chained = base_to_ret && arg_to_base;
+    return f;
+}
+
+struct ObservedMethod {
+    std::string name;
+    MethodFeature feature;
+};
+
+}  // namespace
+
+DeobfuscationResult infer_deobfuscation(const Program& program, const SemanticModel& model) {
+    DeobfuscationResult result;
+
+    // 1. Collect observed features for each unknown phantom class.
+    std::map<std::string, std::map<std::string, MethodFeature>> observed;
+    for (const Method* m : program.method_table()) {
+        for (const auto& block : m->blocks) {
+            for (const auto& stmt : block.statements) {
+                const auto* call = std::get_if<Invoke>(&stmt);
+                if (!call) continue;
+                const std::string& cls = call->callee.class_name;
+                if (cls.empty() || program.find_class(cls)) continue;
+                if (model.is_known_library_class(cls)) continue;
+                MethodFeature& f = observed[cls][call->callee.method_name];
+                f.argc = static_cast<int>(call->args.size());
+                f.is_ctor = call->kind == InvokeKind::kSpecial;
+                f.call_count += 1;
+                if (call->dst) {
+                    f.returns_value = true;
+                    if (call->base) {
+                        const auto& base_type = m->locals[*call->base].type;
+                        const auto& dst_type = m->locals[*call->dst].type;
+                        if (base_type == dst_type) f.chained = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Score each unknown class against each modeled class.
+    const auto candidates = model.modeled_classes();
+    for (const auto& [obf_class, methods] : observed) {
+        std::string best_class;
+        int best_score = 0;
+        for (const auto& candidate : candidates) {
+            auto apis = model.apis_for_class(candidate);
+            int score = 0;
+            for (const auto& [obf_method, feature] : methods) {
+                for (const ApiModel* api : apis) {
+                    if (feature_match(feature, model_feature(*api))) {
+                        score += 2;
+                        break;
+                    }
+                }
+            }
+            // Penalize candidates with far more methods than observed (a
+            // tiny observed surface should not match a huge class better
+            // than a small exact one).
+            score -= static_cast<int>(
+                         std::max(apis.size(), methods.size()) -
+                         std::min(apis.size(), methods.size()));
+            // Ties break lexicographically — twin classes (StringBuilder /
+            // StringBuffer) expose identical surfaces and either mapping is
+            // semantically correct.
+            if (score > best_score ||
+                (score == best_score && score > 0 && !best_class.empty() &&
+                 candidate < best_class)) {
+                best_score = score;
+                best_class = candidate;
+            }
+        }
+        if (best_class.empty() || best_score <= 0) {
+            result.unresolved.push_back(obf_class);
+            continue;
+        }
+        result.classes[obf_class] = best_class;
+
+        // 3. Map methods within the matched class: group by feature; order
+        // ambiguous groups by observed call frequency vs model declaration
+        // order ("when there are multiple methods with the same signature,
+        // we look at the decompiled code and look for similarity" — our
+        // stand-in for that similarity is usage frequency).
+        auto apis = model.apis_for_class(best_class);
+        std::set<const ApiModel*> used;
+        std::vector<ObservedMethod> sorted_methods;
+        for (const auto& [name, feature] : methods) sorted_methods.push_back({name, feature});
+        std::sort(sorted_methods.begin(), sorted_methods.end(),
+                  [](const ObservedMethod& a, const ObservedMethod& b) {
+                      return a.feature.call_count > b.feature.call_count;
+                  });
+        for (const auto& om : sorted_methods) {
+            for (const ApiModel* api : apis) {
+                if (used.count(api) > 0) continue;
+                if (feature_match(om.feature, model_feature(*api))) {
+                    result.methods[obf_class + "." + om.name] = api->method;
+                    used.insert(api);
+                    break;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+void apply_deobfuscation(Program& program, const DeobfuscationResult& mapping) {
+    auto map_class = [&](std::string& name) {
+        auto it = mapping.classes.find(name);
+        if (it != mapping.classes.end()) name = it->second;
+    };
+    for (auto& cls : program.classes) {
+        for (auto& method : cls.methods) {
+            for (auto& local : method.locals) map_class(local.type);
+            map_class(method.return_type);
+            for (auto& block : method.blocks) {
+                for (auto& stmt : block.statements) {
+                    if (auto* call = std::get_if<Invoke>(&stmt)) {
+                        auto mit = mapping.methods.find(call->callee.qualified());
+                        if (mit != mapping.methods.end()) {
+                            call->callee.method_name = mit->second;
+                        }
+                        map_class(call->callee.class_name);
+                    } else if (auto* alloc = std::get_if<NewObject>(&stmt)) {
+                        map_class(alloc->class_name);
+                    } else if (auto* load = std::get_if<LoadStatic>(&stmt)) {
+                        map_class(load->class_name);
+                    } else if (auto* store = std::get_if<StoreStatic>(&stmt)) {
+                        map_class(store->class_name);
+                    }
+                }
+            }
+        }
+    }
+    program.reindex();
+}
+
+}  // namespace extractocol::semantics

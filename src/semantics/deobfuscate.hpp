@@ -1,0 +1,35 @@
+// Library de-obfuscation (§3.4): when an app bundles an HTTP/JSON library
+// and ProGuard renamed it, the semantic model no longer matches by name.
+// This pass compares structural "signatures" of obfuscated phantom classes
+// (how many methods, their arities, chaining shape, constructor use) against
+// the classes in the semantic model and produces a rename map back to the
+// canonical API names, which is then applied to the program before analysis.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "semantics/model.hpp"
+#include "xir/ir.hpp"
+
+namespace extractocol::semantics {
+
+struct DeobfuscationResult {
+    /// obfuscated phantom class -> canonical API class
+    std::unordered_map<std::string, std::string> classes;
+    /// "obfCls.obfMethod" -> canonical method name
+    std::unordered_map<std::string, std::string> methods;
+    /// Classes we could not identify (analysis degrades to wildcards there).
+    std::vector<std::string> unresolved;
+};
+
+/// Infers the mapping. Only phantom classes (no body in `program`) that are
+/// not already known library names are considered.
+DeobfuscationResult infer_deobfuscation(const xir::Program& program,
+                                        const SemanticModel& model);
+
+/// Applies a mapping in place (rewrites callee refs, local/field types,
+/// NewObject class names).
+void apply_deobfuscation(xir::Program& program, const DeobfuscationResult& mapping);
+
+}  // namespace extractocol::semantics

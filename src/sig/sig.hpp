@@ -1,0 +1,111 @@
+// The signature intermediate language of Fig. 4:
+//
+//   sig_pat ::= term | concat(term, term) | rep{term} | term ∨ term
+//   term    ::= constant | struct_str | unknown
+//   struct_str ::= json(obj) | xml(obj)
+//   obj     ::= key_value*      key_value ::= (key, value)
+//   value   ::= constant | obj | array      constant ::= num int | str string
+//
+// Sig is a value-semantic tree with normalization (constant folding of
+// adjacent concat literals, alternation dedup) plus the three renderings the
+// paper uses: regular expressions, JSON-schema-like trees, and DTDs for XML.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "text/json.hpp"
+
+namespace extractocol::sig {
+
+class Sig {
+public:
+    enum class Kind {
+        kConst,       // string literal
+        kUnknown,     // wildcard with a type hint
+        kConcat,      // juxtaposition
+        kAlt,         // disjunction
+        kRep,         // Kleene repetition of the single child
+        kJsonObject,  // ordered key/value members
+        kJsonArray,   // item signatures; `repeated` marks rep{}
+        kXmlElement,  // tag + attributes + children (+ text)
+    };
+
+    /// Type hint for unknowns — drives the regex class ([0-9]+ vs .*).
+    enum class ValueType { kString, kInt, kBool, kAny };
+
+    Kind kind = Kind::kUnknown;
+    ValueType value_type = ValueType::kAny;   // kUnknown
+    std::string text;                         // kConst; kXmlElement: tag name
+    std::vector<Sig> children;                // kConcat/kAlt/kRep(1)/kJsonArray/kXml children
+    std::vector<std::pair<std::string, Sig>> members;  // kJsonObject / kXml attributes
+    std::vector<Sig> xml_text;                // kXmlElement character data (0 or 1)
+    bool repeated = false;                    // kJsonArray: items repeat
+
+    Sig() = default;
+
+    // ------------------------------------------------------ constructors --
+    static Sig constant(std::string value);
+    static Sig unknown(ValueType type = ValueType::kAny);
+    static Sig concat(Sig a, Sig b);
+    static Sig concat_all(std::vector<Sig> parts);
+    static Sig alt(Sig a, Sig b);
+    static Sig rep(Sig body);
+    static Sig json_object();
+    static Sig json_array();
+    static Sig xml_element(std::string tag);
+
+    [[nodiscard]] bool is_const() const { return kind == Kind::kConst; }
+    [[nodiscard]] bool is_unknown() const { return kind == Kind::kUnknown; }
+    /// True if this signature contains no constants at all (pure wildcard).
+    [[nodiscard]] bool is_pure_wildcard() const;
+
+    /// Structural equality.
+    bool operator==(const Sig& other) const;
+
+    /// Sets (or merges) a JSON-object member.
+    void set_member(const std::string& key, Sig value);
+    [[nodiscard]] const Sig* member(const std::string& key) const;
+    [[nodiscard]] Sig* member(const std::string& key);
+
+    // -------------------------------------------------------- renderings --
+    /// Regular expression (anchored use). JSON/XML sub-trees render as the
+    /// regex of their canonical serialization.
+    [[nodiscard]] std::string to_regex() const;
+
+    /// Human-readable pattern: constants verbatim, unknowns as (.*) / [0-9]+,
+    /// the paper's display style e.g. "(user=).*(&passwd=)(&api_type=json)".
+    [[nodiscard]] std::string to_display() const;
+
+    /// JSON-schema-like description for kJsonObject/kJsonArray trees.
+    [[nodiscard]] text::Json to_json_schema() const;
+
+    /// DTD for XML signature trees (paper §1: "Document Type Definition for
+    /// XML ... JSON schema for JSON bodies").
+    [[nodiscard]] std::string to_dtd() const;
+
+    // --------------------------------------------------------- analytics --
+    /// All constant keywords (JSON keys, XML tags/attributes, query-string
+    /// keys) contained in this signature — the Fig. 7 metric.
+    [[nodiscard]] std::vector<std::string> keywords() const;
+
+    /// Total bytes of constant text (for signature-quality metrics).
+    [[nodiscard]] std::size_t constant_bytes() const;
+
+private:
+    void collect_keywords(std::vector<std::string>& out, bool in_structure) const;
+};
+
+/// Normalized merge used at CFG confluence points: equal → either; otherwise
+/// a deduplicated alternation (Fig. 4's ∨).
+Sig merge_alt(Sig a, Sig b);
+
+/// Loop-header widening: if `grown` extends `base` by a suffix, returns
+/// concat(base, rep(suffix)); otherwise falls back to alternation. This is
+/// the "identify the loop variant part ... mark the part can be repeated"
+/// rule (§3.2).
+Sig widen_loop(const Sig& base, const Sig& grown);
+
+}  // namespace extractocol::sig

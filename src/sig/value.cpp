@@ -1,0 +1,379 @@
+#include "sig/value.hpp"
+
+namespace extractocol::sig {
+
+// ------------------------------------------------------------ DemandNode --
+
+DemandNodePtr DemandNode::child(const std::string& key) {
+    if (kind != Kind::kObject && kind != Kind::kXml) kind = Kind::kObject;
+    for (auto& [k, v] : members) {
+        if (k == key) return v;
+    }
+    auto node = std::make_shared<DemandNode>();
+    members.emplace_back(key, node);
+    return node;
+}
+
+DemandNodePtr DemandNode::array_item() {
+    kind = Kind::kArray;
+    if (!item) item = std::make_shared<DemandNode>();
+    return item;
+}
+
+void DemandNode::narrow(Kind leaf_kind) {
+    if (kind == Kind::kUnknown) kind = leaf_kind;
+}
+
+Sig DemandNode::to_sig() const {
+    switch (kind) {
+        case Kind::kUnknown: return Sig::unknown(Sig::ValueType::kAny);
+        case Kind::kString: return Sig::unknown(Sig::ValueType::kString);
+        case Kind::kInt: return Sig::unknown(Sig::ValueType::kInt);
+        case Kind::kBool: return Sig::unknown(Sig::ValueType::kBool);
+        case Kind::kArray: {
+            Sig arr = Sig::json_array();
+            if (item) {
+                arr.children.push_back(item->to_sig());
+                arr.repeated = true;
+            }
+            return arr;
+        }
+        case Kind::kObject: {
+            Sig obj = Sig::json_object();
+            for (const auto& [k, v] : members) obj.set_member(k, v->to_sig());
+            return obj;
+        }
+        case Kind::kXml: {
+            // Members starting with '@' are attributes, "#text" is character
+            // data, the rest are child elements.
+            Sig element = Sig::xml_element("");
+            for (const auto& [k, v] : members) {
+                if (k.size() > 1 && k[0] == '@') {
+                    element.set_member(k.substr(1), v->to_sig());
+                } else if (k == "#text") {
+                    element.xml_text.push_back(v->to_sig());
+                } else {
+                    Sig kid = v->to_sig();
+                    if (kid.kind == Sig::Kind::kXmlElement) {
+                        kid.text = k;
+                    } else {
+                        Sig wrapper = Sig::xml_element(k);
+                        wrapper.xml_text.push_back(std::move(kid));
+                        kid = std::move(wrapper);
+                    }
+                    element.children.push_back(std::move(kid));
+                }
+            }
+            return element;
+        }
+    }
+    return Sig::unknown();
+}
+
+// -------------------------------------------------------------- SigValue --
+
+SigValue SigValue::none(Sig::ValueType type) {
+    SigValue v;
+    v.kind = Kind::kNone;
+    v.none_type = type;
+    return v;
+}
+
+SigValue SigValue::of_str(Sig s) {
+    SigValue v;
+    v.kind = Kind::kStr;
+    v.str = std::move(s);
+    return v;
+}
+
+SigValue SigValue::builder(Sig initial) {
+    SigValue v;
+    v.kind = Kind::kBuilder;
+    v.shared_sig = std::make_shared<Sig>(std::move(initial));
+    return v;
+}
+
+SigValue SigValue::json_object() {
+    SigValue v;
+    v.kind = Kind::kJson;
+    v.shared_sig = std::make_shared<Sig>(Sig::json_object());
+    return v;
+}
+
+SigValue SigValue::json_array() {
+    SigValue v;
+    v.kind = Kind::kJson;
+    v.shared_sig = std::make_shared<Sig>(Sig::json_array());
+    return v;
+}
+
+SigValue SigValue::new_list() {
+    SigValue v;
+    v.kind = Kind::kList;
+    v.list = std::make_shared<std::vector<SigValue>>();
+    return v;
+}
+
+SigValue SigValue::new_pair(Sig key, Sig value) {
+    SigValue v;
+    v.kind = Kind::kPair;
+    v.pair = std::make_shared<std::pair<Sig, Sig>>(std::move(key), std::move(value));
+    return v;
+}
+
+SigValue SigValue::new_object() {
+    SigValue v;
+    v.kind = Kind::kObject;
+    v.object = std::make_shared<std::map<std::string, SigValue>>();
+    return v;
+}
+
+SigValue SigValue::new_request(std::string method, Sig uri, bool uri_set) {
+    SigValue v;
+    v.kind = Kind::kRequest;
+    v.request = std::make_shared<RequestState>();
+    v.request->method = std::move(method);
+    v.request->uri = std::move(uri);
+    v.request->uri_set = uri_set;
+    return v;
+}
+
+SigValue SigValue::stream_of(RequestStatePtr request) {
+    SigValue v;
+    v.kind = Kind::kStream;
+    v.request = std::move(request);
+    return v;
+}
+
+SigValue SigValue::of_demand(DemandNodePtr node) {
+    SigValue v;
+    v.kind = Kind::kDemand;
+    v.demand = std::move(node);
+    return v;
+}
+
+Sig SigValue::to_sig() const {
+    switch (kind) {
+        case Kind::kNone: return Sig::unknown(none_type);
+        case Kind::kStr: return str;
+        case Kind::kBuilder:
+        case Kind::kJson: return shared_sig ? *shared_sig : Sig::unknown();
+        case Kind::kPair:
+            if (pair) {
+                return Sig::concat_all({pair->first, Sig::constant("="), pair->second});
+            }
+            return Sig::unknown();
+        case Kind::kList: {
+            if (!list) return Sig::unknown();
+            std::vector<Sig> parts;
+            for (std::size_t i = 0; i < list->size(); ++i) {
+                if (i) parts.push_back(Sig::constant("&"));
+                parts.push_back((*list)[i].to_sig());
+            }
+            return Sig::concat_all(std::move(parts));
+        }
+        case Kind::kObject: return Sig::unknown();
+        case Kind::kRequest:
+            return request ? request->uri : Sig::unknown();
+        case Kind::kStream: return Sig::unknown();
+        case Kind::kDemand: {
+            if (!demand) return Sig::unknown();
+            if (demand->is_leaf()) return demand->to_sig();
+            return Sig::unknown();  // structured value used as a string
+        }
+    }
+    return Sig::unknown();
+}
+
+Sig merge_json_sigs(const Sig& a, const Sig& b) {
+    if (a == b) return a;
+    if (a.kind == Sig::Kind::kJsonObject && b.kind == Sig::Kind::kJsonObject) {
+        Sig out = a;
+        for (const auto& [key, value] : b.members) {
+            if (Sig* existing = out.member(key)) {
+                if (!(*existing == value)) {
+                    *existing = existing->kind == Sig::Kind::kJsonObject &&
+                                        value.kind == Sig::Kind::kJsonObject
+                                    ? merge_json_sigs(*existing, value)
+                                    : merge_alt(*existing, value);
+                }
+            } else {
+                out.set_member(key, value);
+            }
+        }
+        return out;
+    }
+    if (a.kind == Sig::Kind::kJsonArray && b.kind == Sig::Kind::kJsonArray) {
+        Sig out = a;
+        out.repeated = a.repeated || b.repeated;
+        for (const auto& item : b.children) {
+            bool present = false;
+            for (const auto& existing : out.children) {
+                if (existing == item) {
+                    present = true;
+                    break;
+                }
+            }
+            if (!present) out.children.push_back(item);
+        }
+        return out;
+    }
+    return merge_alt(a, b);
+}
+
+SigValue SigValue::merge(const SigValue& a, const SigValue& b) {
+    if (a.kind == Kind::kNone) return b;
+    if (b.kind == Kind::kNone) return a;
+    if (a.kind != b.kind) {
+        // Different shapes: degrade to a string-pattern alternation.
+        return of_str(merge_alt(a.to_sig(), b.to_sig()));
+    }
+    switch (a.kind) {
+        case Kind::kStr: return of_str(merge_alt(a.str, b.str));
+        case Kind::kBuilder: {
+            if (a.shared_sig == b.shared_sig) return a;
+            return builder(merge_alt(a.to_sig(), b.to_sig()));
+        }
+        case Kind::kJson: {
+            if (a.shared_sig == b.shared_sig) return a;
+            SigValue out;
+            out.kind = Kind::kJson;
+            out.shared_sig = std::make_shared<Sig>(
+                merge_json_sigs(a.shared_sig ? *a.shared_sig : Sig::json_object(),
+                                b.shared_sig ? *b.shared_sig : Sig::json_object()));
+            return out;
+        }
+        case Kind::kList: {
+            if (a.list == b.list) return a;
+            SigValue out = new_list();
+            const auto& longer = a.list->size() >= b.list->size() ? *a.list : *b.list;
+            const auto& shorter = a.list->size() >= b.list->size() ? *b.list : *a.list;
+            for (std::size_t i = 0; i < longer.size(); ++i) {
+                if (i < shorter.size()) {
+                    out.list->push_back(merge(longer[i], shorter[i]));
+                } else {
+                    out.list->push_back(longer[i]);
+                }
+            }
+            return out;
+        }
+        case Kind::kPair: {
+            if (a.pair == b.pair) return a;
+            return new_pair(merge_alt(a.pair->first, b.pair->first),
+                            merge_alt(a.pair->second, b.pair->second));
+        }
+        case Kind::kObject: {
+            if (a.object == b.object) return a;
+            SigValue out = new_object();
+            *out.object = *a.object;
+            for (const auto& [field, value] : *b.object) {
+                auto it = out.object->find(field);
+                if (it == out.object->end()) {
+                    out.object->emplace(field, value);
+                } else {
+                    it->second = merge(it->second, value);
+                }
+            }
+            return out;
+        }
+        case Kind::kRequest:
+        case Kind::kStream: {
+            if (a.request == b.request) return a;
+            SigValue out;
+            out.kind = a.kind;
+            out.request = std::make_shared<RequestState>();
+            out.request->method = a.request->method;
+            out.request->uri_set = a.request->uri_set || b.request->uri_set;
+            out.request->uri = a.request->uri == b.request->uri
+                                   ? a.request->uri
+                                   : merge_alt(a.request->uri, b.request->uri);
+            out.request->headers = a.request->headers;
+            for (const auto& h : b.request->headers) {
+                bool present = false;
+                for (const auto& existing : out.request->headers) {
+                    if (existing.first == h.first && existing.second == h.second) {
+                        present = true;
+                        break;
+                    }
+                }
+                if (!present) out.request->headers.push_back(h);
+            }
+            if (a.request->body && b.request->body) {
+                out.request->body = std::make_shared<SigValue>(
+                    merge(*a.request->body, *b.request->body));
+            } else {
+                out.request->body = a.request->body ? a.request->body : b.request->body;
+            }
+            return out;
+        }
+        case Kind::kDemand: return a;  // demand trees accumulate; either handle works
+        case Kind::kNone: return a;
+    }
+    return a;
+}
+
+SigValue SigValue::clone(std::map<const void*, SigValue>& memo) const {
+    auto memoized = [&memo](const void* key) -> const SigValue* {
+        auto it = memo.find(key);
+        return it == memo.end() ? nullptr : &it->second;
+    };
+    switch (kind) {
+        case Kind::kNone:
+        case Kind::kStr:
+        case Kind::kDemand:  // shared by design
+            return *this;
+        case Kind::kBuilder:
+        case Kind::kJson: {
+            if (!shared_sig) return *this;
+            if (const SigValue* hit = memoized(shared_sig.get())) return *hit;
+            SigValue out = *this;
+            out.shared_sig = std::make_shared<Sig>(*shared_sig);
+            memo[shared_sig.get()] = out;
+            return out;
+        }
+        case Kind::kList: {
+            if (!list) return *this;
+            if (const SigValue* hit = memoized(list.get())) return *hit;
+            SigValue out = new_list();
+            memo[list.get()] = out;
+            for (const auto& item : *list) out.list->push_back(item.clone(memo));
+            // Re-store after filling (memo holds the same shared vector).
+            memo[list.get()] = out;
+            return out;
+        }
+        case Kind::kPair: {
+            if (!pair) return *this;
+            if (const SigValue* hit = memoized(pair.get())) return *hit;
+            SigValue out = new_pair(pair->first, pair->second);
+            memo[pair.get()] = out;
+            return out;
+        }
+        case Kind::kObject: {
+            if (!object) return *this;
+            if (const SigValue* hit = memoized(object.get())) return *hit;
+            SigValue out = new_object();
+            memo[object.get()] = out;
+            for (const auto& [field, value] : *object) {
+                (*out.object)[field] = value.clone(memo);
+            }
+            return out;
+        }
+        case Kind::kRequest:
+        case Kind::kStream: {
+            if (!request) return *this;
+            if (const SigValue* hit = memoized(request.get())) return *hit;
+            SigValue out = *this;
+            out.request = std::make_shared<RequestState>(*request);
+            if (request->body) {
+                memo[request.get()] = out;  // break body->request cycles
+                out.request->body =
+                    std::make_shared<SigValue>(request->body->clone(memo));
+            }
+            memo[request.get()] = out;
+            return out;
+        }
+    }
+    return *this;
+}
+
+}  // namespace extractocol::sig

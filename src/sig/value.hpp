@@ -1,0 +1,128 @@
+// The abstract-value domain of the signature builder (§3.2). Values model
+// the protocol-relevant objects a slice manipulates: strings (as Sig
+// patterns), mutable string builders, JSON/XML trees under construction,
+// name-value-pair lists, HTTP request objects, plain app objects (field
+// maps), and *demand trees* for response processing.
+//
+// Demand trees capture the response-side signature: the response body is an
+// opaque value whose shape is discovered from how the app consumes it —
+// every getString("relay") / getJSONArray("songs") refines the tree. This is
+// why (matching the paper) response signatures only contain the keys the app
+// actually inspects.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sig/sig.hpp"
+
+namespace extractocol::sig {
+
+struct DemandNode;
+using DemandNodePtr = std::shared_ptr<DemandNode>;
+
+struct DemandNode {
+    enum class Kind { kUnknown, kString, kInt, kBool, kObject, kArray, kXml };
+    Kind kind = Kind::kUnknown;
+    /// kObject: JSON members / XML children ("@name" = attribute, "#text" =
+    /// character data). Order preserved (discovery order).
+    std::vector<std::pair<std::string, DemandNodePtr>> members;
+    DemandNodePtr item;  // kArray element shape
+
+    /// Gets or creates the named child, promoting this node to kObject.
+    DemandNodePtr child(const std::string& key);
+    /// Gets or creates the array item node, promoting this node to kArray.
+    DemandNodePtr array_item();
+
+    /// Narrows the leaf type (kUnknown -> specific; conflicting -> kUnknown).
+    void narrow(Kind leaf_kind);
+
+    /// Renders the discovered shape as a Sig tree (kJsonObject / kJsonArray /
+    /// kXmlElement with kUnknown leaves).
+    [[nodiscard]] Sig to_sig() const;
+
+    [[nodiscard]] bool is_leaf() const {
+        return kind != Kind::kObject && kind != Kind::kArray;
+    }
+};
+
+struct RequestState;
+using RequestStatePtr = std::shared_ptr<RequestState>;
+
+class SigValue;
+
+struct RequestState {
+    std::string method = "GET";
+    Sig uri;
+    bool uri_set = false;
+    std::vector<std::pair<Sig, Sig>> headers;
+    std::shared_ptr<SigValue> body;  // null until set
+};
+
+/// One abstract value. Copyable; object-like kinds share state through
+/// shared_ptr so aliases observe mutations (StringBuilder, JSON trees...).
+class SigValue {
+public:
+    enum class Kind {
+        kNone,     // no information (renders as a typed unknown)
+        kStr,      // immutable string pattern
+        kBuilder,  // mutable string builder
+        kJson,     // mutable JSON tree under construction (object or array)
+        kList,     // list of values (e.g. name-value pairs)
+        kPair,     // (key, value) signature pair
+        kObject,   // app object: named-field map
+        kRequest,  // HTTP request under construction
+        kStream,   // output stream bound to a request body
+        kDemand,   // response-derived value (demand tree node)
+    };
+
+    Kind kind = Kind::kNone;
+    Sig::ValueType none_type = Sig::ValueType::kAny;  // type hint for kNone
+    Sig str;                                          // kStr
+    std::shared_ptr<Sig> shared_sig;                  // kBuilder / kJson
+    std::shared_ptr<std::vector<SigValue>> list;      // kList
+    std::shared_ptr<std::pair<Sig, Sig>> pair;        // kPair
+    std::shared_ptr<std::map<std::string, SigValue>> object;  // kObject
+    RequestStatePtr request;                          // kRequest / kStream
+    DemandNodePtr demand;                             // kDemand
+
+    SigValue() = default;
+
+    static SigValue none(Sig::ValueType type = Sig::ValueType::kAny);
+    static SigValue of_str(Sig s);
+    static SigValue builder(Sig initial);
+    static SigValue json_object();
+    static SigValue json_array();
+    static SigValue new_list();
+    static SigValue new_pair(Sig key, Sig value);
+    static SigValue new_object();
+    static SigValue new_request(std::string method, Sig uri, bool uri_set);
+    static SigValue stream_of(RequestStatePtr request);
+    static SigValue of_demand(DemandNodePtr node);
+
+    [[nodiscard]] bool is(Kind k) const { return kind == k; }
+
+    /// The string pattern this value contributes when used in string context
+    /// (append, concat, entity body...). Demand values render as unknowns;
+    /// JSON trees render as their structural sig.
+    [[nodiscard]] Sig to_sig() const;
+
+    /// Merge at CFG confluence points: same underlying cell -> unchanged;
+    /// different cells -> fresh cell holding the member-wise / alternation
+    /// merge (the paper's "merge the signature database ... with logical
+    /// disjunction").
+    static SigValue merge(const SigValue& a, const SigValue& b);
+
+    /// Deep copy for branch-local mutation: every mutable cell reachable
+    /// from this value is duplicated, preserving aliasing via `memo` (keyed
+    /// by the original cell address). Demand trees are intentionally shared:
+    /// response-shape discovery accumulates across branches.
+    [[nodiscard]] SigValue clone(std::map<const void*, SigValue>& memo) const;
+};
+
+/// Disjunction merge of two JSON signature trees (member-wise for objects).
+Sig merge_json_sigs(const Sig& a, const Sig& b);
+
+}  // namespace extractocol::sig

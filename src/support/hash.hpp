@@ -1,0 +1,48 @@
+// Stable hashing helpers: FNV-1a for strings (used for deterministic
+// obfuscated identifier generation and corpus randomness) plus hash_combine
+// for composite analysis keys.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace extractocol {
+
+/// 64-bit FNV-1a. Stable across platforms/runs, unlike std::hash.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/// Boost-style hash combining for unordered-map keys over composites.
+template <typename T>
+void hash_combine(std::size_t& seed, const T& v) {
+    seed ^= std::hash<T>{}(v) + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Tiny deterministic PRNG (splitmix64) used by the corpus generator so the
+/// synthetic apps are identical on every run and platform.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    constexpr std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform value in [0, bound). bound must be > 0.
+    constexpr std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace extractocol

@@ -1,0 +1,55 @@
+#include "support/log.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace extractocol::log {
+
+namespace {
+
+std::mutex g_mutex;
+Level g_threshold = Level::kWarn;
+
+const char* level_name(Level level) {
+    switch (level) {
+        case Level::kDebug: return "DEBUG";
+        case Level::kInfo: return "INFO";
+        case Level::kWarn: return "WARN";
+        case Level::kError: return "ERROR";
+    }
+    return "?";
+}
+
+Sink& global_sink() {
+    static Sink sink = [](Level level, const std::string& message) {
+        std::cerr << "[" << level_name(level) << "] " << message << "\n";
+    };
+    return sink;
+}
+
+}  // namespace
+
+Sink set_sink(Sink sink) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    Sink previous = global_sink();
+    global_sink() = std::move(sink);
+    return previous;
+}
+
+void set_threshold(Level level) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_threshold = level;
+}
+
+Level threshold() {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_threshold;
+}
+
+void emit(Level level, const std::string& message) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (static_cast<int>(level) < static_cast<int>(g_threshold)) return;
+    if (global_sink()) global_sink()(level, message);
+}
+
+}  // namespace extractocol::log

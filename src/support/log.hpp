@@ -1,0 +1,51 @@
+// Minimal leveled logger. Analyses are long-running; progress and anomaly
+// reporting goes through here so library users can silence or capture it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace extractocol::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sink invoked for every emitted record at or above the threshold.
+using Sink = std::function<void(Level, const std::string&)>;
+
+/// Replaces the global sink (default writes to stderr). Returns previous sink.
+Sink set_sink(Sink sink);
+
+/// Sets the minimum level that reaches the sink. Default: kWarn, so library
+/// use is quiet unless something is wrong.
+void set_threshold(Level level);
+Level threshold();
+
+void emit(Level level, const std::string& message);
+
+namespace detail {
+class Record {
+public:
+    explicit Record(Level level) : level_(level) {}
+    Record(const Record&) = delete;
+    Record& operator=(const Record&) = delete;
+    ~Record() { emit(level_, stream_.str()); }
+
+    template <typename T>
+    Record& operator<<(const T& v) {
+        stream_ << v;
+        return *this;
+    }
+
+private:
+    Level level_;
+    std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::Record debug() { return detail::Record(Level::kDebug); }
+inline detail::Record info() { return detail::Record(Level::kInfo); }
+inline detail::Record warn() { return detail::Record(Level::kWarn); }
+inline detail::Record error() { return detail::Record(Level::kError); }
+
+}  // namespace extractocol::log

@@ -1,0 +1,90 @@
+// Result<T>: a lightweight expected-like type used across the library for
+// recoverable errors (parse failures, malformed containers, lookup misses).
+// We deliberately avoid exceptions on these paths: callers of parsers and
+// analyses want to branch on failure, not unwind.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace extractocol {
+
+/// Error payload carried by a failed Result. `context` accumulates
+/// outer-to-inner annotations joined by ": ".
+struct Error {
+    std::string message;
+
+    Error() = default;
+    explicit Error(std::string msg) : message(std::move(msg)) {}
+
+    /// Returns a copy of this error with an outer context prefix.
+    [[nodiscard]] Error with_context(const std::string& ctx) const {
+        return Error(ctx + ": " + message);
+    }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+public:
+    Result(T value) : storage_(std::move(value)) {}  // NOLINT: implicit by design
+    Result(Error error) : storage_(std::move(error)) {}  // NOLINT
+
+    [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+    explicit operator bool() const { return ok(); }
+
+    [[nodiscard]] T& value() & {
+        assert(ok());
+        return std::get<T>(storage_);
+    }
+    [[nodiscard]] const T& value() const& {
+        assert(ok());
+        return std::get<T>(storage_);
+    }
+    [[nodiscard]] T&& take() && {
+        assert(ok());
+        return std::get<T>(std::move(storage_));
+    }
+
+    [[nodiscard]] const Error& error() const {
+        assert(!ok());
+        return std::get<Error>(storage_);
+    }
+
+    /// Value access with a fallback for the error case.
+    [[nodiscard]] T value_or(T fallback) const {
+        return ok() ? std::get<T>(storage_) : std::move(fallback);
+    }
+
+    /// Re-wraps the error (if any) with an outer context annotation.
+    [[nodiscard]] Result<T> context(const std::string& ctx) && {
+        if (ok()) return std::move(*this);
+        return Result<T>(error().with_context(ctx));
+    }
+
+private:
+    std::variant<T, Error> storage_;
+};
+
+/// Result for operations with no payload.
+class [[nodiscard]] Status {
+public:
+    Status() = default;
+    Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+    [[nodiscard]] bool ok() const { return !failed_; }
+    explicit operator bool() const { return ok(); }
+    [[nodiscard]] const Error& error() const {
+        assert(failed_);
+        return error_;
+    }
+
+    static Status success() { return Status(); }
+
+private:
+    Error error_;
+    bool failed_ = false;
+};
+
+}  // namespace extractocol

@@ -1,0 +1,143 @@
+#include "support/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace extractocol::strings {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string> split_nonempty(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    for (auto& field : split(s, sep)) {
+        if (!field.empty()) out.push_back(std::move(field));
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    const auto is_space = [](char c) {
+        return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v';
+    };
+    while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+    while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+    return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+    return s.find(needle) != std::string_view::npos;
+}
+
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to) {
+    if (from.empty()) return std::string(s);
+    std::string out;
+    out.reserve(s.size());
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = s.find(from, start);
+        if (pos == std::string_view::npos) {
+            out.append(s.substr(start));
+            return out;
+        }
+        out.append(s.substr(start, pos - start));
+        out.append(to);
+        start = pos + from.size();
+    }
+}
+
+std::size_t common_prefix_len(std::string_view a, std::string_view b) {
+    std::size_t n = std::min(a.size(), b.size());
+    std::size_t i = 0;
+    while (i < n && a[i] == b[i]) ++i;
+    return i;
+}
+
+bool is_all_digits(std::string_view s) {
+    if (s.empty()) return false;
+    return std::all_of(s.begin(), s.end(),
+                       [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
+namespace {
+bool is_unreserved(unsigned char c) {
+    return std::isalnum(c) != 0 || c == '-' || c == '_' || c == '.' || c == '~';
+}
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+}  // namespace
+
+std::string percent_encode(std::string_view s) {
+    static const char* kHex = "0123456789ABCDEF";
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (is_unreserved(c)) {
+            out.push_back(static_cast<char>(c));
+        } else {
+            out.push_back('%');
+            out.push_back(kHex[c >> 4]);
+            out.push_back(kHex[c & 0xF]);
+        }
+    }
+    return out;
+}
+
+std::string percent_decode(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '%' && i + 2 < s.size()) {
+            int hi = hex_value(s[i + 1]);
+            int lo = hex_value(s[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out.push_back(static_cast<char>(hi * 16 + lo));
+                i += 2;
+                continue;
+            }
+        }
+        out.push_back(s[i]);
+    }
+    return out;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+}  // namespace extractocol::strings

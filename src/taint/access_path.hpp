@@ -1,0 +1,122 @@
+// Access paths — the taint abstraction (FlowDroid-style): a root (local
+// variable, static field, or abstract global location such as a database
+// cell or preference key) followed by a bounded chain of field dereferences
+// (depth limit k, default 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/hash.hpp"
+#include "xir/ir.hpp"
+
+namespace extractocol::taint {
+
+inline constexpr std::size_t kMaxFieldDepth = 3;
+
+struct AccessPath {
+    enum class RootKind {
+        kLocal,   // method-scoped local variable
+        kStatic,  // Class.field
+        kGlobal,  // abstract location: "db:table.column", "prefs:key", ...
+    };
+
+    RootKind root = RootKind::kLocal;
+    xir::LocalId local = 0;       // kLocal
+    std::string static_class;     // kStatic
+    std::string key;              // kStatic: field name; kGlobal: location key
+    std::vector<std::string> fields;
+    /// How many asynchronous-event boundaries (static/db/prefs channels) this
+    /// fact has crossed. The engine bounds it (§4: the implementation "only
+    /// detects dependencies across one hop" of async chains by default).
+    std::uint8_t global_hops = 0;
+
+    static AccessPath of_local(xir::LocalId id) {
+        AccessPath p;
+        p.root = RootKind::kLocal;
+        p.local = id;
+        return p;
+    }
+    static AccessPath of_static(std::string cls, std::string field) {
+        AccessPath p;
+        p.root = RootKind::kStatic;
+        p.static_class = std::move(cls);
+        p.key = std::move(field);
+        return p;
+    }
+    static AccessPath of_global(std::string key) {
+        AccessPath p;
+        p.root = RootKind::kGlobal;
+        p.key = std::move(key);
+        return p;
+    }
+
+    [[nodiscard]] bool is_local() const { return root == RootKind::kLocal; }
+    [[nodiscard]] bool is_static() const { return root == RootKind::kStatic; }
+    [[nodiscard]] bool is_global() const { return root == RootKind::kGlobal; }
+
+    /// Extends the path by one field (truncating at the depth limit: a
+    /// truncated path over-approximates, which is safe).
+    [[nodiscard]] AccessPath with_field(const std::string& field) const {
+        AccessPath p = *this;
+        if (p.fields.size() < kMaxFieldDepth) p.fields.push_back(field);
+        return p;
+    }
+
+    /// Replaces the local root (for copy propagation dst<->src).
+    [[nodiscard]] AccessPath rebased(xir::LocalId new_local) const {
+        AccessPath p = *this;
+        p.local = new_local;
+        return p;
+    }
+
+    /// True if `this` is rooted at the given local (any field suffix).
+    [[nodiscard]] bool rooted_at(xir::LocalId id) const {
+        return is_local() && local == id;
+    }
+
+    /// True if `prefix` is a prefix of this path (same root, fields prefix).
+    [[nodiscard]] bool has_prefix(const AccessPath& prefix) const {
+        if (root != prefix.root || local != prefix.local ||
+            static_class != prefix.static_class || key != prefix.key) {
+            return false;
+        }
+        if (prefix.fields.size() > fields.size()) return false;
+        for (std::size_t i = 0; i < prefix.fields.size(); ++i) {
+            if (fields[i] != prefix.fields[i]) return false;
+        }
+        return true;
+    }
+
+    /// Drops `n` leading fields (caller guarantees n <= fields.size()).
+    [[nodiscard]] std::vector<std::string> fields_from(std::size_t n) const {
+        return {fields.begin() + static_cast<std::ptrdiff_t>(n), fields.end()};
+    }
+
+    bool operator==(const AccessPath&) const = default;
+
+    [[nodiscard]] std::string to_display() const {
+        std::string out;
+        switch (root) {
+            case RootKind::kLocal: out = "$" + std::to_string(local); break;
+            case RootKind::kStatic: out = static_class + "." + key; break;
+            case RootKind::kGlobal: out = "<" + key + ">"; break;
+        }
+        for (const auto& f : fields) out += "." + f;
+        return out;
+    }
+};
+
+struct AccessPathHash {
+    std::size_t operator()(const AccessPath& p) const {
+        std::size_t seed = static_cast<std::size_t>(p.root);
+        hash_combine(seed, p.global_hops);
+        hash_combine(seed, p.local);
+        hash_combine(seed, p.static_class);
+        hash_combine(seed, p.key);
+        for (const auto& f : p.fields) hash_combine(seed, f);
+        return seed;
+    }
+};
+
+}  // namespace extractocol::taint

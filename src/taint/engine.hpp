@@ -1,0 +1,132 @@
+// Bi-directional inter-procedural taint engine (§3.1).
+//
+// Forward propagation follows FlowDroid-style rules (assignments propagate
+// RHS->LHS, calls bind actuals to formals, returns flow back to call sites,
+// API calls apply semantic-model flow rules). Backward propagation applies
+// the *inverted* rules the paper describes: "a tainted LHS taints RHS in an
+// assignment statement, and the taint information of callee's arguments is
+// propagated to caller's arguments", walking the CFG in reverse.
+//
+// The engine is flow-sensitive inside methods, context-insensitive across
+// them (summary facts merge over call sites), field-sensitive to depth k,
+// and treats three heap channels specially so that implicit data flows
+// across asynchronous events are found (§3.4):
+//   * static fields       — "static:Cls.field" global locations
+//   * SQLite databases    — "db:table.column" global locations
+//   * SharedPreferences   — "prefs:key" global locations
+// Cross-event propagation through these channels is the async-event
+// heuristic; it can be disabled (the paper disables it for open-source apps
+// in §5.1).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "semantics/model.hpp"
+#include "taint/access_path.hpp"
+#include "xir/callgraph.hpp"
+#include "xir/ir.hpp"
+
+namespace extractocol::taint {
+
+enum class Direction { kForward, kBackward };
+
+struct TaintSeed {
+    xir::StmtRef stmt;
+    /// Forward: tainted immediately *after* `stmt`. Backward: tainted
+    /// immediately *before* `stmt`.
+    AccessPath path;
+    /// When set, the fact holds at the *entry* of `stmt.block` (forward) /
+    /// its exit (backward); `stmt.index` is ignored. Used to seed callback
+    /// parameters at method entry.
+    bool at_block_boundary = false;
+};
+
+using PathSet = std::unordered_set<AccessPath, AccessPathHash>;
+
+/// Reported whenever an Invoke statement touches tainted data; consumers
+/// (transaction dependency analysis) use it to locate where tainted values
+/// are inserted into requests (JSON keys, name-value pairs, headers...).
+struct CallTaintEvent {
+    xir::StmtRef stmt;
+    bool base_tainted = false;
+    bool dst_tainted = false;
+    std::vector<bool> args_tainted;
+};
+
+struct TaintResult {
+    /// Statements that operate on tainted data — the program slice.
+    std::set<xir::StmtRef> statements;
+    /// Tainted global locations (statics / db cells / prefs keys).
+    PathSet globals;
+    /// Methods containing at least one slice statement.
+    std::set<std::uint32_t> methods;
+    /// Tainted-call observations, in discovery order (deduplicated).
+    std::vector<CallTaintEvent> call_events;
+
+    [[nodiscard]] bool contains(const xir::StmtRef& ref) const {
+        return statements.count(ref) > 0;
+    }
+};
+
+struct EngineOptions {
+    /// The async-event heuristic: allow taint to cross event-handler
+    /// boundaries through statics / db / prefs. Paper §5.1 disables this for
+    /// open-source apps and enables it for closed-source apps.
+    bool cross_event_globals = true;
+    /// Maximum asynchronous-event boundaries one fact may cross. The paper's
+    /// implementation "only detects dependencies across one hop" (§4);
+    /// raising this is the multiple-iterations extension it suggests.
+    unsigned max_global_hops = 1;
+    /// Safety valve on worklist iterations (0 = unlimited).
+    std::size_t max_steps = 2'000'000;
+};
+
+class TaintEngine {
+public:
+    TaintEngine(const xir::Program& program, const xir::CallGraph& callgraph,
+                const semantics::SemanticModel& model, EngineOptions options = {});
+
+    [[nodiscard]] TaintResult run(Direction direction, const std::vector<TaintSeed>& seeds);
+
+private:
+    struct MethodState {
+        /// Forward: facts at block entry. Backward: facts at block exit.
+        std::vector<PathSet> block_facts;
+        /// Facts describing the method's tainted return value (field
+        /// suffixes on the returned object). Forward direction.
+        std::vector<std::vector<std::string>> return_suffixes;
+        /// Backward: tainted suffixes demanded of the return value.
+        std::vector<std::vector<std::string>> demanded_return;
+        /// Backward: (param, suffix) facts demanded at callee exits.
+        std::vector<std::pair<std::uint32_t, std::vector<std::string>>> demanded_params;
+        /// Forward: heap effects on params discovered at returns.
+        std::vector<std::pair<std::uint32_t, std::vector<std::string>>> param_effects;
+        /// Seeds injected mid-block: (block, stmt index, path). Forward seeds
+        /// take effect after the statement; backward seeds before it.
+        std::vector<std::tuple<xir::BlockId, std::uint32_t, AccessPath>> local_seeds;
+    };
+
+    struct Run;  // per-run mutable state, defined in the .cpp
+
+    const xir::Program* program_;
+    const xir::CallGraph* callgraph_;
+    const semantics::SemanticModel* model_;
+    EngineOptions options_;
+
+    /// Static/db/prefs access indices: location key prefix -> blocks that
+    /// read (forward) or write (backward) it.
+    std::unordered_map<std::string, std::vector<std::pair<std::uint32_t, xir::BlockId>>>
+        global_readers_;
+    std::unordered_map<std::string, std::vector<std::pair<std::uint32_t, xir::BlockId>>>
+        global_writers_;
+    /// Event-root reachability: method -> set of event-root method indices
+    /// (for gating cross-event global propagation).
+    std::vector<std::set<std::uint32_t>> event_roots_of_;
+
+    void build_indices();
+};
+
+}  // namespace extractocol::taint

@@ -1,0 +1,510 @@
+#include "text/regex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace extractocol::text {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// ---------------------------------------------------------------- AST -----
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+    enum class Kind { kLiteral, kAny, kClass, kConcat, kAlt, kStar, kPlus, kQuest, kGroup };
+    Kind kind;
+    char ch = 0;                      // kLiteral
+    std::array<bool, 256> allow{};    // kClass
+    std::vector<NodePtr> children;    // kConcat / kAlt
+    NodePtr child;                    // quantifiers / kGroup
+    int group_index = 0;              // kGroup
+
+    explicit Node(Kind k) : kind(k) {}
+};
+
+class PatternParser {
+public:
+    explicit PatternParser(std::string_view pattern) : pattern_(pattern) {}
+
+    Result<NodePtr> parse(int* group_count) {
+        auto node = parse_alt();
+        if (!node.ok()) return node;
+        if (pos_ != pattern_.size()) return fail("unexpected ')'");
+        *group_count = next_group_;
+        return node;
+    }
+
+private:
+    Result<NodePtr> fail(const std::string& why) {
+        return Error("regex parse error at offset " + std::to_string(pos_) + ": " + why);
+    }
+
+    [[nodiscard]] bool at_end() const { return pos_ >= pattern_.size(); }
+    [[nodiscard]] char peek() const { return pattern_[pos_]; }
+
+    Result<NodePtr> parse_alt() {
+        auto first = parse_concat();
+        if (!first.ok()) return first;
+        if (at_end() || peek() != '|') return first;
+        auto alt = std::make_unique<Node>(Node::Kind::kAlt);
+        alt->children.push_back(std::move(first).take());
+        while (!at_end() && peek() == '|') {
+            ++pos_;
+            auto next = parse_concat();
+            if (!next.ok()) return next;
+            alt->children.push_back(std::move(next).take());
+        }
+        return NodePtr(std::move(alt));
+    }
+
+    Result<NodePtr> parse_concat() {
+        auto concat = std::make_unique<Node>(Node::Kind::kConcat);
+        while (!at_end() && peek() != '|' && peek() != ')') {
+            auto atom = parse_repeat();
+            if (!atom.ok()) return atom;
+            concat->children.push_back(std::move(atom).take());
+        }
+        return NodePtr(std::move(concat));
+    }
+
+    Result<NodePtr> parse_repeat() {
+        auto atom = parse_atom();
+        if (!atom.ok()) return atom;
+        NodePtr node = std::move(atom).take();
+        while (!at_end()) {
+            char c = peek();
+            Node::Kind kind;
+            if (c == '*') kind = Node::Kind::kStar;
+            else if (c == '+') kind = Node::Kind::kPlus;
+            else if (c == '?') kind = Node::Kind::kQuest;
+            else break;
+            ++pos_;
+            auto wrapper = std::make_unique<Node>(kind);
+            wrapper->child = std::move(node);
+            node = std::move(wrapper);
+        }
+        return node;
+    }
+
+    Result<NodePtr> parse_atom() {
+        if (at_end()) return fail("expected atom");
+        char c = peek();
+        switch (c) {
+            case '(': {
+                ++pos_;
+                int index = ++next_group_;
+                auto inner = parse_alt();
+                if (!inner.ok()) return inner;
+                if (at_end() || peek() != ')') return fail("missing ')'");
+                ++pos_;
+                auto group = std::make_unique<Node>(Node::Kind::kGroup);
+                group->group_index = index;
+                group->child = std::move(inner).take();
+                return NodePtr(std::move(group));
+            }
+            case '[': return parse_class();
+            case '.': {
+                ++pos_;
+                return NodePtr(std::make_unique<Node>(Node::Kind::kAny));
+            }
+            case '\\': {
+                ++pos_;
+                if (at_end()) return fail("dangling escape");
+                char e = pattern_[pos_++];
+                auto literal = std::make_unique<Node>(Node::Kind::kLiteral);
+                switch (e) {
+                    case 'n': literal->ch = '\n'; break;
+                    case 't': literal->ch = '\t'; break;
+                    case 'r': literal->ch = '\r'; break;
+                    default: literal->ch = e;  // escaped metacharacter
+                }
+                return NodePtr(std::move(literal));
+            }
+            case '*':
+            case '+':
+            case '?': return fail("quantifier with nothing to repeat");
+            default: {
+                ++pos_;
+                auto literal = std::make_unique<Node>(Node::Kind::kLiteral);
+                literal->ch = c;
+                return NodePtr(std::move(literal));
+            }
+        }
+    }
+
+    Result<NodePtr> parse_class() {
+        ++pos_;  // '['
+        auto node = std::make_unique<Node>(Node::Kind::kClass);
+        bool negate = false;
+        if (!at_end() && peek() == '^') {
+            negate = true;
+            ++pos_;
+        }
+        bool first = true;
+        while (true) {
+            if (at_end()) return fail("unterminated character class");
+            char c = peek();
+            if (c == ']' && !first) {
+                ++pos_;
+                break;
+            }
+            first = false;
+            ++pos_;
+            if (c == '\\') {
+                if (at_end()) return fail("dangling escape in class");
+                c = pattern_[pos_++];
+                if (c == 'n') c = '\n';
+                else if (c == 't') c = '\t';
+                else if (c == 'r') c = '\r';
+            }
+            unsigned char lo = static_cast<unsigned char>(c);
+            unsigned char hi = lo;
+            if (!at_end() && peek() == '-' && pos_ + 1 < pattern_.size() &&
+                pattern_[pos_ + 1] != ']') {
+                pos_ += 1;  // '-'
+                char h = pattern_[pos_++];
+                if (h == '\\') {
+                    if (at_end()) return fail("dangling escape in class");
+                    h = pattern_[pos_++];
+                }
+                hi = static_cast<unsigned char>(h);
+                if (hi < lo) return fail("inverted range in character class");
+            }
+            for (unsigned v = lo; v <= hi; ++v) node->allow[v] = true;
+        }
+        if (negate) {
+            for (auto& b : node->allow) b = !b;
+        }
+        return NodePtr(std::move(node));
+    }
+
+    std::string_view pattern_;
+    std::size_t pos_ = 0;
+    int next_group_ = 0;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- compiler -----
+
+class RegexCompiler {
+public:
+    explicit RegexCompiler(Regex& out) : out_(out) {}
+
+    void compile(const Node& root) {
+        emit_save(0);
+        emit(root);
+        emit_save(1);
+        Regex::Inst match;
+        match.op = Regex::Op::kMatch;
+        out_.program_.push_back(match);
+    }
+
+private:
+    using Inst = Regex::Inst;
+    using Op = Regex::Op;
+
+    int here() { return static_cast<int>(out_.program_.size()); }
+
+    int push(Inst inst) {
+        out_.program_.push_back(inst);
+        return here() - 1;
+    }
+
+    void emit_save(int slot) {
+        Inst inst;
+        inst.op = Op::kSave;
+        inst.x = slot;
+        push(inst);
+    }
+
+    void emit(const Node& node) {
+        switch (node.kind) {
+            case Node::Kind::kLiteral: {
+                Inst inst;
+                inst.op = Op::kChar;
+                inst.ch = node.ch;
+                inst.literal = true;
+                push(inst);
+                break;
+            }
+            case Node::Kind::kAny: {
+                Inst inst;
+                inst.op = Op::kAny;
+                push(inst);
+                break;
+            }
+            case Node::Kind::kClass: {
+                Inst inst;
+                inst.op = Op::kClass;
+                inst.class_index = static_cast<int>(out_.classes_.size());
+                Regex::CharClass cc;
+                cc.allow = node.allow;
+                out_.classes_.push_back(cc);
+                push(inst);
+                break;
+            }
+            case Node::Kind::kConcat:
+                for (const auto& child : node.children) emit(*child);
+                break;
+            case Node::Kind::kAlt: {
+                // Chain of splits, branch i preferred over branch i+1.
+                std::vector<int> jumps;
+                for (std::size_t i = 0; i < node.children.size(); ++i) {
+                    const bool last = i + 1 == node.children.size();
+                    int split_pc = -1;
+                    if (!last) {
+                        Inst split;
+                        split.op = Op::kSplit;
+                        split_pc = push(split);
+                    }
+                    if (split_pc >= 0) out_.program_[split_pc].x = here();
+                    emit(*node.children[i]);
+                    if (!last) {
+                        Inst jump;
+                        jump.op = Op::kJump;
+                        jumps.push_back(push(jump));
+                        out_.program_[split_pc].y = here();
+                    }
+                }
+                for (int pc : jumps) out_.program_[pc].x = here();
+                break;
+            }
+            case Node::Kind::kStar: {
+                Inst split;
+                split.op = Op::kSplit;
+                int split_pc = push(split);
+                out_.program_[split_pc].x = here();  // greedy: enter body first
+                emit(*node.child);
+                Inst jump;
+                jump.op = Op::kJump;
+                jump.x = split_pc;
+                push(jump);
+                out_.program_[split_pc].y = here();
+            } break;
+            case Node::Kind::kPlus: {
+                int body = here();
+                emit(*node.child);
+                Inst split;
+                split.op = Op::kSplit;
+                split.x = body;  // greedy: repeat first
+                int split_pc = push(split);
+                out_.program_[split_pc].y = here();
+            } break;
+            case Node::Kind::kQuest: {
+                Inst split;
+                split.op = Op::kSplit;
+                int split_pc = push(split);
+                out_.program_[split_pc].x = here();
+                emit(*node.child);
+                out_.program_[split_pc].y = here();
+            } break;
+            case Node::Kind::kGroup:
+                emit_save(2 * node.group_index);
+                emit(*node.child);
+                emit_save(2 * node.group_index + 1);
+                break;
+        }
+    }
+
+    Regex& out_;
+};
+
+// ----------------------------------------------------------------- VM -----
+
+namespace {
+
+struct Thread {
+    int pc = 0;
+    MatchAccounting accounting;
+    std::vector<std::size_t> saves;
+};
+
+}  // namespace
+
+Result<Regex> Regex::compile(std::string_view pattern) {
+    PatternParser parser(pattern);
+    int group_count = 0;
+    auto ast = parser.parse(&group_count);
+    if (!ast.ok()) return ast.error();
+    Regex regex;
+    regex.pattern_ = std::string(pattern);
+    regex.group_count_ = group_count;
+    RegexCompiler compiler(regex);
+    compiler.compile(*ast.value());
+    return regex;
+}
+
+std::string Regex::escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '.': case '*': case '+': case '?': case '(': case ')':
+            case '[': case ']': case '|': case '\\': case '^': case '$':
+            case '{': case '}':
+                out.push_back('\\');
+                [[fallthrough]];
+            default:
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::optional<MatchResult> Regex::run(std::string_view subject, std::size_t start,
+                                      bool anchored_end) const {
+    const std::size_t save_slots = static_cast<std::size_t>(2 * (group_count_ + 1));
+
+    std::vector<Thread> current;
+    std::vector<Thread> next;
+    std::vector<bool> on_current(program_.size(), false);
+    std::vector<bool> on_next(program_.size(), false);
+
+    std::optional<MatchResult> best;
+
+    // Adds thread with epsilon-closure expansion, preserving priority order.
+    auto add = [&](std::vector<Thread>& list, std::vector<bool>& seen, Thread t,
+                   std::size_t pos, auto&& self) -> void {
+        if (seen[static_cast<std::size_t>(t.pc)]) return;
+        seen[static_cast<std::size_t>(t.pc)] = true;
+        const Inst& inst = program_[static_cast<std::size_t>(t.pc)];
+        switch (inst.op) {
+            case Op::kJump: {
+                Thread u = t;
+                u.pc = inst.x;
+                self(list, seen, std::move(u), pos, self);
+                break;
+            }
+            case Op::kSplit: {
+                Thread u = t;
+                u.pc = inst.x;
+                self(list, seen, std::move(u), pos, self);
+                Thread v = std::move(t);
+                v.pc = inst.y;
+                self(list, seen, std::move(v), pos, self);
+                break;
+            }
+            case Op::kSave: {
+                Thread u = std::move(t);
+                if (static_cast<std::size_t>(inst.x) < save_slots) {
+                    u.saves[static_cast<std::size_t>(inst.x)] = pos;
+                }
+                u.pc += 1;
+                // Re-dispatch on the instruction after the save.
+                seen[static_cast<std::size_t>(u.pc - 1)] = true;
+                self(list, seen, std::move(u), pos, self);
+                break;
+            }
+            default:
+                list.push_back(std::move(t));
+        }
+    };
+
+    Thread initial;
+    initial.pc = 0;
+    initial.saves.assign(save_slots, kNpos);
+    add(current, on_current, std::move(initial), start, add);
+
+    std::size_t pos = start;
+    while (true) {
+        // Scan threads in priority order; a Match kills lower-priority threads.
+        bool matched_here = false;
+        std::vector<Thread> survivors;
+        for (auto& t : current) {
+            const Inst& inst = program_[static_cast<std::size_t>(t.pc)];
+            if (inst.op == Op::kMatch) {
+                if (!anchored_end || pos == subject.size()) {
+                    MatchResult result;
+                    result.begin = t.saves[0] == kNpos ? start : t.saves[0];
+                    result.end = pos;
+                    result.accounting = t.accounting;
+                    result.groups.resize(static_cast<std::size_t>(group_count_) + 1,
+                                         {kNpos, kNpos});
+                    for (int g = 0; g <= group_count_; ++g) {
+                        result.groups[static_cast<std::size_t>(g)] = {
+                            t.saves[static_cast<std::size_t>(2 * g)],
+                            t.saves[static_cast<std::size_t>(2 * g + 1)]};
+                    }
+                    best = std::move(result);
+                    matched_here = true;
+                    break;  // lower-priority threads cannot beat this match
+                }
+                continue;  // anchored and not at end: thread dies
+            }
+            survivors.push_back(std::move(t));
+        }
+        if (matched_here && !anchored_end) {
+            // Leftmost-first semantics: the highest-priority match wins
+            // immediately for unanchored searches... except we still let
+            // higher-priority threads (already consumed) extend. Those are in
+            // `survivors` ahead of the match; keep stepping them, but remember
+            // `best`. If none of them ever match, `best` stands.
+        }
+        if (pos >= subject.size() || survivors.empty()) break;
+
+        char c = subject[pos];
+        next.clear();
+        std::fill(on_next.begin(), on_next.end(), false);
+        for (auto& t : survivors) {
+            const Inst& inst = program_[static_cast<std::size_t>(t.pc)];
+            bool consumes = false;
+            bool literal = false;
+            switch (inst.op) {
+                case Op::kChar:
+                    consumes = inst.ch == c;
+                    literal = true;
+                    break;
+                case Op::kAny:
+                    consumes = true;
+                    break;
+                case Op::kClass:
+                    consumes = classes_[static_cast<std::size_t>(inst.class_index)]
+                                   .allow[static_cast<unsigned char>(c)];
+                    break;
+                default: break;
+            }
+            if (!consumes) continue;
+            Thread u = std::move(t);
+            u.pc += 1;
+            if (literal) {
+                u.accounting.literal_bytes += 1;
+            } else {
+                u.accounting.wildcard_bytes += 1;
+            }
+            add(next, on_next, std::move(u), pos + 1, add);
+        }
+        current.swap(next);
+        std::fill(on_current.begin(), on_current.end(), false);
+        // `on_current` flags were consumed by swap; the swap trick only moves
+        // thread lists, so rebuild the seen-set invariant for the next loop by
+        // clearing (done above) — dedupe already happened during `add`.
+        ++pos;
+        if (current.empty()) break;
+    }
+
+    return best;
+}
+
+bool Regex::full_match(std::string_view subject) const {
+    return run(subject, 0, /*anchored_end=*/true).has_value();
+}
+
+std::optional<MatchResult> Regex::full_match_info(std::string_view subject) const {
+    return run(subject, 0, /*anchored_end=*/true);
+}
+
+std::optional<MatchResult> Regex::search(std::string_view subject) const {
+    for (std::size_t start = 0; start <= subject.size(); ++start) {
+        auto m = run(subject, start, /*anchored_end=*/false);
+        if (m) return m;
+    }
+    return std::nullopt;
+}
+
+}  // namespace extractocol::text

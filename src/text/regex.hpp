@@ -1,0 +1,92 @@
+// A self-contained regular-expression engine (Thompson NFA compiled to a
+// Pike VM). Extractocol emits signatures as regexes; this engine both
+// validates them against traffic traces and accounts which bytes of a trace
+// matched *constant* pattern text versus wildcards — the Rk/Rv/Rn metric in
+// Table 2 of the paper.
+//
+// Supported syntax (the subset Extractocol's signature compiler emits):
+//   literals, escaped metacharacters (\. \* \? \+ \( \) \[ \] \| \\ \/),
+//   '.', character classes [abc], [a-z0-9], [^...], quantifiers * + ?,
+//   groups (...), alternation a|b.
+// Matching is unanchored for `search` and anchored for `full_match`.
+// The engine runs in O(pattern × input) — no catastrophic backtracking.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace extractocol::text {
+
+/// Byte-accounting result: how many subject bytes were consumed by literal
+/// pattern characters vs wildcard constructs ('.'/classes under quantifiers).
+struct MatchAccounting {
+    std::size_t literal_bytes = 0;
+    std::size_t wildcard_bytes = 0;
+
+    [[nodiscard]] std::size_t total() const { return literal_bytes + wildcard_bytes; }
+};
+
+struct MatchResult {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    MatchAccounting accounting;
+    /// Captured group spans (group 0 = whole match); npos when unset.
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+};
+
+class Regex {
+public:
+    /// Compiles a pattern; returns an error for malformed syntax.
+    static Result<Regex> compile(std::string_view pattern);
+
+    /// Escapes all metacharacters so `s` matches itself literally.
+    static std::string escape(std::string_view s);
+
+    /// Anchored match over the whole subject.
+    [[nodiscard]] bool full_match(std::string_view subject) const;
+
+    /// Anchored match returning byte accounting and captures.
+    [[nodiscard]] std::optional<MatchResult> full_match_info(std::string_view subject) const;
+
+    /// Unanchored leftmost search.
+    [[nodiscard]] std::optional<MatchResult> search(std::string_view subject) const;
+
+    [[nodiscard]] const std::string& pattern() const { return pattern_; }
+    [[nodiscard]] int group_count() const { return group_count_; }
+
+private:
+    enum class Op : std::uint8_t { kChar, kClass, kAny, kSplit, kJump, kSave, kMatch };
+
+    struct Inst {
+        Op op = Op::kMatch;
+        char ch = 0;             // kChar
+        int class_index = -1;    // kClass
+        int x = 0;               // kSplit target 1 / kJump target / kSave slot
+        int y = 0;               // kSplit target 2
+        bool literal = false;    // counts toward literal_bytes when consuming
+    };
+
+    struct CharClass {
+        std::array<bool, 256> allow{};
+    };
+
+    Regex() = default;
+
+    [[nodiscard]] std::optional<MatchResult> run(std::string_view subject,
+                                                 std::size_t start, bool anchored_end) const;
+
+    std::string pattern_;
+    std::vector<Inst> program_;
+    std::vector<CharClass> classes_;
+    int group_count_ = 0;
+
+    friend class RegexCompiler;
+};
+
+}  // namespace extractocol::text

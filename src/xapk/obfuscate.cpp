@@ -1,0 +1,262 @@
+#include "xapk/obfuscate.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace extractocol::xapk {
+
+using namespace xir;
+
+namespace {
+
+/// a, b, ..., z, aa, ab, ... deterministic short-name sequence.
+std::string short_name(std::size_t index) {
+    std::string out;
+    do {
+        out.insert(out.begin(), static_cast<char>('a' + index % 26));
+        index = index / 26;
+    } while (index-- > 0);
+    return out;
+}
+
+bool is_primitive(const Type& t) {
+    return t == "int" || t == "long" || t == "boolean" || t == "double" || t == "void" ||
+           t == "float" || t == "byte" || t == "char" || t == "short";
+}
+
+std::string strip_array(const Type& t, std::size_t* dims) {
+    std::string base = t;
+    *dims = 0;
+    while (strings::ends_with(base, "[]")) {
+        base.resize(base.size() - 2);
+        ++(*dims);
+    }
+    return base;
+}
+
+class Renamer {
+public:
+    Renamer(const Program& original, const ObfuscateOptions& options)
+        : original_(&original), options_(options) {
+        build_class_map();
+        build_member_maps();
+    }
+
+    ObfuscationMap take_map() { return std::move(map_); }
+
+    Program apply() {
+        Program out;
+        out.app_name = original_->app_name;
+        out.resources = original_->resources;
+        for (const auto& cls : original_->classes) out.classes.push_back(rename_class(cls));
+        for (const auto& event : original_->events) {
+            EventRegistration renamed = event;
+            renamed.handler.class_name = map_class(event.handler.class_name);
+            renamed.handler.method_name =
+                map_method(event.handler.class_name, event.handler.method_name);
+            out.events.push_back(std::move(renamed));
+        }
+        out.reindex();
+        return out;
+    }
+
+private:
+    void build_class_map() {
+        std::size_t next = 0;
+        for (const auto& cls : original_->classes) {
+            map_.classes[cls.name] = "o." + short_name(next++);
+        }
+        if (options_.rename_libraries) {
+            // Collect every referenced phantom class and rename it too.
+            std::set<std::string> phantoms;
+            auto note = [&](const Type& t) {
+                std::size_t dims = 0;
+                std::string base = strip_array(t, &dims);
+                if (!is_primitive(base) && !original_->find_class(base)) {
+                    phantoms.insert(base);
+                }
+            };
+            for (const Method* m : original_->method_table()) {
+                for (const auto& local : m->locals) note(local.type);
+                note(m->return_type);
+                for (const auto& block : m->blocks) {
+                    for (const auto& stmt : block.statements) {
+                        if (const auto* call = std::get_if<Invoke>(&stmt)) {
+                            note(call->callee.class_name);
+                        } else if (const auto* alloc = std::get_if<NewObject>(&stmt)) {
+                            note(alloc->class_name);
+                        } else if (const auto* load = std::get_if<LoadStatic>(&stmt)) {
+                            note(load->class_name);
+                        } else if (const auto* store = std::get_if<StoreStatic>(&stmt)) {
+                            note(store->class_name);
+                        }
+                    }
+                }
+            }
+            std::size_t lib_next = 0;
+            for (const auto& name : phantoms) {
+                map_.classes[name] = "l." + short_name(lib_next++);
+            }
+        }
+    }
+
+    void build_member_maps() {
+        for (const auto& cls : original_->classes) {
+            std::size_t next_method = 0;
+            for (const auto& method : cls.methods) {
+                map_.methods[cls.name + "." + method.name] = short_name(next_method++);
+            }
+            std::size_t next_field = 0;
+            for (const auto& field : cls.fields) {
+                map_.fields[cls.name + "." + field.name] = short_name(next_field++);
+            }
+        }
+        if (options_.rename_libraries) {
+            // Rename methods of renamed phantom classes too (full ProGuard-on-
+            // bundled-library shape). Collect invoked names per phantom class.
+            std::map<std::string, std::set<std::string>> phantom_methods;
+            for (const Method* m : original_->method_table()) {
+                for (const auto& block : m->blocks) {
+                    for (const auto& stmt : block.statements) {
+                        const auto* call = std::get_if<Invoke>(&stmt);
+                        if (!call) continue;
+                        const std::string& cls = call->callee.class_name;
+                        if (!original_->find_class(cls) && map_.classes.count(cls) > 0) {
+                            phantom_methods[cls].insert(call->callee.method_name);
+                        }
+                    }
+                }
+            }
+            for (const auto& [cls, names] : phantom_methods) {
+                std::size_t next = 0;
+                for (const auto& name : names) {
+                    map_.methods[cls + "." + name] = short_name(next++);
+                }
+            }
+        }
+    }
+
+    [[nodiscard]] std::string map_class(const std::string& name) const {
+        std::size_t dims = 0;
+        std::string base = name;
+        // Handle array types transparently.
+        while (strings::ends_with(base, "[]")) {
+            base.resize(base.size() - 2);
+            ++dims;
+        }
+        auto it = map_.classes.find(base);
+        std::string mapped = it == map_.classes.end() ? base : it->second;
+        for (std::size_t i = 0; i < dims; ++i) mapped += "[]";
+        return mapped;
+    }
+
+    /// Maps a method name given the *static* callee class: walks the app
+    /// hierarchy to find the declaring class, mirroring how ProGuard keeps
+    /// virtual-dispatch names consistent.
+    [[nodiscard]] std::string map_method(const std::string& class_name,
+                                         const std::string& method_name) const {
+        std::string current = class_name;
+        while (!current.empty()) {
+            auto it = map_.methods.find(current + "." + method_name);
+            if (it != map_.methods.end()) return it->second;
+            const Class* cls = original_->find_class(current);
+            if (!cls) break;
+            current = cls->super;
+        }
+        return method_name;  // library method: untouched (unless lib-renamed below)
+    }
+
+    [[nodiscard]] std::string map_field(const std::string& class_name,
+                                        const std::string& field_name) const {
+        std::string current = class_name;
+        while (!current.empty()) {
+            auto it = map_.fields.find(current + "." + field_name);
+            if (it != map_.fields.end()) return it->second;
+            const Class* cls = original_->find_class(current);
+            if (!cls) break;
+            current = cls->super;
+        }
+        return field_name;
+    }
+
+    Class rename_class(const Class& cls) {
+        Class out;
+        out.name = map_class(cls.name);
+        out.super = map_class(cls.super);
+        for (const auto& field : cls.fields) {
+            out.fields.push_back({map_field(cls.name, field.name), map_class(field.type)});
+        }
+        for (const auto& method : cls.methods) {
+            out.methods.push_back(rename_method(cls, method));
+        }
+        return out;
+    }
+
+    Method rename_method(const Class& cls, const Method& method) {
+        Method out;
+        out.name = map_method(cls.name, method.name);
+        out.class_name = map_class(cls.name);
+        out.is_static = method.is_static;
+        out.return_type = map_class(method.return_type);
+        out.param_count = method.param_count;
+        for (std::size_t i = 0; i < method.locals.size(); ++i) {
+            out.locals.push_back(
+                {"v" + std::to_string(i), map_class(method.locals[i].type)});
+        }
+        for (const auto& block : method.blocks) {
+            BasicBlock renamed;
+            for (const auto& stmt : block.statements) {
+                renamed.statements.push_back(rename_statement(method, stmt));
+            }
+            out.blocks.push_back(std::move(renamed));
+        }
+        return out;
+    }
+
+    Statement rename_statement(const Method& method, const Statement& stmt) {
+        Statement out = stmt;
+        if (auto* alloc = std::get_if<NewObject>(&out)) {
+            alloc->class_name = map_class(alloc->class_name);
+        } else if (auto* load = std::get_if<LoadField>(&out)) {
+            load->field = map_field(method.locals[load->base].type, load->field);
+        } else if (auto* store = std::get_if<StoreField>(&out)) {
+            store->field = map_field(method.locals[store->base].type, store->field);
+        } else if (auto* load_s = std::get_if<LoadStatic>(&out)) {
+            load_s->field = map_field(load_s->class_name, load_s->field);
+            load_s->class_name = map_class(load_s->class_name);
+        } else if (auto* store_s = std::get_if<StoreStatic>(&out)) {
+            store_s->field = map_field(store_s->class_name, store_s->field);
+            store_s->class_name = map_class(store_s->class_name);
+        } else if (auto* call = std::get_if<Invoke>(&out)) {
+            // Resolve the declaring class before renaming so inherited
+            // methods keep one name. Virtual calls dispatch on the receiver's
+            // declared type in our call graph; renaming by static callee
+            // class is consistent with that.
+            std::string target_class = call->callee.class_name;
+            if (call->kind == InvokeKind::kVirtual && call->base) {
+                const auto& receiver_type = method.locals[*call->base].type;
+                if (original_->find_class(receiver_type)) target_class = receiver_type;
+            }
+            call->callee.method_name = map_method(target_class, call->callee.method_name);
+            call->callee.class_name = map_class(call->callee.class_name);
+        }
+        return out;
+    }
+
+    const Program* original_;
+    ObfuscateOptions options_;
+    ObfuscationMap map_;
+};
+
+}  // namespace
+
+std::pair<Program, ObfuscationMap> obfuscate(const Program& program,
+                                             const ObfuscateOptions& options) {
+    Renamer renamer(program, options);
+    Program out = renamer.apply();
+    return {std::move(out), renamer.take_map()};
+}
+
+}  // namespace extractocol::xapk

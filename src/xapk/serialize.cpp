@@ -1,0 +1,548 @@
+#include "xapk/serialize.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "support/strings.hpp"
+#include "xir/verify.hpp"
+
+namespace extractocol::xapk {
+
+using namespace xir;
+
+// Statement mnemonics, one line each, whitespace-separated tokens; strings
+// are double-quoted with backslash escapes. Operand forms:
+//   $N        local
+//   "..."     string constant
+//   123       int constant
+//   d:1.5     double constant
+//   true/false/null
+// Optional destinations use "_" when absent.
+
+namespace {
+
+std::string quote(std::string_view s) {
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default: out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string operand_text(const Operand& op) {
+    if (op.is_local()) return "$" + std::to_string(op.local);
+    const Constant& c = op.constant;
+    switch (c.kind) {
+        case Constant::Kind::kNull: return "null";
+        case Constant::Kind::kBool: return c.bool_value ? "true" : "false";
+        case Constant::Kind::kInt: return std::to_string(c.int_value);
+        case Constant::Kind::kDouble: {
+            char buf[40];
+            std::snprintf(buf, sizeof buf, "d:%.17g", c.double_value);
+            return buf;
+        }
+        case Constant::Kind::kString: return quote(c.string_value);
+    }
+    return "null";
+}
+
+const char* cmp_text(CmpOp op) {
+    switch (op) {
+        case CmpOp::kEq: return "eq";
+        case CmpOp::kNe: return "ne";
+        case CmpOp::kLt: return "lt";
+        case CmpOp::kLe: return "le";
+        case CmpOp::kGt: return "gt";
+        case CmpOp::kGe: return "ge";
+    }
+    return "eq";
+}
+
+const char* bin_text(BinaryOp::Op op) {
+    switch (op) {
+        case BinaryOp::Op::kAdd: return "add";
+        case BinaryOp::Op::kSub: return "sub";
+        case BinaryOp::Op::kMul: return "mul";
+        case BinaryOp::Op::kDiv: return "div";
+        case BinaryOp::Op::kConcat: return "cat";
+    }
+    return "add";
+}
+
+const char* invoke_kind_text(InvokeKind kind) {
+    switch (kind) {
+        case InvokeKind::kVirtual: return "virtual";
+        case InvokeKind::kStatic: return "static";
+        case InvokeKind::kSpecial: return "special";
+    }
+    return "virtual";
+}
+
+void write_statement(std::ostream& out, const Statement& stmt) {
+    std::visit(
+        [&](const auto& s) {
+            using T = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<T, Nop>) {
+                out << "nop";
+            } else if constexpr (std::is_same_v<T, AssignConst>) {
+                out << "const $" << s.dst << " " << operand_text(Operand(s.value));
+            } else if constexpr (std::is_same_v<T, AssignCopy>) {
+                out << "copy $" << s.dst << " $" << s.src;
+            } else if constexpr (std::is_same_v<T, NewObject>) {
+                out << "new $" << s.dst << " " << s.class_name;
+            } else if constexpr (std::is_same_v<T, LoadField>) {
+                out << "getf $" << s.dst << " $" << s.base << " " << s.field;
+            } else if constexpr (std::is_same_v<T, StoreField>) {
+                out << "putf $" << s.base << " " << s.field << " " << operand_text(s.src);
+            } else if constexpr (std::is_same_v<T, LoadStatic>) {
+                out << "gets $" << s.dst << " " << s.class_name << " " << s.field;
+            } else if constexpr (std::is_same_v<T, StoreStatic>) {
+                out << "puts " << s.class_name << " " << s.field << " "
+                    << operand_text(s.src);
+            } else if constexpr (std::is_same_v<T, LoadArray>) {
+                out << "geta $" << s.dst << " $" << s.array << " " << operand_text(s.index);
+            } else if constexpr (std::is_same_v<T, StoreArray>) {
+                out << "puta $" << s.array << " " << operand_text(s.index) << " "
+                    << operand_text(s.src);
+            } else if constexpr (std::is_same_v<T, BinaryOp>) {
+                out << "bin $" << s.dst << " " << bin_text(s.op) << " "
+                    << operand_text(s.lhs) << " " << operand_text(s.rhs);
+            } else if constexpr (std::is_same_v<T, Invoke>) {
+                out << "call ";
+                if (s.dst) out << "$" << *s.dst;
+                else out << "_";
+                out << " " << invoke_kind_text(s.kind) << " " << s.callee.qualified() << " ";
+                if (s.base) out << "$" << *s.base;
+                else out << "_";
+                for (const auto& a : s.args) out << " " << operand_text(a);
+            } else if constexpr (std::is_same_v<T, If>) {
+                out << "if " << operand_text(s.lhs) << " " << cmp_text(s.op) << " "
+                    << operand_text(s.rhs) << " b" << s.then_block << " b" << s.else_block;
+            } else if constexpr (std::is_same_v<T, Goto>) {
+                out << "goto b" << s.target;
+            } else if constexpr (std::is_same_v<T, Return>) {
+                out << "ret " << (s.value ? operand_text(*s.value) : std::string("_"));
+            }
+        },
+        stmt);
+}
+
+}  // namespace
+
+std::string write_xapk(const Program& program) {
+    std::ostringstream out;
+    out << "xapk 1\n";
+    out << "app " << quote(program.app_name) << "\n";
+    for (const auto& [id, value] : program.resources) {
+        out << "resource " << id << " " << quote(value) << "\n";
+    }
+    for (const auto& event : program.events) {
+        out << "event " << event_kind_name(event.kind) << " "
+            << event.handler.qualified() << " " << quote(event.label) << "\n";
+    }
+    for (const auto& cls : program.classes) {
+        out << "class " << cls.name;
+        if (!cls.super.empty()) out << " extends " << cls.super;
+        out << "\n";
+        for (const auto& field : cls.fields) {
+            out << "  field " << field.name << " " << field.type << "\n";
+        }
+        for (const auto& method : cls.methods) {
+            out << "  method " << method.name << " " << (method.is_static ? 1 : 0) << " "
+                << method.param_count << " " << method.return_type << "\n";
+            for (const auto& local : method.locals) {
+                out << "    local " << local.name << " " << local.type << "\n";
+            }
+            for (BlockId b = 0; b < method.blocks.size(); ++b) {
+                out << "    block " << b << "\n";
+                for (const auto& stmt : method.blocks[b].statements) {
+                    out << "      ";
+                    write_statement(out, stmt);
+                    out << "\n";
+                }
+            }
+        }
+    }
+    return out.str();
+}
+
+// ----------------------------------------------------------------- parse --
+
+namespace {
+
+/// Splits a line into tokens, treating double-quoted runs (with escapes) as
+/// single tokens whose quotes are preserved for type detection.
+Result<std::vector<std::string>> tokenize(std::string_view line) {
+    std::vector<std::string> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        if (line[i] == ' ' || line[i] == '\t') {
+            ++i;
+            continue;
+        }
+        if (line[i] == '"') {
+            std::string token = "\"";
+            ++i;
+            while (i < line.size() && line[i] != '"') {
+                if (line[i] == '\\' && i + 1 < line.size()) {
+                    char e = line[i + 1];
+                    switch (e) {
+                        case 'n': token.push_back('\n'); break;
+                        case 't': token.push_back('\t'); break;
+                        case 'r': token.push_back('\r'); break;
+                        default: token.push_back(e);
+                    }
+                    i += 2;
+                } else {
+                    token.push_back(line[i]);
+                    ++i;
+                }
+            }
+            if (i >= line.size()) return Error("unterminated string literal");
+            ++i;  // closing quote
+            token.push_back('"');
+            tokens.push_back(std::move(token));
+        } else {
+            std::size_t start = i;
+            while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+            tokens.emplace_back(line.substr(start, i - start));
+        }
+    }
+    return tokens;
+}
+
+bool is_quoted(const std::string& token) {
+    return token.size() >= 2 && token.front() == '"' && token.back() == '"';
+}
+
+std::string unquote(const std::string& token) {
+    return token.substr(1, token.size() - 2);
+}
+
+Result<Operand> parse_operand(const std::string& token) {
+    if (token.empty()) return Error("empty operand");
+    if (token[0] == '$') {
+        LocalId id = 0;
+        auto [ptr, ec] = std::from_chars(token.data() + 1, token.data() + token.size(), id);
+        if (ec != std::errc() || ptr != token.data() + token.size()) {
+            return Error("bad local operand: " + token);
+        }
+        return Operand(id);
+    }
+    if (is_quoted(token)) return Operand(Constant::of_string(unquote(token)));
+    if (token == "null") return Operand(Constant::null());
+    if (token == "true") return Operand(Constant::of_bool(true));
+    if (token == "false") return Operand(Constant::of_bool(false));
+    if (strings::starts_with(token, "d:")) {
+        return Operand(Constant::of_double(std::stod(token.substr(2))));
+    }
+    std::int64_t value = 0;
+    auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return Operand(Constant::of_int(value));
+    }
+    return Error("bad operand: " + token);
+}
+
+Result<LocalId> parse_local(const std::string& token) {
+    auto op = parse_operand(token);
+    if (!op.ok()) return op.error();
+    if (!op.value().is_local()) return Error("expected local, got " + token);
+    return op.value().local;
+}
+
+Result<BlockId> parse_block_ref(const std::string& token) {
+    if (token.size() < 2 || token[0] != 'b') return Error("bad block ref: " + token);
+    BlockId id = 0;
+    auto [ptr, ec] = std::from_chars(token.data() + 1, token.data() + token.size(), id);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+        return Error("bad block ref: " + token);
+    }
+    return id;
+}
+
+Result<CmpOp> parse_cmp(const std::string& token) {
+    if (token == "eq") return CmpOp::kEq;
+    if (token == "ne") return CmpOp::kNe;
+    if (token == "lt") return CmpOp::kLt;
+    if (token == "le") return CmpOp::kLe;
+    if (token == "gt") return CmpOp::kGt;
+    if (token == "ge") return CmpOp::kGe;
+    return Error("bad cmp op: " + token);
+}
+
+Result<BinaryOp::Op> parse_bin(const std::string& token) {
+    if (token == "add") return BinaryOp::Op::kAdd;
+    if (token == "sub") return BinaryOp::Op::kSub;
+    if (token == "mul") return BinaryOp::Op::kMul;
+    if (token == "div") return BinaryOp::Op::kDiv;
+    if (token == "cat") return BinaryOp::Op::kConcat;
+    return Error("bad binary op: " + token);
+}
+
+Result<InvokeKind> parse_invoke_kind(const std::string& token) {
+    if (token == "virtual") return InvokeKind::kVirtual;
+    if (token == "static") return InvokeKind::kStatic;
+    if (token == "special") return InvokeKind::kSpecial;
+    return Error("bad invoke kind: " + token);
+}
+
+MethodRef parse_method_ref(const std::string& qualified) {
+    auto dot = qualified.rfind('.');
+    if (dot == std::string::npos) return {"", qualified};
+    return {qualified.substr(0, dot), qualified.substr(dot + 1)};
+}
+
+Result<Statement> parse_statement(const std::vector<std::string>& t) {
+    const std::string& op = t[0];
+    auto need = [&](std::size_t n) -> Status {
+        if (t.size() < n) return Error("statement '" + op + "' needs more tokens");
+        return Status::success();
+    };
+
+    if (op == "nop") return Statement(Nop{});
+    if (op == "const") {
+        if (auto s = need(3); !s.ok()) return s.error();
+        auto dst = parse_local(t[1]);
+        if (!dst.ok()) return dst.error();
+        auto value = parse_operand(t[2]);
+        if (!value.ok()) return value.error();
+        if (value.value().is_local()) return Error("const with local operand");
+        return Statement(AssignConst{dst.value(), value.value().constant});
+    }
+    if (op == "copy") {
+        if (auto s = need(3); !s.ok()) return s.error();
+        auto dst = parse_local(t[1]);
+        auto src = parse_local(t[2]);
+        if (!dst.ok()) return dst.error();
+        if (!src.ok()) return src.error();
+        return Statement(AssignCopy{dst.value(), src.value()});
+    }
+    if (op == "new") {
+        if (auto s = need(3); !s.ok()) return s.error();
+        auto dst = parse_local(t[1]);
+        if (!dst.ok()) return dst.error();
+        return Statement(NewObject{dst.value(), t[2]});
+    }
+    if (op == "getf") {
+        if (auto s = need(4); !s.ok()) return s.error();
+        auto dst = parse_local(t[1]);
+        auto base = parse_local(t[2]);
+        if (!dst.ok()) return dst.error();
+        if (!base.ok()) return base.error();
+        return Statement(LoadField{dst.value(), base.value(), t[3]});
+    }
+    if (op == "putf") {
+        if (auto s = need(4); !s.ok()) return s.error();
+        auto base = parse_local(t[1]);
+        if (!base.ok()) return base.error();
+        auto src = parse_operand(t[3]);
+        if (!src.ok()) return src.error();
+        return Statement(StoreField{base.value(), t[2], src.value()});
+    }
+    if (op == "gets") {
+        if (auto s = need(4); !s.ok()) return s.error();
+        auto dst = parse_local(t[1]);
+        if (!dst.ok()) return dst.error();
+        return Statement(LoadStatic{dst.value(), t[2], t[3]});
+    }
+    if (op == "puts") {
+        if (auto s = need(4); !s.ok()) return s.error();
+        auto src = parse_operand(t[3]);
+        if (!src.ok()) return src.error();
+        return Statement(StoreStatic{t[1], t[2], src.value()});
+    }
+    if (op == "geta") {
+        if (auto s = need(4); !s.ok()) return s.error();
+        auto dst = parse_local(t[1]);
+        auto array = parse_local(t[2]);
+        if (!dst.ok()) return dst.error();
+        if (!array.ok()) return array.error();
+        auto index = parse_operand(t[3]);
+        if (!index.ok()) return index.error();
+        return Statement(LoadArray{dst.value(), array.value(), index.value()});
+    }
+    if (op == "puta") {
+        if (auto s = need(4); !s.ok()) return s.error();
+        auto array = parse_local(t[1]);
+        if (!array.ok()) return array.error();
+        auto index = parse_operand(t[2]);
+        auto src = parse_operand(t[3]);
+        if (!index.ok()) return index.error();
+        if (!src.ok()) return src.error();
+        return Statement(StoreArray{array.value(), index.value(), src.value()});
+    }
+    if (op == "bin") {
+        if (auto s = need(5); !s.ok()) return s.error();
+        auto dst = parse_local(t[1]);
+        if (!dst.ok()) return dst.error();
+        auto kind = parse_bin(t[2]);
+        if (!kind.ok()) return kind.error();
+        auto lhs = parse_operand(t[3]);
+        auto rhs = parse_operand(t[4]);
+        if (!lhs.ok()) return lhs.error();
+        if (!rhs.ok()) return rhs.error();
+        return Statement(BinaryOp{dst.value(), kind.value(), lhs.value(), rhs.value()});
+    }
+    if (op == "call") {
+        if (auto s = need(5); !s.ok()) return s.error();
+        Invoke call;
+        if (t[1] != "_") {
+            auto dst = parse_local(t[1]);
+            if (!dst.ok()) return dst.error();
+            call.dst = dst.value();
+        }
+        auto kind = parse_invoke_kind(t[2]);
+        if (!kind.ok()) return kind.error();
+        call.kind = kind.value();
+        call.callee = parse_method_ref(t[3]);
+        if (t[4] != "_") {
+            auto base = parse_local(t[4]);
+            if (!base.ok()) return base.error();
+            call.base = base.value();
+        }
+        for (std::size_t i = 5; i < t.size(); ++i) {
+            auto arg = parse_operand(t[i]);
+            if (!arg.ok()) return arg.error();
+            call.args.push_back(arg.value());
+        }
+        return Statement(std::move(call));
+    }
+    if (op == "if") {
+        if (auto s = need(6); !s.ok()) return s.error();
+        auto lhs = parse_operand(t[1]);
+        auto cmp = parse_cmp(t[2]);
+        auto rhs = parse_operand(t[3]);
+        auto then_block = parse_block_ref(t[4]);
+        auto else_block = parse_block_ref(t[5]);
+        if (!lhs.ok()) return lhs.error();
+        if (!cmp.ok()) return cmp.error();
+        if (!rhs.ok()) return rhs.error();
+        if (!then_block.ok()) return then_block.error();
+        if (!else_block.ok()) return else_block.error();
+        return Statement(
+            If{lhs.value(), cmp.value(), rhs.value(), then_block.value(), else_block.value()});
+    }
+    if (op == "goto") {
+        if (auto s = need(2); !s.ok()) return s.error();
+        auto target = parse_block_ref(t[1]);
+        if (!target.ok()) return target.error();
+        return Statement(Goto{target.value()});
+    }
+    if (op == "ret") {
+        if (auto s = need(2); !s.ok()) return s.error();
+        if (t[1] == "_") return Statement(Return{});
+        auto value = parse_operand(t[1]);
+        if (!value.ok()) return value.error();
+        return Statement(Return{value.value()});
+    }
+    return Error("unknown statement mnemonic: " + op);
+}
+
+}  // namespace
+
+Result<Program> parse_xapk(std::string_view input) {
+    Program program;
+    Class* current_class = nullptr;
+    Method* current_method = nullptr;
+    BasicBlock* current_block = nullptr;
+
+    std::size_t line_number = 0;
+    std::size_t pos = 0;
+    while (pos <= input.size()) {
+        std::size_t end = input.find('\n', pos);
+        std::string_view raw =
+            input.substr(pos, end == std::string_view::npos ? input.size() - pos : end - pos);
+        pos = (end == std::string_view::npos) ? input.size() + 1 : end + 1;
+        ++line_number;
+
+        std::string_view line = strings::trim(raw);
+        if (line.empty() || line[0] == '#') continue;
+        auto tokens_result = tokenize(line);
+        if (!tokens_result.ok()) {
+            return tokens_result.error().with_context("line " + std::to_string(line_number));
+        }
+        const auto& t = tokens_result.value();
+        if (t.empty()) continue;
+        auto fail = [&](const std::string& why) -> Result<Program> {
+            return Error("xapk line " + std::to_string(line_number) + ": " + why);
+        };
+
+        const std::string& keyword = t[0];
+        if (keyword == "xapk") {
+            if (t.size() != 2 || t[1] != "1") return fail("unsupported xapk version");
+        } else if (keyword == "app") {
+            if (t.size() != 2 || !is_quoted(t[1])) return fail("app needs quoted name");
+            program.app_name = unquote(t[1]);
+        } else if (keyword == "resource") {
+            if (t.size() != 3 || !is_quoted(t[2])) return fail("resource id \"value\"");
+            program.resources.emplace_back(t[1], unquote(t[2]));
+        } else if (keyword == "event") {
+            if (t.size() != 4 || !is_quoted(t[3])) return fail("event kind method \"label\"");
+            auto kind = parse_event_kind(t[1]);
+            if (!kind.ok()) return fail(kind.error().message);
+            program.events.push_back({parse_method_ref(t[2]), kind.value(), unquote(t[3])});
+        } else if (keyword == "class") {
+            if (t.size() != 2 && !(t.size() == 4 && t[2] == "extends")) {
+                return fail("class NAME [extends SUPER]");
+            }
+            Class cls;
+            cls.name = t[1];
+            if (t.size() == 4) cls.super = t[3];
+            program.classes.push_back(std::move(cls));
+            current_class = &program.classes.back();
+            current_method = nullptr;
+            current_block = nullptr;
+        } else if (keyword == "field") {
+            if (!current_class) return fail("field outside class");
+            if (t.size() != 3) return fail("field NAME TYPE");
+            current_class->fields.push_back({t[1], t[2]});
+        } else if (keyword == "method") {
+            if (!current_class) return fail("method outside class");
+            if (t.size() != 5) return fail("method NAME STATIC PARAMS RET");
+            Method method;
+            method.name = t[1];
+            method.class_name = current_class->name;
+            method.is_static = t[2] == "1";
+            method.param_count = static_cast<std::uint32_t>(std::stoul(t[3]));
+            method.return_type = t[4];
+            current_class->methods.push_back(std::move(method));
+            current_method = &current_class->methods.back();
+            current_block = nullptr;
+        } else if (keyword == "local") {
+            if (!current_method) return fail("local outside method");
+            if (t.size() != 3) return fail("local NAME TYPE");
+            current_method->locals.push_back({t[1], t[2]});
+        } else if (keyword == "block") {
+            if (!current_method) return fail("block outside method");
+            if (t.size() != 2) return fail("block INDEX");
+            auto index = std::stoul(t[1]);
+            if (index != current_method->blocks.size()) {
+                return fail("blocks must appear in order");
+            }
+            current_method->blocks.emplace_back();
+            current_block = &current_method->blocks.back();
+        } else {
+            if (!current_block) return fail("statement outside block");
+            auto stmt = parse_statement(t);
+            if (!stmt.ok()) return fail(stmt.error().message);
+            current_block->statements.push_back(std::move(stmt).take());
+        }
+    }
+
+    program.reindex();
+    if (auto status = xir::verify(program); !status.ok()) {
+        return Error("parsed xapk failed verification: " + status.error().message);
+    }
+    return program;
+}
+
+}  // namespace extractocol::xapk

@@ -1,0 +1,107 @@
+#include "xir/cfg.hpp"
+
+#include <algorithm>
+
+namespace extractocol::xir {
+
+Cfg::Cfg(const Method& method) : method_(&method) {
+    const std::size_t n = method.blocks.size();
+    successors_.resize(n);
+    predecessors_.resize(n);
+    reachable_.assign(n, false);
+
+    for (BlockId b = 0; b < n; ++b) {
+        for (BlockId succ : method.blocks[b].successors()) {
+            if (succ < n) {
+                successors_[b].push_back(succ);
+                predecessors_[succ].push_back(b);
+            }
+        }
+    }
+
+    // Iterative DFS computing post-order and back edges.
+    if (n == 0) return;
+    enum class Color { kWhite, kGray, kBlack };
+    std::vector<Color> color(n, Color::kWhite);
+    std::vector<BlockId> post;
+    post.reserve(n);
+
+    struct Frame {
+        BlockId block;
+        std::size_t next_succ = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({0});
+    color[0] = Color::kGray;
+    reachable_[0] = true;
+
+    while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.next_succ < successors_[frame.block].size()) {
+            BlockId succ = successors_[frame.block][frame.next_succ++];
+            if (color[succ] == Color::kWhite) {
+                color[succ] = Color::kGray;
+                reachable_[succ] = true;
+                stack.push_back({succ});
+            } else if (color[succ] == Color::kGray) {
+                back_edges_.emplace_back(frame.block, succ);
+            }
+        } else {
+            color[frame.block] = Color::kBlack;
+            post.push_back(frame.block);
+            stack.pop_back();
+        }
+    }
+
+    rpo_.assign(post.rbegin(), post.rend());
+    for (BlockId b = 0; b < n; ++b) {
+        if (!reachable_[b]) rpo_.push_back(b);
+    }
+
+    for (const auto& [from, to] : back_edges_) {
+        (void)from;
+        if (std::find(loop_headers_.begin(), loop_headers_.end(), to) ==
+            loop_headers_.end()) {
+            loop_headers_.push_back(to);
+        }
+    }
+}
+
+bool Cfg::is_back_edge(BlockId from, BlockId to) const {
+    return std::find(back_edges_.begin(), back_edges_.end(), std::make_pair(from, to)) !=
+           back_edges_.end();
+}
+
+std::vector<BlockId> Cfg::loop_blocks(BlockId header) const {
+    std::vector<BlockId> members;
+    std::vector<bool> in_loop(block_count(), false);
+    in_loop[header] = true;
+    std::vector<BlockId> stack;
+    for (const auto& [from, to] : back_edges_) {
+        if (to == header && !in_loop[from]) {
+            in_loop[from] = true;
+            stack.push_back(from);
+        }
+    }
+    if (stack.empty()) return {};
+    while (!stack.empty()) {
+        BlockId b = stack.back();
+        stack.pop_back();
+        for (BlockId pred : predecessors_[b]) {
+            if (!in_loop[pred]) {
+                in_loop[pred] = true;
+                stack.push_back(pred);
+            }
+        }
+    }
+    for (BlockId b = 0; b < block_count(); ++b) {
+        if (in_loop[b]) members.push_back(b);
+    }
+    return members;
+}
+
+bool Cfg::is_loop_header(BlockId b) const {
+    return std::find(loop_headers_.begin(), loop_headers_.end(), b) != loop_headers_.end();
+}
+
+}  // namespace extractocol::xir

@@ -1,0 +1,56 @@
+// Control-flow-graph utilities over a Method: predecessors, reverse
+// post-order (the "topological order of basic blocks" the signature builder
+// walks, §3.2), back-edge / loop-header detection (needed to mark `rep`
+// parts of signatures), and reachability.
+#pragma once
+
+#include <vector>
+
+#include "xir/ir.hpp"
+
+namespace extractocol::xir {
+
+class Cfg {
+public:
+    explicit Cfg(const Method& method);
+
+    [[nodiscard]] const Method& method() const { return *method_; }
+    [[nodiscard]] std::size_t block_count() const { return successors_.size(); }
+
+    [[nodiscard]] const std::vector<BlockId>& successors(BlockId b) const {
+        return successors_[b];
+    }
+    [[nodiscard]] const std::vector<BlockId>& predecessors(BlockId b) const {
+        return predecessors_[b];
+    }
+
+    /// Reverse post-order from the entry block; unreachable blocks appended at
+    /// the end in index order. For reducible CFGs this is a topological order
+    /// ignoring back edges.
+    [[nodiscard]] const std::vector<BlockId>& reverse_post_order() const { return rpo_; }
+
+    /// True if edge from -> to is a back edge (to is an ancestor in the DFS).
+    [[nodiscard]] bool is_back_edge(BlockId from, BlockId to) const;
+
+    /// Blocks that are targets of back edges.
+    [[nodiscard]] const std::vector<BlockId>& loop_headers() const { return loop_headers_; }
+    [[nodiscard]] bool is_loop_header(BlockId b) const;
+
+    [[nodiscard]] bool is_reachable(BlockId b) const { return reachable_[b]; }
+
+    /// Blocks of the natural loop with header `header`: the header plus every
+    /// block that reaches one of its back-edge sources without crossing the
+    /// header. Empty if `header` is not a loop header.
+    [[nodiscard]] std::vector<BlockId> loop_blocks(BlockId header) const;
+
+private:
+    const Method* method_;
+    std::vector<std::vector<BlockId>> successors_;
+    std::vector<std::vector<BlockId>> predecessors_;
+    std::vector<BlockId> rpo_;
+    std::vector<std::pair<BlockId, BlockId>> back_edges_;
+    std::vector<BlockId> loop_headers_;
+    std::vector<bool> reachable_;
+};
+
+}  // namespace extractocol::xir

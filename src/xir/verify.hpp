@@ -1,0 +1,16 @@
+// IR well-formedness checks: terminated blocks, in-range branch targets and
+// locals, entry-block presence, event registrations resolving to methods.
+#pragma once
+
+#include "support/result.hpp"
+#include "xir/ir.hpp"
+
+namespace extractocol::xir {
+
+/// Verifies the whole program. Call Program::reindex() first.
+Status verify(const Program& program);
+
+/// Verifies a single method.
+Status verify_method(const Method& method);
+
+}  // namespace extractocol::xir

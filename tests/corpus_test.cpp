@@ -1,0 +1,66 @@
+// Corpus sanity: every app generates verified IR, analyzes without errors,
+// fuzzes against its own server, and its signatures match its own traffic.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/matcher.hpp"
+#include "corpus/corpus.hpp"
+#include "interp/interpreter.hpp"
+#include "xir/verify.hpp"
+
+using namespace extractocol;
+
+class CorpusSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusSuite, GeneratesVerifiedProgram) {
+    corpus::CorpusApp app = corpus::build_app(GetParam());
+    EXPECT_TRUE(xir::verify(app.program).ok());
+    EXPECT_FALSE(app.ground_truth.empty());
+    EXPECT_GT(app.program.total_statements(), 100u);
+}
+
+TEST_P(CorpusSuite, AnalyzesAndMatchesOwnTraffic) {
+    corpus::CorpusApp app = corpus::build_app(GetParam());
+    core::AnalyzerOptions options;
+    options.async_heuristic = !app.spec.open_source;  // §5.1 configuration
+    core::AnalysisReport report = core::Analyzer(options).analyze(app.program);
+    ASSERT_FALSE(report.transactions.empty()) << GetParam();
+
+    auto server = app.make_server();
+    interp::Interpreter interpreter(app.program, *server);
+    http::Trace trace = interpreter.fuzz(interp::FuzzMode::kManual);
+
+    core::TraceMatcher matcher(report);
+    auto summary = matcher.evaluate(trace);
+    // Every signature that has corresponding traffic must match it; traffic
+    // without a signature is expected only for Extractocol's documented
+    // misses (intent-routed messages).
+    std::size_t expected_misses = 0;
+    for (const auto& gt : app.ground_truth) {
+        if (gt.via_intent) ++expected_misses;
+    }
+    EXPECT_GE(summary.matched + expected_misses, summary.trace_transactions)
+        << GetParam() << ": " << summary.matched << "/" << summary.trace_transactions
+        << " matched\n"
+        << report.to_text();
+}
+
+INSTANTIATE_TEST_SUITE_P(OpenSource, CorpusSuite,
+                         ::testing::ValuesIn(corpus::open_source_apps()),
+                         [](const auto& info) {
+                             std::string name = info.param;
+                             for (auto& c : name) {
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                             }
+                             return name;
+                         });
+
+INSTANTIATE_TEST_SUITE_P(ClosedSource, CorpusSuite,
+                         ::testing::ValuesIn(corpus::closed_source_apps()),
+                         [](const auto& info) {
+                             std::string name = info.param;
+                             for (auto& c : name) {
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                             }
+                             return name;
+                         });

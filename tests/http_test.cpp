@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "http/message.hpp"
+
+using namespace extractocol;
+using namespace extractocol::http;
+
+TEST(Method, NamesRoundTrip) {
+    for (Method m : {Method::kGet, Method::kPost, Method::kPut, Method::kDelete,
+                     Method::kHead, Method::kPatch}) {
+        auto parsed = parse_method(method_name(m));
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed.value(), m);
+    }
+    EXPECT_FALSE(parse_method("YEET").ok());
+}
+
+TEST(BodyKind, ClassifyJson) {
+    EXPECT_EQ(classify_body(R"({"a":1})"), BodyKind::kJson);
+    EXPECT_EQ(classify_body("  [1,2] "), BodyKind::kJson);
+    EXPECT_EQ(classify_body("{not json"), BodyKind::kText);
+}
+
+TEST(BodyKind, ClassifyXml) {
+    EXPECT_EQ(classify_body("<a><b/></a>"), BodyKind::kXml);
+    EXPECT_EQ(classify_body("<broken"), BodyKind::kText);
+}
+
+TEST(BodyKind, ClassifyQueryString) {
+    EXPECT_EQ(classify_body("a=1&b=2"), BodyKind::kQueryString);
+    EXPECT_EQ(classify_body("user=x&passwd=y"), BodyKind::kQueryString);
+    EXPECT_EQ(classify_body("has spaces = not query"), BodyKind::kText);
+}
+
+TEST(BodyKind, ClassifyEmptyAndBinary) {
+    EXPECT_EQ(classify_body(""), BodyKind::kNone);
+    EXPECT_EQ(classify_body("   "), BodyKind::kNone);
+    EXPECT_EQ(classify_body(std::string("\x01\x02payload", 9)), BodyKind::kBinary);
+}
+
+TEST(Headers, CaseInsensitiveLookup) {
+    Request r;
+    r.headers.push_back({"User-Agent", "test/1.0"});
+    ASSERT_NE(r.header("user-agent"), nullptr);
+    EXPECT_EQ(*r.header("USER-AGENT"), "test/1.0");
+    EXPECT_EQ(r.header("cookie"), nullptr);
+}
+
+TEST(Request, StartLine) {
+    Request r;
+    r.method = Method::kPost;
+    r.uri = text::parse_uri("https://h/p?x=1").value();
+    EXPECT_EQ(r.start_line(), "POST https://h/p?x=1");
+}
+
+TEST(Trace, JsonRoundTrip) {
+    Trace trace;
+    trace.app = "demo";
+    Transaction t;
+    t.request.method = Method::kPost;
+    t.request.uri = text::parse_uri("http://api/login").value();
+    t.request.headers.push_back({"Cookie", "sid=1"});
+    t.request.body = "user=a&passwd=b";
+    t.request.body_kind = BodyKind::kQueryString;
+    t.response.status = 201;
+    t.response.body = R"({"token":"x"})";
+    t.response.body_kind = BodyKind::kJson;
+    t.trigger = "login:login";
+    trace.transactions.push_back(t);
+
+    auto round = Trace::from_json(trace.to_json());
+    ASSERT_TRUE(round.ok()) << round.error().message;
+    const Trace& r = round.value();
+    EXPECT_EQ(r.app, "demo");
+    ASSERT_EQ(r.transactions.size(), 1u);
+    const Transaction& rt = r.transactions[0];
+    EXPECT_EQ(rt.request.method, Method::kPost);
+    EXPECT_EQ(rt.request.uri.to_string(), "http://api/login");
+    ASSERT_NE(rt.request.header("cookie"), nullptr);
+    EXPECT_EQ(rt.request.body, "user=a&passwd=b");
+    EXPECT_EQ(rt.response.status, 201);
+    EXPECT_EQ(rt.response.body_kind, BodyKind::kJson);
+    EXPECT_EQ(rt.trigger, "login:login");
+}
+
+TEST(Trace, FromJsonRejectsMalformed) {
+    EXPECT_FALSE(Trace::from_json(text::Json(5)).ok());
+    EXPECT_FALSE(Trace::from_json(text::parse_json(R"({"app":"x"})").value()).ok());
+    EXPECT_FALSE(Trace::from_json(
+                     text::parse_json(R"({"transactions":[{"method":"GET"}]})").value())
+                     .ok());
+    EXPECT_FALSE(
+        Trace::from_json(
+            text::parse_json(
+                R"({"transactions":[{"method":"BAD","uri":"http://h/"}]})")
+                .value())
+            .ok());
+}
+
+TEST(Trace, EmptyTraceRoundTrips) {
+    Trace trace;
+    trace.app = "empty";
+    auto round = Trace::from_json(trace.to_json());
+    ASSERT_TRUE(round.ok());
+    EXPECT_TRUE(round.value().transactions.empty());
+}

@@ -1,0 +1,164 @@
+// TraceMatcher tests: signature-vs-traffic matching, coverage aggregation,
+// and the Rk/Rv/Rn byte accounting behind Table 2.
+#include <gtest/gtest.h>
+
+#include "core/matcher.hpp"
+
+using namespace extractocol;
+using namespace extractocol::core;
+using sig::Sig;
+
+namespace {
+
+ReportTransaction make_sig(http::Method method, Sig uri) {
+    ReportTransaction t;
+    t.signature.method = method;
+    t.signature.uri = std::move(uri);
+    t.uri_regex = t.signature.uri.to_regex();
+    return t;
+}
+
+http::Transaction make_txn(http::Method method, const std::string& uri) {
+    http::Transaction t;
+    t.request.method = method;
+    t.request.uri = text::parse_uri(uri).value();
+    return t;
+}
+
+}  // namespace
+
+TEST(Matcher, UriMatchRequiresMethodAndPattern) {
+    AnalysisReport report;
+    report.transactions.push_back(make_sig(
+        http::Method::kGet,
+        Sig::concat_all({Sig::constant("http://h/items/"),
+                         Sig::unknown(Sig::ValueType::kInt), Sig::constant(".json")})));
+    TraceMatcher matcher(report);
+
+    EXPECT_TRUE(matcher.match(make_txn(http::Method::kGet, "http://h/items/9.json"))
+                    .transaction.has_value());
+    EXPECT_FALSE(matcher.match(make_txn(http::Method::kPost, "http://h/items/9.json"))
+                     .transaction.has_value());
+    EXPECT_FALSE(matcher.match(make_txn(http::Method::kGet, "http://h/items/x.json"))
+                     .transaction.has_value());
+}
+
+TEST(Matcher, BodyKeywordSubsetFallback) {
+    AnalysisReport report;
+    ReportTransaction t = make_sig(http::Method::kPost, Sig::constant("http://h/login"));
+    Sig body = Sig::json_object();
+    body.set_member("user", Sig::unknown());
+    body.set_member("pass", Sig::unknown());
+    t.signature.has_body = true;
+    t.signature.body_kind = http::BodyKind::kJson;
+    t.signature.body = body;
+    t.body_regex = body.to_regex();
+    report.transactions.push_back(std::move(t));
+    TraceMatcher matcher(report);
+
+    http::Transaction txn = make_txn(http::Method::kPost, "http://h/login");
+    txn.request.body_kind = http::BodyKind::kJson;
+    // Member order differs from the signature: regex fails, keyword subset
+    // matching accepts.
+    txn.request.body = R"({"pass":"y","user":"x","extra":1})";
+    EXPECT_TRUE(matcher.match(txn).transaction.has_value());
+    txn.request.body = R"({"user":"x"})";  // missing demanded key
+    EXPECT_FALSE(matcher.match(txn).transaction.has_value());
+}
+
+TEST(Matcher, ResponseSubsetSemantics) {
+    AnalysisReport report;
+    ReportTransaction t = make_sig(http::Method::kGet, Sig::constant("http://h/s"));
+    Sig resp = Sig::json_object();
+    resp.set_member("relay", Sig::unknown());
+    t.signature.has_response_body = true;
+    t.signature.response_kind = http::BodyKind::kJson;
+    t.signature.response_body = resp;
+    t.response_regex = resp.to_regex();
+    report.transactions.push_back(std::move(t));
+    TraceMatcher matcher(report);
+
+    http::Transaction txn = make_txn(http::Method::kGet, "http://h/s");
+    txn.response.body_kind = http::BodyKind::kJson;
+    txn.response.body = R"({"relay":"u","album":"x","score":"6"})";
+    auto outcome = matcher.match(txn);
+    ASSERT_TRUE(outcome.transaction.has_value());
+    EXPECT_TRUE(outcome.response_matched);  // demanded subset present
+    // Byte accounting: the unread keys fall to wildcards.
+    EXPECT_GT(outcome.response_accounting.wildcard_bytes, 0u);
+    EXPECT_GT(outcome.response_accounting.key_bytes, 0u);
+}
+
+TEST(Matcher, UriAccountingSeparatesLiteralAndWildcard) {
+    AnalysisReport report;
+    report.transactions.push_back(make_sig(
+        http::Method::kGet, Sig::concat(Sig::constant("http://h/p?q="), Sig::unknown())));
+    TraceMatcher matcher(report);
+    auto outcome = matcher.match(make_txn(http::Method::kGet, "http://h/p?q=abcd"));
+    ASSERT_TRUE(outcome.transaction.has_value());
+    EXPECT_EQ(outcome.uri_accounting.key_bytes, std::string("http://h/p?q=").size());
+    EXPECT_EQ(outcome.uri_accounting.wildcard_bytes, 4u);
+}
+
+TEST(Matcher, QueryAccountingKeyAware) {
+    AnalysisReport report;
+    ReportTransaction t = make_sig(
+        http::Method::kGet,
+        Sig::concat_all({Sig::constant("http://h/p?known="), Sig::unknown()}));
+    report.transactions.push_back(std::move(t));
+    TraceMatcher matcher(report);
+    auto outcome =
+        matcher.match(make_txn(http::Method::kGet, "http://h/p?known=abc"));
+    ASSERT_TRUE(outcome.transaction.has_value());
+    // Query accounting: key "known" -> Rk, value "abc" -> Rv.
+    EXPECT_EQ(outcome.request_accounting.key_bytes, 5u);
+    EXPECT_EQ(outcome.request_accounting.value_bytes, 3u);
+}
+
+TEST(Matcher, EvaluateAggregatesCoverage) {
+    AnalysisReport report;
+    report.transactions.push_back(
+        make_sig(http::Method::kGet, Sig::constant("http://h/a")));
+    report.transactions.push_back(
+        make_sig(http::Method::kGet, Sig::constant("http://h/never-hit")));
+    TraceMatcher matcher(report);
+
+    http::Trace trace;
+    trace.transactions.push_back(make_txn(http::Method::kGet, "http://h/a"));
+    trace.transactions.push_back(make_txn(http::Method::kGet, "http://h/a"));
+    trace.transactions.push_back(make_txn(http::Method::kGet, "http://h/unknown"));
+    auto summary = matcher.evaluate(trace);
+    EXPECT_EQ(summary.trace_transactions, 3u);
+    EXPECT_EQ(summary.matched, 2u);
+    EXPECT_EQ(summary.signatures_hit, 1u);
+    EXPECT_EQ(summary.signatures_total, 2u);
+}
+
+TEST(Matcher, PayloadKeywords) {
+    auto json = TraceMatcher::payload_keywords(http::BodyKind::kJson,
+                                               R"({"a":{"b":1},"c":[{"d":2}]})");
+    EXPECT_EQ(json, (std::vector<std::string>{"a", "b", "c", "d"}));
+    auto query =
+        TraceMatcher::payload_keywords(http::BodyKind::kQueryString, "x=1&y=2");
+    EXPECT_EQ(query, (std::vector<std::string>{"x", "y"}));
+    auto xml = TraceMatcher::payload_keywords(http::BodyKind::kXml,
+                                              "<r v=\"1\"><c/></r>");
+    EXPECT_EQ(xml, (std::vector<std::string>{"r", "v", "c"}));
+    EXPECT_TRUE(
+        TraceMatcher::payload_keywords(http::BodyKind::kText, "free text").empty());
+}
+
+TEST(ByteAccounting, Ratios) {
+    ByteAccounting acc;
+    acc.key_bytes = 50;
+    acc.value_bytes = 30;
+    acc.wildcard_bytes = 20;
+    EXPECT_DOUBLE_EQ(acc.rk(), 0.5);
+    EXPECT_DOUBLE_EQ(acc.rv(), 0.3);
+    EXPECT_DOUBLE_EQ(acc.rn(), 0.2);
+    ByteAccounting empty;
+    EXPECT_DOUBLE_EQ(empty.rk(), 0.0);
+    ByteAccounting sum = acc;
+    sum += acc;
+    EXPECT_EQ(sum.total(), 200u);
+}

@@ -1,0 +1,286 @@
+// Property-based regex tests: the Pike-VM engine is compared against a
+// simple reference backtracking matcher over an enumerated input space, and
+// engine invariants (escape round-trips, accounting consistency) are checked
+// across generated cases.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/hash.hpp"
+#include "text/regex.hpp"
+
+using namespace extractocol;
+using namespace extractocol::text;
+
+namespace {
+
+/// Reference semantics: naive recursive matcher for the engine's syntax
+/// subset, built directly on the pattern string. Exponential but obviously
+/// correct for tiny inputs.
+class ReferenceMatcher {
+public:
+    explicit ReferenceMatcher(std::string_view pattern) : pattern_(pattern) {}
+
+    bool full_match(std::string_view subject) {
+        return match_here(0, subject, 0);
+    }
+
+private:
+    // Parses one atom starting at p; returns [next_index_after_atom_and_quantifier].
+    // For simplicity the reference only supports literals, '.', classes,
+    // and the * + ? quantifiers on single atoms plus (a|b) groups of plain
+    // literal alternatives — which is what the property patterns use.
+    struct Atom {
+        std::size_t end = 0;                 // index after atom (before quantifier)
+        std::vector<std::string> branches;   // expansion of the atom
+        bool dot = false;
+        std::string char_class;              // allowed chars; empty unless class
+        bool negated = false;
+        char literal = 0;
+        enum class Kind { kLiteral, kDot, kClass, kGroup } kind = Kind::kLiteral;
+    };
+
+    Atom parse_atom(std::size_t p) {
+        Atom atom;
+        char c = pattern_[p];
+        if (c == '(') {
+            std::size_t close = pattern_.find(')', p);
+            std::string inner = std::string(pattern_.substr(p + 1, close - p - 1));
+            std::size_t start = 0;
+            while (true) {
+                auto bar = inner.find('|', start);
+                if (bar == std::string::npos) {
+                    atom.branches.push_back(inner.substr(start));
+                    break;
+                }
+                atom.branches.push_back(inner.substr(start, bar - start));
+                start = bar + 1;
+            }
+            atom.kind = Atom::Kind::kGroup;
+            atom.end = close + 1;
+        } else if (c == '[') {
+            std::size_t close = pattern_.find(']', p + 2);  // allow leading ^ or char
+            std::string inner = std::string(pattern_.substr(p + 1, close - p - 1));
+            if (!inner.empty() && inner[0] == '^') {
+                atom.negated = true;
+                inner = inner.substr(1);
+            }
+            for (std::size_t i = 0; i < inner.size(); ++i) {
+                if (i + 2 < inner.size() && inner[i + 1] == '-') {
+                    for (char v = inner[i]; v <= inner[i + 2]; ++v) {
+                        atom.char_class.push_back(v);
+                    }
+                    i += 2;
+                } else {
+                    atom.char_class.push_back(inner[i]);
+                }
+            }
+            atom.kind = Atom::Kind::kClass;
+            atom.end = close + 1;
+        } else if (c == '.') {
+            atom.kind = Atom::Kind::kDot;
+            atom.end = p + 1;
+        } else if (c == '\\') {
+            atom.kind = Atom::Kind::kLiteral;
+            atom.literal = pattern_[p + 1];
+            atom.end = p + 2;
+        } else {
+            atom.kind = Atom::Kind::kLiteral;
+            atom.literal = c;
+            atom.end = p + 1;
+        }
+        return atom;
+    }
+
+    bool atom_matches(const Atom& atom, char c) const {
+        switch (atom.kind) {
+            case Atom::Kind::kLiteral: return c == atom.literal;
+            case Atom::Kind::kDot: return true;
+            case Atom::Kind::kClass: {
+                bool in = atom.char_class.find(c) != std::string::npos;
+                return atom.negated ? !in : in;
+            }
+            case Atom::Kind::kGroup: return false;  // handled separately
+        }
+        return false;
+    }
+
+    bool match_here(std::size_t p, std::string_view subject, std::size_t s) {
+        if (p >= pattern_.size()) return s == subject.size();
+        Atom atom = parse_atom(p);
+        char quant = atom.end < pattern_.size() ? pattern_[atom.end] : '\0';
+        std::size_t next = (quant == '*' || quant == '+' || quant == '?')
+                               ? atom.end + 1
+                               : atom.end;
+
+        if (atom.kind == Atom::Kind::kGroup) {
+            auto try_branch = [&](std::size_t from) {
+                for (const auto& branch : atom.branches) {
+                    if (subject.substr(from).substr(0, branch.size()) == branch) {
+                        if (match_here(next, subject, from + branch.size())) return true;
+                    }
+                }
+                return false;
+            };
+            if (quant == '?') {
+                return try_branch(s) || match_here(next, subject, s);
+            }
+            if (quant == '*' || quant == '+') {
+                // Expand up to subject length repetitions.
+                std::vector<std::size_t> positions = {s};
+                if (quant == '*' && match_here(next, subject, s)) return true;
+                std::vector<std::size_t> frontier = {s};
+                std::set<std::size_t> seen = {s};
+                while (!frontier.empty()) {
+                    std::vector<std::size_t> grown;
+                    for (std::size_t from : frontier) {
+                        for (const auto& branch : atom.branches) {
+                            if (!branch.empty() &&
+                                subject.substr(from).substr(0, branch.size()) == branch) {
+                                std::size_t to = from + branch.size();
+                                if (match_here(next, subject, to)) return true;
+                                if (seen.insert(to).second) grown.push_back(to);
+                            }
+                        }
+                    }
+                    frontier = std::move(grown);
+                }
+                return false;
+            }
+            return try_branch(s);
+        }
+
+        if (quant == '*' || quant == '+') {
+            std::size_t min_reps = quant == '+' ? 1 : 0;
+            std::size_t reps = 0;
+            std::size_t pos = s;
+            if (min_reps == 0 && match_here(next, subject, pos)) return true;
+            while (pos < subject.size() && atom_matches(atom, subject[pos])) {
+                ++pos;
+                ++reps;
+                if (reps >= min_reps && match_here(next, subject, pos)) return true;
+            }
+            return false;
+        }
+        if (quant == '?') {
+            if (s < subject.size() && atom_matches(atom, subject[s]) &&
+                match_here(next, subject, s + 1)) {
+                return true;
+            }
+            return match_here(next, subject, s);
+        }
+        return s < subject.size() && atom_matches(atom, subject[s]) &&
+               match_here(next, subject, s + 1);
+    }
+
+    std::string_view pattern_;
+};
+
+struct PropertyCase {
+    const char* pattern;
+};
+
+/// All strings over {a, b, /} up to length `max_len`.
+std::vector<std::string> enumerate_subjects(std::size_t max_len) {
+    const char alphabet[] = {'a', 'b', '/'};
+    std::vector<std::string> out = {""};
+    std::size_t start = 0;
+    for (std::size_t len = 1; len <= max_len; ++len) {
+        std::size_t end = out.size();
+        for (std::size_t i = start; i < end; ++i) {
+            for (char c : alphabet) out.push_back(out[i] + c);
+        }
+        start = end;
+    }
+    return out;
+}
+
+}  // namespace
+
+class RegexAgainstReference : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(RegexAgainstReference, FullMatchAgreesOnAllSmallInputs) {
+    const char* pattern = GetParam().pattern;
+    auto compiled = Regex::compile(pattern);
+    ASSERT_TRUE(compiled.ok()) << pattern;
+    ReferenceMatcher reference(pattern);
+    std::size_t disagreements = 0;
+    for (const auto& subject : enumerate_subjects(5)) {
+        bool engine = compiled.value().full_match(subject);
+        bool expected = reference.full_match(subject);
+        if (engine != expected) {
+            ++disagreements;
+            ADD_FAILURE() << "pattern '" << pattern << "' subject '" << subject
+                          << "': engine=" << engine << " reference=" << expected;
+            if (disagreements > 3) break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, RegexAgainstReference,
+    ::testing::Values(PropertyCase{"a*b"}, PropertyCase{"a+b?"}, PropertyCase{".*"},
+                      PropertyCase{"a.b"}, PropertyCase{"[ab]*"}, PropertyCase{"[^/]*"},
+                      PropertyCase{"(a|b)a"}, PropertyCase{"(ab|ba)*"},
+                      PropertyCase{"a(b|/)?a"}, PropertyCase{"/a*/b*"},
+                      PropertyCase{"(a|b|/)*"}, PropertyCase{"a[ab]+b"},
+                      PropertyCase{"(aa|a)*b"}, PropertyCase{".[^a]."},
+                      PropertyCase{"b?b?b?bbb"}));
+
+TEST(RegexProperty, EscapeRoundTripsArbitraryStrings) {
+    SplitMix64 rng(0xfeed);
+    const char charset[] =
+        "abcXYZ0189.*+?()[]|\\^${}/=&:-_ \"'<>";
+    for (int round = 0; round < 200; ++round) {
+        std::string s;
+        std::size_t len = rng.next_below(24);
+        for (std::size_t i = 0; i < len; ++i) {
+            s.push_back(charset[rng.next_below(sizeof(charset) - 1)]);
+        }
+        auto re = Regex::compile(Regex::escape(s));
+        ASSERT_TRUE(re.ok()) << s;
+        EXPECT_TRUE(re.value().full_match(s)) << s;
+        // ...and must not match a perturbed string (unless the perturbation
+        // is an identity, which we avoid by appending).
+        EXPECT_FALSE(re.value().full_match(s + "~")) << s;
+    }
+}
+
+TEST(RegexProperty, AccountingSumsToSubjectLength) {
+    SplitMix64 rng(0xacc0);
+    auto re = Regex::compile("id=([ab0-9]*)&tok=(.*)").value();
+    for (int round = 0; round < 100; ++round) {
+        std::string id, tok;
+        for (std::size_t i = rng.next_below(6); i-- > 0;) {
+            id.push_back("ab0123456789"[rng.next_below(12)]);
+        }
+        for (std::size_t i = rng.next_below(10); i-- > 0;) {
+            tok.push_back("xyz-/"[rng.next_below(5)]);
+        }
+        std::string subject = "id=" + id + "&tok=" + tok;
+        auto m = re.full_match_info(subject);
+        ASSERT_TRUE(m.has_value()) << subject;
+        EXPECT_EQ(m->accounting.total(), subject.size());
+        EXPECT_EQ(m->accounting.literal_bytes, 8u);  // "id=" + "&tok="
+    }
+}
+
+TEST(RegexProperty, SearchFindsLeftmostOccurrence) {
+    auto re = Regex::compile("ab+").value();
+    SplitMix64 rng(0x5ea7c4);
+    for (int round = 0; round < 100; ++round) {
+        std::string subject;
+        for (std::size_t i = rng.next_below(16) + 1; i-- > 0;) {
+            subject.push_back("abc"[rng.next_below(3)]);
+        }
+        auto m = re.search(subject);
+        auto expected = subject.find("ab");
+        if (expected == std::string::npos) {
+            EXPECT_FALSE(m.has_value()) << subject;
+        } else {
+            ASSERT_TRUE(m.has_value()) << subject;
+            EXPECT_EQ(m->begin, expected) << subject;
+        }
+    }
+}

@@ -1,0 +1,244 @@
+// Robustness and edge-case suite: CFG loop structure, malformed container
+// inputs, analyzer option combinations, and engine guard rails.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "support/strings.hpp"
+#include "xapk/serialize.hpp"
+#include "xir/builder.hpp"
+#include "xir/cfg.hpp"
+
+using namespace extractocol;
+using namespace extractocol::xir;
+
+// ------------------------------------------------------------------ CFG --
+
+TEST(CfgLoops, LoopBlocksOfWhile) {
+    ProgramBuilder pb("loops");
+    auto cls = pb.add_class("com.r.L");
+    auto mb = cls.method("run");
+    LocalId i = mb.local("i", "int");
+    mb.assign(i, ci(0));
+    mb.while_loop(lt(Operand(i), ci(5)), [&](MethodBuilder& b) {
+        b.binop(i, BinaryOp::Op::kAdd, Operand(i), ci(1));
+    });
+    mb.ret();
+    Program p = pb.build();
+    Cfg cfg(*p.find_method({"com.r.L", "run"}));
+    ASSERT_EQ(cfg.loop_headers().size(), 1u);
+    BlockId header = cfg.loop_headers()[0];
+    auto blocks = cfg.loop_blocks(header);
+    // Natural loop: header + body.
+    EXPECT_EQ(blocks.size(), 2u);
+    EXPECT_NE(std::find(blocks.begin(), blocks.end(), header), blocks.end());
+    // A non-header block has no loop.
+    EXPECT_TRUE(cfg.loop_blocks(0).empty());
+}
+
+TEST(CfgLoops, NestedLoops) {
+    ProgramBuilder pb("nested");
+    auto cls = pb.add_class("com.r.N");
+    auto mb = cls.method("run");
+    LocalId i = mb.local("i", "int");
+    LocalId j = mb.local("j", "int");
+    mb.assign(i, ci(0));
+    mb.while_loop(lt(Operand(i), ci(3)), [&](MethodBuilder& outer) {
+        outer.assign(j, ci(0));
+        outer.while_loop(lt(Operand(j), ci(3)), [&](MethodBuilder& inner) {
+            inner.binop(j, BinaryOp::Op::kAdd, Operand(j), ci(1));
+        });
+        outer.binop(i, BinaryOp::Op::kAdd, Operand(i), ci(1));
+    });
+    mb.ret();
+    Program p = pb.build();
+    Cfg cfg(*p.find_method({"com.r.N", "run"}));
+    EXPECT_EQ(cfg.loop_headers().size(), 2u);
+    // The outer loop's body contains the inner loop's blocks.
+    std::size_t outer_size = 0, inner_size = 0;
+    for (BlockId h : cfg.loop_headers()) {
+        auto blocks = cfg.loop_blocks(h);
+        outer_size = std::max(outer_size, blocks.size());
+        inner_size = inner_size == 0 ? blocks.size()
+                                     : std::min(inner_size, blocks.size());
+    }
+    EXPECT_GT(outer_size, inner_size);
+}
+
+TEST(CfgLoops, UnreachableBlocksAppearInRpoTail) {
+    Program p = [] {
+        ProgramBuilder pb("dead");
+        auto cls = pb.add_class("com.r.D");
+        auto mb = cls.method("run");
+        mb.ret();
+        return pb.build();
+    }();
+    Method method = *p.find_method({"com.r.D", "run"});
+    // Append an unreachable block manually.
+    BasicBlock dead;
+    dead.statements.push_back(Return{});
+    method.blocks.push_back(dead);
+    Cfg cfg(method);
+    EXPECT_FALSE(cfg.is_reachable(1));
+    ASSERT_EQ(cfg.reverse_post_order().size(), 2u);
+    EXPECT_EQ(cfg.reverse_post_order().back(), 1u);
+}
+
+// ----------------------------------------------------------- xapk parser --
+
+TEST(XapkRobustness, RejectsTruncatedAndCorrupted) {
+    corpus::CorpusApp app = corpus::build_app("blippex");
+    std::string good = xapk::write_xapk(app.program);
+
+    // Truncation mid-method loses terminators -> verification failure.
+    auto truncated = xapk::parse_xapk(good.substr(0, good.size() / 2));
+    EXPECT_FALSE(truncated.ok());
+
+    // Statement garbage.
+    std::string corrupted =
+        strings::replace_all(good, "call", "c@ll");
+    EXPECT_FALSE(xapk::parse_xapk(corrupted).ok());
+
+    // Block indices out of order.
+    std::string reordered = strings::replace_all(good, "block 0", "block 7");
+    EXPECT_FALSE(xapk::parse_xapk(reordered).ok());
+}
+
+TEST(XapkRobustness, EmptyAndHeaderOnlyDocuments) {
+    auto empty = xapk::parse_xapk("");
+    ASSERT_TRUE(empty.ok());  // an empty program is valid (no classes)
+    EXPECT_TRUE(empty.value().classes.empty());
+    auto header_only = xapk::parse_xapk("xapk 1\napp \"x\"\n");
+    ASSERT_TRUE(header_only.ok());
+    EXPECT_EQ(header_only.value().app_name, "x");
+}
+
+TEST(XapkRobustness, CommentsAndBlankLinesIgnored) {
+    auto parsed = xapk::parse_xapk(
+        "xapk 1\n# a comment\n\napp \"c\"\n\n# trailing\n");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().app_name, "c");
+}
+
+// ------------------------------------------------------ analyzer options --
+
+TEST(AnalyzerOptions, ScopeFiltersForeignClasses) {
+    corpus::CorpusApp app = corpus::build_app("blippex");
+    core::AnalyzerOptions scoped;
+    scoped.class_scope = "org.nonexistent";
+    auto report = core::Analyzer(scoped).analyze(app.program);
+    EXPECT_TRUE(report.transactions.empty());
+    core::AnalyzerOptions matching;
+    matching.class_scope = "com.blippex";
+    EXPECT_FALSE(core::Analyzer(matching).analyze(app.program).transactions.empty());
+}
+
+TEST(AnalyzerOptions, EmptyProgramProducesEmptyReport) {
+    ProgramBuilder pb("empty");
+    Program p = pb.build();
+    auto report = core::Analyzer().analyze(p);
+    EXPECT_TRUE(report.transactions.empty());
+    EXPECT_TRUE(report.dependencies.empty());
+    EXPECT_EQ(report.stats.dp_sites, 0u);
+}
+
+TEST(AnalyzerOptions, AppWithoutEventsStillAnalyzed) {
+    // A DP in an unregistered method ("dead" handler) — analysis still
+    // reconstructs the transaction with an unknown trigger.
+    ProgramBuilder pb("noevents");
+    auto cls = pb.add_class("com.r.NoEvents");
+    auto mb = cls.method("hidden");
+    LocalId url = mb.local("u", "java.lang.String");
+    mb.assign(url, cs("http://h/hidden"));
+    LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+    mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+    mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+    LocalId client = mb.local("c", "org.apache.http.client.HttpClient");
+    LocalId resp = mb.local("r", "org.apache.http.HttpResponse");
+    mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute", {Operand(req)});
+    mb.ret();
+    Program p = pb.build();
+    auto report = core::Analyzer().analyze(p);
+    ASSERT_EQ(report.transactions.size(), 1u);
+    ASSERT_EQ(report.transactions[0].triggers.size(), 1u);
+    EXPECT_TRUE(strings::starts_with(report.transactions[0].triggers[0], "unknown:"));
+}
+
+TEST(AnalyzerOptions, RecursiveHelpersTerminate) {
+    // Mutually recursive URL builders must not hang slicing/signature
+    // extraction.
+    ProgramBuilder pb("recurse");
+    auto cls = pb.add_class("com.r.R");
+    {
+        auto mb = cls.method("ping");
+        mb.returns("java.lang.String");
+        LocalId depth = mb.param("d", "int");
+        LocalId out = mb.local("out", "java.lang.String");
+        mb.if_then_else(
+            lt(Operand(depth), ci(1)),
+            [&](MethodBuilder& b) { b.assign(out, cs("http://h/base")); },
+            [&](MethodBuilder& b) {
+                b.vcall(out, b.self(), "com.r.R.pong", {Operand(depth)});
+            });
+        mb.ret(Operand(out));
+    }
+    {
+        auto mb = cls.method("pong");
+        mb.returns("java.lang.String");
+        LocalId depth = mb.param("d", "int");
+        LocalId next = mb.local("n", "int");
+        mb.binop(next, BinaryOp::Op::kSub, Operand(depth), ci(1));
+        LocalId out = mb.local("out", "java.lang.String");
+        mb.vcall(out, mb.self(), "com.r.R.ping", {Operand(next)});
+        mb.ret(Operand(out));
+    }
+    {
+        auto mb = cls.method("go");
+        LocalId url = mb.local("u", "java.lang.String");
+        mb.vcall(url, mb.self(), "com.r.R.ping", {ci(3)});
+        LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+        mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+        mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+        LocalId client = mb.local("c", "org.apache.http.client.HttpClient");
+        LocalId resp = mb.local("r", "org.apache.http.HttpResponse");
+        mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute",
+                 {Operand(req)});
+        mb.ret();
+    }
+    pb.register_event({"com.r.R", "go"}, EventKind::kOnClick, "click");
+    Program p = pb.build();
+    auto report = core::Analyzer().analyze(p);
+    ASSERT_EQ(report.transactions.size(), 1u);
+    // The constant leaf of the recursion is still recoverable.
+    EXPECT_NE(report.transactions[0].uri_regex.find("http://h/base"),
+              std::string::npos)
+        << report.transactions[0].uri_regex;
+}
+
+// ------------------------------------------------------- display helpers --
+
+TEST(Display, StatementRendering) {
+    Statement s1 = AssignConst{1, Constant::of_string("x")};
+    EXPECT_EQ(to_display(s1), "$1 = \"x\"");
+    Statement s2 = Goto{4};
+    EXPECT_EQ(to_display(s2), "goto b4");
+    Invoke call;
+    call.dst = 2;
+    call.base = 3;
+    call.callee = {"a.B", "m"};
+    call.args = {ci(1)};
+    EXPECT_EQ(to_display(Statement(call)), "$2 = $3.a.B.m(1)");
+}
+
+TEST(Display, EventKindNamesRoundTrip) {
+    for (EventKind k : {EventKind::kOnCreate, EventKind::kOnClick,
+                        EventKind::kOnCustomUi, EventKind::kOnLogin,
+                        EventKind::kOnTimer, EventKind::kOnServerPush,
+                        EventKind::kOnAction, EventKind::kOnLocation,
+                        EventKind::kOnIntent}) {
+        auto parsed = parse_event_kind(event_kind_name(k));
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed.value(), k);
+    }
+    EXPECT_FALSE(parse_event_kind("martian").ok());
+}

@@ -1,0 +1,229 @@
+// Network-aware slicing tests: DP discovery, request/response slice content,
+// object-aware augmentation, calling contexts, and the async heuristic.
+#include <gtest/gtest.h>
+
+#include "slicing/slicer.hpp"
+#include "xir/builder.hpp"
+
+using namespace extractocol;
+using namespace extractocol::slicing;
+using namespace extractocol::xir;
+
+namespace {
+
+Program two_dp_program() {
+    ProgramBuilder pb("slices");
+    auto cls = pb.add_class("com.s.Main");
+    {
+        auto mb = cls.method("fetch");
+        LocalId url = mb.local("u", "java.lang.String");
+        mb.assign(url, cs("http://h/a"));
+        LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+        mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+        mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+        LocalId client = mb.local("c", "org.apache.http.client.HttpClient");
+        LocalId resp = mb.local("r", "org.apache.http.HttpResponse");
+        mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute",
+                 {Operand(req)});
+        LocalId entity = mb.local("e", "org.apache.http.HttpEntity");
+        mb.vcall(entity, resp, "org.apache.http.HttpResponse.getEntity");
+        mb.ret();
+    }
+    {
+        auto mb = cls.method("play");
+        LocalId url = mb.local("u", "java.lang.String");
+        mb.assign(url, cs("http://cdn/v"));
+        LocalId player = mb.local("mp", "android.media.MediaPlayer");
+        mb.vcall(std::nullopt, player, "android.media.MediaPlayer.setDataSource",
+                 {Operand(url)});
+        mb.ret();
+    }
+    pb.register_event({"com.s.Main", "fetch"}, EventKind::kOnClick, "click:fetch");
+    pb.register_event({"com.s.Main", "play"}, EventKind::kOnClick, "click:play");
+    return pb.build();
+}
+
+}  // namespace
+
+TEST(Slicer, FindsAllDemarcationSites) {
+    Program p = two_dp_program();
+    auto model = semantics::SemanticModel::standard();
+    Slicer slicer(p, model);
+    EXPECT_EQ(slicer.demarcation_sites().size(), 2u);
+}
+
+TEST(Slicer, RequestSliceExcludesResponseCode) {
+    Program p = two_dp_program();
+    auto model = semantics::SemanticModel::standard();
+    Slicer slicer(p, model);
+    auto txns = slicer.slice_all();
+    ASSERT_EQ(txns.size(), 2u);
+    const SlicedTransaction* fetch = nullptr;
+    for (const auto& t : txns) {
+        if (t.trigger == "click:fetch") fetch = &t;
+    }
+    ASSERT_NE(fetch, nullptr);
+    EXPECT_FALSE(fetch->request_slice.empty());
+    EXPECT_FALSE(fetch->response_slice.empty());
+    // Request slice must contain the url constant; response slice must
+    // contain the getEntity call; they must not be identical.
+    EXPECT_NE(fetch->request_slice, fetch->response_slice);
+}
+
+TEST(Slicer, MediaPlayerDpHasRequestOnly) {
+    Program p = two_dp_program();
+    auto model = semantics::SemanticModel::standard();
+    Slicer slicer(p, model);
+    auto txns = slicer.slice_all();
+    const SlicedTransaction* play = nullptr;
+    for (const auto& t : txns) {
+        if (t.trigger == "click:play") play = &t;
+    }
+    ASSERT_NE(play, nullptr);
+    EXPECT_FALSE(play->request_slice.empty());
+    EXPECT_TRUE(play->response_slice.empty());
+}
+
+TEST(Slicer, TriggerResolution) {
+    Program p = two_dp_program();
+    auto model = semantics::SemanticModel::standard();
+    Slicer slicer(p, model);
+    for (const auto& t : slicer.slice_all()) {
+        EXPECT_EQ(t.trigger_kind, EventKind::kOnClick);
+        EXPECT_TRUE(t.trigger == "click:fetch" || t.trigger == "click:play");
+    }
+}
+
+TEST(Slicer, ContextsSplitSharedHelper) {
+    // Two roots reach the same DP through a helper: two transactions.
+    ProgramBuilder pb("ctx");
+    auto cls = pb.add_class("com.s.C");
+    {
+        auto mb = cls.method("helper");
+        LocalId url = mb.param("u", "java.lang.String");
+        LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+        mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+        mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+        LocalId client = mb.local("c", "org.apache.http.client.HttpClient");
+        LocalId resp = mb.local("r", "org.apache.http.HttpResponse");
+        mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute",
+                 {Operand(req)});
+        mb.ret();
+    }
+    for (const char* which : {"a", "b"}) {
+        auto mb = cls.method(std::string("on_") + which);
+        LocalId url = mb.local("u", "java.lang.String");
+        mb.assign(url, cs(std::string("http://h/") + which));
+        mb.vcall(std::nullopt, mb.self(), "com.s.C.helper", {Operand(url)});
+        mb.ret();
+        pb.register_event({"com.s.C", std::string("on_") + which}, EventKind::kOnClick,
+                          std::string("click:") + which);
+    }
+    Program p = pb.build();
+    auto model = semantics::SemanticModel::standard();
+    Slicer slicer(p, model);
+    auto txns = slicer.slice_all();
+    ASSERT_EQ(txns.size(), 2u);
+    EXPECT_NE(txns[0].trigger, txns[1].trigger);
+    // Both contexts end at the same DP site.
+    EXPECT_EQ(txns[0].dp_site, txns[1].dp_site);
+    ASSERT_EQ(txns[0].context.size(), 1u);
+    ASSERT_EQ(txns[1].context.size(), 1u);
+    EXPECT_NE(txns[0].context[0].caller, txns[1].context[0].caller);
+}
+
+TEST(Slicer, AsyncHeuristicGatesCrossEventContent) {
+    ProgramBuilder pb("async");
+    auto cls = pb.add_class("com.s.A");
+    {
+        auto mb = cls.method("onLocation");
+        LocalId frag = mb.local("f", "java.lang.String");
+        mb.assign(frag, cs("lat=1"));
+        mb.store_static("com.s.A", "sFrag", Operand(frag));
+        mb.ret();
+    }
+    {
+        auto mb = cls.method("onClick");
+        LocalId frag = mb.local("f", "java.lang.String");
+        mb.load_static(frag, "com.s.A", "sFrag");
+        LocalId url = mb.local("u", "java.lang.String");
+        mb.binop(url, BinaryOp::Op::kConcat, cs("http://h/w?"), Operand(frag));
+        LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+        mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+        mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+        LocalId client = mb.local("c", "org.apache.http.client.HttpClient");
+        LocalId resp = mb.local("r", "org.apache.http.HttpResponse");
+        mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute",
+                 {Operand(req)});
+        mb.ret();
+    }
+    pb.register_event({"com.s.A", "onLocation"}, EventKind::kOnLocation, "loc");
+    pb.register_event({"com.s.A", "onClick"}, EventKind::kOnClick, "click");
+    Program p = pb.build();
+    auto model = semantics::SemanticModel::standard();
+
+    auto producer_stmts_in_slice = [&](bool heuristic) {
+        SlicerOptions options;
+        options.async_heuristic = heuristic;
+        Slicer slicer(p, model, options);
+        auto txns = slicer.slice_all();
+        EXPECT_EQ(txns.size(), 1u);
+        auto loc_index = p.method_index({"com.s.A", "onLocation"});
+        std::size_t n = 0;
+        for (const auto& ref : txns[0].request_slice) {
+            if (ref.method_index == *loc_index) ++n;
+        }
+        return n;
+    };
+    EXPECT_GT(producer_stmts_in_slice(true), 0u);
+    EXPECT_EQ(producer_stmts_in_slice(false), 0u);
+}
+
+TEST(Slicer, SliceFractionBounds) {
+    Program p = two_dp_program();
+    auto model = semantics::SemanticModel::standard();
+    Slicer slicer(p, model);
+    auto txns = slicer.slice_all();
+    double fraction = Slicer::slice_fraction(p, txns);
+    EXPECT_GT(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+    EXPECT_DOUBLE_EQ(Slicer::slice_fraction(p, {}), 0.0);
+}
+
+TEST(Slicer, AugmentationPullsInitializationContext) {
+    // Response processing uses an object initialized before the DP: the
+    // combined slice must include its initialization (§3.1 object-aware
+    // augmentation).
+    ProgramBuilder pb("aug");
+    auto cls = pb.add_class("com.s.G");
+    auto mb = cls.method("go");
+    LocalId prefix = mb.local("p", "java.lang.String");
+    mb.assign(prefix, cs("cache-key-"));  // initialized pre-DP, used post-DP
+    LocalId url = mb.local("u", "java.lang.String");
+    mb.assign(url, cs("http://h/x"));
+    LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+    mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+    mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+    LocalId client = mb.local("c", "org.apache.http.client.HttpClient");
+    LocalId resp = mb.local("r", "org.apache.http.HttpResponse");
+    mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute", {Operand(req)});
+    LocalId entity = mb.local("e", "org.apache.http.HttpEntity");
+    mb.vcall(entity, resp, "org.apache.http.HttpResponse.getEntity");
+    LocalId body = mb.local("b", "java.lang.String");
+    mb.scall(body, "org.apache.http.util.EntityUtils.toString", {Operand(entity)});
+    LocalId keyed = mb.local("k", "java.lang.String");
+    mb.binop(keyed, BinaryOp::Op::kConcat, Operand(prefix), Operand(body));
+    mb.store_static("com.s.G", "sCache", Operand(keyed));
+    mb.ret();
+    pb.register_event({"com.s.G", "go"}, EventKind::kOnClick, "click");
+    Program p = pb.build();
+    auto model = semantics::SemanticModel::standard();
+    Slicer slicer(p, model);
+    auto txns = slicer.slice_all();
+    ASSERT_EQ(txns.size(), 1u);
+    // The prefix assignment (stmt 0) is not response-derived, so the raw
+    // response slice misses it; the combined slice must include it.
+    StmtRef prefix_assign{*p.method_index({"com.s.G", "go"}), 0, 0};
+    EXPECT_EQ(txns[0].response_slice.count(prefix_assign), 0u);
+    EXPECT_EQ(txns[0].combined_slice.count(prefix_assign), 1u);
+}

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "support/hash.hpp"
+#include "support/result.hpp"
+#include "support/strings.hpp"
+
+namespace es = extractocol::strings;
+using extractocol::Error;
+using extractocol::Result;
+using extractocol::SplitMix64;
+using extractocol::Status;
+
+TEST(Strings, SplitBasic) {
+    auto parts = es::split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitSingleField) {
+    auto parts = es::split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitEmptyInput) {
+    auto parts = es::split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitNonempty) {
+    auto parts = es::split_nonempty("/a//b/", '/');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, JoinRoundTrip) {
+    std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(es::join(parts, "&"), "x&y&z");
+    EXPECT_EQ(es::join({}, "&"), "");
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(es::trim("  hi\t\n"), "hi");
+    EXPECT_EQ(es::trim(""), "");
+    EXPECT_EQ(es::trim(" \t "), "");
+}
+
+TEST(Strings, StartsEndsContains) {
+    EXPECT_TRUE(es::starts_with("http://x", "http://"));
+    EXPECT_FALSE(es::starts_with("ht", "http://"));
+    EXPECT_TRUE(es::ends_with("file.json", ".json"));
+    EXPECT_FALSE(es::ends_with("x", ".json"));
+    EXPECT_TRUE(es::contains("a=1&b=2", "&b="));
+}
+
+TEST(Strings, ReplaceAll) {
+    EXPECT_EQ(es::replace_all("a.b.c", ".", "/"), "a/b/c");
+    EXPECT_EQ(es::replace_all("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(es::replace_all("x", "", "y"), "x");
+}
+
+TEST(Strings, CommonPrefixLen) {
+    EXPECT_EQ(es::common_prefix_len("http://a", "http://b"), 7u);
+    EXPECT_EQ(es::common_prefix_len("", "x"), 0u);
+    EXPECT_EQ(es::common_prefix_len("same", "same"), 4u);
+}
+
+TEST(Strings, IsAllDigits) {
+    EXPECT_TRUE(es::is_all_digits("0123"));
+    EXPECT_FALSE(es::is_all_digits(""));
+    EXPECT_FALSE(es::is_all_digits("12a"));
+}
+
+TEST(Strings, PercentEncodeDecode) {
+    EXPECT_EQ(es::percent_encode("a b&c"), "a%20b%26c");
+    EXPECT_EQ(es::percent_decode("a%20b%26c"), "a b&c");
+    EXPECT_EQ(es::percent_decode(es::percent_encode("key=val ue/?")), "key=val ue/?");
+    // Invalid escapes pass through.
+    EXPECT_EQ(es::percent_decode("100%zz"), "100%zz");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(es::to_lower("HtTp"), "http"); }
+
+TEST(Result, ValueAndError) {
+    Result<int> ok(42);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 42);
+
+    Result<int> bad(Error("boom"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().message, "boom");
+    EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Result, ContextAnnotation) {
+    Result<int> bad(Error("inner"));
+    auto wrapped = std::move(bad).context("outer");
+    EXPECT_EQ(wrapped.error().message, "outer: inner");
+}
+
+TEST(Status, Basics) {
+    Status ok;
+    EXPECT_TRUE(ok.ok());
+    Status bad = Error("x");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().message, "x");
+}
+
+TEST(Hash, Fnv1aStable) {
+    // Known FNV-1a vectors.
+    EXPECT_EQ(extractocol::fnv1a(""), 14695981039346656037ull);
+    EXPECT_NE(extractocol::fnv1a("a"), extractocol::fnv1a("b"));
+}
+
+TEST(Hash, SplitMixDeterministic) {
+    SplitMix64 a(1), b(1);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+    SplitMix64 c(2);
+    EXPECT_NE(SplitMix64(1).next(), c.next());
+}

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "semantics/model.hpp"
+#include "taint/engine.hpp"
+#include "xir/builder.hpp"
+#include "xir/callgraph.hpp"
+
+using namespace extractocol;
+using namespace extractocol::xir;
+using namespace extractocol::taint;
+
+namespace {
+
+struct Fixture {
+    Program program;
+    semantics::SemanticModel model = semantics::SemanticModel::standard();
+    std::unique_ptr<CallGraph> cg;
+    std::unique_ptr<TaintEngine> engine;
+
+    explicit Fixture(Program p, EngineOptions options = {}) : program(std::move(p)) {
+        cg = std::make_unique<CallGraph>(program, model.callback_resolver());
+        engine = std::make_unique<TaintEngine>(program, *cg, model, options);
+    }
+
+    StmtRef find_call(const char* method_sig, const char* callee_method) const {
+        MethodRef ref{std::string(method_sig).substr(0, std::string(method_sig).rfind('.')),
+                      std::string(method_sig).substr(std::string(method_sig).rfind('.') + 1)};
+        auto mi = program.method_index(ref);
+        EXPECT_TRUE(mi.has_value()) << method_sig;
+        const Method& m = program.method_at(*mi);
+        for (BlockId b = 0; b < m.blocks.size(); ++b) {
+            const auto& stmts = m.blocks[b].statements;
+            for (std::uint32_t i = 0; i < stmts.size(); ++i) {
+                if (const auto* call = std::get_if<Invoke>(&stmts[i])) {
+                    if (call->callee.method_name == callee_method) return {*mi, b, i};
+                }
+            }
+        }
+        ADD_FAILURE() << "call not found: " << callee_method << " in " << method_sig;
+        return {};
+    }
+};
+
+/// onClick: url pieces -> StringBuilder -> HttpGet -> execute; response ->
+/// EntityUtils.toString -> JSONObject -> getString("token") -> static field.
+Program make_http_app() {
+    ProgramBuilder pb("taintapp");
+    auto cls = pb.add_class("com.t.Main");
+    auto mb = cls.method("onClick");
+    LocalId sb = mb.local("sb", "java.lang.StringBuilder");
+    mb.new_object(sb, "java.lang.StringBuilder");
+    mb.special(sb, "java.lang.StringBuilder.<init>", {cs("http://api.t.com/login?u=")});
+    LocalId user = mb.local("user", "java.lang.String");
+    mb.assign(user, cs("alice"));
+    mb.vcall(sb, sb, "java.lang.StringBuilder.append", {Operand(user)});
+    LocalId url = mb.local("url", "java.lang.String");
+    mb.vcall(url, sb, "java.lang.StringBuilder.toString");
+    LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+    mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+    mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+    LocalId client = mb.local("client", "org.apache.http.client.HttpClient");
+    LocalId resp = mb.local("resp", "org.apache.http.HttpResponse");
+    mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute", {Operand(req)});
+    LocalId entity = mb.local("entity", "org.apache.http.HttpEntity");
+    mb.vcall(entity, resp, "org.apache.http.HttpResponse.getEntity");
+    LocalId body = mb.local("body", "java.lang.String");
+    mb.scall(body, "org.apache.http.util.EntityUtils.toString", {Operand(entity)});
+    LocalId json = mb.local("json", "org.json.JSONObject");
+    mb.new_object(json, "org.json.JSONObject");
+    mb.special(json, "org.json.JSONObject.<init>", {Operand(body)});
+    LocalId token = mb.local("token", "java.lang.String");
+    mb.vcall(token, json, "org.json.JSONObject.getString", {cs("token")});
+    mb.store_static("com.t.State", "sToken", Operand(token));
+    mb.ret();
+    pb.register_event({"com.t.Main", "onClick"}, EventKind::kOnClick, "click");
+    return pb.build();
+}
+
+}  // namespace
+
+TEST(TaintForward, ResponseFlowsToStaticViaJson) {
+    Fixture fx(make_http_app());
+    StmtRef dp = fx.find_call("com.t.Main.onClick", "execute");
+    const auto& call = std::get<Invoke>(fx.program.statement(dp));
+    ASSERT_TRUE(call.dst.has_value());
+
+    auto result = fx.engine->run(Direction::kForward,
+                                 {{dp, AccessPath::of_local(*call.dst)}});
+    // The getString call and the static store must be in the forward slice.
+    StmtRef get_string = fx.find_call("com.t.Main.onClick", "getString");
+    EXPECT_TRUE(result.contains(get_string));
+    // Token static became tainted, with the json field recorded.
+    bool static_tainted = false;
+    for (const auto& g : result.globals) {
+        if (g.is_static() && g.static_class == "com.t.State" && g.key == "sToken") {
+            static_tainted = true;
+        }
+    }
+    EXPECT_TRUE(static_tainted);
+}
+
+TEST(TaintForward, FieldSensitiveJsonKeys) {
+    // json.put("a", tainted); json.getString("b") must NOT be tainted.
+    ProgramBuilder pb("fieldsens");
+    auto cls = pb.add_class("com.t.F");
+    auto mb = cls.method("go");
+    LocalId src = mb.local("src", "java.lang.String");
+    mb.assign(src, cs("seed"));
+    LocalId json = mb.local("json", "org.json.JSONObject");
+    mb.new_object(json, "org.json.JSONObject");
+    mb.special(json, "org.json.JSONObject.<init>", {cnull()});
+    mb.vcall(std::nullopt, json, "org.json.JSONObject.put", {cs("a"), Operand(src)});
+    LocalId a = mb.local("a", "java.lang.String");
+    LocalId b = mb.local("b", "java.lang.String");
+    mb.vcall(a, json, "org.json.JSONObject.getString", {cs("a")});
+    mb.vcall(b, json, "org.json.JSONObject.getString", {cs("b")});
+    mb.store_static("com.t.S", "A", Operand(a));
+    mb.store_static("com.t.S", "B", Operand(b));
+    mb.ret();
+    pb.register_event({"com.t.F", "go"}, EventKind::kOnClick, "click");
+    Fixture fx(pb.build());
+
+    // Seed: src tainted after its assignment (stmt index 0 in block 0).
+    auto mi = fx.program.method_index({"com.t.F", "go"});
+    auto result = fx.engine->run(Direction::kForward,
+                                 {{StmtRef{*mi, 0, 0}, AccessPath::of_local(src)}});
+    bool a_tainted = false, b_tainted = false;
+    for (const auto& g : result.globals) {
+        if (g.is_static() && g.key == "A") a_tainted = true;
+        if (g.is_static() && g.key == "B") b_tainted = true;
+    }
+    EXPECT_TRUE(a_tainted);
+    EXPECT_FALSE(b_tainted);
+}
+
+TEST(TaintBackward, RequestSliceFindsUriConstruction) {
+    Fixture fx(make_http_app());
+    StmtRef dp = fx.find_call("com.t.Main.onClick", "execute");
+    const auto& call = std::get<Invoke>(fx.program.statement(dp));
+    ASSERT_TRUE(call.args[0].is_local());
+
+    auto result = fx.engine->run(Direction::kBackward,
+                                 {{dp, AccessPath::of_local(call.args[0].local)}});
+    // Backward slice must include the StringBuilder init, append, toString,
+    // HttpGet <init>, and the constant assignment feeding append.
+    EXPECT_TRUE(result.contains(fx.find_call("com.t.Main.onClick", "<init>")));
+    EXPECT_TRUE(result.contains(fx.find_call("com.t.Main.onClick", "append")));
+    EXPECT_TRUE(result.contains(fx.find_call("com.t.Main.onClick", "toString")));
+    // The response-processing statements must NOT be in the backward slice.
+    EXPECT_FALSE(result.contains(fx.find_call("com.t.Main.onClick", "getString")));
+}
+
+TEST(TaintBackward, CrossesHelperMethods) {
+    // onClick calls buildUrl(); the backward slice from the DP must descend
+    // into the helper and mark its append statements.
+    ProgramBuilder pb("helper");
+    auto cls = pb.add_class("com.t.H");
+    {
+        auto mb = cls.method("buildUrl");
+        mb.returns("java.lang.String");
+        LocalId sb = mb.local("sb", "java.lang.StringBuilder");
+        mb.new_object(sb, "java.lang.StringBuilder");
+        mb.special(sb, "java.lang.StringBuilder.<init>", {cs("http://h/")});
+        mb.vcall(sb, sb, "java.lang.StringBuilder.append", {cs("feed.json")});
+        LocalId url = mb.local("url", "java.lang.String");
+        mb.vcall(url, sb, "java.lang.StringBuilder.toString");
+        mb.ret(Operand(url));
+    }
+    {
+        auto mb = cls.method("onClick");
+        LocalId url = mb.local("url", "java.lang.String");
+        mb.vcall(url, mb.self(), "com.t.H.buildUrl");
+        LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+        mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+        mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+        LocalId client = mb.local("c", "org.apache.http.client.HttpClient");
+        LocalId resp = mb.local("r", "org.apache.http.HttpResponse");
+        mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute",
+                 {Operand(req)});
+        mb.ret();
+    }
+    pb.register_event({"com.t.H", "onClick"}, EventKind::kOnClick, "click");
+    Fixture fx(pb.build());
+    StmtRef dp = fx.find_call("com.t.H.onClick", "execute");
+    const auto& call = std::get<Invoke>(fx.program.statement(dp));
+    auto result = fx.engine->run(Direction::kBackward,
+                                 {{dp, AccessPath::of_local(call.args[0].local)}});
+    EXPECT_TRUE(result.contains(fx.find_call("com.t.H.buildUrl", "append")));
+    EXPECT_TRUE(result.contains(fx.find_call("com.t.H.buildUrl", "toString")));
+}
+
+TEST(TaintCrossEvent, GlobalsGatedByHeuristic) {
+    // Event A stores a static; event B reads it into a request. With the
+    // async heuristic enabled the flow links; disabled, it does not.
+    ProgramBuilder pb("xevent");
+    auto cls = pb.add_class("com.t.X");
+    {
+        auto mb = cls.method("onLocation");
+        LocalId city = mb.local("city", "java.lang.String");
+        mb.assign(city, cs("seoul"));
+        mb.store_static("com.t.X", "sCity", Operand(city));
+        mb.ret();
+    }
+    {
+        auto mb = cls.method("onClick");
+        LocalId city = mb.local("city", "java.lang.String");
+        mb.load_static(city, "com.t.X", "sCity");
+        LocalId sb = mb.local("sb", "java.lang.StringBuilder");
+        mb.new_object(sb, "java.lang.StringBuilder");
+        mb.special(sb, "java.lang.StringBuilder.<init>", {cs("http://w/?q=")});
+        mb.vcall(sb, sb, "java.lang.StringBuilder.append", {Operand(city)});
+        LocalId url = mb.local("url", "java.lang.String");
+        mb.vcall(url, sb, "java.lang.StringBuilder.toString");
+        LocalId req = mb.local("req", "org.apache.http.client.methods.HttpGet");
+        mb.new_object(req, "org.apache.http.client.methods.HttpGet");
+        mb.special(req, "org.apache.http.client.methods.HttpGet.<init>", {Operand(url)});
+        LocalId client = mb.local("c", "org.apache.http.client.HttpClient");
+        LocalId resp = mb.local("r", "org.apache.http.HttpResponse");
+        mb.vcall(resp, client, "org.apache.http.client.HttpClient.execute",
+                 {Operand(req)});
+        mb.ret();
+    }
+    pb.register_event({"com.t.X", "onLocation"}, EventKind::kOnLocation, "loc");
+    pb.register_event({"com.t.X", "onClick"}, EventKind::kOnClick, "click");
+    Program p = pb.build();
+
+    auto locate_store = [&](const Program& prog) -> StmtRef {
+        auto mi = prog.method_index({"com.t.X", "onLocation"});
+        return {*mi, 0, 1};  // the store_static statement
+    };
+
+    {
+        Fixture fx(p, EngineOptions{.cross_event_globals = true});
+        StmtRef dp = fx.find_call("com.t.X.onClick", "execute");
+        const auto& call = std::get<Invoke>(fx.program.statement(dp));
+        auto result = fx.engine->run(Direction::kBackward,
+                                     {{dp, AccessPath::of_local(call.args[0].local)}});
+        EXPECT_TRUE(result.contains(locate_store(fx.program)));
+    }
+    {
+        Fixture fx(p, EngineOptions{.cross_event_globals = false});
+        StmtRef dp = fx.find_call("com.t.X.onClick", "execute");
+        const auto& call = std::get<Invoke>(fx.program.statement(dp));
+        auto result = fx.engine->run(Direction::kBackward,
+                                     {{dp, AccessPath::of_local(call.args[0].local)}});
+        EXPECT_FALSE(result.contains(locate_store(fx.program)));
+    }
+}
+
+TEST(TaintForward, KillOnReassignment) {
+    ProgramBuilder pb("kill");
+    auto cls = pb.add_class("com.t.K");
+    auto mb = cls.method("go");
+    LocalId x = mb.local("x", "java.lang.String");
+    mb.assign(x, cs("tainted"));
+    mb.assign(x, cs("clean"));  // redefinition kills
+    mb.store_static("com.t.K", "S", Operand(x));
+    mb.ret();
+    pb.register_event({"com.t.K", "go"}, EventKind::kOnClick, "c");
+    Fixture fx(pb.build());
+    auto mi = fx.program.method_index({"com.t.K", "go"});
+    auto result = fx.engine->run(Direction::kForward,
+                                 {{StmtRef{*mi, 0, 0}, AccessPath::of_local(x)}});
+    EXPECT_TRUE(result.globals.empty());
+}
+
+TEST(TaintForward, CallEventsReportTaintedArgs) {
+    Fixture fx(make_http_app());
+    StmtRef dp = fx.find_call("com.t.Main.onClick", "execute");
+    const auto& call = std::get<Invoke>(fx.program.statement(dp));
+    auto result = fx.engine->run(Direction::kForward,
+                                 {{dp, AccessPath::of_local(*call.dst)}});
+    // getEntity is invoked on the tainted response: base_tainted event.
+    StmtRef get_entity = fx.find_call("com.t.Main.onClick", "getEntity");
+    bool seen = false;
+    for (const auto& ev : result.call_events) {
+        if (ev.stmt == get_entity) {
+            seen = true;
+            EXPECT_TRUE(ev.base_tainted);
+        }
+    }
+    EXPECT_TRUE(seen);
+}

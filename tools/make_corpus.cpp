@@ -1,0 +1,101 @@
+// make_corpus — exports every evaluation app as a distributable artifact:
+//
+//   make_corpus <output-dir>
+//
+// writes, per app:
+//   <dir>/<slug>.xapk          the binary-only analysis input
+//   <dir>/<slug>.trace.json    a manual-fuzzing traffic trace (for matching)
+//   <dir>/<slug>.truth.json    the spec-derived ground truth
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "corpus/corpus.hpp"
+#include "interp/interpreter.hpp"
+#include "xapk/serialize.hpp"
+
+using namespace extractocol;
+
+namespace {
+
+std::string slug_of(const std::string& name) {
+    std::string out;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+        } else if (!out.empty() && out.back() != '_') {
+            out.push_back('_');
+        }
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+}
+
+text::Json truth_json(const corpus::CorpusApp& app) {
+    text::Json arr = text::Json::array();
+    for (const auto& gt : app.ground_truth) {
+        text::Json e = text::Json::object();
+        e.set("name", text::Json(gt.name));
+        e.set("method", text::Json(std::string(http::method_name(gt.method))));
+        e.set("request_payload",
+              text::Json(std::string(http::body_kind_name(gt.request_payload))));
+        e.set("paired", text::Json(gt.paired));
+        e.set("trigger", text::Json(std::string(xir::event_kind_name(gt.trigger))));
+        e.set("via_intent", text::Json(gt.via_intent));
+        e.set("async_hops", text::Json(static_cast<std::int64_t>(gt.async_hops)));
+        text::Json req_kw = text::Json::array();
+        for (const auto& k : gt.request_keywords) req_kw.push_back(text::Json(k));
+        e.set("request_keywords", std::move(req_kw));
+        text::Json resp_kw = text::Json::array();
+        for (const auto& k : gt.response_keywords) resp_kw.push_back(text::Json(k));
+        e.set("response_keywords", std::move(resp_kw));
+        arr.push_back(std::move(e));
+    }
+    text::Json doc = text::Json::object();
+    doc.set("app", text::Json(app.spec.name));
+    doc.set("open_source", text::Json(app.spec.open_source));
+    doc.set("endpoints", std::move(arr));
+    return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s OUTPUT_DIR\n", argv[0]);
+        return 2;
+    }
+    std::filesystem::path dir(argv[1]);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "error: cannot create %s: %s\n", argv[1],
+                     ec.message().c_str());
+        return 1;
+    }
+
+    std::vector<std::string> names = corpus::open_source_apps();
+    for (const auto& n : corpus::closed_source_apps()) names.push_back(n);
+
+    for (const auto& name : names) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        std::string slug = slug_of(name);
+        {
+            std::ofstream out(dir / (slug + ".xapk"));
+            out << xapk::write_xapk(app.program);
+        }
+        {
+            auto server = app.make_server();
+            interp::Interpreter interpreter(app.program, *server);
+            http::Trace trace = interpreter.fuzz(interp::FuzzMode::kManual);
+            std::ofstream out(dir / (slug + ".trace.json"));
+            out << trace.to_json().dump_pretty() << "\n";
+        }
+        {
+            std::ofstream out(dir / (slug + ".truth.json"));
+            out << truth_json(app).dump_pretty() << "\n";
+        }
+        std::printf("wrote %s.{xapk,trace.json,truth.json}\n", slug.c_str());
+    }
+    return 0;
+}
