@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_prefetch.dir/bench_fig1_prefetch.cpp.o"
+  "CMakeFiles/bench_fig1_prefetch.dir/bench_fig1_prefetch.cpp.o.d"
+  "bench_fig1_prefetch"
+  "bench_fig1_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pairing.dir/bench_fig5_pairing.cpp.o"
+  "CMakeFiles/bench_fig5_pairing.dir/bench_fig5_pairing.cpp.o.d"
+  "bench_fig5_pairing"
+  "bench_fig5_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_radioreddit.dir/bench_table3_radioreddit.cpp.o"
+  "CMakeFiles/bench_table3_radioreddit.dir/bench_table3_radioreddit.cpp.o.d"
+  "bench_table3_radioreddit"
+  "bench_table3_radioreddit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_radioreddit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

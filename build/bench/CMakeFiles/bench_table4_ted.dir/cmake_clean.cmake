@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ted.dir/bench_table4_ted.cpp.o"
+  "CMakeFiles/bench_table4_ted.dir/bench_table4_ted.cpp.o.d"
+  "bench_table4_ted"
+  "bench_table4_ted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_kayak.dir/bench_table5_kayak.cpp.o"
+  "CMakeFiles/bench_table5_kayak.dir/bench_table5_kayak.cpp.o.d"
+  "bench_table5_kayak"
+  "bench_table5_kayak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_kayak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_kayak.dir/bench_table6_kayak.cpp.o"
+  "CMakeFiles/bench_table6_kayak.dir/bench_table6_kayak.cpp.o.d"
+  "bench_table6_kayak"
+  "bench_table6_kayak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_kayak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_reverse_engineer.dir/api_reverse_engineer.cpp.o"
+  "CMakeFiles/api_reverse_engineer.dir/api_reverse_engineer.cpp.o.d"
+  "api_reverse_engineer"
+  "api_reverse_engineer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_reverse_engineer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

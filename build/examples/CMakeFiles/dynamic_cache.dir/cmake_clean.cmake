@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_cache.dir/dynamic_cache.cpp.o"
+  "CMakeFiles/dynamic_cache.dir/dynamic_cache.cpp.o.d"
+  "dynamic_cache"
+  "dynamic_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

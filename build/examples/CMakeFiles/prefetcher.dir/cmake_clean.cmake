@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetcher.dir/prefetcher.cpp.o"
+  "CMakeFiles/prefetcher.dir/prefetcher.cpp.o.d"
+  "prefetcher"
+  "prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_tester.dir/protocol_tester.cpp.o"
+  "CMakeFiles/protocol_tester.dir/protocol_tester.cpp.o.d"
+  "protocol_tester"
+  "protocol_tester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("text")
+subdirs("http")
+subdirs("xir")
+subdirs("xapk")
+subdirs("semantics")
+subdirs("taint")
+subdirs("slicing")
+subdirs("sig")
+subdirs("txn")
+subdirs("core")
+subdirs("interp")
+subdirs("corpus")

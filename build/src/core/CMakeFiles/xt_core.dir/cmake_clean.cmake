@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_core.dir/analyzer.cpp.o"
+  "CMakeFiles/xt_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/xt_core.dir/matcher.cpp.o"
+  "CMakeFiles/xt_core.dir/matcher.cpp.o.d"
+  "libxt_core.a"
+  "libxt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

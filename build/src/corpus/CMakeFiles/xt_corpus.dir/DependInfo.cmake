@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/apps.cpp" "src/corpus/CMakeFiles/xt_corpus.dir/apps.cpp.o" "gcc" "src/corpus/CMakeFiles/xt_corpus.dir/apps.cpp.o.d"
+  "/root/repo/src/corpus/generator.cpp" "src/corpus/CMakeFiles/xt_corpus.dir/generator.cpp.o" "gcc" "src/corpus/CMakeFiles/xt_corpus.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xir/CMakeFiles/xt_xir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/xt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/xt_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/xt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

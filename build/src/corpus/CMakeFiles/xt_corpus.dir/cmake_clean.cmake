@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_corpus.dir/apps.cpp.o"
+  "CMakeFiles/xt_corpus.dir/apps.cpp.o.d"
+  "CMakeFiles/xt_corpus.dir/generator.cpp.o"
+  "CMakeFiles/xt_corpus.dir/generator.cpp.o.d"
+  "libxt_corpus.a"
+  "libxt_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_http.dir/message.cpp.o"
+  "CMakeFiles/xt_http.dir/message.cpp.o.d"
+  "libxt_http.a"
+  "libxt_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

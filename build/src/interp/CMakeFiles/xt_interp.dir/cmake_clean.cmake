@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/xt_interp.dir/interpreter.cpp.o.d"
+  "libxt_interp.a"
+  "libxt_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/deobfuscate.cpp" "src/semantics/CMakeFiles/xt_semantics.dir/deobfuscate.cpp.o" "gcc" "src/semantics/CMakeFiles/xt_semantics.dir/deobfuscate.cpp.o.d"
+  "/root/repo/src/semantics/model.cpp" "src/semantics/CMakeFiles/xt_semantics.dir/model.cpp.o" "gcc" "src/semantics/CMakeFiles/xt_semantics.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xir/CMakeFiles/xt_xir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/xt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_semantics.dir/deobfuscate.cpp.o"
+  "CMakeFiles/xt_semantics.dir/deobfuscate.cpp.o.d"
+  "CMakeFiles/xt_semantics.dir/model.cpp.o"
+  "CMakeFiles/xt_semantics.dir/model.cpp.o.d"
+  "libxt_semantics.a"
+  "libxt_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

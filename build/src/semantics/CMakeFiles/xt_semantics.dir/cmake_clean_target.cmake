@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxt_semantics.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sig/builder.cpp" "src/sig/CMakeFiles/xt_sig.dir/builder.cpp.o" "gcc" "src/sig/CMakeFiles/xt_sig.dir/builder.cpp.o.d"
+  "/root/repo/src/sig/sig.cpp" "src/sig/CMakeFiles/xt_sig.dir/sig.cpp.o" "gcc" "src/sig/CMakeFiles/xt_sig.dir/sig.cpp.o.d"
+  "/root/repo/src/sig/value.cpp" "src/sig/CMakeFiles/xt_sig.dir/value.cpp.o" "gcc" "src/sig/CMakeFiles/xt_sig.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xir/CMakeFiles/xt_xir.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/xt_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/xt_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/xt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

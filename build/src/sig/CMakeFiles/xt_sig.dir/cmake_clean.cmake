@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_sig.dir/builder.cpp.o"
+  "CMakeFiles/xt_sig.dir/builder.cpp.o.d"
+  "CMakeFiles/xt_sig.dir/sig.cpp.o"
+  "CMakeFiles/xt_sig.dir/sig.cpp.o.d"
+  "CMakeFiles/xt_sig.dir/value.cpp.o"
+  "CMakeFiles/xt_sig.dir/value.cpp.o.d"
+  "libxt_sig.a"
+  "libxt_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slicing/slicer.cpp" "src/slicing/CMakeFiles/xt_slicing.dir/slicer.cpp.o" "gcc" "src/slicing/CMakeFiles/xt_slicing.dir/slicer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/taint/CMakeFiles/xt_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/xt_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/xir/CMakeFiles/xt_xir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/xt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

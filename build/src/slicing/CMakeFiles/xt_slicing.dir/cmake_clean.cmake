@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_slicing.dir/slicer.cpp.o"
+  "CMakeFiles/xt_slicing.dir/slicer.cpp.o.d"
+  "libxt_slicing.a"
+  "libxt_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

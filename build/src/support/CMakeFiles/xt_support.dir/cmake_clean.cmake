@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_support.dir/log.cpp.o"
+  "CMakeFiles/xt_support.dir/log.cpp.o.d"
+  "CMakeFiles/xt_support.dir/strings.cpp.o"
+  "CMakeFiles/xt_support.dir/strings.cpp.o.d"
+  "libxt_support.a"
+  "libxt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

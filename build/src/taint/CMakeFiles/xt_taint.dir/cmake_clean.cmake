@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_taint.dir/engine.cpp.o"
+  "CMakeFiles/xt_taint.dir/engine.cpp.o.d"
+  "libxt_taint.a"
+  "libxt_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

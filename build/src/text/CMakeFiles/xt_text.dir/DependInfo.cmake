@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/json.cpp" "src/text/CMakeFiles/xt_text.dir/json.cpp.o" "gcc" "src/text/CMakeFiles/xt_text.dir/json.cpp.o.d"
+  "/root/repo/src/text/regex.cpp" "src/text/CMakeFiles/xt_text.dir/regex.cpp.o" "gcc" "src/text/CMakeFiles/xt_text.dir/regex.cpp.o.d"
+  "/root/repo/src/text/uri.cpp" "src/text/CMakeFiles/xt_text.dir/uri.cpp.o" "gcc" "src/text/CMakeFiles/xt_text.dir/uri.cpp.o.d"
+  "/root/repo/src/text/xml.cpp" "src/text/CMakeFiles/xt_text.dir/xml.cpp.o" "gcc" "src/text/CMakeFiles/xt_text.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/xt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

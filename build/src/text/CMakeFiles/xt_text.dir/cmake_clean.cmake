@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_text.dir/json.cpp.o"
+  "CMakeFiles/xt_text.dir/json.cpp.o.d"
+  "CMakeFiles/xt_text.dir/regex.cpp.o"
+  "CMakeFiles/xt_text.dir/regex.cpp.o.d"
+  "CMakeFiles/xt_text.dir/uri.cpp.o"
+  "CMakeFiles/xt_text.dir/uri.cpp.o.d"
+  "CMakeFiles/xt_text.dir/xml.cpp.o"
+  "CMakeFiles/xt_text.dir/xml.cpp.o.d"
+  "libxt_text.a"
+  "libxt_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

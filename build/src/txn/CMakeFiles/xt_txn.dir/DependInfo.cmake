@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/dependency.cpp" "src/txn/CMakeFiles/xt_txn.dir/dependency.cpp.o" "gcc" "src/txn/CMakeFiles/xt_txn.dir/dependency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slicing/CMakeFiles/xt_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/xt_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/xt_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/xir/CMakeFiles/xt_xir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/xt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

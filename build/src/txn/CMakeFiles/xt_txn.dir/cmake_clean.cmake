@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_txn.dir/dependency.cpp.o"
+  "CMakeFiles/xt_txn.dir/dependency.cpp.o.d"
+  "libxt_txn.a"
+  "libxt_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_xapk.dir/obfuscate.cpp.o"
+  "CMakeFiles/xt_xapk.dir/obfuscate.cpp.o.d"
+  "CMakeFiles/xt_xapk.dir/serialize.cpp.o"
+  "CMakeFiles/xt_xapk.dir/serialize.cpp.o.d"
+  "libxt_xapk.a"
+  "libxt_xapk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_xapk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

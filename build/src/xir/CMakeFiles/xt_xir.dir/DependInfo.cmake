@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xir/builder.cpp" "src/xir/CMakeFiles/xt_xir.dir/builder.cpp.o" "gcc" "src/xir/CMakeFiles/xt_xir.dir/builder.cpp.o.d"
+  "/root/repo/src/xir/callgraph.cpp" "src/xir/CMakeFiles/xt_xir.dir/callgraph.cpp.o" "gcc" "src/xir/CMakeFiles/xt_xir.dir/callgraph.cpp.o.d"
+  "/root/repo/src/xir/cfg.cpp" "src/xir/CMakeFiles/xt_xir.dir/cfg.cpp.o" "gcc" "src/xir/CMakeFiles/xt_xir.dir/cfg.cpp.o.d"
+  "/root/repo/src/xir/ir.cpp" "src/xir/CMakeFiles/xt_xir.dir/ir.cpp.o" "gcc" "src/xir/CMakeFiles/xt_xir.dir/ir.cpp.o.d"
+  "/root/repo/src/xir/verify.cpp" "src/xir/CMakeFiles/xt_xir.dir/verify.cpp.o" "gcc" "src/xir/CMakeFiles/xt_xir.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/xt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_xir.dir/builder.cpp.o"
+  "CMakeFiles/xt_xir.dir/builder.cpp.o.d"
+  "CMakeFiles/xt_xir.dir/callgraph.cpp.o"
+  "CMakeFiles/xt_xir.dir/callgraph.cpp.o.d"
+  "CMakeFiles/xt_xir.dir/cfg.cpp.o"
+  "CMakeFiles/xt_xir.dir/cfg.cpp.o.d"
+  "CMakeFiles/xt_xir.dir/ir.cpp.o"
+  "CMakeFiles/xt_xir.dir/ir.cpp.o.d"
+  "CMakeFiles/xt_xir.dir/verify.cpp.o"
+  "CMakeFiles/xt_xir.dir/verify.cpp.o.d"
+  "libxt_xir.a"
+  "libxt_xir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_xir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/http_test.cpp" "tests/CMakeFiles/http_test.dir/http_test.cpp.o" "gcc" "tests/CMakeFiles/http_test.dir/http_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/xt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/xt_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/xir/CMakeFiles/xt_xir.dir/DependInfo.cmake"
+  "/root/repo/build/src/xapk/CMakeFiles/xt_xapk.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/xt_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/xt_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/xt_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/xt_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/xt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/xt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/xt_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

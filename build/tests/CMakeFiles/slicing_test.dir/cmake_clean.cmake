@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicing_test.dir/slicing_test.cpp.o"
+  "CMakeFiles/slicing_test.dir/slicing_test.cpp.o.d"
+  "slicing_test"
+  "slicing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

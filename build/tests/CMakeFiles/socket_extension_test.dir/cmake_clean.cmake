@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_extension_test.dir/socket_extension_test.cpp.o"
+  "CMakeFiles/socket_extension_test.dir/socket_extension_test.cpp.o.d"
+  "socket_extension_test"
+  "socket_extension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_channels_test.dir/taint_channels_test.cpp.o"
+  "CMakeFiles/taint_channels_test.dir/taint_channels_test.cpp.o.d"
+  "taint_channels_test"
+  "taint_channels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

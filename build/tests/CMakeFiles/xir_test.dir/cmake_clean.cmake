@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xir_test.dir/xir_test.cpp.o"
+  "CMakeFiles/xir_test.dir/xir_test.cpp.o.d"
+  "xir_test"
+  "xir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extractocol.dir/extractocol_cli.cpp.o"
+  "CMakeFiles/extractocol.dir/extractocol_cli.cpp.o.d"
+  "extractocol"
+  "extractocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extractocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
