@@ -2,17 +2,25 @@
 //   Rk — bytes matched by constant keywords of the signature,
 //   Rv — bytes of values whose key the signature identifies,
 //   Rn — bytes covered only by wildcards.
+//
+// Also emits a metrics-registry snapshot (BENCH_baseline.json by default,
+// or argv[1]) so perf PRs can diff pipeline counters against a committed
+// baseline — see DESIGN.md "Observability".
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 
 using namespace extractocol;
 using namespace extractocol::bench;
 
-int main() {
+int main(int argc, char** argv) {
     std::printf("== Table 2: matched byte count %% on actual traffic ==\n\n");
 
-    auto run_group = [](const std::vector<std::string>& names, const char* title) {
+    std::size_t apps_analyzed = 0;
+    auto run_group = [&apps_analyzed](const std::vector<std::string>& names,
+                                      const char* title) {
         core::ByteAccounting request, response;
         for (const auto& name : names) {
             AppEvaluation ev = evaluate_app(name);
@@ -20,6 +28,7 @@ int main() {
             auto summary = matcher.evaluate(ev.manual_trace);
             request += summary.request_bytes;
             response += summary.response_bytes;
+            ++apps_analyzed;
         }
         std::printf("%-20s  request body/query string: Rk=%2.0f%% Rv=%2.0f%% Rn=%2.0f%%\n",
                     title, 100 * request.rk(), 100 * request.rv(), 100 * request.rn());
@@ -36,5 +45,21 @@ int main() {
         "requests are (almost) fully key-value attributed (Rk+Rv ~ 100%% open,\n"
         "~80-90%% closed), while roughly half of response bytes fall to wildcards\n"
         "because apps read only part of each response.\n");
+
+    // Metrics snapshot: counters are stable across runs (the corpus is
+    // deterministic); histogram timings are machine-dependent and meant for
+    // local before/after comparison only.
+    const char* out_path = argc > 1 ? argv[1] : "BENCH_baseline.json";
+    text::Json doc = text::Json::object();
+    doc.set("bench", text::Json("bench_table2"));
+    doc.set("apps_analyzed", text::Json(static_cast<std::int64_t>(apps_analyzed)));
+    doc.set("metrics", obs::MetricsRegistry::global().snapshot().to_json());
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path);
+        return 1;
+    }
+    out << doc.dump_pretty() << "\n";
+    std::printf("\nwrote metrics snapshot to %s\n", out_path);
     return 0;
 }

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "semantics/deobfuscate.hpp"
 #include "slicing/slicer.hpp"
 #include "support/log.hpp"
@@ -19,9 +21,18 @@ Analyzer::Analyzer(AnalyzerOptions options)
 
 AnalysisReport Analyzer::analyze(const Program& input_program) const {
     auto start = std::chrono::steady_clock::now();
+    obs::MetricsSnapshot counters_before = obs::MetricsRegistry::global().snapshot();
+    obs::Span analyze_span("analyze", "core");
+
+    AnalysisReport report;
+    auto end_phase = [&report](const char* name, obs::Span& span) {
+        span.finish();
+        report.stats.phases.push_back({name, span.seconds()});
+    };
 
     // Library de-obfuscation pre-pass (§3.4): map renamed bundled libraries
     // back to canonical API names so the semantic model applies.
+    obs::Span deobf_span("deobfuscate", "core");
     const Program* program = &input_program;
     Program deobfuscated;
     if (options_.deobfuscate_libraries) {
@@ -30,16 +41,17 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
             deobfuscated = input_program;  // deep copy, then rewrite in place
             semantics::apply_deobfuscation(deobfuscated, mapping);
             program = &deobfuscated;
-            log::info() << "de-obfuscated " << mapping.classes.size()
-                        << " library classes (" << mapping.unresolved.size()
-                        << " unresolved)";
+            log::info().kv("classes", mapping.classes.size())
+                    .kv("unresolved", mapping.unresolved.size())
+                << "de-obfuscated bundled library classes";
         }
     }
+    end_phase("deobfuscate", deobf_span);
 
-    AnalysisReport report;
     report.app_name = program->app_name;
     report.stats.total_statements = program->total_statements();
 
+    obs::Span slicing_span("slicing", "core");
     slicing::SlicerOptions slicer_options;
     slicer_options.async_heuristic = options_.async_heuristic;
     slicer_options.max_async_hops = options_.max_async_hops;
@@ -65,10 +77,11 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
         }
         report.stats.slice_statements = all.size();
     }
+    end_phase("slicing", slicing_span);
 
     // Signature extraction per transaction context.
+    obs::Span sig_span("sig", "core");
     sig::SignatureBuilder builder(*program, slicer.callgraph(), model_);
-    txn::DependencyAnalyzer deps(*program, slicer.callgraph(), model_, slicer.engine());
 
     // Extractocol does not model Android intents (§4): transactions whose
     // only entry is an intent handler are invisible to the analysis. Drop
@@ -96,15 +109,20 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
         if (!signature) continue;
         built.push_back({i, std::move(*signature)});
     }
+    end_phase("sig", sig_span);
 
     // Dependencies are computed over the sliced transactions, then remapped
     // onto the deduplicated report records.
+    obs::Span txn_span("txn", "core");
+    txn::DependencyAnalyzer deps(*program, slicer.callgraph(), model_, slicer.engine());
     std::vector<slicing::SlicedTransaction> built_sliced;
     built_sliced.reserve(built.size());
     for (const auto& b : built) built_sliced.push_back(sliced[b.sliced_index]);
     std::vector<txn::Dependency> raw_edges = deps.analyze(built_sliced);
+    end_phase("txn", txn_span);
 
     // Deduplicate: one report transaction per distinct signature.
+    obs::Span dedup_span("dedup", "core");
     std::vector<std::size_t> report_index_of(built.size());
     for (std::size_t bi = 0; bi < built.size(); ++bi) {
         const auto& signature = built[bi].signature;
@@ -171,16 +189,28 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
             report.dependencies.push_back(mapped);
         }
     }
+    end_phase("dedup", dedup_span);
 
+    analyze_span.finish();
     report.stats.analysis_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    report.stats.counters =
+        obs::MetricsRegistry::global().snapshot().delta_since(counters_before).counters;
     return report;
 }
 
 Result<AnalysisReport> Analyzer::analyze_xapk(std::string_view xapk_text) const {
+    obs::Span parse_span("xapk.parse", "xapk");
     auto program = xapk::parse_xapk(xapk_text);
+    parse_span.finish();
     if (!program.ok()) return program.error();
-    return analyze(program.value());
+    AnalysisReport report = analyze(program.value());
+    // Fold the parse into the report's timing view so the phase table covers
+    // the whole .xapk-to-report path.
+    report.stats.phases.insert(report.stats.phases.begin(),
+                               {"xapk.parse", parse_span.seconds()});
+    report.stats.analysis_seconds += parse_span.seconds();
+    return report;
 }
 
 // ------------------------------------------------------------ tabulation --
@@ -322,6 +352,24 @@ text::Json AnalysisReport::to_json() const {
         edges.push_back(std::move(obj));
     }
     doc.set("dependencies", std::move(edges));
+
+    text::Json metrics = text::Json::object();
+    metrics.set("analysis_seconds", text::Json(stats.analysis_seconds));
+    metrics.set("total_statements",
+                text::Json(static_cast<std::int64_t>(stats.total_statements)));
+    metrics.set("slice_statements",
+                text::Json(static_cast<std::int64_t>(stats.slice_statements)));
+    metrics.set("dp_sites", text::Json(static_cast<std::int64_t>(stats.dp_sites)));
+    metrics.set("contexts", text::Json(static_cast<std::int64_t>(stats.contexts)));
+    text::Json phases = text::Json::object();
+    for (const auto& p : stats.phases) phases.set(p.name, text::Json(p.seconds));
+    metrics.set("phases", std::move(phases));
+    text::Json counter_obj = text::Json::object();
+    for (const auto& [name, value] : stats.counters) {
+        counter_obj.set(name, text::Json(static_cast<std::int64_t>(value)));
+    }
+    metrics.set("counters", std::move(counter_obj));
+    doc.set("metrics", std::move(metrics));
     return doc;
 }
 

@@ -11,8 +11,10 @@
 // and behavior tags.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "http/message.hpp"
@@ -46,12 +48,32 @@ struct ReportTransaction {
     [[nodiscard]] bool is_paired() const { return signature.has_response_body; }
 };
 
+/// Wall time of one pipeline phase (obs::Span measurement).
+struct PhaseTiming {
+    std::string name;
+    double seconds = 0;
+};
+
 struct AnalysisStats {
     std::size_t total_statements = 0;
     std::size_t slice_statements = 0;
     std::size_t dp_sites = 0;
     std::size_t contexts = 0;
     double analysis_seconds = 0;
+    /// Per-phase wall times in pipeline order. `xapk.parse` is present only
+    /// when the analysis started from .xapk text. The remaining phases
+    /// partition analyze(), so their sum tracks `analysis_seconds`.
+    std::vector<PhaseTiming> phases;
+    /// obs::MetricsRegistry counter deltas observed during this run (named
+    /// per DESIGN.md "Observability"). Deltas from concurrent analyses on
+    /// other threads are attributed to whichever run snapshots them first.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    [[nodiscard]] double phase_seconds_total() const {
+        double total = 0;
+        for (const auto& p : phases) total += p.seconds;
+        return total;
+    }
 
     [[nodiscard]] double slice_fraction() const {
         return total_statements == 0

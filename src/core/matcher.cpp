@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "text/uri.hpp"
@@ -111,22 +113,28 @@ bool keywords_subset(const std::vector<std::string>& demanded, BodyKind kind,
 }  // namespace
 
 TraceMatcher::TraceMatcher(const AnalysisReport& report) : report_(&report) {
+    obs::Span span("sig.regex_compile", "sig");
+    obs::Counter& compiles = obs::counter("sig.regex_compiles");
     compiled_.reserve(report.transactions.size());
     for (const auto& t : report.transactions) {
         CompiledSignature cs;
         auto uri = text::Regex::compile(t.uri_regex);
+        compiles.add(1);
         if (uri.ok()) {
             cs.uri = std::move(uri).take();
         } else {
-            log::warn() << "signature regex failed to compile: " << t.uri_regex << " ("
-                        << uri.error().message << ")";
+            log::warn().kv("regex", t.uri_regex).kv("error", uri.error().message)
+                << "signature regex failed to compile";
         }
         if (!t.body_regex.empty()) {
             auto body = text::Regex::compile(t.body_regex);
+            compiles.add(1);
             if (body.ok()) cs.body = std::move(body).take();
         }
         compiled_.push_back(std::move(cs));
     }
+    span.finish();
+    obs::histogram("sig.regex_compile_ms").observe(span.seconds() * 1000.0);
 }
 
 std::vector<std::string> TraceMatcher::payload_keywords(BodyKind kind,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "text/json.hpp"
@@ -201,6 +203,10 @@ struct Interpreter::Impl {
     std::string current_trigger;
     std::size_t steps_left = 0;
     std::size_t depth = 0;
+    // Hoisted instrument handles: the statement loop is the interpreter's
+    // hot path, so each tick is one relaxed atomic add.
+    obs::Counter* stmts_evaluated = &obs::counter("interp.stmts_evaluated");
+    obs::Counter* events_fired = &obs::counter("interp.events_fired");
 
     Impl(const Program& p, FakeServer& s, InterpreterOptions o)
         : program(&p), server(&s), options(o) {
@@ -258,12 +264,13 @@ struct Interpreter::Impl {
             bool returned = false;
             for (const auto& stmt : stmts) {
                 if (steps_left == 0) {
-                    log::warn() << "interpreter: step budget exhausted in "
-                                << method.ref().qualified();
+                    log::warn().kv("method", method.ref().qualified())
+                        << "interpreter: step budget exhausted";
                     --depth;
                     return result;
                 }
                 --steps_left;
+                stmts_evaluated->add(1);
                 if (exec_stmt(method, stmt, env, next, returned, result)) continue;
             }
             if (returned || !next) break;
@@ -481,6 +488,7 @@ struct Interpreter::Impl {
     void run_handler(const EventRegistration& event) {
         const Method* handler = program->find_method(event.handler);
         if (!handler) return;
+        events_fired->add(1);
         current_trigger = event.label;
         steps_left = options.max_steps_per_event;
         std::vector<RtValue> args;
@@ -544,10 +552,13 @@ Interpreter::Interpreter(const Program& program, FakeServer& server,
     : impl_(std::make_shared<Impl>(program, server, options)) {}
 
 http::Trace Interpreter::fuzz(FuzzMode mode) {
+    obs::Span span("interp.fuzz", "interp");
     for (const auto& event : impl_->program->events) {
         if (!event_enabled(event.kind, mode)) continue;
         impl_->run_handler(event);
     }
+    span.finish();
+    obs::histogram("interp.fuzz_ms").observe(span.seconds() * 1000.0);
     return impl_->trace;
 }
 

@@ -1,0 +1,182 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace extractocol::obs {
+
+void Histogram::observe(double sample) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stats_.count == 0) {
+        stats_.min = sample;
+        stats_.max = sample;
+    } else {
+        stats_.min = std::min(stats_.min, sample);
+        stats_.max = std::max(stats_.max, sample);
+    }
+    stats_.count += 1;
+    stats_.sum += sample;
+}
+
+HistogramStats Histogram::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void Histogram::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = HistogramStats{};
+}
+
+// ------------------------------------------------------------- snapshot --
+
+namespace {
+
+template <typename T>
+const T* find_named(const std::vector<std::pair<std::string, T>>& items,
+                    std::string_view name) {
+    for (const auto& [n, v] : items) {
+        if (n == name) return &v;
+    }
+    return nullptr;
+}
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+}  // namespace
+
+const std::uint64_t* MetricsSnapshot::counter(std::string_view name) const {
+    return find_named(counters, name);
+}
+
+const HistogramStats* MetricsSnapshot::histogram(std::string_view name) const {
+    return find_named(histograms, name);
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& base) const {
+    MetricsSnapshot out;
+    for (const auto& [name, value] : counters) {
+        const std::uint64_t* before = base.counter(name);
+        std::uint64_t delta = value - (before ? *before : 0);
+        if (delta != 0) out.counters.emplace_back(name, delta);
+    }
+    out.gauges = gauges;
+    out.histograms = histograms;
+    return out;
+}
+
+text::Json MetricsSnapshot::to_json() const {
+    text::Json doc = text::Json::object();
+    text::Json cs = text::Json::object();
+    for (const auto& [name, value] : counters) {
+        cs.set(name, text::Json(static_cast<std::int64_t>(value)));
+    }
+    doc.set("counters", std::move(cs));
+    text::Json gs = text::Json::object();
+    for (const auto& [name, value] : gauges) gs.set(name, text::Json(value));
+    doc.set("gauges", std::move(gs));
+    text::Json hs = text::Json::object();
+    for (const auto& [name, stats] : histograms) {
+        text::Json h = text::Json::object();
+        h.set("count", text::Json(static_cast<std::int64_t>(stats.count)));
+        h.set("sum", text::Json(stats.sum));
+        h.set("min", text::Json(stats.min));
+        h.set("max", text::Json(stats.max));
+        h.set("mean", text::Json(stats.mean()));
+        hs.set(name, std::move(h));
+    }
+    doc.set("histograms", std::move(hs));
+    return doc;
+}
+
+std::string MetricsSnapshot::to_table() const {
+    std::size_t width = 0;
+    for (const auto& [name, value] : counters) width = std::max(width, name.size());
+    for (const auto& [name, value] : gauges) width = std::max(width, name.size());
+    for (const auto& [name, stats] : histograms) width = std::max(width, name.size());
+
+    std::string out;
+    auto pad = [width](const std::string& name) {
+        return name + std::string(width - name.size() + 2, ' ');
+    };
+    for (const auto& [name, value] : counters) {
+        out += pad(name) + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, value] : gauges) {
+        out += pad(name) + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, stats] : histograms) {
+        out += pad(name) + "count=" + std::to_string(stats.count) +
+               " sum=" + format_double(stats.sum) + " min=" + format_double(stats.min) +
+               " max=" + format_double(stats.max) +
+               " mean=" + format_double(stats.mean()) + "\n";
+    }
+    return out;
+}
+
+// ------------------------------------------------------------- registry --
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+// Linear find-or-create; instrument acquisition is hoisted out of hot loops
+// so the registry sees a handful of lookups per analysis.
+Counter& MetricsRegistry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [n, v] : counters_) {
+        if (n == name) return *v;
+    }
+    counters_.emplace_back(std::string(name), std::unique_ptr<Counter>(new Counter()));
+    return *counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [n, v] : gauges_) {
+        if (n == name) return *v;
+    }
+    gauges_.emplace_back(std::string(name), std::unique_ptr<Gauge>(new Gauge()));
+    return *gauges_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [n, v] : histograms_) {
+        if (n == name) return *v;
+    }
+    histograms_.emplace_back(std::string(name),
+                             std::unique_ptr<Histogram>(new Histogram()));
+    return *histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+        for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
+        for (const auto& [name, h] : histograms_) {
+            out.histograms.emplace_back(name, h->stats());
+        }
+    }
+    auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+    std::sort(out.counters.begin(), out.counters.end(), by_name);
+    std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+    std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+    return out;
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace extractocol::obs

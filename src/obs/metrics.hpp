@@ -1,0 +1,151 @@
+// Pipeline metrics (observability layer, part 1 of 2 — see trace.hpp).
+//
+// A process-wide MetricsRegistry holds named instruments:
+//   * Counter   — monotonically increasing event count (relaxed atomics);
+//   * Gauge     — last-written signed value;
+//   * Histogram — count/sum/min/max summary of observed samples.
+//
+// Hot-loop protocol: acquire the instrument ONCE outside the loop
+// (`obs::Counter& c = obs::counter("taint.worklist_iterations");`) and call
+// `c.add()` inside. Acquisition takes the registry lock and may allocate;
+// `add()` is a single relaxed atomic increment, so instrumented loops stay
+// within noise of uninstrumented ones and never allocate.
+//
+// Metric names are dot-scoped by pipeline stage (`xapk.`, `slicer.`,
+// `taint.`, `interp.`, `sig.`, `txn.`) and documented in DESIGN.md
+// ("Observability"). Durations are histograms with an `_ms` suffix.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/json.hpp"
+
+namespace extractocol::obs {
+
+class MetricsRegistry;
+
+class Counter {
+public:
+    void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+private:
+    friend class MetricsRegistry;
+    Counter() = default;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+public:
+    void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::int64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+private:
+    friend class MetricsRegistry;
+    Gauge() = default;
+    std::atomic<std::int64_t> value_{0};
+};
+
+struct HistogramStats {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+
+    [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+class Histogram {
+public:
+    void observe(double sample);
+    [[nodiscard]] HistogramStats stats() const;
+    void reset();
+
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+private:
+    friend class MetricsRegistry;
+    Histogram() = default;
+    mutable std::mutex mutex_;
+    HistogramStats stats_;
+};
+
+/// Point-in-time copy of every instrument, sorted by name.
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramStats>> histograms;
+
+    [[nodiscard]] const std::uint64_t* counter(std::string_view name) const;
+    [[nodiscard]] const HistogramStats* histogram(std::string_view name) const;
+
+    /// Counters in `this` minus `base` (instruments absent from `base`
+    /// count as 0); zero deltas are dropped. Gauges/histograms are copied
+    /// from `this` unchanged (gauges are not cumulative; histogram counts
+    /// absent from `base` keep their full stats).
+    [[nodiscard]] MetricsSnapshot delta_since(const MetricsSnapshot& base) const;
+
+    [[nodiscard]] text::Json to_json() const;
+    /// Aligned human-readable table (one instrument per line).
+    [[nodiscard]] std::string to_table() const;
+};
+
+/// Thread-safe instrument registry. Instruments live for the lifetime of the
+/// registry; references returned by counter()/gauge()/histogram() are stable.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// The process-wide registry used by the pipeline instrumentation.
+    static MetricsRegistry& global();
+
+    /// Finds or creates the named instrument.
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+    /// Zeroes every instrument (registrations and references stay valid).
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+    std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+    std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+// Global-registry shorthands used at instrumentation sites.
+inline Counter& counter(std::string_view name) {
+    return MetricsRegistry::global().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+    return MetricsRegistry::global().gauge(name);
+}
+inline Histogram& histogram(std::string_view name) {
+    return MetricsRegistry::global().histogram(name);
+}
+
+}  // namespace extractocol::obs

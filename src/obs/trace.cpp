@@ -1,0 +1,132 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace extractocol::obs {
+
+namespace {
+
+// Per-thread open-span depth; spans nest lexically so a counter suffices.
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::global() {
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void TraceRecorder::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::uint64_t TraceRecorder::now_us() const {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now() - epoch_)
+                                          .count());
+}
+
+std::uint32_t TraceRecorder::thread_number() {
+    std::thread::id self = std::this_thread::get_id();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint32_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i] == self) return i;
+    }
+    threads_.push_back(self);
+    return static_cast<std::uint32_t>(threads_.size() - 1);
+}
+
+text::Json TraceRecorder::to_chrome_json() const {
+    text::Json arr = text::Json::array();
+    for (const auto& e : events()) {
+        text::Json obj = text::Json::object();
+        obj.set("name", text::Json(e.name));
+        obj.set("cat", text::Json(e.category));
+        obj.set("ph", text::Json("X"));
+        obj.set("ts", text::Json(static_cast<std::int64_t>(e.start_us)));
+        obj.set("dur", text::Json(static_cast<std::int64_t>(e.duration_us)));
+        obj.set("pid", text::Json(1));
+        obj.set("tid", text::Json(static_cast<std::int64_t>(e.thread)));
+        arr.push_back(std::move(obj));
+    }
+    text::Json doc = text::Json::object();
+    doc.set("traceEvents", std::move(arr));
+    doc.set("displayTimeUnit", text::Json("ms"));
+    return doc;
+}
+
+std::string TraceRecorder::summary() const {
+    std::vector<TraceEvent> sorted = events();
+    // Spans are appended when they *close*, so children precede parents;
+    // replaying in (thread, start, depth) order restores the tree.
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.thread != b.thread) return a.thread < b.thread;
+                         if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                         return a.depth < b.depth;
+                     });
+    std::string out;
+    std::uint32_t current_thread = 0;
+    bool first = true;
+    for (const auto& e : sorted) {
+        if (first || e.thread != current_thread) {
+            out += "thread " + std::to_string(e.thread) + ":\n";
+            current_thread = e.thread;
+            first = false;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      static_cast<double>(e.duration_us) / 1000.0);
+        out += std::string(2 + 2 * static_cast<std::size_t>(e.depth), ' ') + e.name +
+               " (" + e.category + ") " + buf + " ms\n";
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------- span --
+
+Span::Span(std::string_view name, std::string_view category)
+    : name_(name), category_(category), start_(std::chrono::steady_clock::now()) {
+    depth_ = t_depth++;
+}
+
+double Span::seconds() const {
+    auto elapsed =
+        finished_ ? elapsed_ : std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(elapsed).count();
+}
+
+void Span::finish() {
+    if (finished_) return;
+    finished_ = true;
+    elapsed_ = std::chrono::steady_clock::now() - start_;
+    if (t_depth > 0) --t_depth;
+    TraceRecorder& recorder = TraceRecorder::global();
+    if (!recorder.enabled()) return;
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    std::uint64_t end_us = recorder.now_us();
+    event.duration_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed_).count());
+    event.start_us = end_us > event.duration_us ? end_us - event.duration_us : 0;
+    event.thread = recorder.thread_number();
+    event.depth = depth_;
+    recorder.record(std::move(event));
+}
+
+}  // namespace extractocol::obs

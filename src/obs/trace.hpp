@@ -1,0 +1,110 @@
+// Pipeline tracing (observability layer, part 2 of 2 — see metrics.hpp).
+//
+// RAII `Span` scopes measure per-phase wall time and nest into a trace tree:
+// a span opened while another span is open on the same thread becomes its
+// child (depth is tracked per thread). Closed spans are appended to the
+// process-wide TraceRecorder when tracing is enabled; the recorder exports
+//   * a Chrome trace-event JSON document (load with chrome://tracing or
+//     https://ui.perfetto.dev — "X" complete events, microsecond units), and
+//   * an indented human-readable phase summary.
+//
+// Overhead: a span costs two steady_clock reads; the recorder is only
+// touched when enabled, so the disabled path takes no lock and performs no
+// allocation. Spans are opened per pipeline phase / per taint run — never
+// per statement — so tracing is safe to leave compiled in.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "text/json.hpp"
+
+namespace extractocol::obs {
+
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    /// Microseconds since the recorder's epoch (first use of the recorder).
+    std::uint64_t start_us = 0;
+    std::uint64_t duration_us = 0;
+    /// Dense per-process thread number (0 = first thread seen).
+    std::uint32_t thread = 0;
+    /// Nesting depth on its thread when the span opened (0 = top level).
+    std::uint32_t depth = 0;
+};
+
+class TraceRecorder {
+public:
+    TraceRecorder();
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+    /// The process-wide recorder all Spans report to.
+    static TraceRecorder& global();
+
+    void set_enabled(bool enabled) {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void record(TraceEvent event);
+    void clear();
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+
+    /// Microseconds elapsed since the recorder epoch.
+    [[nodiscard]] std::uint64_t now_us() const;
+    /// Dense id for the calling thread (registers it on first use).
+    [[nodiscard]] std::uint32_t thread_number();
+
+    /// {"traceEvents": [...], "displayTimeUnit": "ms"} per the Chrome
+    /// trace-event format.
+    [[nodiscard]] text::Json to_chrome_json() const;
+    /// Indented per-thread tree: one line per span, children beneath
+    /// parents, with millisecond durations.
+    [[nodiscard]] std::string summary() const;
+
+private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::vector<std::thread::id> threads_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Measures one phase. Always cheap to construct; reports to the global
+/// TraceRecorder on finish (destructor or explicit finish()) when tracing is
+/// enabled. `seconds()` works whether or not tracing is on, so callers can
+/// also use a Span as a plain scoped timer (core::Analyzer fills
+/// AnalysisStats::phases this way).
+class Span {
+public:
+    explicit Span(std::string_view name, std::string_view category = "phase");
+    ~Span() { finish(); }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Elapsed wall time: running time while open, final duration once
+    /// finished.
+    [[nodiscard]] double seconds() const;
+
+    /// Closes the span (idempotent); records the trace event if enabled.
+    void finish();
+
+private:
+    std::string name_;
+    std::string category_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::duration elapsed_{};
+    std::uint32_t depth_ = 0;
+    bool finished_ = false;
+};
+
+}  // namespace extractocol::obs

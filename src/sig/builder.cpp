@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "xir/cfg.hpp"
@@ -1321,8 +1323,13 @@ SignatureBuilder::SignatureBuilder(const Program& program, const CallGraph& call
     : program_(&program), callgraph_(&callgraph), model_(&model) {}
 
 std::optional<TransactionSignature> SignatureBuilder::build(const BuildRequest& request) {
+    obs::Span span("sig.build", "sig");
     Interp interp(*program_, *callgraph_, *model_, request);
-    return interp.run();
+    auto signature = interp.run();
+    obs::counter(signature ? "sig.signatures_built" : "sig.build_failures").add(1);
+    span.finish();
+    obs::histogram("sig.build_ms").observe(span.seconds() * 1000.0);
+    return signature;
 }
 
 }  // namespace extractocol::sig

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace extractocol::slicing {
@@ -62,9 +64,13 @@ std::vector<SlicedTransaction> Slicer::slice_site(const StmtRef& site) {
         model_->demarcation(call->callee.class_name, call->callee.method_name);
     if (!dp) return out;
 
+    obs::Span span("slicing.site", "slicing");
+    obs::counter("slicer.dp_sites_sliced").add(1);
+
     // One transaction per acyclic calling context (disjoint sub-slices).
     auto contexts = callgraph_->contexts_reaching(site.method_index, 24,
                                                   options_.max_contexts);
+    obs::counter("slicer.contexts").add(contexts.size());
 
     // Request/response slices are computed once per DP site (taint is
     // context-insensitive); contexts split the site into transactions.
@@ -210,6 +216,7 @@ std::set<StmtRef> Slicer::augment(const std::set<StmtRef>& response_slice) {
         }
     }
     if (seeds.empty()) return {};
+    obs::counter("slicer.augment_seeds").add(seeds.size());
     auto result = engine_->run(Direction::kBackward, seeds);
     return std::move(result.statements);
 }

@@ -5,11 +5,6 @@
 
 namespace extractocol::log {
 
-namespace {
-
-std::mutex g_mutex;
-Level g_threshold = Level::kWarn;
-
 const char* level_name(Level level) {
     switch (level) {
         case Level::kDebug: return "DEBUG";
@@ -20,20 +15,66 @@ const char* level_name(Level level) {
     return "?";
 }
 
-Sink& global_sink() {
-    static Sink sink = [](Level level, const std::string& message) {
-        std::cerr << "[" << level_name(level) << "] " << message << "\n";
+std::string LogRecord::format() const {
+    std::string out = message;
+    for (const auto& [key, value] : fields) {
+        if (!out.empty()) out += ' ';
+        out += key;
+        out += '=';
+        bool needs_quotes = value.empty() ||
+                            value.find_first_of(" =\"") != std::string::npos;
+        if (needs_quotes) {
+            out += '"';
+            for (char c : value) {
+                if (c == '"' || c == '\\') out += '\\';
+                out += c;
+            }
+            out += '"';
+        } else {
+            out += value;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::mutex g_mutex;
+Level g_threshold = Level::kWarn;
+
+RecordSink& global_sink() {
+    static RecordSink sink = [](const LogRecord& record) {
+        std::cerr << "[" << level_name(record.level) << "] " << record.format()
+                  << "\n";
     };
     return sink;
 }
 
 }  // namespace
 
-Sink set_sink(Sink sink) {
+RecordSink set_record_sink(RecordSink sink) {
     std::lock_guard<std::mutex> lock(g_mutex);
-    Sink previous = global_sink();
+    RecordSink previous = global_sink();
     global_sink() = std::move(sink);
     return previous;
+}
+
+Sink set_sink(Sink sink) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    RecordSink previous = global_sink();
+    if (sink) {
+        global_sink() = [flat = std::move(sink)](const LogRecord& record) {
+            flat(record.level, record.format());
+        };
+    } else {
+        global_sink() = RecordSink();
+    }
+    // Adapt the previous structured sink back to the flat signature so
+    // callers can save/restore through the legacy API.
+    if (!previous) return Sink();
+    return [previous = std::move(previous)](Level level, const std::string& message) {
+        previous(LogRecord{level, message, {}});
+    };
 }
 
 void set_threshold(Level level) {
@@ -47,9 +88,13 @@ Level threshold() {
 }
 
 void emit(Level level, const std::string& message) {
+    emit(LogRecord{level, message, {}});
+}
+
+void emit(LogRecord record) {
     std::lock_guard<std::mutex> lock(g_mutex);
-    if (static_cast<int>(level) < static_cast<int>(g_threshold)) return;
-    if (global_sink()) global_sink()(level, message);
+    if (static_cast<int>(record.level) < static_cast<int>(g_threshold)) return;
+    if (global_sink()) global_sink()(record);
 }
 
 }  // namespace extractocol::log

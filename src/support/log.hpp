@@ -1,19 +1,46 @@
-// Minimal leveled logger. Analyses are long-running; progress and anomaly
+// Structured leveled logger. Analyses are long-running; progress and anomaly
 // reporting goes through here so library users can silence or capture it.
+//
+// Records carry a free-text message plus ordered key=value fields:
+//
+//   log::info().kv("phase", "slicing").kv("sites", n) << "slicing done";
+//
+// renders as `[INFO] slicing done phase=slicing sites=12`. Every record —
+// from the logger and from the obs subsystem alike — flows through one
+// process-wide RecordSink; the legacy string Sink API is an adapter over it.
 #pragma once
 
 #include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace extractocol::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sink invoked for every emitted record at or above the threshold.
+const char* level_name(Level level);
+
+/// One structured log record: message plus ordered key=value fields.
+struct LogRecord {
+    Level level = Level::kInfo;
+    std::string message;
+    std::vector<std::pair<std::string, std::string>> fields;
+
+    /// "message key=value ..." — values with spaces/'='/quotes are quoted.
+    [[nodiscard]] std::string format() const;
+};
+
+/// Structured sink invoked for every record at or above the threshold.
+using RecordSink = std::function<void(const LogRecord&)>;
+/// Legacy flat sink; receives LogRecord::format() of each record.
 using Sink = std::function<void(Level, const std::string&)>;
 
-/// Replaces the global sink (default writes to stderr). Returns previous sink.
+/// Replaces the global sink. Returns the previous sink (as installed, or an
+/// adapter if the previous sink was of the other flavor).
+RecordSink set_record_sink(RecordSink sink);
 Sink set_sink(Sink sink);
 
 /// Sets the minimum level that reaches the sink. Default: kWarn, so library
@@ -22,14 +49,18 @@ void set_threshold(Level level);
 Level threshold();
 
 void emit(Level level, const std::string& message);
+void emit(LogRecord record);
 
 namespace detail {
 class Record {
 public:
-    explicit Record(Level level) : level_(level) {}
+    explicit Record(Level level) { record_.level = level; }
     Record(const Record&) = delete;
     Record& operator=(const Record&) = delete;
-    ~Record() { emit(level_, stream_.str()); }
+    ~Record() {
+        record_.message = stream_.str();
+        emit(std::move(record_));
+    }
 
     template <typename T>
     Record& operator<<(const T& v) {
@@ -37,8 +68,17 @@ public:
         return *this;
     }
 
+    /// Appends a structured field; values are stringified via operator<<.
+    template <typename T>
+    Record& kv(std::string_view key, const T& value) {
+        std::ostringstream s;
+        s << value;
+        record_.fields.emplace_back(std::string(key), s.str());
+        return *this;
+    }
+
 private:
-    Level level_;
+    LogRecord record_;
     std::ostringstream stream_;
 };
 }  // namespace detail

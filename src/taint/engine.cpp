@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 
@@ -165,6 +167,13 @@ AccessPath local_with_fields(LocalId local, const std::vector<std::string>& fiel
 }  // namespace
 
 TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& seeds) {
+    obs::Span span(direction == Direction::kForward ? "taint.run.forward"
+                                                    : "taint.run.backward",
+                   "taint");
+    obs::counter("taint.runs").add(1);
+    obs::counter("taint.seeds").add(seeds.size());
+    obs::Counter& iterations = obs::counter("taint.worklist_iterations");
+    obs::Counter& propagations = obs::counter("taint.propagations");
     Run run;
     run.dir = direction;
     const auto& methods = program_->method_table();
@@ -175,7 +184,10 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
     }
 
     auto enqueue = [&](std::uint32_t mi, BlockId b) {
-        if (run.queued.insert({mi, b}).second) run.worklist.emplace_back(mi, b);
+        if (run.queued.insert({mi, b}).second) {
+            run.worklist.emplace_back(mi, b);
+            propagations.add(1);
+        }
     };
 
     for (const auto& seed : seeds) {
@@ -1025,8 +1037,10 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
 
     // ------------------------------ main worklist loop ------------------
     while (!run.worklist.empty()) {
+        iterations.add(1);
         if (options_.max_steps && ++run.steps > options_.max_steps) {
-            log::warn() << "taint engine hit step limit; result is truncated";
+            log::warn().kv("max_steps", options_.max_steps)
+                << "taint engine hit step limit; result is truncated";
             break;
         }
         auto [mi, b] = run.worklist.front();
@@ -1136,6 +1150,9 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
               [](const CallTaintEvent& a, const CallTaintEvent& b) {
                   return a.stmt < b.stmt;
               });
+    obs::counter("taint.slice_statements").add(run.result.statements.size());
+    span.finish();
+    obs::histogram("taint.run_ms").observe(span.seconds() * 1000.0);
     return std::move(run.result);
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace extractocol::txn {
 
 using namespace xir;
@@ -144,6 +147,8 @@ std::vector<DependencyAnalyzer::FieldTap> DependencyAnalyzer::response_taps(
 
 std::vector<Dependency> DependencyAnalyzer::analyze(
     const std::vector<SlicedTransaction>& txns) {
+    obs::Span span("txn.dependencies", "txn");
+    obs::Counter& taps_probed = obs::counter("txn.response_taps");
     std::vector<Dependency> edges;
     auto add_edge = [&edges](Dependency edge) {
         if (std::find(edges.begin(), edges.end(), edge) == edges.end()) {
@@ -155,6 +160,7 @@ std::vector<Dependency> DependencyAnalyzer::analyze(
         const SlicedTransaction& resp_txn = txns[i];
         if (resp_txn.response_slice.empty()) continue;
         for (const FieldTap& tap : response_taps(resp_txn)) {
+            taps_probed.add(1);
             TaintSeed seed;
             seed.stmt = tap.stmt;
             seed.path = AccessPath::of_local(tap.value);
@@ -238,6 +244,7 @@ std::vector<Dependency> DependencyAnalyzer::analyze(
             }
         }
     }
+    obs::counter("txn.pairings").add(edges.size());
     return edges;
 }
 

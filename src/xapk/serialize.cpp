@@ -3,6 +3,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 #include "xir/verify.hpp"
 
@@ -450,6 +452,8 @@ Result<Statement> parse_statement(const std::vector<std::string>& t) {
 }  // namespace
 
 Result<Program> parse_xapk(std::string_view input) {
+    obs::Span span("xapk.parse_text", "xapk");
+    obs::Counter& lines_parsed = obs::counter("xapk.lines_parsed");
     Program program;
     Class* current_class = nullptr;
     Method* current_method = nullptr;
@@ -542,6 +546,10 @@ Result<Program> parse_xapk(std::string_view input) {
     if (auto status = xir::verify(program); !status.ok()) {
         return Error("parsed xapk failed verification: " + status.error().message);
     }
+    lines_parsed.add(line_number);
+    obs::counter("xapk.programs_parsed").add(1);
+    span.finish();
+    obs::histogram("xapk.parse_ms").observe(span.seconds() * 1000.0);
     return program;
 }
 

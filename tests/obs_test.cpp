@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "text/json.hpp"
+
+namespace obs = extractocol::obs;
+using extractocol::text::Json;
+using extractocol::text::parse_json;
+
+TEST(Metrics, CounterBasics) {
+    obs::MetricsRegistry registry;
+    obs::Counter& c = registry.counter("test.counter");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name -> same instrument.
+    EXPECT_EQ(&registry.counter("test.counter"), &c);
+    EXPECT_NE(&registry.counter("test.other"), &c);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, ConcurrentCounterIncrements) {
+    obs::MetricsRegistry registry;
+    obs::Counter& c = registry.counter("test.concurrent");
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 10'000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kIncrements; ++i) c.add();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, ConcurrentRegistryAccess) {
+    // Instrument acquisition and snapshotting race against increments.
+    obs::MetricsRegistry registry;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&registry, t] {
+            obs::Counter& mine =
+                registry.counter("test.shard." + std::to_string(t % 2));
+            for (int i = 0; i < 1'000; ++i) {
+                mine.add();
+                if (i % 100 == 0) (void)registry.snapshot();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    auto snap = registry.snapshot();
+    const std::uint64_t* a = snap.counter("test.shard.0");
+    const std::uint64_t* b = snap.counter("test.shard.1");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(*a + *b, 4'000u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+    obs::MetricsRegistry registry;
+    obs::Gauge& g = registry.gauge("test.gauge");
+    g.set(-5);
+    g.add(15);
+    EXPECT_EQ(g.value(), 10);
+}
+
+TEST(Metrics, HistogramStats) {
+    obs::MetricsRegistry registry;
+    obs::Histogram& h = registry.histogram("test.hist");
+    h.observe(2.0);
+    h.observe(8.0);
+    h.observe(5.0);
+    auto stats = h.stats();
+    EXPECT_EQ(stats.count, 3u);
+    EXPECT_DOUBLE_EQ(stats.sum, 15.0);
+    EXPECT_DOUBLE_EQ(stats.min, 2.0);
+    EXPECT_DOUBLE_EQ(stats.max, 8.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+}
+
+TEST(Metrics, SnapshotSortedAndDelta) {
+    obs::MetricsRegistry registry;
+    registry.counter("zeta").add(10);
+    registry.counter("alpha").add(1);
+    auto before = registry.snapshot();
+    ASSERT_EQ(before.counters.size(), 2u);
+    EXPECT_EQ(before.counters[0].first, "alpha");  // sorted by name
+    EXPECT_EQ(before.counters[1].first, "zeta");
+
+    registry.counter("zeta").add(5);
+    registry.counter("fresh").add(7);
+    auto delta = registry.snapshot().delta_since(before);
+    // alpha unchanged -> dropped; zeta delta 5; fresh counted from zero.
+    ASSERT_EQ(delta.counters.size(), 2u);
+    EXPECT_EQ(*delta.counter("fresh"), 7u);
+    EXPECT_EQ(*delta.counter("zeta"), 5u);
+    EXPECT_EQ(delta.counter("alpha"), nullptr);
+}
+
+TEST(Metrics, SnapshotJsonAndTable) {
+    obs::MetricsRegistry registry;
+    registry.counter("c.one").add(3);
+    registry.gauge("g.one").set(-2);
+    registry.histogram("h.one").observe(1.5);
+    auto snap = registry.snapshot();
+
+    Json doc = snap.to_json();
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.find("counters")->find("c.one")->as_int(), 3);
+    EXPECT_EQ(doc.find("gauges")->find("g.one")->as_int(), -2);
+    EXPECT_EQ(doc.find("histograms")->find("h.one")->find("count")->as_int(), 1);
+    // Round-trips through the JSON parser.
+    auto parsed = parse_json(doc.dump());
+    ASSERT_TRUE(parsed.ok());
+
+    std::string table = snap.to_table();
+    EXPECT_NE(table.find("c.one"), std::string::npos);
+    EXPECT_NE(table.find("count=1"), std::string::npos);
+}
+
+TEST(Metrics, RegistryReset) {
+    obs::MetricsRegistry registry;
+    obs::Counter& c = registry.counter("test.reset");
+    c.add(9);
+    registry.reset();
+    EXPECT_EQ(c.value(), 0u);  // reference stays valid
+    auto snap = registry.snapshot();
+    ASSERT_NE(snap.counter("test.reset"), nullptr);  // registration survives
+}
+
+TEST(Trace, SpanMeasuresTime) {
+    obs::Span span("test.span");
+    double t0 = span.seconds();
+    EXPECT_GE(t0, 0.0);
+    span.finish();
+    double t1 = span.seconds();
+    span.finish();  // idempotent
+    EXPECT_DOUBLE_EQ(span.seconds(), t1);
+}
+
+TEST(Trace, DisabledRecorderCollectsNothing) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.set_enabled(false);
+    recorder.clear();
+    { obs::Span span("test.invisible"); }
+    EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(Trace, SpansNestIntoTree) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.clear();
+    recorder.set_enabled(true);
+    {
+        obs::Span outer("test.outer", "t");
+        {
+            obs::Span inner("test.inner", "t");
+        }
+    }
+    recorder.set_enabled(false);
+
+    auto events = recorder.events();
+    ASSERT_EQ(events.size(), 2u);
+    // Children close (and record) before parents.
+    EXPECT_EQ(events[0].name, "test.inner");
+    EXPECT_EQ(events[1].name, "test.outer");
+    EXPECT_EQ(events[0].depth, events[1].depth + 1);
+    EXPECT_GE(events[0].start_us, events[1].start_us);
+    EXPECT_LE(events[0].duration_us, events[1].duration_us);
+
+    std::string summary = recorder.summary();
+    auto outer_pos = summary.find("test.outer");
+    auto inner_pos = summary.find("test.inner");
+    ASSERT_NE(outer_pos, std::string::npos);
+    ASSERT_NE(inner_pos, std::string::npos);
+    EXPECT_LT(outer_pos, inner_pos);  // parent line precedes child line
+    recorder.clear();
+}
+
+TEST(Trace, ChromeExportIsValid) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.clear();
+    recorder.set_enabled(true);
+    {
+        obs::Span a("test.phase_a", "core");
+        obs::Span b("test.phase_b", "taint");
+    }
+    recorder.set_enabled(false);
+
+    Json doc = recorder.to_chrome_json();
+    auto reparsed = parse_json(doc.dump());
+    ASSERT_TRUE(reparsed.ok());
+    const Json* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    ASSERT_EQ(events->items().size(), 2u);
+    for (const auto& e : events->items()) {
+        EXPECT_EQ(e.find("ph")->as_string(), "X");
+        EXPECT_NE(e.find("name"), nullptr);
+        EXPECT_NE(e.find("cat"), nullptr);
+        EXPECT_GE(e.find("ts")->as_int(), 0);
+        EXPECT_GE(e.find("dur")->as_int(), 0);
+        EXPECT_EQ(e.find("pid")->as_int(), 1);
+        EXPECT_NE(e.find("tid"), nullptr);
+    }
+    recorder.clear();
+}
+
+TEST(Trace, ThreadNumbersAreDense) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    std::uint32_t main_id = recorder.thread_number();
+    EXPECT_EQ(recorder.thread_number(), main_id);  // stable per thread
+    std::uint32_t other_id = main_id;
+    std::thread([&recorder, &other_id] { other_id = recorder.thread_number(); })
+        .join();
+    EXPECT_NE(other_id, main_id);
+}

@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "support/hash.hpp"
+#include "support/log.hpp"
 #include "support/result.hpp"
 #include "support/strings.hpp"
 
 namespace es = extractocol::strings;
+namespace xlog = extractocol::log;
 using extractocol::Error;
 using extractocol::Result;
 using extractocol::SplitMix64;
@@ -120,4 +126,93 @@ TEST(Hash, SplitMixDeterministic) {
     for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
     SplitMix64 c(2);
     EXPECT_NE(SplitMix64(1).next(), c.next());
+}
+
+// A fixture that captures records and restores global logger state, so these
+// tests cannot leak a sink or threshold into other tests.
+class LogTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        previous_sink_ = xlog::set_record_sink(
+            [this](const xlog::LogRecord& r) { records_.push_back(r); });
+        previous_threshold_ = xlog::threshold();
+        xlog::set_threshold(xlog::Level::kDebug);
+    }
+    void TearDown() override {
+        xlog::set_record_sink(previous_sink_);
+        xlog::set_threshold(previous_threshold_);
+    }
+
+    std::vector<xlog::LogRecord> records_;
+    xlog::RecordSink previous_sink_;
+    xlog::Level previous_threshold_ = xlog::Level::kWarn;
+};
+
+TEST_F(LogTest, RecordStreamingAndFields) {
+    xlog::warn().kv("phase", "slicing").kv("sites", 12) << "worklist " << 3;
+    ASSERT_EQ(records_.size(), 1u);
+    const auto& r = records_[0];
+    EXPECT_EQ(r.level, xlog::Level::kWarn);
+    EXPECT_EQ(r.message, "worklist 3");
+    ASSERT_EQ(r.fields.size(), 2u);
+    EXPECT_EQ(r.fields[0], (std::pair<std::string, std::string>{"phase", "slicing"}));
+    EXPECT_EQ(r.fields[1], (std::pair<std::string, std::string>{"sites", "12"}));
+}
+
+TEST_F(LogTest, FormatQuotesAwkwardValues) {
+    xlog::LogRecord r;
+    r.message = "done";
+    r.fields = {{"plain", "abc"}, {"spaced", "a b"}, {"quoted", "x\"y"}};
+    std::string text = r.format();
+    EXPECT_EQ(text, "done plain=abc spaced=\"a b\" quoted=\"x\\\"y\"");
+}
+
+TEST_F(LogTest, ThresholdFilters) {
+    xlog::set_threshold(xlog::Level::kWarn);
+    xlog::debug() << "dropped";
+    xlog::info() << "dropped too";
+    xlog::warn() << "kept";
+    xlog::error() << "kept too";
+    ASSERT_EQ(records_.size(), 2u);
+    EXPECT_EQ(records_[0].message, "kept");
+    EXPECT_EQ(records_[1].message, "kept too");
+}
+
+TEST_F(LogTest, SetSinkReturnsPrevious) {
+    std::vector<std::string> captured;
+    auto prev = xlog::set_record_sink(
+        [&captured](const xlog::LogRecord& r) { captured.push_back(r.message); });
+    xlog::info() << "to replacement";
+    xlog::set_record_sink(prev);
+    xlog::info() << "to original";
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0], "to replacement");
+    ASSERT_EQ(records_.size(), 1u);  // fixture sink got the post-restore record
+    EXPECT_EQ(records_[0].message, "to original");
+}
+
+TEST_F(LogTest, LegacyFlatSinkAdapter) {
+    std::vector<std::pair<xlog::Level, std::string>> flat;
+    xlog::set_sink([&flat](xlog::Level level, const std::string& text) {
+        flat.emplace_back(level, text);
+    });
+    xlog::error().kv("regex", "a+") << "compile failed";
+    ASSERT_EQ(flat.size(), 1u);
+    EXPECT_EQ(flat[0].first, xlog::Level::kError);
+    // Flat sinks receive the formatted record, fields included.
+    EXPECT_EQ(flat[0].second, "compile failed regex=a+");
+}
+
+TEST_F(LogTest, EmitPlainMessage) {
+    xlog::emit(xlog::Level::kInfo, "plain");
+    ASSERT_EQ(records_.size(), 1u);
+    EXPECT_EQ(records_[0].message, "plain");
+    EXPECT_TRUE(records_[0].fields.empty());
+}
+
+TEST(LogLevels, Names) {
+    EXPECT_STREQ(xlog::level_name(xlog::Level::kDebug), "DEBUG");
+    EXPECT_STREQ(xlog::level_name(xlog::Level::kInfo), "INFO");
+    EXPECT_STREQ(xlog::level_name(xlog::Level::kWarn), "WARN");
+    EXPECT_STREQ(xlog::level_name(xlog::Level::kError), "ERROR");
 }

@@ -8,13 +8,25 @@
 //   --async-hops <n>       async-chain depth (default 1; >1 = §4 extension)
 //   --no-deobfuscation     skip the bundled-library de-obfuscation pre-pass
 //   --stats                print analysis statistics to stderr
+//   --metrics              print the per-phase timing table and metric
+//                          counters to stderr
+//   --trace <file>         write a Chrome trace-event JSON file of the
+//                          pipeline spans (open with chrome://tracing)
+//   -v / --verbose         lower the log threshold (once: info, twice: debug)
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "core/analyzer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/log.hpp"
 
 using namespace extractocol;
 
@@ -23,9 +35,48 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--json] [--scope PREFIX] [--no-async-heuristic]\n"
-                 "          [--async-hops N] [--no-deobfuscation] [--stats] APP.xapk\n",
+                 "          [--async-hops N] [--no-deobfuscation] [--stats]\n"
+                 "          [--metrics] [--trace FILE] [-v|--verbose] APP.xapk\n",
                  argv0);
     return 2;
+}
+
+/// Strict unsigned parse: the whole token must be digits ("2x" and "abc"
+/// are rejected rather than silently truncated or read as 0).
+bool parse_unsigned(const char* text, unsigned& out) {
+    if (text == nullptr || *text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long value = std::strtoul(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') return false;
+    if (value > std::numeric_limits<unsigned>::max()) return false;
+    out = static_cast<unsigned>(value);
+    return true;
+}
+
+void print_metrics(const core::AnalysisReport& report) {
+    const auto& s = report.stats;
+    std::fprintf(stderr, "-- phases --\n");
+    std::size_t width = 0;
+    for (const auto& p : s.phases) width = std::max(width, p.name.size());
+    for (const auto& p : s.phases) {
+        std::fprintf(stderr, "%-*s  %10.3f ms\n", static_cast<int>(width),
+                     p.name.c_str(), p.seconds * 1000);
+    }
+    double total = s.phase_seconds_total();
+    std::fprintf(stderr, "%-*s  %10.3f ms (analysis %.3f ms, coverage %.1f%%)\n",
+                 static_cast<int>(width), "total", total * 1000,
+                 s.analysis_seconds * 1000,
+                 s.analysis_seconds > 0 ? 100 * total / s.analysis_seconds : 0.0);
+    std::fprintf(stderr, "-- counters (this run) --\n");
+    width = 0;
+    for (const auto& [name, value] : s.counters) width = std::max(width, name.size());
+    for (const auto& [name, value] : s.counters) {
+        std::fprintf(stderr, "%-*s  %llu\n", static_cast<int>(width), name.c_str(),
+                     static_cast<unsigned long long>(value));
+    }
+    std::fprintf(stderr, "-- registry --\n%s",
+                 obs::MetricsRegistry::global().snapshot().to_table().c_str());
 }
 
 }  // namespace
@@ -34,6 +85,9 @@ int main(int argc, char** argv) {
     core::AnalyzerOptions options;
     bool as_json = false;
     bool stats = false;
+    bool metrics = false;
+    int verbosity = 0;
+    const char* trace_path = nullptr;
     const char* path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
@@ -42,6 +96,12 @@ int main(int argc, char** argv) {
             as_json = true;
         } else if (std::strcmp(arg, "--stats") == 0) {
             stats = true;
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            metrics = true;
+        } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
+            ++verbosity;
         } else if (std::strcmp(arg, "--no-async-heuristic") == 0) {
             options.async_heuristic = false;
         } else if (std::strcmp(arg, "--no-deobfuscation") == 0) {
@@ -49,8 +109,12 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(arg, "--scope") == 0 && i + 1 < argc) {
             options.class_scope = argv[++i];
         } else if (std::strcmp(arg, "--async-hops") == 0 && i + 1 < argc) {
-            options.max_async_hops = static_cast<unsigned>(std::atoi(argv[++i]));
-            if (options.max_async_hops == 0) return usage(argv[0]);
+            if (!parse_unsigned(argv[++i], options.max_async_hops) ||
+                options.max_async_hops == 0) {
+                std::fprintf(stderr, "error: --async-hops expects a positive integer, got '%s'\n",
+                             argv[i]);
+                return usage(argv[0]);
+            }
         } else if (arg[0] == '-') {
             return usage(argv[0]);
         } else if (!path) {
@@ -60,6 +124,13 @@ int main(int argc, char** argv) {
         }
     }
     if (!path) return usage(argv[0]);
+
+    if (verbosity >= 2) {
+        log::set_threshold(log::Level::kDebug);
+    } else if (verbosity == 1) {
+        log::set_threshold(log::Level::kInfo);
+    }
+    if (trace_path) obs::TraceRecorder::global().set_enabled(true);
 
     std::ifstream in(path);
     if (!in) {
@@ -87,6 +158,16 @@ int main(int argc, char** argv) {
                      "time=%.0fms\n",
                      s.total_statements, s.slice_statements, 100 * s.slice_fraction(),
                      s.dp_sites, s.contexts, s.analysis_seconds * 1000);
+    }
+    if (metrics) print_metrics(report.value());
+    if (trace_path) {
+        std::ofstream trace_out(trace_path);
+        if (!trace_out) {
+            std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path);
+            return 1;
+        }
+        trace_out << obs::TraceRecorder::global().to_chrome_json().dump_pretty()
+                  << "\n";
     }
     return 0;
 }
