@@ -1,0 +1,107 @@
+// Parallel-pipeline scaling: wall-clock speedup of the analysis at
+// --jobs 1/2/4/8, measured two ways —
+//   * in-app:  the data-parallel pipeline stages (per-DP-site slicing,
+//     per-transaction signature building) on each corpus app, summed;
+//   * batch:   whole apps analyzed concurrently (the CLI's multi-.xapk
+//     mode), which parallelizes across the corpus.
+// Also cross-checks determinism: every configuration must produce the same
+// transaction and dependency totals as the sequential run.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/parallel.hpp"
+
+using namespace extractocol;
+using namespace extractocol::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct Totals {
+    std::size_t transactions = 0;
+    std::size_t dependencies = 0;
+    bool operator==(const Totals&) const = default;
+};
+
+}  // namespace
+
+int main() {
+    std::printf("== Parallel scaling: analysis wall-clock vs --jobs ==\n\n");
+
+    std::vector<std::string> names = corpus::open_source_apps();
+    const auto& closed = corpus::closed_source_apps();
+    names.insert(names.end(), closed.begin(), closed.end());
+
+    // Build the programs once; measure analysis only.
+    std::vector<corpus::CorpusApp> apps;
+    apps.reserve(names.size());
+    for (const auto& name : names) apps.push_back(corpus::build_app(name));
+
+    auto analyze_one = [&](std::size_t i, unsigned jobs) {
+        core::AnalyzerOptions options;
+        options.async_heuristic = !apps[i].spec.open_source;
+        options.jobs = jobs;
+        return core::Analyzer(options).analyze(apps[i].program);
+    };
+
+    const unsigned kJobs[] = {1, 2, 4, 8};
+    double in_app_base = 0, batch_base = 0;
+    Totals expected;
+
+    std::printf("%-8s  %14s  %14s\n", "jobs", "in-app (ms)", "batch (ms)");
+    for (unsigned jobs : kJobs) {
+        // In-app: sequential over apps, parallel stages inside each.
+        auto start = std::chrono::steady_clock::now();
+        Totals in_app_totals;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            auto report = analyze_one(i, jobs);
+            in_app_totals.transactions += report.transactions.size();
+            in_app_totals.dependencies += report.dependencies.size();
+        }
+        double in_app = seconds_since(start);
+
+        // Batch: apps in parallel, sequential stages inside each.
+        start = std::chrono::steady_clock::now();
+        auto reports = support::parallel_map<core::AnalysisReport>(
+            jobs, apps.size(), [&](std::size_t i) { return analyze_one(i, 1); });
+        double batch = seconds_since(start);
+        Totals batch_totals;
+        for (const auto& r : reports) {
+            batch_totals.transactions += r.transactions.size();
+            batch_totals.dependencies += r.dependencies.size();
+        }
+
+        if (jobs == 1) {
+            in_app_base = in_app;
+            batch_base = batch;
+            expected = in_app_totals;
+        }
+        if (!(in_app_totals == expected) || !(batch_totals == expected)) {
+            std::printf("DETERMINISM VIOLATION at jobs=%u\n", jobs);
+            return 1;
+        }
+        char in_app_speedup[16] = "";
+        char batch_speedup[16] = "";
+        if (jobs != 1) {
+            std::snprintf(in_app_speedup, sizeof(in_app_speedup), "x%.2f",
+                          in_app_base / in_app);
+            std::snprintf(batch_speedup, sizeof(batch_speedup), "x%.2f",
+                          batch_base / batch);
+        }
+        std::printf("%-8u  %9.0f %-5s  %9.0f %-5s\n", jobs, in_app * 1000,
+                    in_app_speedup, batch * 1000, batch_speedup);
+    }
+
+    std::printf(
+        "\nReports are byte-identical for every jobs value (enforced by\n"
+        "tests/determinism_test); batch mode parallelizes whole apps, so it\n"
+        "scales with corpus size, while in-app mode accelerates single large\n"
+        "apps and is bounded by the sequential txn/dedup phases (Amdahl).\n");
+    return 0;
+}

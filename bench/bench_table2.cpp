@@ -5,25 +5,47 @@
 //
 // Also emits a metrics-registry snapshot (BENCH_baseline.json by default,
 // or argv[1]) so perf PRs can diff pipeline counters against a committed
-// baseline — see DESIGN.md "Observability".
+// baseline — see DESIGN.md "Observability". `--jobs N` evaluates apps
+// concurrently (per-app batch parallelism); the accumulation stays in name
+// order and the counters describe the same total work, so the output and
+// the thread-count-independent snapshot fields are unchanged by N.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "bench_common.hpp"
 #include "obs/metrics.hpp"
+#include "support/parallel.hpp"
 
 using namespace extractocol;
 using namespace extractocol::bench;
 
 int main(int argc, char** argv) {
+    unsigned jobs = 1;
+    const char* out_path = "BENCH_baseline.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            out_path = argv[i];
+        }
+    }
+    jobs = support::resolve_jobs(jobs);
+
     std::printf("== Table 2: matched byte count %% on actual traffic ==\n\n");
+    auto wall_start = std::chrono::steady_clock::now();
 
     std::size_t apps_analyzed = 0;
-    auto run_group = [&apps_analyzed](const std::vector<std::string>& names,
-                                      const char* title) {
+    auto run_group = [&apps_analyzed, jobs](const std::vector<std::string>& names,
+                                            const char* title) {
+        // Apps evaluate independently into per-index slots; the byte
+        // accounting below sums them sequentially in name order.
+        auto evaluations = support::parallel_map<AppEvaluation>(
+            jobs, names.size(),
+            [&names](std::size_t i) { return evaluate_app(names[i]); });
         core::ByteAccounting request, response;
-        for (const auto& name : names) {
-            AppEvaluation ev = evaluate_app(name);
+        for (AppEvaluation& ev : evaluations) {
             core::TraceMatcher matcher(ev.report);
             auto summary = matcher.evaluate(ev.manual_trace);
             request += summary.request_bytes;
@@ -46,10 +68,16 @@ int main(int argc, char** argv) {
         "~80-90%% closed), while roughly half of response bytes fall to wildcards\n"
         "because apps read only part of each response.\n");
 
+    double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    std::printf("\nwall-clock: %.0f ms over %zu apps (--jobs %u)\n",
+                wall_seconds * 1000, apps_analyzed, jobs);
+
     // Metrics snapshot: counters are stable across runs (the corpus is
-    // deterministic); histogram timings are machine-dependent and meant for
-    // local before/after comparison only.
-    const char* out_path = argc > 1 ? argv[1] : "BENCH_baseline.json";
+    // deterministic) and across --jobs values (same total work); histogram
+    // timings are machine-dependent and meant for local before/after
+    // comparison only.
     text::Json doc = text::Json::object();
     doc.set("bench", text::Json("bench_table2"));
     doc.set("apps_analyzed", text::Json(static_cast<std::int64_t>(apps_analyzed)));

@@ -2,19 +2,75 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "semantics/deobfuscate.hpp"
 #include "slicing/slicer.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/strings.hpp"
 #include "xapk/serialize.hpp"
 
 namespace extractocol::core {
 
 using namespace xir;
+
+namespace {
+
+// '\x1f' (ASCII unit separator) never occurs in regex renderings or numeric
+// renderings, so joined keys cannot collide across field boundaries.
+constexpr char kSep = '\x1f';
+
+std::string transaction_key(const sig::TransactionSignature& signature,
+                            const std::string& uri_regex, const std::string& body_regex,
+                            const std::string& response_regex, const StmtRef& dp_site) {
+    std::string key;
+    key.reserve(uri_regex.size() + body_regex.size() + response_regex.size() + 32);
+    key += std::to_string(static_cast<int>(signature.method));
+    key += kSep;
+    key += uri_regex;
+    key += kSep;
+    key += body_regex;
+    key += kSep;
+    key += response_regex;
+    key += kSep;
+    key += std::to_string(static_cast<int>(signature.consumer));
+    key += kSep;
+    key += std::to_string(dp_site.method_index);
+    key += kSep;
+    key += std::to_string(dp_site.block);
+    key += kSep;
+    key += std::to_string(dp_site.index);
+    return key;
+}
+
+std::string dependency_key(const txn::Dependency& d) {
+    std::string key = std::to_string(d.from);
+    key += kSep;
+    key += std::to_string(d.to);
+    key += kSep;
+    key += d.response_field;
+    key += kSep;
+    key += d.request_field;
+    key += kSep;
+    key += d.via;
+    return key;
+}
+
+void merge_unique(std::vector<std::string>& into, std::vector<std::string>&& from) {
+    for (auto& value : from) {
+        if (std::find(into.begin(), into.end(), value) == into.end()) {
+            into.push_back(std::move(value));
+        }
+    }
+}
+
+}  // namespace
 
 Analyzer::Analyzer(AnalyzerOptions options)
     : options_(std::move(options)), model_(semantics::SemanticModel::standard()) {}
@@ -23,6 +79,12 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     auto start = std::chrono::steady_clock::now();
     obs::MetricsSnapshot counters_before = obs::MetricsRegistry::global().snapshot();
     obs::Span analyze_span("analyze", "core");
+
+    // One pool serves both data-parallel stages (per-site slicing and
+    // per-transaction signature building). The caller participates, so the
+    // pool holds jobs-1 workers; jobs <= 1 keeps everything on this thread.
+    unsigned jobs = support::resolve_jobs(options_.jobs);
+    support::ThreadPool pool(jobs > 1 ? jobs - 1 : 0);
 
     AnalysisReport report;
     auto end_phase = [&report](const char* name, obs::Span& span) {
@@ -57,18 +119,29 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     slicer_options.max_async_hops = options_.max_async_hops;
     slicing::Slicer slicer(*program, model_, slicer_options);
 
-    std::vector<slicing::SlicedTransaction> sliced;
+    std::vector<StmtRef> sites;
     for (const StmtRef& site : slicer.demarcation_sites()) {
         if (!options_.class_scope.empty()) {
             const Method& method = program->method_at(site.method_index);
             if (!strings::starts_with(method.class_name, options_.class_scope)) continue;
         }
-        auto txns = slicer.slice_site(site);
+        sites.push_back(site);
+    }
+    report.stats.dp_sites = sites.size();
+
+    // Each site slices independently into its own slot; the flatten below is
+    // sequential and in site order, so the transaction order (and therefore
+    // the report) is identical for any thread count.
+    std::vector<std::vector<slicing::SlicedTransaction>> per_site(sites.size());
+    pool.for_each_index(sites.size(), [&](std::size_t i) {
+        per_site[i] = slicer.slice_site(sites[i]);
+    });
+    std::vector<slicing::SlicedTransaction> sliced;
+    for (auto& txns : per_site) {
         sliced.insert(sliced.end(), std::make_move_iterator(txns.begin()),
                       std::make_move_iterator(txns.end()));
-        report.stats.dp_sites += 1;
     }
-    report.stats.contexts = sliced.size();
+    per_site.clear();
     report.stats.slice_statements = 0;
     {
         std::set<StmtRef> all;
@@ -87,28 +160,38 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     // only entry is an intent handler are invisible to the analysis. Drop
     // them here — they still appear in fuzzing traces, reproducing the
     // coverage gap of §5.1.
+    std::size_t contexts_before_filter = sliced.size();
     sliced.erase(std::remove_if(sliced.begin(), sliced.end(),
                                 [](const slicing::SlicedTransaction& t) {
                                     return t.trigger_kind == EventKind::kOnIntent &&
                                            !strings::starts_with(t.trigger, "unknown:");
                                 }),
                  sliced.end());
+    // Count contexts only after the intent filter so the stat agrees with
+    // the transactions actually reported; the filtered-out §5.1 coverage gap
+    // is kept as its own stat.
+    report.stats.contexts = sliced.size();
+    report.stats.dropped_intent_contexts = contexts_before_filter - sliced.size();
 
     struct Built {
         std::size_t sliced_index;
         sig::TransactionSignature signature;
     };
-    std::vector<Built> built;
-    for (std::size_t i = 0; i < sliced.size(); ++i) {
+    std::vector<std::optional<sig::TransactionSignature>> signatures(sliced.size());
+    pool.for_each_index(sliced.size(), [&](std::size_t i) {
         sig::BuildRequest request;
         request.dp_site = sliced[i].dp_site;
         request.dp = sliced[i].dp;
         request.context = sliced[i].context;
         request.slice = &sliced[i].combined_slice;
-        auto signature = builder.build(request);
-        if (!signature) continue;
-        built.push_back({i, std::move(*signature)});
+        signatures[i] = builder.build(request);
+    });
+    std::vector<Built> built;
+    for (std::size_t i = 0; i < sliced.size(); ++i) {
+        if (!signatures[i]) continue;
+        built.push_back({i, std::move(*signatures[i])});
     }
+    signatures.clear();
     end_phase("sig", sig_span);
 
     // Dependencies are computed over the sliced transactions, then remapped
@@ -121,9 +204,14 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     std::vector<txn::Dependency> raw_edges = deps.analyze(built_sliced);
     end_phase("txn", txn_span);
 
-    // Deduplicate: one report transaction per distinct signature.
+    // Deduplicate: one report transaction per distinct signature. The merge
+    // stays sequential (it fixes the report order), so it is keyed by hash —
+    // an O(n²) scan here would become the serial bottleneck of the parallel
+    // pipeline.
     obs::Span dedup_span("dedup", "core");
     std::vector<std::size_t> report_index_of(built.size());
+    std::unordered_map<std::string, std::size_t> index_by_key;
+    index_by_key.reserve(built.size());
     for (std::size_t bi = 0; bi < built.size(); ++bi) {
         const auto& signature = built[bi].signature;
         const auto& source = sliced[built[bi].sliced_index];
@@ -132,20 +220,14 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
         std::string response_regex =
             signature.has_response_body ? signature.response_body.to_regex() : "";
 
-        std::size_t found = report.transactions.size();
-        for (std::size_t ri = 0; ri < report.transactions.size(); ++ri) {
-            const auto& existing = report.transactions[ri];
-            if (existing.signature.method == signature.method &&
-                existing.uri_regex == uri_regex && existing.body_regex == body_regex &&
-                existing.response_regex == response_regex &&
-                existing.signature.consumer == signature.consumer &&
-                existing.dp_site == source.dp_site) {
-                found = ri;
-                break;
-            }
-        }
+        std::string key =
+            transaction_key(signature, uri_regex, body_regex, response_regex,
+                            source.dp_site);
+        auto [slot, inserted] = index_by_key.emplace(std::move(key),
+                                                     report.transactions.size());
+        std::size_t found = slot->second;
         auto tags = deps.tags(source);
-        if (found == report.transactions.size()) {
+        if (inserted) {
             ReportTransaction record;
             record.signature = signature;
             record.uri_regex = std::move(uri_regex);
@@ -170,8 +252,23 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
         } else {
             ReportTransaction& record = report.transactions[found];
             record.context_count += 1;
-            if (std::find(record.triggers.begin(), record.triggers.end(),
-                          source.trigger) == record.triggers.end()) {
+            // Duplicate contexts still contribute their behavior tags: a
+            // context reached from a different event may feed the request
+            // from new origins or consume the response in a new sink.
+            merge_unique(record.consumers, std::move(tags.consumers));
+            merge_unique(record.sources, std::move(tags.sources));
+            // triggers/trigger_kinds are parallel vectors; the same trigger
+            // string can arrive with a different EventKind, so uniqueness is
+            // over the (trigger, kind) pair or the two would desynchronize.
+            bool seen = false;
+            for (std::size_t ti = 0; ti < record.triggers.size(); ++ti) {
+                if (record.triggers[ti] == source.trigger &&
+                    record.trigger_kinds[ti] == source.trigger_kind) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen) {
                 record.triggers.push_back(source.trigger);
                 record.trigger_kinds.push_back(source.trigger_kind);
             }
@@ -179,14 +276,15 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
         report_index_of[bi] = found;
     }
 
+    std::unordered_set<std::string> seen_edges;
+    seen_edges.reserve(raw_edges.size());
     for (const auto& edge : raw_edges) {
         txn::Dependency mapped = edge;
         mapped.from = report_index_of[edge.from];
         mapped.to = report_index_of[edge.to];
         if (mapped.from == mapped.to) continue;
-        if (std::find(report.dependencies.begin(), report.dependencies.end(), mapped) ==
-            report.dependencies.end()) {
-            report.dependencies.push_back(mapped);
+        if (seen_edges.insert(dependency_key(mapped)).second) {
+            report.dependencies.push_back(std::move(mapped));
         }
     }
     end_phase("dedup", dedup_span);
@@ -361,6 +459,8 @@ text::Json AnalysisReport::to_json() const {
                 text::Json(static_cast<std::int64_t>(stats.slice_statements)));
     metrics.set("dp_sites", text::Json(static_cast<std::int64_t>(stats.dp_sites)));
     metrics.set("contexts", text::Json(static_cast<std::int64_t>(stats.contexts)));
+    metrics.set("dropped_intent_contexts",
+                text::Json(static_cast<std::int64_t>(stats.dropped_intent_contexts)));
     text::Json phases = text::Json::object();
     for (const auto& p : stats.phases) phases.set(p.name, text::Json(p.seconds));
     metrics.set("phases", std::move(phases));

@@ -58,7 +58,12 @@ struct AnalysisStats {
     std::size_t total_statements = 0;
     std::size_t slice_statements = 0;
     std::size_t dp_sites = 0;
+    /// Calling contexts that survive the intent filter — the contexts the
+    /// report's transactions are built from.
     std::size_t contexts = 0;
+    /// Intent-only contexts dropped before signature extraction (the §5.1
+    /// coverage gap: Extractocol does not model Android intents).
+    std::size_t dropped_intent_contexts = 0;
     double analysis_seconds = 0;
     /// Per-phase wall times in pipeline order. `xapk.parse` is present only
     /// when the analysis started from .xapk text. The remaining phases
@@ -117,6 +122,11 @@ struct AnalyzerOptions {
     /// Restrict analysis to DPs inside classes with this prefix (the §5.3
     /// Kayak study scopes to "com.kayak"). Empty = whole app.
     std::string class_scope;
+    /// Worker threads for the data-parallel stages (per-site slicing and
+    /// per-transaction signature building). 1 = sequential, 0 = one per
+    /// hardware thread. Reports are byte-identical for every value: workers
+    /// fill pre-sized slots by index and the merge stays sequential.
+    unsigned jobs = 1;
 };
 
 class Analyzer {

@@ -1,0 +1,117 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+
+namespace extractocol::support {
+
+unsigned resolve_jobs(unsigned jobs) {
+    if (jobs != 0) return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        Batch* batch = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] {
+                return stop_ || (batch_ != nullptr && batch_->next < batch_->n);
+            });
+            if (stop_) return;
+            batch = batch_;
+            batch->active += 1;
+        }
+        drain(*batch);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batch->active -= 1;
+            if (batch->completed == batch->n && batch->active == 0) {
+                done_cv_.notify_all();
+            }
+        }
+    }
+}
+
+void ThreadPool::drain(Batch& batch) {
+    for (;;) {
+        std::size_t index;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (batch.next >= batch.n) return;
+            index = batch.next++;
+        }
+        std::exception_ptr error;
+        try {
+            (*batch.fn)(index);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batch.completed += 1;
+            if (error) errors_.emplace_back(index, error);
+        }
+    }
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    Batch batch;
+    batch.n = n;
+    batch.fn = &fn;
+    if (!threads_.empty() && n > 1) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batch_ = &batch;
+        }
+        work_cv_.notify_all();
+    }
+    // The caller is one of the batch's executors either way.
+    drain(batch);
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (batch_ == &batch) {
+            done_cv_.wait(lock, [&batch] {
+                return batch.completed == batch.n && batch.active == 0;
+            });
+            batch_ = nullptr;
+        }
+        errors.swap(errors_);
+    }
+    if (!errors.empty()) {
+        auto lowest = std::min_element(
+            errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::rethrow_exception(lowest->second);
+    }
+}
+
+void parallel_for(unsigned jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+    unsigned total = std::max(1u, jobs);
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(total - 1, n > 0 ? n - 1 : 0));
+    ThreadPool pool(workers);
+    pool.for_each_index(n, fn);
+}
+
+}  // namespace extractocol::support

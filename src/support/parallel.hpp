@@ -1,0 +1,90 @@
+// Deterministic data parallelism for the analysis pipeline.
+//
+// The pipeline's expensive stages are embarrassingly parallel over an index
+// range (one slice per demarcation-point site, one signature build per
+// transaction, one analysis per app). `ThreadPool::for_each_index` runs a
+// callable over [0, n) on a fixed set of worker threads plus the calling
+// thread; indices are claimed dynamically (an atomic cursor), but callers
+// write results into pre-sized slots keyed by index and keep any
+// merge/reduce step sequential, so the output is byte-identical for every
+// thread count. See DESIGN.md "Parallelism".
+//
+// Exception contract: every index is attempted even if some throw; after
+// the batch drains, the exception raised by the *lowest* failing index is
+// rethrown (again independent of scheduling). A pool with zero workers
+// degenerates to an inline sequential loop with the same contract.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace extractocol::support {
+
+/// Resolves a user-facing `--jobs` value: 0 = one job per hardware thread
+/// (at least 1), anything else is taken as-is.
+unsigned resolve_jobs(unsigned jobs);
+
+class ThreadPool {
+public:
+    /// Spawns `workers` threads. The calling thread also participates in
+    /// each batch, so a pool driving `--jobs N` wants `N - 1` workers;
+    /// `workers == 0` means strictly sequential execution on the caller.
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] unsigned workers() const {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /// Runs `fn(i)` for every i in [0, n), blocking until all complete.
+    /// Not reentrant: one batch at a time per pool.
+    void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Batch {
+        std::size_t n = 0;
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t next = 0;       // first unclaimed index (guarded by mutex_)
+        std::size_t completed = 0;  // finished fn() calls (guarded by mutex_)
+        std::size_t active = 0;     // workers currently inside the batch
+    };
+
+    void worker_loop();
+    /// Claims and runs indices until the batch is exhausted. Returns with
+    /// mutex_ unheld; errors land in errors_.
+    void drain(Batch& batch);
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  // workers: a batch has unclaimed work
+    std::condition_variable done_cv_;  // caller: batch fully completed
+    std::vector<std::thread> threads_;
+    Batch* batch_ = nullptr;  // non-null while a batch is in flight
+    bool stop_ = false;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+};
+
+/// One-shot helper: runs `fn(i)` over [0, n) with `jobs` total threads
+/// (a transient pool of jobs-1 workers; jobs <= 1 runs inline). Analyzer
+/// holds a longer-lived ThreadPool instead to amortize thread start-up
+/// across pipeline stages.
+void parallel_for(unsigned jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Maps [0, n) through `fn` into a pre-sized vector; out[i] = fn(i).
+/// Deterministic for any thread count. T must be default-constructible.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(unsigned jobs, std::size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for(jobs, n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+}  // namespace extractocol::support

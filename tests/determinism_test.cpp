@@ -1,0 +1,111 @@
+// Parallel-pipeline determinism: the analysis report must be byte-identical
+// for every --jobs value (workers fill pre-sized slots by index; the merge
+// stays sequential). Runs the full bundled corpus at jobs 1/2/8 and compares
+// the text and JSON renderings, plus the jobs-independent stats and counter
+// deltas. Also covers the stats fixes: `contexts` counts post-intent-filter,
+// with the dropped §5.1 coverage gap kept in `dropped_intent_contexts`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "xir/ir.hpp"
+
+using namespace extractocol;
+
+namespace {
+
+core::AnalysisReport analyze(const xir::Program& program, bool open_source,
+                             unsigned jobs) {
+    core::AnalyzerOptions options;
+    options.async_heuristic = !open_source;  // the paper's §5.1 configuration
+    options.jobs = jobs;
+    return core::Analyzer(options).analyze(program);
+}
+
+/// JSON rendering with the wall-clock fields zeroed: timings legitimately
+/// vary across runs and thread counts, everything else must not.
+std::string normalized_json(const core::AnalysisReport& report) {
+    core::AnalysisReport copy = report;
+    copy.stats.analysis_seconds = 0;
+    copy.stats.phases.clear();
+    return copy.to_json().dump_pretty();
+}
+
+}  // namespace
+
+TEST(DeterminismTest, ReportsAreByteIdenticalAcrossJobCounts) {
+    std::vector<std::string> names = corpus::open_source_apps();
+    const auto& closed = corpus::closed_source_apps();
+    names.insert(names.end(), closed.begin(), closed.end());
+    ASSERT_FALSE(names.empty());
+
+    for (const auto& name : names) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        core::AnalysisReport baseline = analyze(app.program, app.spec.open_source, 1);
+        std::string baseline_text = baseline.to_text();
+        std::string baseline_json = normalized_json(baseline);
+
+        for (unsigned jobs : {2u, 8u}) {
+            core::AnalysisReport parallel =
+                analyze(app.program, app.spec.open_source, jobs);
+            EXPECT_EQ(parallel.to_text(), baseline_text)
+                << name << " text report diverged at jobs=" << jobs;
+            EXPECT_EQ(normalized_json(parallel), baseline_json)
+                << name << " JSON report diverged at jobs=" << jobs;
+            // Spot-check the jobs-independent stats directly so a failure
+            // names the diverging quantity instead of a wall of JSON.
+            EXPECT_EQ(parallel.stats.dp_sites, baseline.stats.dp_sites) << name;
+            EXPECT_EQ(parallel.stats.contexts, baseline.stats.contexts) << name;
+            EXPECT_EQ(parallel.stats.dropped_intent_contexts,
+                      baseline.stats.dropped_intent_contexts)
+                << name;
+            EXPECT_EQ(parallel.stats.slice_statements, baseline.stats.slice_statements)
+                << name;
+            // Same total work: per-run counter deltas (taint runs, worklist
+            // iterations, signature builds...) must not depend on jobs.
+            EXPECT_EQ(parallel.stats.counters, baseline.stats.counters) << name;
+        }
+    }
+}
+
+TEST(DeterminismTest, StatsCountContextsAfterIntentFilter) {
+    corpus::AppSpec spec;
+    spec.name = "intentapp";
+    spec.package = "com.intent";
+    spec.open_source = true;
+    spec.https = false;
+
+    corpus::EndpointSpec feed;
+    feed.name = "feed";
+    feed.method = http::Method::kGet;
+    feed.lib = corpus::HttpLib::kApache;
+    feed.host = "api.intent.com";
+    feed.path = "/v1/feed";
+    spec.endpoints.push_back(feed);
+
+    corpus::EndpointSpec push;
+    push.name = "push";
+    push.method = http::Method::kPost;
+    push.lib = corpus::HttpLib::kApache;
+    push.host = "api.intent.com";
+    push.path = "/v1/push";
+    push.trigger = xir::EventKind::kOnIntent;
+    spec.endpoints.push_back(push);
+
+    corpus::CorpusApp app = corpus::generate(spec);
+    core::AnalysisReport report = analyze(app.program, true, 1);
+
+    // The intent-only transaction is invisible to the analysis (§4): it must
+    // be excluded from `contexts` (which previously counted it, disagreeing
+    // with the emitted report) and surface in `dropped_intent_contexts`.
+    EXPECT_GE(report.stats.dropped_intent_contexts, 1u) << report.to_text();
+    std::size_t merged_contexts = 0;
+    for (const auto& t : report.transactions) merged_contexts += t.context_count;
+    EXPECT_EQ(report.stats.contexts, merged_contexts) << report.to_text();
+    for (const auto& t : report.transactions) {
+        EXPECT_EQ(t.uri_regex.find("push"), std::string::npos) << report.to_text();
+    }
+}

@@ -1,0 +1,119 @@
+// Unit tests for the support/parallel thread pool: completeness of index
+// coverage, the exception contract (all indices attempted, lowest failing
+// index rethrown), degenerate ranges, and pools larger than the range.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/parallel.hpp"
+
+using namespace extractocol;
+
+TEST(ParallelTest, EmptyRangeIsANoOp) {
+    support::ThreadPool pool(3);
+    bool ran = false;
+    pool.for_each_index(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+    support::parallel_for(4, 0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelTest, EveryIndexRunsExactlyOnce) {
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    support::ThreadPool pool(3);
+    pool.for_each_index(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelTest, MoreJobsThanItems) {
+    std::vector<std::atomic<int>> hits(3);
+    support::ThreadPool pool(8);
+    pool.for_each_index(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelTest, PoolIsReusableAcrossBatches) {
+    support::ThreadPool pool(2);
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 5; ++round) {
+        pool.for_each_index(100, [&](std::size_t) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 500u);
+}
+
+TEST(ParallelTest, ZeroWorkerPoolRunsInline) {
+    support::ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 0u);
+    std::vector<int> order;
+    pool.for_each_index(4, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));  // safe: single-threaded
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParallelTest, RethrowsLowestFailingIndexAndAttemptsAll) {
+    std::vector<std::atomic<int>> hits(64);
+    support::ThreadPool pool(4);
+    try {
+        pool.for_each_index(64, [&](std::size_t i) {
+            hits[i].fetch_add(1);
+            if (i == 7 || i == 50) {
+                throw std::runtime_error("boom@" + std::to_string(i));
+            }
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom@7");
+    }
+    // A failing index must not abort the batch: every index still ran.
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelTest, SequentialPathHasSameExceptionContract) {
+    std::vector<int> hits(16, 0);
+    try {
+        support::parallel_for(1, 16, [&](std::size_t i) {
+            hits[i] += 1;
+            if (i == 3 || i == 12) throw std::runtime_error("seq@" + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "seq@3");
+    }
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelTest, PoolRemainsUsableAfterAnException) {
+    support::ThreadPool pool(2);
+    EXPECT_THROW(pool.for_each_index(
+                     8, [](std::size_t i) { if (i == 2) throw std::logic_error("x"); }),
+                 std::logic_error);
+    std::atomic<std::size_t> total{0};
+    pool.for_each_index(8, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 8u);
+}
+
+TEST(ParallelTest, ParallelMapFillsSlotsByIndex) {
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        auto squares = support::parallel_map<std::size_t>(
+            jobs, 257, [](std::size_t i) { return i * i; });
+        ASSERT_EQ(squares.size(), 257u);
+        for (std::size_t i = 0; i < squares.size(); ++i) {
+            EXPECT_EQ(squares[i], i * i);
+        }
+    }
+}
+
+TEST(ParallelTest, ResolveJobs) {
+    EXPECT_EQ(support::resolve_jobs(1), 1u);
+    EXPECT_EQ(support::resolve_jobs(5), 5u);
+    EXPECT_GE(support::resolve_jobs(0), 1u);  // auto-detect, at least one
+}

@@ -1,12 +1,17 @@
 // extractocol — command-line front end.
 //
-//   extractocol [options] <app.xapk>
+//   extractocol [options] <app.xapk> [<app2.xapk> ...]
 //
 //   --json                 emit the machine-readable report instead of text
+//                          (multiple inputs: one JSON array entry per app)
 //   --scope <prefix>       restrict analysis to classes under <prefix> (§5.3)
 //   --no-async-heuristic   disable the §3.4 cross-event heuristic
 //   --async-hops <n>       async-chain depth (default 1; >1 = §4 extension)
 //   --no-deobfuscation     skip the bundled-library de-obfuscation pre-pass
+//   --jobs <n>             worker threads (default 1 = sequential, 0 = one
+//                          per hardware thread). With multiple inputs the
+//                          apps are analyzed concurrently; reports are
+//                          byte-identical for every value
 //   --stats                print analysis statistics to stderr
 //   --metrics              print the per-phase timing table and metric
 //                          counters to stderr
@@ -22,11 +27,14 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/analyzer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
+#include "support/result.hpp"
 
 using namespace extractocol;
 
@@ -35,8 +43,9 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--json] [--scope PREFIX] [--no-async-heuristic]\n"
-                 "          [--async-hops N] [--no-deobfuscation] [--stats]\n"
-                 "          [--metrics] [--trace FILE] [-v|--verbose] APP.xapk\n",
+                 "          [--async-hops N] [--no-deobfuscation] [--jobs N]\n"
+                 "          [--stats] [--metrics] [--trace FILE] [-v|--verbose]\n"
+                 "          APP.xapk [APP2.xapk ...]\n",
                  argv0);
     return 2;
 }
@@ -52,6 +61,16 @@ bool parse_unsigned(const char* text, unsigned& out) {
     if (value > std::numeric_limits<unsigned>::max()) return false;
     out = static_cast<unsigned>(value);
     return true;
+}
+
+void print_stats(const core::AnalysisReport& report) {
+    const auto& s = report.stats;
+    std::fprintf(stderr,
+                 "statements=%zu sliced=%zu (%.1f%%) dps=%zu contexts=%zu "
+                 "dropped_intent_contexts=%zu time=%.0fms\n",
+                 s.total_statements, s.slice_statements, 100 * s.slice_fraction(),
+                 s.dp_sites, s.contexts, s.dropped_intent_contexts,
+                 s.analysis_seconds * 1000);
 }
 
 void print_metrics(const core::AnalysisReport& report) {
@@ -87,8 +106,19 @@ int main(int argc, char** argv) {
     bool stats = false;
     bool metrics = false;
     int verbosity = 0;
+    unsigned jobs = 1;
     const char* trace_path = nullptr;
-    const char* path = nullptr;
+    std::vector<const char*> paths;
+
+    // Options that consume a value report their own name when it is
+    // missing, instead of falling through to the generic usage text.
+    auto value_of = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: option '%s' requires a value\n", argv[i]);
+            return nullptr;
+        }
+        return argv[++i];
+    };
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -98,32 +128,45 @@ int main(int argc, char** argv) {
             stats = true;
         } else if (std::strcmp(arg, "--metrics") == 0) {
             metrics = true;
-        } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
-            trace_path = argv[++i];
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (!(trace_path = value_of(i))) return usage(argv[0]);
         } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
             ++verbosity;
         } else if (std::strcmp(arg, "--no-async-heuristic") == 0) {
             options.async_heuristic = false;
         } else if (std::strcmp(arg, "--no-deobfuscation") == 0) {
             options.deobfuscate_libraries = false;
-        } else if (std::strcmp(arg, "--scope") == 0 && i + 1 < argc) {
-            options.class_scope = argv[++i];
-        } else if (std::strcmp(arg, "--async-hops") == 0 && i + 1 < argc) {
-            if (!parse_unsigned(argv[++i], options.max_async_hops) ||
+        } else if (std::strcmp(arg, "--scope") == 0) {
+            const char* value = value_of(i);
+            if (!value) return usage(argv[0]);
+            options.class_scope = value;
+        } else if (std::strcmp(arg, "--async-hops") == 0) {
+            const char* value = value_of(i);
+            if (!value) return usage(argv[0]);
+            if (!parse_unsigned(value, options.max_async_hops) ||
                 options.max_async_hops == 0) {
-                std::fprintf(stderr, "error: --async-hops expects a positive integer, got '%s'\n",
-                             argv[i]);
+                std::fprintf(stderr,
+                             "error: --async-hops expects a positive integer, got '%s'\n",
+                             value);
+                return usage(argv[0]);
+            }
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            const char* value = value_of(i);
+            if (!value) return usage(argv[0]);
+            if (!parse_unsigned(value, jobs)) {
+                std::fprintf(stderr,
+                             "error: --jobs expects a non-negative integer, got '%s'\n",
+                             value);
                 return usage(argv[0]);
             }
         } else if (arg[0] == '-') {
+            std::fprintf(stderr, "error: unknown option '%s'\n", arg);
             return usage(argv[0]);
-        } else if (!path) {
-            path = arg;
         } else {
-            return usage(argv[0]);
+            paths.push_back(arg);
         }
     }
-    if (!path) return usage(argv[0]);
+    if (paths.empty()) return usage(argv[0]);
 
     if (verbosity >= 2) {
         log::set_threshold(log::Level::kDebug);
@@ -132,34 +175,72 @@ int main(int argc, char** argv) {
     }
     if (trace_path) obs::TraceRecorder::global().set_enabled(true);
 
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "error: cannot open %s\n", path);
-        return 1;
+    std::vector<std::string> texts(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        std::ifstream in(paths[i]);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot open %s\n", paths[i]);
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        texts[i] = buffer.str();
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
+
+    // Batch mode: with several inputs the jobs are spent across apps first
+    // (whole analyses are independent), and any remainder inside each app.
+    // Reports land in pre-sized slots and are printed in input order, so the
+    // output is byte-identical for every --jobs value.
+    jobs = support::resolve_jobs(jobs);
+    unsigned app_jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, paths.size()));
+    options.jobs = std::max(1u, jobs / std::max(1u, app_jobs));
 
     core::Analyzer analyzer(options);
-    auto report = analyzer.analyze_xapk(buffer.str());
-    if (!report.ok()) {
-        std::fprintf(stderr, "error: %s\n", report.error().message.c_str());
-        return 1;
+    std::vector<Result<core::AnalysisReport>> reports(
+        paths.size(), Result<core::AnalysisReport>(core::AnalysisReport{}));
+    support::parallel_for(app_jobs, paths.size(), [&](std::size_t i) {
+        reports[i] = analyzer.analyze_xapk(texts[i]);
+    });
+    if (paths.size() > 1) {
+        // Per-run counter deltas are snapshots of the process-global registry;
+        // concurrent analyses overlap each other's windows, so per-app
+        // attribution is meaningless in batch mode and would make the output
+        // vary with --jobs. The aggregate registry (--metrics) stays exact.
+        for (auto& r : reports) {
+            if (r.ok()) r.value().stats.counters.clear();
+        }
     }
-    if (as_json) {
-        std::printf("%s\n", report.value().to_json().dump_pretty().c_str());
-    } else {
-        std::printf("%s", report.value().to_text().c_str());
+
+    int exit_code = 0;
+    text::Json batch = text::Json::array();
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        if (!reports[i].ok()) {
+            std::fprintf(stderr, "error: %s: %s\n", paths[i],
+                         reports[i].error().message.c_str());
+            exit_code = 1;
+            continue;
+        }
+        const core::AnalysisReport& report = reports[i].value();
+        if (as_json) {
+            if (paths.size() == 1) {
+                std::printf("%s\n", report.to_json().dump_pretty().c_str());
+            } else {
+                text::Json entry = text::Json::object();
+                entry.set("file", text::Json(std::string(paths[i])));
+                entry.set("report", report.to_json());
+                batch.push_back(std::move(entry));
+            }
+        } else {
+            if (paths.size() > 1) std::printf("== %s ==\n", paths[i]);
+            std::printf("%s", report.to_text().c_str());
+        }
+        if (stats) print_stats(report);
+        if (metrics) print_metrics(report);
     }
-    if (stats) {
-        const auto& s = report.value().stats;
-        std::fprintf(stderr,
-                     "statements=%zu sliced=%zu (%.1f%%) dps=%zu contexts=%zu "
-                     "time=%.0fms\n",
-                     s.total_statements, s.slice_statements, 100 * s.slice_fraction(),
-                     s.dp_sites, s.contexts, s.analysis_seconds * 1000);
+    if (as_json && paths.size() > 1) {
+        std::printf("%s\n", batch.dump_pretty().c_str());
     }
-    if (metrics) print_metrics(report.value());
     if (trace_path) {
         std::ofstream trace_out(trace_path);
         if (!trace_out) {
@@ -169,5 +250,5 @@ int main(int argc, char** argv) {
         trace_out << obs::TraceRecorder::global().to_chrome_json().dump_pretty()
                   << "\n";
     }
-    return 0;
+    return exit_code;
 }
