@@ -3,30 +3,92 @@
 //   Rv — bytes of values whose key the signature identifies,
 //   Rn — bytes covered only by wildcards.
 //
-// Also emits a metrics-registry snapshot (BENCH_baseline.json by default,
-// or argv[1]) so perf PRs can diff pipeline counters against a committed
-// baseline — see DESIGN.md "Observability". `--jobs N` evaluates apps
-// concurrently (per-app batch parallelism); the accumulation stays in name
-// order and the counters describe the same total work, so the output and
-// the thread-count-independent snapshot fields are unchanged by N.
+// Also guards the committed metrics baseline (bench/BENCH_baseline.json):
+// the default run re-analyzes the corpus and diffs the counter section
+// against the snapshot, failing loudly (exit 1, per-name diff) on drift so
+// a PR cannot silently change the pipeline's work profile. `--update`
+// rewrites the committed baseline in place; an explicit path argument only
+// writes a snapshot there without comparing. Histogram timings are
+// machine-dependent and excluded from the comparison. `--jobs N` evaluates
+// apps concurrently (per-app batch parallelism); the accumulation stays in
+// name order and the counters describe the same total work, so the output
+// and the comparison are unchanged by N.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "obs/metrics.hpp"
 #include "support/parallel.hpp"
+#include "text/json.hpp"
+
+#ifndef XT_BENCH_BASELINE_PATH
+#define XT_BENCH_BASELINE_PATH "BENCH_baseline.json"
+#endif
 
 using namespace extractocol;
 using namespace extractocol::bench;
 
+namespace {
+
+/// Exact two-way counter diff against the committed baseline. Returns the
+/// number of drifted entries (missing, unexpected, or changed counters all
+/// count); prints one line per drift.
+int diff_counters(const text::Json& baseline, const text::Json& current) {
+    const text::Json* want = baseline.find("metrics")
+                                 ? baseline.find("metrics")->find("counters")
+                                 : nullptr;
+    const text::Json* have = current.find("metrics")->find("counters");
+    if (want == nullptr || !want->is_object()) {
+        std::fprintf(stderr, "drift: baseline has no metrics.counters object\n");
+        return 1;
+    }
+    int drifted = 0;
+    for (const auto& [name, value] : want->members()) {
+        const text::Json* now = have->find(name);
+        if (now == nullptr) {
+            std::fprintf(stderr, "drift: counter %s disappeared (baseline %lld)\n",
+                         name.c_str(), static_cast<long long>(value.as_int()));
+            ++drifted;
+        } else if (now->as_int() != value.as_int()) {
+            std::fprintf(stderr, "drift: counter %s = %lld, baseline %lld (%+lld)\n",
+                         name.c_str(), static_cast<long long>(now->as_int()),
+                         static_cast<long long>(value.as_int()),
+                         static_cast<long long>(now->as_int() - value.as_int()));
+            ++drifted;
+        }
+    }
+    for (const auto& [name, value] : have->members()) {
+        if (want->find(name) == nullptr) {
+            std::fprintf(stderr, "drift: new counter %s = %lld not in baseline\n",
+                         name.c_str(), static_cast<long long>(value.as_int()));
+            ++drifted;
+        }
+    }
+    const text::Json* want_apps = baseline.find("apps_analyzed");
+    if (want_apps != nullptr &&
+        want_apps->as_int() != current.find("apps_analyzed")->as_int()) {
+        std::fprintf(stderr, "drift: apps_analyzed = %lld, baseline %lld\n",
+                     static_cast<long long>(current.find("apps_analyzed")->as_int()),
+                     static_cast<long long>(want_apps->as_int()));
+        ++drifted;
+    }
+    return drifted;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     unsigned jobs = 1;
-    const char* out_path = "BENCH_baseline.json";
+    bool update = false;
+    const char* out_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--update") == 0) {
+            update = true;
         } else {
             out_path = argv[i];
         }
@@ -82,12 +144,47 @@ int main(int argc, char** argv) {
     doc.set("bench", text::Json("bench_table2"));
     doc.set("apps_analyzed", text::Json(static_cast<std::int64_t>(apps_analyzed)));
     doc.set("metrics", obs::MetricsRegistry::global().snapshot().to_json());
-    std::ofstream out(out_path);
-    if (!out) {
-        std::fprintf(stderr, "error: cannot write %s\n", out_path);
+
+    if (out_path != nullptr || update) {
+        const char* target = out_path != nullptr ? out_path : XT_BENCH_BASELINE_PATH;
+        std::ofstream out(target);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n", target);
+            return 1;
+        }
+        out << doc.dump_pretty() << "\n";
+        std::printf("\nwrote metrics snapshot to %s\n", target);
+        return 0;
+    }
+
+    // Default mode: fail loudly if the pipeline's counter profile drifted
+    // from the committed baseline. Re-snapshot with `--update` when the
+    // change is intentional.
+    std::ifstream in(XT_BENCH_BASELINE_PATH);
+    if (!in) {
+        std::fprintf(stderr,
+                     "error: cannot read committed baseline %s "
+                     "(run with --update to create it)\n",
+                     XT_BENCH_BASELINE_PATH);
         return 1;
     }
-    out << doc.dump_pretty() << "\n";
-    std::printf("\nwrote metrics snapshot to %s\n", out_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto baseline = text::parse_json(buffer.str());
+    if (!baseline.ok()) {
+        std::fprintf(stderr, "error: baseline %s is not valid JSON: %s\n",
+                     XT_BENCH_BASELINE_PATH, baseline.error().message.c_str());
+        return 1;
+    }
+    int drifted = diff_counters(baseline.value(), doc);
+    if (drifted > 0) {
+        std::fprintf(stderr,
+                     "\n%d counter(s) drifted from %s.\n"
+                     "If the change is intentional, re-snapshot with: "
+                     "bench_table2 --update\n",
+                     drifted, XT_BENCH_BASELINE_PATH);
+        return 1;
+    }
+    std::printf("\ncounters match committed baseline %s\n", XT_BENCH_BASELINE_PATH);
     return 0;
 }

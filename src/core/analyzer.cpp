@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <variant>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -129,6 +130,23 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     }
     report.stats.dp_sites = sites.size();
 
+    // Audit scaffolding: one record per DP site, in site order (which is
+    // jobs-independent); the per-site counts fill in as the pipeline runs.
+    std::unordered_map<StmtRef, std::size_t, StmtRefHash> audit_index;
+    audit_index.reserve(sites.size());
+    report.audit.dp_sites.reserve(sites.size());
+    for (const StmtRef& site : sites) {
+        DpSiteAudit a;
+        a.site = site;
+        const Method& method = program->method_at(site.method_index);
+        a.location = method.class_name + "." + method.name;
+        if (const auto* inv = std::get_if<Invoke>(&program->statement(site))) {
+            a.dp = inv->callee.class_name + "." + inv->callee.method_name;
+        }
+        audit_index.emplace(site, report.audit.dp_sites.size());
+        report.audit.dp_sites.push_back(std::move(a));
+    }
+
     // Each site slices independently into its own slot; the flatten below is
     // sequential and in site order, so the transaction order (and therefore
     // the report) is identical for any thread count.
@@ -156,17 +174,35 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     obs::Span sig_span("sig", "core");
     sig::SignatureBuilder builder(*program, slicer.callgraph(), model_);
 
+    // Pre-filter context totals per site: the audit outcome distinguishes
+    // "slicing found nothing" from "everything was filtered away".
+    std::vector<std::size_t> site_total_contexts(sites.size(), 0);
+    for (const auto& txn : sliced) {
+        auto it = audit_index.find(txn.dp_site);
+        if (it != audit_index.end()) ++site_total_contexts[it->second];
+    }
+
     // Extractocol does not model Android intents (§4): transactions whose
     // only entry is an intent handler are invisible to the analysis. Drop
     // them here — they still appear in fuzzing traces, reproducing the
     // coverage gap of §5.1.
     std::size_t contexts_before_filter = sliced.size();
-    sliced.erase(std::remove_if(sliced.begin(), sliced.end(),
-                                [](const slicing::SlicedTransaction& t) {
-                                    return t.trigger_kind == EventKind::kOnIntent &&
-                                           !strings::starts_with(t.trigger, "unknown:");
-                                }),
-                 sliced.end());
+    {
+        std::vector<slicing::SlicedTransaction> kept;
+        kept.reserve(sliced.size());
+        for (auto& t : sliced) {
+            if (t.trigger_kind == EventKind::kOnIntent &&
+                !strings::starts_with(t.trigger, "unknown:")) {
+                auto it = audit_index.find(t.dp_site);
+                if (it != audit_index.end()) {
+                    ++report.audit.dp_sites[it->second].dropped_intent_contexts;
+                }
+                continue;
+            }
+            kept.push_back(std::move(t));
+        }
+        sliced = std::move(kept);
+    }
     // Count contexts only after the intent filter so the stat agrees with
     // the transactions actually reported; the filtered-out §5.1 coverage gap
     // is kept as its own stat.
@@ -192,6 +228,26 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
         built.push_back({i, std::move(*signatures[i])});
     }
     signatures.clear();
+
+    for (const auto& b : built) {
+        auto it = audit_index.find(sliced[b.sliced_index].dp_site);
+        if (it != audit_index.end()) ++report.audit.dp_sites[it->second].built;
+    }
+    for (std::size_t i = 0; i < report.audit.dp_sites.size(); ++i) {
+        DpSiteAudit& a = report.audit.dp_sites[i];
+        a.contexts = site_total_contexts[i] - a.dropped_intent_contexts;
+        if (site_total_contexts[i] == 0) {
+            a.outcome = "empty_slice";
+        } else if (a.contexts == 0) {
+            a.outcome = "dropped_intent";
+        } else if (a.built == 0) {
+            a.outcome = "build_failed";
+        } else if (a.built < a.contexts) {
+            a.outcome = "partial";
+        } else {
+            a.outcome = "complete";
+        }
+    }
     end_phase("sig", sig_span);
 
     // Dependencies are computed over the sliced transactions, then remapped
@@ -289,11 +345,51 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     }
     end_phase("dedup", dedup_span);
 
+    // Imprecision taxonomy over the final report: count unknown leaves by
+    // reason in the signature trees actually emitted. Walking the report
+    // (rather than reading counters) keeps the tally deterministic under
+    // concurrent analyses and exact after deduplication.
+    for (const auto& t : report.transactions) {
+        auto tally = [&report](const sig::Sig& s) {
+            report.audit.unknown_total +=
+                s.count_unknown_reasons(report.audit.unknown_reasons);
+        };
+        tally(t.signature.uri);
+        for (const auto& [hname, hvalue] : t.signature.headers) {
+            tally(hname);
+            tally(hvalue);
+        }
+        if (t.signature.has_body) tally(t.signature.body);
+        if (t.signature.has_response_body) tally(t.signature.response_body);
+    }
+    std::sort(report.audit.unknown_reasons.begin(), report.audit.unknown_reasons.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
     analyze_span.finish();
     report.stats.analysis_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     report.stats.counters =
         obs::MetricsRegistry::global().snapshot().delta_since(counters_before).counters;
+
+    // Per-symbol unmodeled-API counts travel as counters (every recording
+    // site is a plain obs::counter bump); here they are pulled out of the
+    // run's delta into the audit table so --metrics stays readable.
+    constexpr std::string_view kUnmodeledPrefix = "audit.unmodeled_api.";
+    auto& counters = report.stats.counters;
+    for (auto it = counters.begin(); it != counters.end();) {
+        if (strings::starts_with(it->first, kUnmodeledPrefix)) {
+            report.audit.unmodeled_apis.emplace_back(
+                it->first.substr(kUnmodeledPrefix.size()), it->second);
+            it = counters.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    std::sort(report.audit.unmodeled_apis.begin(), report.audit.unmodeled_apis.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+              });
     return report;
 }
 
@@ -436,6 +532,25 @@ text::Json AnalysisReport::to_json() const {
             for (const auto& c : t.consumers) arr.push_back(text::Json(c));
             obj.set("consumers", std::move(arr));
         }
+        text::Json prov = text::Json::object();
+        prov.set("uri", t.signature.uri.to_provenance_json());
+        if (!t.signature.headers.empty()) {
+            text::Json headers = text::Json::array();
+            for (const auto& [hname, hvalue] : t.signature.headers) {
+                text::Json h = text::Json::object();
+                h.set("name", hname.to_provenance_json());
+                h.set("value", hvalue.to_provenance_json());
+                headers.push_back(std::move(h));
+            }
+            prov.set("headers", std::move(headers));
+        }
+        if (t.signature.has_body) {
+            prov.set("body", t.signature.body.to_provenance_json());
+        }
+        if (t.signature.has_response_body) {
+            prov.set("response", t.signature.response_body.to_provenance_json());
+        }
+        obj.set("provenance", std::move(prov));
         txns.push_back(std::move(obj));
     }
     doc.set("transactions", std::move(txns));
@@ -470,7 +585,194 @@ text::Json AnalysisReport::to_json() const {
     }
     metrics.set("counters", std::move(counter_obj));
     doc.set("metrics", std::move(metrics));
+    doc.set("audit", audit.to_json());
     return doc;
+}
+
+// ----------------------------------------------------------------- audit --
+
+namespace {
+
+const char* value_type_name(sig::Sig::ValueType type) {
+    switch (type) {
+        case sig::Sig::ValueType::kString: return "string";
+        case sig::Sig::ValueType::kInt: return "int";
+        case sig::Sig::ValueType::kBool: return "bool";
+        case sig::Sig::ValueType::kAny: return "any";
+    }
+    return "any";
+}
+
+/// Indented provenance-tree rendering of one signature (--explain).
+void append_sig_tree(std::string& out, const sig::Sig& s, int indent) {
+    out.append(static_cast<std::size_t>(indent) * 2, ' ');
+    auto origin_suffix = [&s]() {
+        return s.origin.empty() ? std::string() : "  <- " + s.origin;
+    };
+    switch (s.kind) {
+        case sig::Sig::Kind::kConst:
+            out += "const \"" + s.text + "\"" + origin_suffix() + "\n";
+            return;
+        case sig::Sig::Kind::kUnknown:
+            out += std::string("unknown[") + value_type_name(s.value_type) + "]";
+            if (s.reason != sig::UnknownReason::kUnspecified) {
+                out += std::string(" reason=") + sig::unknown_reason_name(s.reason);
+            }
+            out += origin_suffix() + "\n";
+            return;
+        case sig::Sig::Kind::kConcat: out += "concat" + origin_suffix() + "\n"; break;
+        case sig::Sig::Kind::kAlt: out += "alt" + origin_suffix() + "\n"; break;
+        case sig::Sig::Kind::kRep: out += "rep" + origin_suffix() + "\n"; break;
+        case sig::Sig::Kind::kJsonObject: {
+            out += "json_object" + origin_suffix() + "\n";
+            for (const auto& [key, value] : s.members) {
+                out.append(static_cast<std::size_t>(indent + 1) * 2, ' ');
+                out += "\"" + key + "\":\n";
+                append_sig_tree(out, value, indent + 2);
+            }
+            return;
+        }
+        case sig::Sig::Kind::kJsonArray:
+            out += std::string("json_array") + (s.repeated ? " repeated" : "") +
+                   origin_suffix() + "\n";
+            break;
+        case sig::Sig::Kind::kXmlElement: {
+            out += "xml <" + s.text + ">" + origin_suffix() + "\n";
+            for (const auto& [name, value] : s.members) {
+                out.append(static_cast<std::size_t>(indent + 1) * 2, ' ');
+                out += "@" + name + ":\n";
+                append_sig_tree(out, value, indent + 2);
+            }
+            for (const auto& child : s.children) append_sig_tree(out, child, indent + 1);
+            for (const auto& txt : s.xml_text) append_sig_tree(out, txt, indent + 1);
+            return;
+        }
+    }
+    for (const auto& child : s.children) append_sig_tree(out, child, indent + 1);
+}
+
+std::string site_label(const StmtRef& site) {
+    return std::to_string(site.method_index) + ":" + std::to_string(site.block) + ":" +
+           std::to_string(site.index);
+}
+
+}  // namespace
+
+std::size_t AnalysisAudit::count_outcome(std::string_view outcome) const {
+    return static_cast<std::size_t>(
+        std::count_if(dp_sites.begin(), dp_sites.end(),
+                      [outcome](const DpSiteAudit& a) { return a.outcome == outcome; }));
+}
+
+text::Json AnalysisAudit::to_json() const {
+    text::Json doc = text::Json::object();
+    doc.set("unknown_total", text::Json(static_cast<std::int64_t>(unknown_total)));
+    text::Json reasons = text::Json::object();
+    for (const auto& [name, count] : unknown_reasons) {
+        reasons.set(name, text::Json(static_cast<std::int64_t>(count)));
+    }
+    doc.set("unknown_reasons", std::move(reasons));
+    text::Json sites = text::Json::array();
+    for (const auto& a : dp_sites) {
+        text::Json obj = text::Json::object();
+        obj.set("dp", text::Json(a.dp));
+        obj.set("location", text::Json(a.location));
+        obj.set("site", text::Json(site_label(a.site)));
+        obj.set("outcome", text::Json(a.outcome));
+        obj.set("contexts", text::Json(static_cast<std::int64_t>(a.contexts)));
+        obj.set("dropped_intent_contexts",
+                text::Json(static_cast<std::int64_t>(a.dropped_intent_contexts)));
+        obj.set("built", text::Json(static_cast<std::int64_t>(a.built)));
+        sites.push_back(std::move(obj));
+    }
+    doc.set("dp_sites", std::move(sites));
+    text::Json apis = text::Json::array();
+    for (const auto& [name, calls] : unmodeled_apis) {
+        text::Json obj = text::Json::object();
+        obj.set("api", text::Json(name));
+        obj.set("calls", text::Json(static_cast<std::int64_t>(calls)));
+        apis.push_back(std::move(obj));
+    }
+    doc.set("unmodeled_apis", std::move(apis));
+    return doc;
+}
+
+std::string AnalysisAudit::to_text() const {
+    std::string out = "Audit: analysis quality\n";
+    out += "DP sites: " + std::to_string(dp_sites.size());
+    const char* kOutcomes[] = {"complete", "partial", "build_failed", "dropped_intent",
+                               "empty_slice"};
+    std::string breakdown;
+    for (const char* outcome : kOutcomes) {
+        std::size_t n = count_outcome(outcome);
+        if (n == 0) continue;
+        if (!breakdown.empty()) breakdown += ", ";
+        breakdown += std::string(outcome) + " " + std::to_string(n);
+    }
+    if (!breakdown.empty()) out += "  (" + breakdown + ")";
+    out += "\n";
+    for (const auto& a : dp_sites) {
+        out += "  " + a.dp + " at " + a.location + ": " + a.outcome +
+               " (contexts=" + std::to_string(a.contexts) +
+               ", built=" + std::to_string(a.built);
+        if (a.dropped_intent_contexts > 0) {
+            out += ", dropped_intent=" + std::to_string(a.dropped_intent_contexts);
+        }
+        out += ")\n";
+    }
+    out += "Unknown signature segments: " + std::to_string(unknown_total) + "\n";
+    std::size_t reason_width = 0;
+    for (const auto& [name, count] : unknown_reasons) {
+        reason_width = std::max(reason_width, name.size());
+    }
+    for (const auto& [name, count] : unknown_reasons) {
+        out += "  " + name + std::string(reason_width - name.size() + 2, ' ') +
+               std::to_string(count) + "\n";
+    }
+    out += "Top unmodeled APIs:\n";
+    if (unmodeled_apis.empty()) {
+        out += "  (none)\n";
+        return out;
+    }
+    constexpr std::size_t kTop = 20;
+    std::size_t shown = std::min(unmodeled_apis.size(), kTop);
+    std::size_t api_width = 0;
+    for (std::size_t i = 0; i < shown; ++i) {
+        api_width = std::max(api_width, unmodeled_apis[i].first.size());
+    }
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto& [name, calls] = unmodeled_apis[i];
+        out += "  " + name + std::string(api_width - name.size() + 2, ' ') +
+               std::to_string(calls) + "\n";
+    }
+    if (unmodeled_apis.size() > kTop) {
+        out += "  (+" + std::to_string(unmodeled_apis.size() - kTop) + " more)\n";
+    }
+    return out;
+}
+
+std::string AnalysisReport::explain(std::size_t index) const {
+    if (index >= transactions.size()) return {};
+    const ReportTransaction& t = transactions[index];
+    std::string out = "Transaction #" + std::to_string(index + 1) + ": " +
+                      std::string(http::method_name(t.signature.method)) + " " +
+                      t.uri_regex + "\n";
+    out += "uri:\n";
+    append_sig_tree(out, t.signature.uri, 1);
+    for (const auto& [hname, hvalue] : t.signature.headers) {
+        out += "header " + hname.to_regex() + ":\n";
+        append_sig_tree(out, hvalue, 1);
+    }
+    if (t.signature.has_body) {
+        out += "body[" + std::string(http::body_kind_name(t.signature.body_kind)) + "]:\n";
+        append_sig_tree(out, t.signature.body, 1);
+    }
+    if (t.signature.has_response_body) {
+        out += "response[" +
+               std::string(http::body_kind_name(t.signature.response_kind)) + "]:\n";
+        append_sig_tree(out, t.signature.response_body, 1);
+    }
+    return out;
 }
 
 }  // namespace extractocol::core

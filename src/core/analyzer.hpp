@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -88,11 +89,48 @@ struct AnalysisStats {
     }
 };
 
+/// Terminal outcome of one demarcation-point site (coverage audit):
+///   complete       — every surviving context produced a signature;
+///   partial        — some contexts built, some did not;
+///   build_failed   — contexts survived the filters but none built;
+///   dropped_intent — every context arrived via an unmodeled intent (§5.1);
+///   empty_slice    — slicing found no calling context at all.
+struct DpSiteAudit {
+    xir::StmtRef site;
+    std::string dp;        // demarcation API, "Cls.method"
+    std::string location;  // containing app method, "Cls.method"
+    std::string outcome;
+    std::size_t contexts = 0;  // contexts surviving the intent filter
+    std::size_t dropped_intent_contexts = 0;
+    std::size_t built = 0;  // contexts that produced a signature
+};
+
+/// Analysis-quality report (`--audit`): how much of each signature is
+/// wildcard and why, how every DP site terminated, and which APIs the
+/// semantic model is missing. Deterministic for any --jobs value.
+struct AnalysisAudit {
+    /// Unknown-leaf counts by reason over the report's signature trees,
+    /// sorted by reason name.
+    std::vector<std::pair<std::string, std::size_t>> unknown_reasons;
+    std::size_t unknown_total = 0;
+    /// Per-site outcomes, in demarcation-site order.
+    std::vector<DpSiteAudit> dp_sites;
+    /// Calls to APIs with no semantics/model entry observed during this run
+    /// ("Cls.method" -> calls), count descending then name ascending.
+    std::vector<std::pair<std::string, std::uint64_t>> unmodeled_apis;
+
+    [[nodiscard]] std::size_t count_outcome(std::string_view outcome) const;
+    [[nodiscard]] text::Json to_json() const;
+    /// Human-readable quality report (the `--audit` CLI output).
+    [[nodiscard]] std::string to_text() const;
+};
+
 struct AnalysisReport {
     std::string app_name;
     std::vector<ReportTransaction> transactions;
     std::vector<txn::Dependency> dependencies;  // indices into `transactions`
     AnalysisStats stats;
+    AnalysisAudit audit;
 
     // ----------------------------------------------------- tabulations --
     [[nodiscard]] std::size_t count_method(http::Method method) const;
@@ -108,6 +146,11 @@ struct AnalysisReport {
     /// Paper-style text rendering (transaction table + dependency graph).
     [[nodiscard]] std::string to_text() const;
     [[nodiscard]] text::Json to_json() const;
+
+    /// Provenance tree of one transaction (0-based index): every signature
+    /// segment with its origin tag and — for unknowns — the reason code.
+    /// The `--explain <id>` CLI output.
+    [[nodiscard]] std::string explain(std::size_t index) const;
 };
 
 struct AnalyzerOptions {

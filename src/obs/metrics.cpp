@@ -1,9 +1,34 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace extractocol::obs {
+
+std::size_t HistogramStats::bucket_index(double sample) {
+    if (!(sample > kBucketBase)) return 0;
+    // bucket i covers [base * 2^(i-1), base * 2^i)
+    auto i = static_cast<std::size_t>(std::ceil(std::log2(sample / kBucketBase)));
+    return std::min(i, kBucketCount - 1);
+}
+
+double HistogramStats::percentile(double q) const {
+    if (count == 0) return 0.0;
+    if (count == 1) return min;
+    q = std::clamp(q, 0.0, 1.0);
+    auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            double upper = kBucketBase * std::pow(2.0, static_cast<double>(i));
+            return std::clamp(upper, min, max);
+        }
+    }
+    return max;
+}
 
 void Histogram::observe(double sample) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -16,6 +41,7 @@ void Histogram::observe(double sample) {
     }
     stats_.count += 1;
     stats_.sum += sample;
+    stats_.buckets[HistogramStats::bucket_index(sample)] += 1;
 }
 
 HistogramStats Histogram::stats() const {
@@ -87,6 +113,9 @@ text::Json MetricsSnapshot::to_json() const {
         h.set("min", text::Json(stats.min));
         h.set("max", text::Json(stats.max));
         h.set("mean", text::Json(stats.mean()));
+        h.set("p50", text::Json(stats.p50()));
+        h.set("p95", text::Json(stats.p95()));
+        h.set("p99", text::Json(stats.p99()));
         hs.set(name, std::move(h));
     }
     doc.set("histograms", std::move(hs));
@@ -113,7 +142,10 @@ std::string MetricsSnapshot::to_table() const {
         out += pad(name) + "count=" + std::to_string(stats.count) +
                " sum=" + format_double(stats.sum) + " min=" + format_double(stats.min) +
                " max=" + format_double(stats.max) +
-               " mean=" + format_double(stats.mean()) + "\n";
+               " mean=" + format_double(stats.mean()) +
+               " p50=" + format_double(stats.p50()) +
+               " p95=" + format_double(stats.p95()) +
+               " p99=" + format_double(stats.p99()) + "\n";
     }
     return out;
 }

@@ -16,6 +16,7 @@
 // ("Observability"). Durations are histograms with an `_ms` suffix.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -66,12 +67,32 @@ private:
 };
 
 struct HistogramStats {
+    /// Bounded log2-spaced buckets for percentile estimates: bucket i counts
+    /// samples in [kBucketBase * 2^(i-1), kBucketBase * 2^i), bucket 0 holds
+    /// everything below kBucketBase, the last bucket is open-ended. With
+    /// base 0.001 (1µs when samples are milliseconds) 40 buckets span ~15
+    /// orders of magnitude in 320 bytes per instrument.
+    static constexpr std::size_t kBucketCount = 40;
+    static constexpr double kBucketBase = 0.001;
+
     std::uint64_t count = 0;
     double sum = 0;
     double min = 0;
     double max = 0;
+    std::array<std::uint64_t, kBucketCount> buckets{};
 
     [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / count; }
+    /// Estimated q-quantile (q in [0,1]) from the bucket histogram: walks the
+    /// cumulative counts to the target rank and returns that bucket's upper
+    /// bound, clamped into [min, max] so estimates never leave the observed
+    /// range. Exact for count<=1; a <=2x overestimate otherwise.
+    [[nodiscard]] double percentile(double q) const;
+    [[nodiscard]] double p50() const { return percentile(0.50); }
+    [[nodiscard]] double p95() const { return percentile(0.95); }
+    [[nodiscard]] double p99() const { return percentile(0.99); }
+
+    /// Bucket index for a sample (shared by observe() and tests).
+    [[nodiscard]] static std::size_t bucket_index(double sample);
 };
 
 class Histogram {

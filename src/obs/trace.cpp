@@ -34,6 +34,11 @@ std::vector<TraceEvent> TraceRecorder::events() const {
     return events_;
 }
 
+std::uint64_t TraceRecorder::to_us(std::chrono::steady_clock::time_point t) const {
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_).count();
+    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
 std::uint64_t TraceRecorder::now_us() const {
     return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                           std::chrono::steady_clock::now() - epoch_)
@@ -120,10 +125,9 @@ void Span::finish() {
     TraceEvent event;
     event.name = name_;
     event.category = category_;
-    std::uint64_t end_us = recorder.now_us();
     event.duration_us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed_).count());
-    event.start_us = end_us > event.duration_us ? end_us - event.duration_us : 0;
+    event.start_us = recorder.to_us(start_);
     event.thread = recorder.thread_number();
     event.depth = depth_;
     recorder.record(std::move(event));

@@ -61,6 +61,10 @@ public:
 
     /// Microseconds elapsed since the recorder epoch.
     [[nodiscard]] std::uint64_t now_us() const;
+    /// A specific instant in epoch microseconds (clamped to 0 for instants
+    /// before the epoch). Monotone, so span nesting order survives the
+    /// truncation — reconstructing starts as end minus duration does not.
+    [[nodiscard]] std::uint64_t to_us(std::chrono::steady_clock::time_point t) const;
     /// Dense id for the calling thread (registers it on first use).
     [[nodiscard]] std::uint32_t thread_number();
 

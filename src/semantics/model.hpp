@@ -196,6 +196,13 @@ public:
     [[nodiscard]] std::vector<const ApiModel*> apis_for_class(std::string_view cls) const;
     [[nodiscard]] const DemarcationSpec* demarcation(std::string_view cls,
                                                      std::string_view method) const;
+
+    /// True if the model knows this API at all — as a semantic entry OR as a
+    /// demarcation point (DP "execute" calls live in a separate table, so an
+    /// unmodeled-API audit that only checked api() would flag every DP).
+    [[nodiscard]] bool is_modeled(std::string_view cls, std::string_view method) const {
+        return api(cls, method) != nullptr || demarcation(cls, method) != nullptr;
+    }
     [[nodiscard]] const std::vector<DemarcationSpec>& demarcations() const {
         return demarcations_;
     }

@@ -149,8 +149,16 @@ private:
     /// walks may capture the DP.
     SigValue interpret(std::uint32_t mi, std::vector<SigValue> args, std::size_t ctx_pos,
                        bool live, int depth) {
-        if (depth > kMaxDepth) return SigValue::none();
-        if (on_stack_.count(mi) > 0) return SigValue::none();
+        if (depth > kMaxDepth) {
+            obs::counter("sig.unknown_reason.taint_depth_cutoff").add(1);
+            return SigValue::none(Sig::ValueType::kAny,
+                                  UnknownReason::kTaintDepthCutoff, "depth");
+        }
+        if (on_stack_.count(mi) > 0) {
+            obs::counter("sig.unknown_reason.taint_depth_cutoff").add(1);
+            return SigValue::none(Sig::ValueType::kAny,
+                                  UnknownReason::kTaintDepthCutoff, "recursion");
+        }
         on_stack_.insert(mi);
 
         const Method& method = program_->method_at(mi);
@@ -276,7 +284,16 @@ private:
                     // no value effect
                 } else if constexpr (std::is_same_v<T, AssignConst>) {
                     if (!slice_member) return;
-                    bind(env, s.dst, value_of(env, method, Operand(s.value)));
+                    SigValue v = value_of(env, method, Operand(s.value));
+                    // Constants remember the IR instruction that introduced
+                    // them (method:block:index), surfaced by --explain.
+                    if (v.is(SigValue::Kind::kStr) && v.str.is_const() &&
+                        v.str.origin.empty()) {
+                        v.str.origin = "ir:" + std::to_string(ref.method_index) + ":" +
+                                       std::to_string(ref.block) + ":" +
+                                       std::to_string(ref.index);
+                    }
+                    bind(env, s.dst, std::move(v));
                 } else if constexpr (std::is_same_v<T, AssignCopy>) {
                     if (!slice_member) return;
                     bind(env, s.dst, value_of(env, method, Operand(s.src)));
@@ -395,6 +412,7 @@ private:
         if (base.is(SigValue::Kind::kDemand) && base.demand) {
             // Reflection-deserialized POJO: field reads refine the tree.
             DemandNodePtr child = base.demand->child(s.field);
+            if (child->origin.empty()) child->origin = "field:" + s.field;
             child->narrow(demand_kind_for_type(method.locals[s.dst].type));
             return SigValue::of_demand(child);
         }
@@ -499,6 +517,31 @@ private:
             }
             return false;
         };
+        auto api_origin = [&] {
+            return "api:" + s.callee.class_name + "." + s.callee.method_name;
+        };
+        // Provenance-carrying give-up: the destination becomes an unknown
+        // tagged with why and where, and the per-reason counter ticks.
+        auto give_up = [&](Sig::ValueType type, UnknownReason reason,
+                           std::string origin = {}) {
+            if (!s.dst) return;
+            obs::counter(std::string("sig.unknown_reason.") +
+                         unknown_reason_name(reason))
+                .add(1);
+            set_dst(SigValue::none(type, reason,
+                                   origin.empty() ? api_origin() : std::move(origin)));
+        };
+        // First discovery names the demand node; later reads keep the tag.
+        auto stamp_origin = [&](const DemandNodePtr& node) {
+            if (node->origin.empty()) node->origin = api_origin();
+        };
+        auto record_unmodeled = [&] {
+            if (program_->find_class(s.callee.class_name)) return;
+            if (model_->is_modeled(s.callee.class_name, s.callee.method_name)) return;
+            obs::counter("audit.unmodeled_api." + s.callee.class_name + "." +
+                         s.callee.method_name)
+                .add(1);
+        };
 
         switch (action) {
             case SigAction::kStringBuilderInit: {
@@ -543,12 +586,15 @@ private:
                 if (v.is_const()) {
                     set_dst(SigValue::of_str(Sig::constant(strings::percent_encode(v.text))));
                 } else {
-                    set_dst(SigValue::of_str(Sig::unknown(Sig::ValueType::kString)));
+                    obs::counter("sig.unknown_reason.derived_string").add(1);
+                    set_dst(SigValue::of_str(
+                        Sig::unknown(Sig::ValueType::kString,
+                                     UnknownReason::kDerivedString, api_origin())));
                 }
                 break;
             }
             case SigAction::kStringToUnknown:
-                set_dst(SigValue::none(Sig::ValueType::kString));
+                give_up(Sig::ValueType::kString, UnknownReason::kDerivedString);
                 break;
 
             // ------------------------------------------------------- JSON --
@@ -600,6 +646,7 @@ private:
                 const std::string* key = const_string_arg(s, 0);
                 if (base_value.is(SigValue::Kind::kDemand) && base_value.demand && key) {
                     DemandNodePtr child = base_value.demand->child(*key);
+                    stamp_origin(child);
                     child->narrow(leaf_kind_for_getter(s.callee.method_name));
                     set_dst(SigValue::of_demand(child));
                 } else if (base_value.is(SigValue::Kind::kJson) && base_value.shared_sig &&
@@ -620,6 +667,7 @@ private:
                 const std::string* key = const_string_arg(s, 0);
                 if (base_value.is(SigValue::Kind::kDemand) && base_value.demand && key) {
                     DemandNodePtr child = base_value.demand->child(*key);
+                    stamp_origin(child);
                     if (action == SigAction::kJsonGetArray) {
                         child->kind = DemandNode::Kind::kArray;
                     } else if (child->kind == DemandNode::Kind::kUnknown) {
@@ -634,6 +682,7 @@ private:
             case SigAction::kJsonArrayGet: {
                 if (base_value.is(SigValue::Kind::kDemand) && base_value.demand) {
                     DemandNodePtr item = base_value.demand->array_item();
+                    stamp_origin(item);
                     if (s.callee.method_name == "getJSONObject" &&
                         item->kind == DemandNode::Kind::kUnknown) {
                         item->kind = DemandNode::Kind::kObject;
@@ -668,7 +717,10 @@ private:
                 }
                 const std::string* cls =
                     s.args.size() > 1 ? const_string(s.args[1]) : nullptr;
-                if (cls) expand_pojo(node, *cls, 0);
+                if (cls) {
+                    obs::counter("sig.unknown_reason.reflection").add(1);
+                    expand_pojo(node, *cls, 0);
+                }
                 set_dst(SigValue::of_demand(node));
                 break;
             }
@@ -692,6 +744,7 @@ private:
                 if (base_value.is(SigValue::Kind::kDemand) && base_value.demand && tag) {
                     base_value.demand->kind = DemandNode::Kind::kXml;
                     DemandNodePtr child = base_value.demand->child(*tag);
+                    stamp_origin(child);
                     child->kind = DemandNode::Kind::kXml;
                     set_dst(SigValue::of_demand(child));
                 } else {
@@ -704,6 +757,7 @@ private:
                     const_string_arg(s, 0);
                 if (base_value.is(SigValue::Kind::kDemand) && base_value.demand && name) {
                     DemandNodePtr child = base_value.demand->child("@" + *name);
+                    stamp_origin(child);
                     child->narrow(DemandNode::Kind::kString);
                     set_dst(SigValue::of_demand(child));
                 } else {
@@ -714,6 +768,7 @@ private:
             case SigAction::kXmlGetText: {
                 if (base_value.is(SigValue::Kind::kDemand) && base_value.demand) {
                     DemandNodePtr child = base_value.demand->child("#text");
+                    stamp_origin(child);
                     child->narrow(DemandNode::Kind::kString);
                     set_dst(SigValue::of_demand(child));
                 } else {
@@ -893,7 +948,8 @@ private:
                     // the signature keeps it dynamic (matches the paper's
                     // api-key=(.*) rendering) but the dependency is recorded.
                 }
-                set_dst(SigValue::none(Sig::ValueType::kString));
+                give_up(Sig::ValueType::kString, UnknownReason::kResourceValue,
+                        id ? "res:" + *id : std::string());
                 break;
             }
             case SigAction::kDbInsert:
@@ -912,7 +968,7 @@ private:
             }
             case SigAction::kDbQuery:
             case SigAction::kCursorGetString:
-                set_dst(SigValue::none(Sig::ValueType::kString));
+                give_up(Sig::ValueType::kString, UnknownReason::kExternalState);
                 break;
             case SigAction::kContentValuesInit:
                 set_base(SigValue::json_object());
@@ -920,8 +976,12 @@ private:
             case SigAction::kPrefsGetString: {
                 const std::string* key = const_string_arg(s, 0);
                 auto it = key ? prefs_.find(*key) : prefs_.end();
-                set_dst(it != prefs_.end() ? it->second
-                                           : SigValue::none(Sig::ValueType::kString));
+                if (it != prefs_.end()) {
+                    set_dst(it->second);
+                } else {
+                    give_up(Sig::ValueType::kString, UnknownReason::kExternalState,
+                            key ? "prefs:" + *key : std::string());
+                }
                 break;
             }
             case SigAction::kPrefsPutString: {
@@ -933,7 +993,7 @@ private:
             case SigAction::kLocationGet:
             case SigAction::kMicRead:
             case SigAction::kCameraRead:
-                set_dst(SigValue::none(Sig::ValueType::kString));
+                give_up(Sig::ValueType::kString, UnknownReason::kDynamicInput);
                 break;
             case SigAction::kMediaSetDataSource:
             case SigAction::kImageLoad:
@@ -963,8 +1023,11 @@ private:
                             case Role::Pos::kArg: break;
                         }
                     }
-                } else if (s.dst) {
-                    if (!propagate_demand()) set_dst(SigValue::none());
+                } else {
+                    record_unmodeled();
+                    if (s.dst && !propagate_demand()) {
+                        give_up(Sig::ValueType::kAny, UnknownReason::kUnmodeledApi);
+                    }
                 }
                 break;
             }
@@ -1018,6 +1081,10 @@ private:
         if (node->kind == DemandNode::Kind::kUnknown) node->kind = DemandNode::Kind::kObject;
         for (const auto& field : cls->fields) {
             DemandNodePtr child = node->child(field.name);
+            if (child->origin.empty()) {
+                child->origin = "pojo:" + class_name + "." + field.name;
+                child->from_reflection = true;
+            }
             if (is_array_type(field.type)) {
                 child->kind = DemandNode::Kind::kArray;
                 std::string element = field.type.substr(0, field.type.size() - 2);
@@ -1071,6 +1138,9 @@ private:
 
         captured_ = true;
         out_.library = dp->library;
+        if (response_root_->origin.empty()) {
+            response_root_->origin = "dp:" + dp->cls + "." + dp->method;
+        }
         if (dp->library == "android.media") {
             out_.consumer = semantics::ConsumerKind::kMediaPlayer;
         } else if (dp->library == "picasso") {

@@ -2,9 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "text/regex.hpp"
 
 namespace extractocol::sig {
+
+const char* unknown_reason_name(UnknownReason reason) {
+    switch (reason) {
+        case UnknownReason::kUnspecified: return "unspecified";
+        case UnknownReason::kUnmodeledApi: return "unmodeled_api";
+        case UnknownReason::kDerivedString: return "derived_string";
+        case UnknownReason::kLoopWidened: return "loop_widened";
+        case UnknownReason::kDisjunctionCapped: return "disjunction_capped";
+        case UnknownReason::kTaintDepthCutoff: return "taint_depth_cutoff";
+        case UnknownReason::kReflection: return "reflection";
+        case UnknownReason::kDynamicInput: return "dynamic_input";
+        case UnknownReason::kExternalState: return "external_state";
+        case UnknownReason::kResourceValue: return "resource_value";
+        case UnknownReason::kResponseOpaque: return "response_opaque";
+    }
+    return "unspecified";
+}
 
 // ----------------------------------------------------------- constructors --
 
@@ -15,10 +33,12 @@ Sig Sig::constant(std::string value) {
     return s;
 }
 
-Sig Sig::unknown(ValueType type) {
+Sig Sig::unknown(ValueType type, UnknownReason reason, std::string origin) {
     Sig s;
     s.kind = Kind::kUnknown;
     s.value_type = type;
+    s.reason = reason;
+    s.origin = std::move(origin);
     return s;
 }
 
@@ -79,6 +99,13 @@ Sig Sig::alt(Sig a, Sig b) {
     }
     s.children = std::move(unique);
     if (s.children.size() == 1) return std::move(s.children[0]);
+    // Past the arm cap the disjunction stops describing anything an operator
+    // could act on; collapse it to an audited unknown instead of growing an
+    // unbounded (and regex-hostile) alternation.
+    if (s.children.size() > kMaxAltArms) {
+        obs::counter("sig.unknown_reason.disjunction_capped").add(1);
+        return unknown(ValueType::kAny, UnknownReason::kDisjunctionCapped, "alt");
+    }
     return s;
 }
 
@@ -375,6 +402,96 @@ text::Json Sig::to_json_schema() const {
     }
 }
 
+text::Json Sig::to_provenance_json() const {
+    text::Json node = text::Json::object();
+    switch (kind) {
+        case Kind::kConst:
+            node.set("kind", text::Json("const"));
+            node.set("text", text::Json(text));
+            break;
+        case Kind::kUnknown: {
+            node.set("kind", text::Json("unknown"));
+            switch (value_type) {
+                case ValueType::kInt: node.set("type", text::Json("integer")); break;
+                case ValueType::kBool: node.set("type", text::Json("boolean")); break;
+                case ValueType::kString: node.set("type", text::Json("string")); break;
+                case ValueType::kAny: node.set("type", text::Json("any")); break;
+            }
+            node.set("reason", text::Json(std::string(unknown_reason_name(reason))));
+            break;
+        }
+        case Kind::kConcat:
+        case Kind::kAlt:
+        case Kind::kRep: {
+            node.set("kind", text::Json(kind == Kind::kConcat
+                                            ? "concat"
+                                            : (kind == Kind::kAlt ? "alt" : "rep")));
+            text::Json parts = text::Json::array();
+            for (const auto& c : children) parts.push_back(c.to_provenance_json());
+            node.set(kind == Kind::kAlt ? "arms" : "parts", std::move(parts));
+            break;
+        }
+        case Kind::kJsonObject: {
+            node.set("kind", text::Json("json_object"));
+            text::Json props = text::Json::object();
+            for (const auto& [k, v] : members) props.set(k, v.to_provenance_json());
+            node.set("members", std::move(props));
+            break;
+        }
+        case Kind::kJsonArray: {
+            node.set("kind", text::Json("json_array"));
+            if (repeated) node.set("repeated", text::Json(true));
+            text::Json items = text::Json::array();
+            for (const auto& c : children) items.push_back(c.to_provenance_json());
+            node.set("items", std::move(items));
+            break;
+        }
+        case Kind::kXmlElement: {
+            node.set("kind", text::Json("xml_element"));
+            node.set("tag", text::Json(text));
+            if (!members.empty()) {
+                text::Json attrs = text::Json::object();
+                for (const auto& [k, v] : members) attrs.set(k, v.to_provenance_json());
+                node.set("attributes", std::move(attrs));
+            }
+            if (!children.empty()) {
+                text::Json kids = text::Json::array();
+                for (const auto& c : children) kids.push_back(c.to_provenance_json());
+                node.set("children", std::move(kids));
+            }
+            if (!xml_text.empty()) {
+                node.set("text_content", xml_text[0].to_provenance_json());
+            }
+            break;
+        }
+    }
+    if (!origin.empty()) node.set("origin", text::Json(origin));
+    return node;
+}
+
+std::size_t Sig::count_unknown_reasons(
+    std::vector<std::pair<std::string, std::size_t>>& out) const {
+    if (kind == Kind::kUnknown) {
+        std::string name = unknown_reason_name(reason);
+        for (auto& [n, c] : out) {
+            if (n == name) {
+                ++c;
+                return 1;
+            }
+        }
+        out.emplace_back(std::move(name), 1);
+        return 1;
+    }
+    std::size_t n = 0;
+    for (const auto& c : children) n += c.count_unknown_reasons(out);
+    for (const auto& [k, v] : members) {
+        (void)k;
+        n += v.count_unknown_reasons(out);
+    }
+    for (const auto& t : xml_text) n += t.count_unknown_reasons(out);
+    return n;
+}
+
 namespace {
 void dtd_of(const Sig& s, std::string& out) {
     if (s.kind != Sig::Kind::kXmlElement) return;
@@ -485,8 +602,25 @@ std::size_t Sig::constant_bytes() const {
 
 Sig merge_alt(Sig a, Sig b) { return Sig::alt(std::move(a), std::move(b)); }
 
+void tag_unknowns(Sig& s, UnknownReason reason, const std::string& origin) {
+    if (s.kind == Sig::Kind::kUnknown) {
+        if (s.reason == UnknownReason::kUnspecified) {
+            s.reason = reason;
+            if (s.origin.empty()) s.origin = origin;
+        }
+        return;
+    }
+    for (auto& c : s.children) tag_unknowns(c, reason, origin);
+    for (auto& [k, v] : s.members) {
+        (void)k;
+        tag_unknowns(v, reason, origin);
+    }
+    for (auto& t : s.xml_text) tag_unknowns(t, reason, origin);
+}
+
 Sig widen_loop(const Sig& base, const Sig& grown) {
     if (base == grown) return base;
+    obs::counter("sig.unknown_reason.loop_widened").add(1);
     // JSON arrays grown inside a loop become repeated.
     if (base.kind == Sig::Kind::kJsonArray && grown.kind == Sig::Kind::kJsonArray) {
         Sig out = grown;
@@ -494,6 +628,7 @@ Sig widen_loop(const Sig& base, const Sig& grown) {
             out.children.resize(1);
             out.repeated = true;
         }
+        out.origin = "loop";
         return out;
     }
     // String growth: find the common prefix of the flattened concat forms and
@@ -527,7 +662,11 @@ Sig widen_loop(const Sig& base, const Sig& grown) {
         std::vector<Sig> tail(grown_parts.begin() + static_cast<std::ptrdiff_t>(common),
                               grown_parts.end());
         std::vector<Sig> out = base_parts;
-        out.push_back(Sig::rep(Sig::concat_all(std::move(tail))));
+        Sig body = Sig::concat_all(std::move(tail));
+        tag_unknowns(body, UnknownReason::kLoopWidened, "loop");
+        Sig repeated = Sig::rep(std::move(body));
+        repeated.origin = "loop";
+        out.push_back(std::move(repeated));
         return Sig::concat_all(std::move(out));
     }
     // Unrelated growth: fall back to a rep-absorbed alternation so the
@@ -536,7 +675,9 @@ Sig widen_loop(const Sig& base, const Sig& grown) {
         grown_parts.back().kind == Sig::Kind::kRep) {
         return grown;  // already widened
     }
-    return merge_alt(base, grown);
+    Sig out = merge_alt(base, grown);
+    if (out.origin.empty()) out.origin = "loop";
+    return out;
 }
 
 }  // namespace extractocol::sig

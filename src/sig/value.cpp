@@ -25,22 +25,31 @@ void DemandNode::narrow(Kind leaf_kind) {
 }
 
 Sig DemandNode::to_sig() const {
+    // Leaves are what the app read but never constrained: the unknown carries
+    // how we know it exists (reflection vs explicit consumption) and which
+    // API discovered it.
+    UnknownReason leaf_reason =
+        from_reflection ? UnknownReason::kReflection : UnknownReason::kResponseOpaque;
     switch (kind) {
-        case Kind::kUnknown: return Sig::unknown(Sig::ValueType::kAny);
-        case Kind::kString: return Sig::unknown(Sig::ValueType::kString);
-        case Kind::kInt: return Sig::unknown(Sig::ValueType::kInt);
-        case Kind::kBool: return Sig::unknown(Sig::ValueType::kBool);
+        case Kind::kUnknown:
+            return Sig::unknown(Sig::ValueType::kAny, leaf_reason, origin);
+        case Kind::kString:
+            return Sig::unknown(Sig::ValueType::kString, leaf_reason, origin);
+        case Kind::kInt: return Sig::unknown(Sig::ValueType::kInt, leaf_reason, origin);
+        case Kind::kBool: return Sig::unknown(Sig::ValueType::kBool, leaf_reason, origin);
         case Kind::kArray: {
             Sig arr = Sig::json_array();
             if (item) {
                 arr.children.push_back(item->to_sig());
                 arr.repeated = true;
             }
+            arr.origin = origin;
             return arr;
         }
         case Kind::kObject: {
             Sig obj = Sig::json_object();
             for (const auto& [k, v] : members) obj.set_member(k, v->to_sig());
+            obj.origin = origin;
             return obj;
         }
         case Kind::kXml: {
@@ -64,6 +73,7 @@ Sig DemandNode::to_sig() const {
                     element.children.push_back(std::move(kid));
                 }
             }
+            element.origin = origin;
             return element;
         }
     }
@@ -72,10 +82,12 @@ Sig DemandNode::to_sig() const {
 
 // -------------------------------------------------------------- SigValue --
 
-SigValue SigValue::none(Sig::ValueType type) {
+SigValue SigValue::none(Sig::ValueType type, UnknownReason reason, std::string origin) {
     SigValue v;
     v.kind = Kind::kNone;
     v.none_type = type;
+    v.none_reason = reason;
+    v.none_origin = std::move(origin);
     return v;
 }
 
@@ -154,7 +166,7 @@ SigValue SigValue::of_demand(DemandNodePtr node) {
 
 Sig SigValue::to_sig() const {
     switch (kind) {
-        case Kind::kNone: return Sig::unknown(none_type);
+        case Kind::kNone: return Sig::unknown(none_type, none_reason, none_origin);
         case Kind::kStr: return str;
         case Kind::kBuilder:
         case Kind::kJson: return shared_sig ? *shared_sig : Sig::unknown();

@@ -30,6 +30,12 @@ struct DemandNode {
     /// character data). Order preserved (discovery order).
     std::vector<std::pair<std::string, DemandNodePtr>> members;
     DemandNodePtr item;  // kArray element shape
+    /// Provenance: the API symbol (or POJO field) whose consumption
+    /// discovered this node; first discovery wins.
+    std::string origin;
+    /// True when the node was materialized by reflective deserialization
+    /// (gson.fromJson POJO expansion) rather than an explicit read.
+    bool from_reflection = false;
 
     /// Gets or creates the named child, promoting this node to kObject.
     DemandNodePtr child(const std::string& key);
@@ -80,6 +86,10 @@ public:
 
     Kind kind = Kind::kNone;
     Sig::ValueType none_type = Sig::ValueType::kAny;  // type hint for kNone
+    /// Provenance for kNone: why the value is unknown and which API/site
+    /// produced it. Carried into the rendered Sig::unknown leaf.
+    UnknownReason none_reason = UnknownReason::kUnspecified;
+    std::string none_origin;
     Sig str;                                          // kStr
     std::shared_ptr<Sig> shared_sig;                  // kBuilder / kJson
     std::shared_ptr<std::vector<SigValue>> list;      // kList
@@ -90,7 +100,9 @@ public:
 
     SigValue() = default;
 
-    static SigValue none(Sig::ValueType type = Sig::ValueType::kAny);
+    static SigValue none(Sig::ValueType type = Sig::ValueType::kAny,
+                         UnknownReason reason = UnknownReason::kUnspecified,
+                         std::string origin = {});
     static SigValue of_str(Sig s);
     static SigValue builder(Sig initial);
     static SigValue json_object();

@@ -210,6 +210,18 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
         run.result.methods.insert(ref.method_index);
     };
 
+    // Coverage audit: a taint fact hit an API call the semantic model does
+    // not know; the default open-ended rule applies. Recorded per symbol so
+    // the --audit "top unmodeled APIs" table can rank model gaps.
+    auto record_unmodeled_api = [&](const Invoke& s) {
+        if (program_->find_class(s.callee.class_name)) return;
+        if (model_->is_modeled(s.callee.class_name, s.callee.method_name)) return;
+        obs::counter("taint.unmodeled_api_calls").add(1);
+        obs::counter("audit.unmodeled_api." + s.callee.class_name + "." +
+                     s.callee.method_name)
+            .add(1);
+    };
+
     auto note_event = [&](const StmtRef& ref, bool base_t, bool dst_t,
                           const std::vector<bool>& args_t) {
         std::size_t key = StmtRefHash{}(ref);
@@ -635,6 +647,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                             } else if (any_input) {
                                 // Default open-ended rule: unknown API keeps
                                 // taint flowing through receiver and result.
+                                record_unmodeled_api(s);
                                 if (s.dst) {
                                     add_path(facts, local_with_fields(*s.dst, {}, in_hops));
                                 }
@@ -1011,6 +1024,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                                     }
                                 }
                             } else if (dst_t || base_t) {
+                                record_unmodeled_api(s);
                                 if (s.base) {
                                     add_path(facts,
                                              local_with_fields(*s.base, {}, demand_hops));

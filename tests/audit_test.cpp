@@ -1,0 +1,171 @@
+// Explainability & audit layer (DESIGN.md §9): signature provenance must
+// survive the report JSON round-trip, the coverage audit must assign every
+// DP site a terminal outcome and attribute unknown leaves to reasons, and
+// --explain's provenance tree must name where segments came from.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "text/json.hpp"
+
+using namespace extractocol;
+
+namespace {
+
+core::AnalysisReport analyze_app(const std::string& name) {
+    corpus::CorpusApp app = corpus::build_app(name);
+    core::AnalyzerOptions options;
+    options.async_heuristic = !app.spec.open_source;
+    return core::Analyzer(options).analyze(app.program);
+}
+
+}  // namespace
+
+TEST(AuditTest, ProvenanceRoundTripsThroughReportJson) {
+    core::AnalysisReport report = analyze_app("radio reddit");
+    ASSERT_FALSE(report.transactions.empty());
+
+    auto parsed = text::parse_json(report.to_json().dump_pretty());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const text::Json* txns = parsed.value().find("transactions");
+    ASSERT_NE(txns, nullptr);
+    ASSERT_EQ(txns->items().size(), report.transactions.size());
+
+    for (std::size_t i = 0; i < report.transactions.size(); ++i) {
+        const auto& t = report.transactions[i];
+        const text::Json* prov = txns->items()[i].find("provenance");
+        ASSERT_NE(prov, nullptr) << "transaction " << i + 1;
+        const text::Json* uri = prov->find("uri");
+        ASSERT_NE(uri, nullptr) << "transaction " << i + 1;
+        EXPECT_EQ(*uri, t.signature.uri.to_provenance_json()) << "transaction " << i + 1;
+        if (t.signature.has_body) {
+            const text::Json* body = prov->find("body");
+            ASSERT_NE(body, nullptr) << "transaction " << i + 1;
+            EXPECT_EQ(*body, t.signature.body.to_provenance_json());
+        }
+        if (t.signature.has_response_body) {
+            const text::Json* response = prov->find("response");
+            ASSERT_NE(response, nullptr) << "transaction " << i + 1;
+            EXPECT_EQ(*response, t.signature.response_body.to_provenance_json());
+        }
+    }
+
+    // The audit object rides along in the same document.
+    const text::Json* audit = parsed.value().find("audit");
+    ASSERT_NE(audit, nullptr);
+    EXPECT_EQ(*audit, report.audit.to_json());
+}
+
+TEST(AuditTest, EveryDpSiteGetsATerminalOutcome) {
+    core::AnalysisReport report = analyze_app("radio reddit");
+    ASSERT_FALSE(report.audit.dp_sites.empty());
+    EXPECT_EQ(report.audit.dp_sites.size(), report.stats.dp_sites);
+
+    const std::set<std::string> valid = {"complete", "partial", "build_failed",
+                                         "dropped_intent", "empty_slice"};
+    for (const auto& site : report.audit.dp_sites) {
+        EXPECT_TRUE(valid.count(site.outcome) > 0) << site.outcome;
+        EXPECT_FALSE(site.dp.empty());
+        EXPECT_FALSE(site.location.empty());
+        EXPECT_LE(site.built, site.contexts);
+    }
+    // radio_reddit's DPs all build: the paper's flagship example is complete.
+    EXPECT_EQ(report.audit.count_outcome("complete"), report.audit.dp_sites.size())
+        << report.audit.to_text();
+}
+
+TEST(AuditTest, UnknownReasonTallyMatchesTotal) {
+    core::AnalysisReport report = analyze_app("radio reddit");
+    std::size_t sum = 0;
+    for (const auto& [name, count] : report.audit.unknown_reasons) {
+        EXPECT_FALSE(name.empty());
+        EXPECT_GT(count, 0u);
+        sum += count;
+    }
+    EXPECT_EQ(sum, report.audit.unknown_total);
+    // The response-side demand tree always leaves opaque byte ranges.
+    bool has_response_opaque = false;
+    for (const auto& [name, count] : report.audit.unknown_reasons) {
+        if (name == "response_opaque") has_response_opaque = true;
+    }
+    EXPECT_TRUE(has_response_opaque) << report.audit.to_text();
+}
+
+TEST(AuditTest, ExplainRendersProvenanceTree) {
+    core::AnalysisReport report = analyze_app("radio reddit");
+    ASSERT_FALSE(report.transactions.empty());
+
+    std::string tree = report.explain(0);
+    EXPECT_NE(tree.find("Transaction #1"), std::string::npos) << tree;
+    EXPECT_NE(tree.find("uri:"), std::string::npos) << tree;
+    // The response tree carries both reason codes and API-symbol origins.
+    EXPECT_NE(tree.find("reason=response_opaque"), std::string::npos) << tree;
+    EXPECT_NE(tree.find("<- api:"), std::string::npos) << tree;
+
+    // Out-of-range index renders nothing (the CLI handles the diagnostics).
+    EXPECT_TRUE(report.explain(report.transactions.size()).empty());
+}
+
+TEST(AuditTest, UnmodeledApiTableIsPopulatedOnCorpus) {
+    // At least one corpus app must call APIs the semantic model does not
+    // know; the table ranks them by call count.
+    bool found = false;
+    std::vector<std::string> names = corpus::open_source_apps();
+    const auto& closed = corpus::closed_source_apps();
+    names.insert(names.end(), closed.begin(), closed.end());
+    for (const auto& name : names) {
+        core::AnalysisReport report = analyze_app(name);
+        const auto& apis = report.audit.unmodeled_apis;
+        for (std::size_t i = 1; i < apis.size(); ++i) {
+            EXPECT_GE(apis[i - 1].second, apis[i].second) << name;
+        }
+        for (const auto& [api, calls] : apis) {
+            EXPECT_NE(api.find('.'), std::string::npos) << api;
+            EXPECT_GT(calls, 0u);
+        }
+        if (!apis.empty()) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(AuditTest, IntentOnlySiteIsAuditedAsDropped) {
+    corpus::AppSpec spec;
+    spec.name = "intentaudit";
+    spec.package = "com.intentaudit";
+    spec.open_source = true;
+    spec.https = false;
+
+    corpus::EndpointSpec feed;
+    feed.name = "feed";
+    feed.method = http::Method::kGet;
+    feed.lib = corpus::HttpLib::kApache;
+    feed.host = "api.intentaudit.com";
+    feed.path = "/v1/feed";
+    spec.endpoints.push_back(feed);
+
+    corpus::EndpointSpec push;
+    push.name = "push";
+    push.method = http::Method::kPost;
+    push.lib = corpus::HttpLib::kApache;
+    push.host = "api.intentaudit.com";
+    push.path = "/v1/push";
+    push.trigger = xir::EventKind::kOnIntent;
+    spec.endpoints.push_back(push);
+
+    corpus::CorpusApp app = corpus::generate(spec);
+    core::AnalyzerOptions options;
+    options.async_heuristic = false;
+    core::AnalysisReport report = core::Analyzer(options).analyze(app.program);
+
+    EXPECT_GE(report.audit.count_outcome("dropped_intent"), 1u)
+        << report.audit.to_text();
+    for (const auto& site : report.audit.dp_sites) {
+        if (site.outcome == "dropped_intent") {
+            EXPECT_EQ(site.contexts, 0u);
+            EXPECT_GE(site.dropped_intent_contexts, 1u);
+        }
+    }
+}

@@ -67,6 +67,20 @@ TEST(DeterminismTest, ReportsAreByteIdenticalAcrossJobCounts) {
             // Same total work: per-run counter deltas (taint runs, worklist
             // iterations, signature builds...) must not depend on jobs.
             EXPECT_EQ(parallel.stats.counters, baseline.stats.counters) << name;
+            // Audit layer: the quality report, the counter-derived unmodeled
+            // table, and every provenance tree must be byte-identical too.
+            EXPECT_EQ(parallel.audit.to_text(), baseline.audit.to_text())
+                << name << " audit report diverged at jobs=" << jobs;
+            EXPECT_EQ(parallel.audit.to_json().dump_pretty(),
+                      baseline.audit.to_json().dump_pretty())
+                << name << " audit JSON diverged at jobs=" << jobs;
+            ASSERT_EQ(parallel.transactions.size(), baseline.transactions.size())
+                << name;
+            for (std::size_t t = 0; t < baseline.transactions.size(); ++t) {
+                EXPECT_EQ(parallel.explain(t), baseline.explain(t))
+                    << name << " provenance tree #" << t + 1 << " diverged at jobs="
+                    << jobs;
+            }
         }
     }
 }

@@ -86,6 +86,66 @@ TEST(Metrics, HistogramStats) {
     EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
 }
 
+TEST(Metrics, HistogramPercentiles) {
+    obs::MetricsRegistry registry;
+    obs::Histogram& h = registry.histogram("test.pct");
+    // 1..100 ms: p50/p95/p99 land in log2 buckets whose upper bounds are
+    // 64/128/128 ms, clamped to the observed max of 100.
+    for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+    auto stats = h.stats();
+    EXPECT_GE(stats.p50(), 50.0);
+    EXPECT_LE(stats.p50(), 100.0);  // <=2x overestimate bound
+    EXPECT_GE(stats.p95(), 95.0);
+    EXPECT_LE(stats.p95(), 100.0);  // clamped into [min, max]
+    EXPECT_GE(stats.p99(), 99.0);
+    EXPECT_LE(stats.p99(), 100.0);
+    // Quantiles are monotone in q.
+    EXPECT_LE(stats.p50(), stats.p95());
+    EXPECT_LE(stats.p95(), stats.p99());
+}
+
+TEST(Metrics, HistogramPercentileEdgeCases) {
+    obs::MetricsRegistry registry;
+    obs::Histogram& empty = registry.histogram("test.pct.empty");
+    EXPECT_DOUBLE_EQ(empty.stats().p50(), 0.0);
+
+    obs::Histogram& one = registry.histogram("test.pct.one");
+    one.observe(42.0);
+    EXPECT_DOUBLE_EQ(one.stats().p50(), 42.0);
+    EXPECT_DOUBLE_EQ(one.stats().p99(), 42.0);
+
+    // Sub-base samples land in bucket 0; the estimate clamps to max.
+    obs::Histogram& tiny = registry.histogram("test.pct.tiny");
+    tiny.observe(0.0);
+    tiny.observe(0.0005);
+    auto stats = tiny.stats();
+    EXPECT_LE(stats.p99(), 0.0005);
+    EXPECT_GE(stats.p99(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketIndexIsMonotone) {
+    std::size_t prev = 0;
+    for (double sample : {0.0, 0.0005, 0.001, 0.002, 0.1, 1.0, 64.0, 1e6, 1e12}) {
+        std::size_t idx = obs::HistogramStats::bucket_index(sample);
+        EXPECT_GE(idx, prev) << sample;
+        EXPECT_LT(idx, obs::HistogramStats::kBucketCount) << sample;
+        prev = idx;
+    }
+}
+
+TEST(Metrics, PercentilesInJsonAndTable) {
+    obs::MetricsRegistry registry;
+    registry.histogram("h.pct").observe(3.0);
+    auto snap = registry.snapshot();
+    Json doc = snap.to_json();
+    const Json* h = doc.find("histograms")->find("h.pct");
+    ASSERT_NE(h, nullptr);
+    EXPECT_DOUBLE_EQ(h->find("p50")->as_double(), 3.0);
+    EXPECT_DOUBLE_EQ(h->find("p99")->as_double(), 3.0);
+    EXPECT_NE(snap.to_table().find("p50="), std::string::npos);
+    EXPECT_NE(snap.to_table().find("p99="), std::string::npos);
+}
+
 TEST(Metrics, SnapshotSortedAndDelta) {
     obs::MetricsRegistry registry;
     registry.counter("zeta").add(10);

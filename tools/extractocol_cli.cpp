@@ -15,6 +15,12 @@
 //   --stats                print analysis statistics to stderr
 //   --metrics              print the per-phase timing table and metric
 //                          counters to stderr
+//   --audit                print the analysis-quality report (per-reason
+//                          unknown counts, per-DP outcomes, top unmodeled
+//                          APIs) instead of the transaction table
+//   --explain <id>         print the provenance tree of transaction <id>
+//                          (1-based, as numbered in the text report);
+//                          single input only
 //   --trace <file>         write a Chrome trace-event JSON file of the
 //                          pipeline spans (open with chrome://tracing)
 //   -v / --verbose         lower the log threshold (once: info, twice: debug)
@@ -27,6 +33,8 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/analyzer.hpp"
@@ -44,7 +52,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--json] [--scope PREFIX] [--no-async-heuristic]\n"
                  "          [--async-hops N] [--no-deobfuscation] [--jobs N]\n"
-                 "          [--stats] [--metrics] [--trace FILE] [-v|--verbose]\n"
+                 "          [--stats] [--metrics] [--audit] [--explain ID]\n"
+                 "          [--trace FILE] [-v|--verbose]\n"
                  "          APP.xapk [APP2.xapk ...]\n",
                  argv0);
     return 2;
@@ -105,6 +114,9 @@ int main(int argc, char** argv) {
     bool as_json = false;
     bool stats = false;
     bool metrics = false;
+    bool audit = false;
+    bool explain = false;
+    unsigned explain_id = 0;
     int verbosity = 0;
     unsigned jobs = 1;
     const char* trace_path = nullptr;
@@ -128,6 +140,19 @@ int main(int argc, char** argv) {
             stats = true;
         } else if (std::strcmp(arg, "--metrics") == 0) {
             metrics = true;
+        } else if (std::strcmp(arg, "--audit") == 0) {
+            audit = true;
+        } else if (std::strcmp(arg, "--explain") == 0) {
+            const char* value = value_of(i);
+            if (!value) return usage(argv[0]);
+            if (!parse_unsigned(value, explain_id) || explain_id == 0) {
+                std::fprintf(stderr,
+                             "error: --explain expects a positive transaction id, "
+                             "got '%s'\n",
+                             value);
+                return usage(argv[0]);
+            }
+            explain = true;
         } else if (std::strcmp(arg, "--trace") == 0) {
             if (!(trace_path = value_of(i))) return usage(argv[0]);
         } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
@@ -167,6 +192,10 @@ int main(int argc, char** argv) {
         }
     }
     if (paths.empty()) return usage(argv[0]);
+    if (explain && paths.size() != 1) {
+        std::fprintf(stderr, "error: --explain requires exactly one input\n");
+        return usage(argv[0]);
+    }
 
     if (verbosity >= 2) {
         log::set_threshold(log::Level::kDebug);
@@ -208,7 +237,12 @@ int main(int argc, char** argv) {
         // attribution is meaningless in batch mode and would make the output
         // vary with --jobs. The aggregate registry (--metrics) stays exact.
         for (auto& r : reports) {
-            if (r.ok()) r.value().stats.counters.clear();
+            if (r.ok()) {
+                r.value().stats.counters.clear();
+                // The unmodeled-API table is built from the same overlapping
+                // counter windows, so it is cleared for the same reason.
+                r.value().audit.unmodeled_apis.clear();
+            }
         }
     }
 
@@ -222,7 +256,26 @@ int main(int argc, char** argv) {
             continue;
         }
         const core::AnalysisReport& report = reports[i].value();
-        if (as_json) {
+        if (explain) {
+            if (explain_id > report.transactions.size()) {
+                std::fprintf(stderr, "error: unknown transaction id '%u'\n", explain_id);
+                if (report.transactions.empty()) {
+                    std::fprintf(stderr, "the report has no transactions\n");
+                } else {
+                    std::fprintf(stderr, "valid ids:\n");
+                    for (std::size_t t = 0; t < report.transactions.size(); ++t) {
+                        const auto& txn = report.transactions[t];
+                        std::fprintf(
+                            stderr, "  %zu: %s %s\n", t + 1,
+                            std::string(http::method_name(txn.signature.method)).c_str(),
+                            txn.uri_regex.c_str());
+                    }
+                }
+                exit_code = 1;
+            } else {
+                std::printf("%s", report.explain(explain_id - 1).c_str());
+            }
+        } else if (as_json) {
             if (paths.size() == 1) {
                 std::printf("%s\n", report.to_json().dump_pretty().c_str());
             } else {
@@ -231,6 +284,9 @@ int main(int argc, char** argv) {
                 entry.set("report", report.to_json());
                 batch.push_back(std::move(entry));
             }
+        } else if (audit) {
+            if (paths.size() > 1) std::printf("== %s ==\n", paths[i]);
+            std::printf("%s", report.audit.to_text().c_str());
         } else {
             if (paths.size() > 1) std::printf("== %s ==\n", paths[i]);
             std::printf("%s", report.to_text().c_str());
@@ -240,6 +296,33 @@ int main(int argc, char** argv) {
     }
     if (as_json && paths.size() > 1) {
         std::printf("%s\n", batch.dump_pretty().c_str());
+    }
+    if (audit && !as_json && !explain && paths.size() > 1) {
+        // Per-app unmodeled tables are suppressed in batch mode (counter
+        // windows overlap), but the process-global registry totals are exact
+        // and jobs-independent — print the aggregate once.
+        constexpr std::string_view kPrefix = "audit.unmodeled_api.";
+        std::vector<std::pair<std::string, std::uint64_t>> aggregate;
+        for (const auto& [name, value] :
+             obs::MetricsRegistry::global().snapshot().counters) {
+            if (name.size() > kPrefix.size() &&
+                name.compare(0, kPrefix.size(), kPrefix) == 0) {
+                aggregate.emplace_back(name.substr(kPrefix.size()), value);
+            }
+        }
+        std::sort(aggregate.begin(), aggregate.end(),
+                  [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                  });
+        std::printf("Top unmodeled APIs (all inputs):\n");
+        if (aggregate.empty()) std::printf("  (none)\n");
+        std::size_t width = 0;
+        for (const auto& [name, value] : aggregate) width = std::max(width, name.size());
+        for (const auto& [name, value] : aggregate) {
+            std::printf("  %-*s  %llu\n", static_cast<int>(width), name.c_str(),
+                        static_cast<unsigned long long>(value));
+        }
     }
     if (trace_path) {
         std::ofstream trace_out(trace_path);
