@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "semantics/deobfuscate.hpp"
 #include "slicing/slicer.hpp"
+#include "support/budget.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
@@ -87,6 +88,11 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     unsigned jobs = support::resolve_jobs(options_.jobs);
     support::ThreadPool pool(jobs > 1 ? jobs - 1 : 0);
 
+    // Per-app step budget shared by the slicing and signature stages. Stage
+    // costs fold in site/context order, so the exhaustion point — and the
+    // degraded report — is identical for every `jobs` value.
+    support::BudgetTracker budget(options_.max_total_steps);
+
     AnalysisReport report;
     auto end_phase = [&report](const char* name, obs::Span& span) {
         span.finish();
@@ -118,6 +124,7 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     slicing::SlicerOptions slicer_options;
     slicer_options.async_heuristic = options_.async_heuristic;
     slicer_options.max_async_hops = options_.max_async_hops;
+    slicer_options.max_taint_steps = options_.max_taint_steps;
     slicing::Slicer slicer(*program, model_, slicer_options);
 
     std::vector<StmtRef> sites;
@@ -150,10 +157,25 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     // Each site slices independently into its own slot; the flatten below is
     // sequential and in site order, so the transaction order (and therefore
     // the report) is identical for any thread count.
+    //
+    // Sites past the budget cut lose their results (and their steps are not
+    // charged): the cut depends only on the deterministic per-site costs.
+    std::vector<char> site_budget_hit(sites.size(), 0);
     std::vector<std::vector<slicing::SlicedTransaction>> per_site(sites.size());
-    pool.for_each_index(sites.size(), [&](std::size_t i) {
-        per_site[i] = slicer.slice_site(sites[i]);
-    });
+    {
+        auto stage = budget.stage(sites.size());
+        pool.for_each_index(sites.size(), [&](std::size_t i) {
+            if (stage.should_skip()) return;
+            std::size_t steps = 0;
+            per_site[i] = slicer.slice_site(sites[i], &steps);
+            stage.record(i, steps);
+        });
+        std::size_t cut = stage.finish();
+        for (std::size_t i = cut; i < sites.size(); ++i) {
+            per_site[i].clear();
+            site_budget_hit[i] = 1;
+        }
+    }
     std::vector<slicing::SlicedTransaction> sliced;
     for (auto& txns : per_site) {
         sliced.insert(sliced.end(), std::make_move_iterator(txns.begin()),
@@ -214,14 +236,35 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
         sig::TransactionSignature signature;
     };
     std::vector<std::optional<sig::TransactionSignature>> signatures(sliced.size());
-    pool.for_each_index(sliced.size(), [&](std::size_t i) {
-        sig::BuildRequest request;
-        request.dp_site = sliced[i].dp_site;
-        request.dp = sliced[i].dp;
-        request.context = sliced[i].context;
-        request.slice = &sliced[i].combined_slice;
-        signatures[i] = builder.build(request);
-    });
+    std::vector<char> build_capped(sliced.size(), 0);
+    {
+        auto stage = budget.stage(sliced.size());
+        pool.for_each_index(sliced.size(), [&](std::size_t i) {
+            if (stage.should_skip()) return;
+            sig::BuildRequest request;
+            request.dp_site = sliced[i].dp_site;
+            request.dp = sliced[i].dp;
+            request.context = sliced[i].context;
+            request.slice = &sliced[i].combined_slice;
+            request.max_steps = options_.max_sig_steps;
+            sig::BuildStats build_stats;
+            signatures[i] = builder.build(request, &build_stats);
+            build_capped[i] = build_stats.step_capped ? 1 : 0;
+            stage.record(i, build_stats.steps);
+        });
+        std::size_t cut = stage.finish();
+        // Contexts past the cut lose their signatures; their DP sites degrade
+        // to the budget_exhausted outcome. A context *kept* but step-capped
+        // (per-build cap) keeps its partial signature — its unknown leaves
+        // carry the budget_exhausted reason — and flags its site too.
+        for (std::size_t i = cut; i < sliced.size(); ++i) signatures[i].reset();
+        for (std::size_t i = 0; i < sliced.size(); ++i) {
+            if (i >= cut || build_capped[i]) {
+                auto it = audit_index.find(sliced[i].dp_site);
+                if (it != audit_index.end()) site_budget_hit[it->second] = 1;
+            }
+        }
+    }
     std::vector<Built> built;
     for (std::size_t i = 0; i < sliced.size(); ++i) {
         if (!signatures[i]) continue;
@@ -236,7 +279,11 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     for (std::size_t i = 0; i < report.audit.dp_sites.size(); ++i) {
         DpSiteAudit& a = report.audit.dp_sites[i];
         a.contexts = site_total_contexts[i] - a.dropped_intent_contexts;
-        if (site_total_contexts[i] == 0) {
+        if (site_budget_hit[i]) {
+            // Budget exhaustion takes precedence: the site's results were
+            // dropped or truncated, so any other outcome would be misleading.
+            a.outcome = "budget_exhausted";
+        } else if (site_total_contexts[i] == 0) {
             a.outcome = "empty_slice";
         } else if (a.contexts == 0) {
             a.outcome = "dropped_intent";
@@ -257,7 +304,11 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     std::vector<slicing::SlicedTransaction> built_sliced;
     built_sliced.reserve(built.size());
     for (const auto& b : built) built_sliced.push_back(sliced[b.sliced_index]);
-    std::vector<txn::Dependency> raw_edges = deps.analyze(built_sliced);
+    // An exhausted budget skips dependency analysis outright: the surviving
+    // transaction set is already partial, and the phase's taint runs would
+    // charge nothing (keeping the degraded report cheap is the point).
+    std::vector<txn::Dependency> raw_edges;
+    if (!budget.exhausted()) raw_edges = deps.analyze(built_sliced);
     end_phase("txn", txn_span);
 
     // Deduplicate: one report transaction per distinct signature. The merge
@@ -365,6 +416,20 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
     std::sort(report.audit.unknown_reasons.begin(), report.audit.unknown_reasons.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
 
+    report.stats.budget_steps_used = budget.steps_used();
+    report.stats.budget_exhausted = budget.exhausted();
+    // Budget counters exist only when a budget is set: default runs emit no
+    // new counter names, so the committed bench baseline stays valid.
+    if (budget.limited()) {
+        obs::counter("budget.steps_used").add(budget.steps_used());
+        if (budget.exhausted()) {
+            obs::counter("budget.exhausted_apps").add(1);
+            log::warn().kv("max_total_steps", budget.max_total_steps())
+                    .kv("steps_used", budget.steps_used())
+                << "analysis budget exhausted; report is partial";
+        }
+    }
+
     analyze_span.finish();
     report.stats.analysis_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -390,6 +455,20 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
                   if (a.second != b.second) return a.second > b.second;
                   return a.first < b.first;
               });
+
+    // An exhausted budget makes the *work performed* scheduling-dependent:
+    // with several workers, units past the cut may start (and bump engine
+    // counters) before the index-ordered fold detects exhaustion, even though
+    // their results are always dropped. The report must stay byte-identical
+    // for every jobs value, so a budget-exhausted run keeps only the
+    // deterministic budget.* deltas and drops the counter-derived unmodeled
+    // table; the global registry still holds the exact aggregates.
+    if (budget.exhausted()) {
+        std::erase_if(report.stats.counters, [](const auto& entry) {
+            return !strings::starts_with(entry.first, "budget.");
+        });
+        report.audit.unmodeled_apis.clear();
+    }
     return report;
 }
 
@@ -405,6 +484,49 @@ Result<AnalysisReport> Analyzer::analyze_xapk(std::string_view xapk_text) const 
                                {"xapk.parse", parse_span.seconds()});
     report.stats.analysis_seconds += parse_span.seconds();
     return report;
+}
+
+std::vector<BatchItem> Analyzer::analyze_batch(
+    const std::vector<BatchInput>& inputs) const {
+    std::vector<BatchItem> items(inputs.size());
+    if (inputs.empty()) return items;
+
+    // Split the thread budget across apps first, then inside each app:
+    // app-level parallelism scales better than intra-app (few DP sites per
+    // app), and the per-slot item fill keeps the output in input order.
+    unsigned jobs = support::resolve_jobs(options_.jobs);
+    auto app_jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, inputs.size()));
+    AnalyzerOptions inner_options = options_;
+    inner_options.jobs = std::max(1u, jobs / std::max(1u, app_jobs));
+    Analyzer inner(std::move(inner_options));
+
+    support::parallel_for(app_jobs, inputs.size(), [&](std::size_t i) {
+        items[i].file = inputs[i].file;
+        // The exception boundary of batch mode: without it the thread pool
+        // rethrows the lowest-index error and one bad app kills the batch.
+        try {
+            auto result = inner.analyze_xapk(inputs[i].text);
+            if (result.ok()) {
+                items[i].report = std::move(result).take();
+            } else {
+                items[i].error = result.error().message;
+            }
+        } catch (const std::exception& e) {
+            items[i].error = std::string("analysis failed: ") + e.what();
+        } catch (...) {
+            items[i].error = "analysis failed: unknown error";
+        }
+        if (!items[i].ok() && items[i].error.empty()) {
+            items[i].error = "analysis failed";
+        }
+    });
+    // Count contained failures sequentially so the counter total is exact
+    // and jobs-independent.
+    for (const auto& item : items) {
+        if (!item.ok()) obs::counter("isolation.contained_errors").add(1);
+    }
+    return items;
 }
 
 // ------------------------------------------------------------ tabulation --
@@ -576,6 +698,9 @@ text::Json AnalysisReport::to_json() const {
     metrics.set("contexts", text::Json(static_cast<std::int64_t>(stats.contexts)));
     metrics.set("dropped_intent_contexts",
                 text::Json(static_cast<std::int64_t>(stats.dropped_intent_contexts)));
+    metrics.set("budget_steps_used",
+                text::Json(static_cast<std::int64_t>(stats.budget_steps_used)));
+    metrics.set("budget_exhausted", text::Json(stats.budget_exhausted));
     text::Json phases = text::Json::object();
     for (const auto& p : stats.phases) phases.set(p.name, text::Json(p.seconds));
     metrics.set("phases", std::move(phases));
@@ -700,8 +825,8 @@ text::Json AnalysisAudit::to_json() const {
 std::string AnalysisAudit::to_text() const {
     std::string out = "Audit: analysis quality\n";
     out += "DP sites: " + std::to_string(dp_sites.size());
-    const char* kOutcomes[] = {"complete", "partial", "build_failed", "dropped_intent",
-                               "empty_slice"};
+    const char* kOutcomes[] = {"complete",       "partial",     "build_failed",
+                               "dropped_intent", "empty_slice", "budget_exhausted"};
     std::string breakdown;
     for (const char* outcome : kOutcomes) {
         std::size_t n = count_outcome(outcome);

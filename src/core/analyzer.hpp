@@ -74,6 +74,13 @@ struct AnalysisStats {
     /// per DESIGN.md "Observability"). Deltas from concurrent analyses on
     /// other threads are attributed to whichever run snapshots them first.
     std::vector<std::pair<std::string, std::uint64_t>> counters;
+    /// Abstract analysis steps charged against the per-app budget (taint
+    /// worklist iterations + signature-builder statement executions). Folded
+    /// in site order, so identical for every --jobs value.
+    std::size_t budget_steps_used = 0;
+    /// True when AnalyzerOptions::max_total_steps ran out and the report is
+    /// the degraded partial (budget_exhausted outcomes in the audit).
+    bool budget_exhausted = false;
 
     [[nodiscard]] double phase_seconds_total() const {
         double total = 0;
@@ -90,11 +97,13 @@ struct AnalysisStats {
 };
 
 /// Terminal outcome of one demarcation-point site (coverage audit):
-///   complete       — every surviving context produced a signature;
-///   partial        — some contexts built, some did not;
-///   build_failed   — contexts survived the filters but none built;
-///   dropped_intent — every context arrived via an unmodeled intent (§5.1);
-///   empty_slice    — slicing found no calling context at all.
+///   complete         — every surviving context produced a signature;
+///   partial          — some contexts built, some did not;
+///   build_failed     — contexts survived the filters but none built;
+///   dropped_intent   — every context arrived via an unmodeled intent (§5.1);
+///   empty_slice      — slicing found no calling context at all;
+///   budget_exhausted — the per-app step budget ran out at or before this
+///                      site (its results were dropped or truncated).
 struct DpSiteAudit {
     xir::StmtRef site;
     std::string dp;        // demarcation API, "Cls.method"
@@ -170,6 +179,35 @@ struct AnalyzerOptions {
     /// hardware thread. Reports are byte-identical for every value: workers
     /// fill pre-sized slots by index and the merge stays sequential.
     unsigned jobs = 1;
+    /// Per-app analysis budget in abstract steps, shared across slicing,
+    /// taint, and signature building (0 = unlimited). Exhaustion degrades
+    /// the app to a partial report (budget_exhausted audit outcomes), never
+    /// an abort, and the cut point is identical for every `jobs` value.
+    std::size_t max_total_steps = 0;
+    /// Per-taint-run worklist cap (safety valve; 0 = unlimited).
+    std::size_t max_taint_steps = 2'000'000;
+    /// Per-signature-build executed-statement cap (safety valve; 0 =
+    /// unlimited). A capped build keeps its partial signature with residual
+    /// unknowns tagged budget_exhausted.
+    std::size_t max_sig_steps = 1'000'000;
+};
+
+/// One input to analyze_batch: a file label (echoed into per-app report /
+/// error entries) plus its serialized .xapk text.
+struct BatchInput {
+    std::string file;
+    std::string text;
+};
+
+/// One per-input outcome of analyze_batch: either a report or a contained
+/// per-app failure — parse errors and escaped analysis exceptions land here
+/// instead of killing the batch.
+struct BatchItem {
+    std::string file;
+    std::optional<AnalysisReport> report;
+    std::string error;  // non-empty iff `report` is absent
+
+    [[nodiscard]] bool ok() const { return report.has_value(); }
 };
 
 class Analyzer {
@@ -181,6 +219,15 @@ public:
 
     /// Parses .xapk text and analyzes it (the binary-only entry point).
     [[nodiscard]] Result<AnalysisReport> analyze_xapk(std::string_view xapk_text) const;
+
+    /// Analyzes every input with per-app fault isolation: a parse error or an
+    /// exception thrown mid-analysis becomes that input's BatchItem::error
+    /// while every other input still reports. Inputs are analyzed
+    /// concurrently (`jobs` split across apps, remainder inside each app) and
+    /// results are returned in input order — the item list is byte-identical
+    /// for every `jobs` value.
+    [[nodiscard]] std::vector<BatchItem> analyze_batch(
+        const std::vector<BatchInput>& inputs) const;
 
     [[nodiscard]] const semantics::SemanticModel& model() const { return model_; }
 

@@ -1,6 +1,7 @@
 #include "interp/interpreter.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 
 #include "obs/metrics.hpp"
@@ -334,11 +335,15 @@ struct Interpreter::Impl {
             case RtValue::Kind::kDouble: return static_cast<std::int64_t>(v.double_value);
             case RtValue::Kind::kBool: return v.bool_value ? 1 : 0;
             case RtValue::Kind::kString: {
-                try {
-                    return std::stoll(v.string_value);
-                } catch (...) {
-                    return 0;
-                }
+                // Guarded parse: coercion failure yields 0 (Java-ish laxness)
+                // without routing a hot path through throw/catch — and without
+                // a catch(...) that would swallow unrelated exceptions.
+                const std::string& s = v.string_value;
+                std::int64_t parsed = 0;
+                auto [end, ec] =
+                    std::from_chars(s.data(), s.data() + s.size(), parsed);
+                if (ec != std::errc{} || end != s.data() + s.size()) return 0;
+                return parsed;
             }
             default: return 0;
         }
@@ -488,9 +493,16 @@ struct Interpreter::Impl {
     void run_handler(const EventRegistration& event) {
         const Method* handler = program->find_method(event.handler);
         if (!handler) return;
+        if (options.budget && options.budget->remaining() == 0) return;
         events_fired->add(1);
         current_trigger = event.label;
         steps_left = options.max_steps_per_event;
+        if (options.budget) {
+            // Clip this event's allowance to whatever the shared budget still
+            // permits, and charge what the event actually consumed.
+            steps_left = std::min(steps_left, options.budget->remaining());
+        }
+        const std::size_t allowance = steps_left;
         std::vector<RtValue> args;
         if (!handler->is_static) {
             args.push_back(RtValue::of_object(singleton(handler->class_name)));
@@ -500,6 +512,7 @@ struct Interpreter::Impl {
             args.push_back(default_param(handler->locals[p].type));
         }
         call(*handler, std::move(args));
+        if (options.budget) options.budget->charge(allowance - steps_left);
     }
 
     RtValue default_param(const Type& type) {

@@ -92,6 +92,19 @@ public:
         }
 
         finalize_response();
+        if (step_capped_) {
+            // The build stopped early: whatever stayed unknown did so because
+            // the budget ran out, not because the value is free. Tag only the
+            // reason-less leaves — more specific reasons survive.
+            tag_unknowns(out_.uri, UnknownReason::kBudgetExhausted, "budget");
+            for (auto& [name, value] : out_.headers) {
+                tag_unknowns(name, UnknownReason::kBudgetExhausted, "budget");
+                tag_unknowns(value, UnknownReason::kBudgetExhausted, "budget");
+            }
+            tag_unknowns(out_.body, UnknownReason::kBudgetExhausted, "budget");
+            tag_unknowns(out_.response_body, UnknownReason::kBudgetExhausted,
+                         "budget");
+        }
         return out_;
     }
 
@@ -267,6 +280,16 @@ private:
 
     void execute(const StmtRef& ref, const Statement& stmt, const Method& method, Env& env,
                  std::size_t ctx_pos, bool live, int depth, std::optional<SigValue>& ret) {
+        // Budget cap: stop executing once the step budget is gone. The count
+        // is sequential and input-determined, so the cap point is the same on
+        // every run regardless of --jobs.
+        if (step_capped_) return;
+        ++steps_;
+        if (request_->max_steps && steps_ > request_->max_steps) {
+            step_capped_ = true;
+            obs::counter("sig.unknown_reason.budget_exhausted").add(1);
+            return;
+        }
         // Control flow is structural; everything else obeys the slice filter.
         const bool slice_member = in_slice(ref);
         std::visit(
@@ -1381,9 +1404,15 @@ private:
     std::set<std::uint32_t> on_stack_;
 
     bool captured_ = false;
+    std::size_t steps_ = 0;
+    bool step_capped_ = false;
     TransactionSignature out_;
     DemandNodePtr response_root_;
     std::vector<std::pair<MethodRef, int>> pending_callbacks_;
+
+public:
+    [[nodiscard]] std::size_t steps() const { return steps_; }
+    [[nodiscard]] bool step_capped() const { return step_capped_; }
 };
 
 }  // namespace
@@ -1392,10 +1421,15 @@ SignatureBuilder::SignatureBuilder(const Program& program, const CallGraph& call
                                    const semantics::SemanticModel& model)
     : program_(&program), callgraph_(&callgraph), model_(&model) {}
 
-std::optional<TransactionSignature> SignatureBuilder::build(const BuildRequest& request) {
+std::optional<TransactionSignature> SignatureBuilder::build(const BuildRequest& request,
+                                                            BuildStats* stats) {
     obs::Span span("sig.build", "sig");
     Interp interp(*program_, *callgraph_, *model_, request);
     auto signature = interp.run();
+    if (stats) {
+        stats->steps = interp.steps();
+        stats->step_capped = interp.step_capped();
+    }
     obs::counter(signature ? "sig.signatures_built" : "sig.build_failures").add(1);
     span.finish();
     obs::histogram("sig.build_ms").observe(span.seconds() * 1000.0);

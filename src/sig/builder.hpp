@@ -55,6 +55,15 @@ struct BuildRequest {
     /// Statements the interpreter may execute (the union of the transaction's
     /// request/response slices plus augmentation). Null = interpret all.
     const std::set<xir::StmtRef>* slice = nullptr;
+    /// Cap on executed statements (0 = unlimited). When hit, the build stops
+    /// early and residual unknown leaves are tagged kBudgetExhausted.
+    std::size_t max_steps = 0;
+};
+
+/// Deterministic cost of one build() call (the budget layer's currency).
+struct BuildStats {
+    std::size_t steps = 0;
+    bool step_capped = false;
 };
 
 class SignatureBuilder {
@@ -63,8 +72,11 @@ public:
                      const semantics::SemanticModel& model);
 
     /// Builds the signature for one transaction context. Returns nullopt if
-    /// the DP was never reached along the given context.
-    [[nodiscard]] std::optional<TransactionSignature> build(const BuildRequest& request);
+    /// the DP was never reached along the given context. `stats`, when
+    /// non-null, receives the executed-statement count and whether the
+    /// BuildRequest::max_steps cap fired.
+    [[nodiscard]] std::optional<TransactionSignature> build(const BuildRequest& request,
+                                                            BuildStats* stats = nullptr);
 
 private:
     const xir::Program* program_;

@@ -20,6 +20,7 @@ const char* unknown_reason_name(UnknownReason reason) {
         case UnknownReason::kExternalState: return "external_state";
         case UnknownReason::kResourceValue: return "resource_value";
         case UnknownReason::kResponseOpaque: return "response_opaque";
+        case UnknownReason::kBudgetExhausted: return "budget_exhausted";
     }
     return "unspecified";
 }

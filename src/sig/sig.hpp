@@ -36,6 +36,7 @@ enum class UnknownReason : std::uint8_t {
     kExternalState,      // database / SharedPreferences cell not in slice
     kResourceValue,      // value lives in the resource table, not the code
     kResponseOpaque,     // response byte range the app never inspects
+    kBudgetExhausted,    // analysis step budget ran out mid-build
 };
 
 /// Stable snake_case name used in counters, audit tables, and JSON.

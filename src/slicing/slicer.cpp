@@ -22,6 +22,7 @@ Slicer::Slicer(const Program& program, const semantics::SemanticModel& model,
     taint::EngineOptions engine_options;
     engine_options.cross_event_globals = options_.async_heuristic;
     engine_options.max_global_hops = options_.max_async_hops;
+    engine_options.max_steps = options_.max_taint_steps;
     engine_ = std::make_unique<taint::TaintEngine>(program, *callgraph_, model,
                                                    engine_options);
 }
@@ -56,8 +57,11 @@ std::vector<SlicedTransaction> Slicer::slice_all() {
     return out;
 }
 
-std::vector<SlicedTransaction> Slicer::slice_site(const StmtRef& site) {
+std::vector<SlicedTransaction> Slicer::slice_site(const StmtRef& site,
+                                                  std::size_t* steps_used) {
+    std::size_t steps = 0;
     std::vector<SlicedTransaction> out;
+    if (steps_used) *steps_used = 0;
     const auto* call = std::get_if<Invoke>(&program_->statement(site));
     if (!call) return out;
     const DemarcationSpec* dp =
@@ -120,6 +124,7 @@ std::vector<SlicedTransaction> Slicer::slice_site(const StmtRef& site) {
     if (!request_seeds.empty()) {
         request_taint = engine_->run(Direction::kBackward, request_seeds);
         request_slice = request_taint.statements;
+        steps += request_taint.steps_used;
     }
 
     // ---- forward: response slice ----
@@ -152,9 +157,11 @@ std::vector<SlicedTransaction> Slicer::slice_site(const StmtRef& site) {
     if (!response_seeds.empty()) {
         response_taint = engine_->run(Direction::kForward, response_seeds);
         response_slice = response_taint.statements;
+        steps += response_taint.steps_used;
     }
 
-    std::set<StmtRef> augmentation = augment(response_slice);
+    std::set<StmtRef> augmentation = augment(response_slice, steps);
+    if (steps_used) *steps_used = steps;
 
     for (auto& context : contexts) {
         SlicedTransaction txn;
@@ -189,7 +196,8 @@ void Slicer::resolve_trigger(SlicedTransaction& txn) const {
     txn.trigger = "unknown:" + method.ref().qualified();
 }
 
-std::set<StmtRef> Slicer::augment(const std::set<StmtRef>& response_slice) {
+std::set<StmtRef> Slicer::augment(const std::set<StmtRef>& response_slice,
+                                  std::size_t& steps_used) {
     // Object-aware slice augmentation (§3.1): for every local a response-
     // slice statement *uses* without an in-slice definition in the same
     // method, pull in the statements that construct it via backward taint.
@@ -218,6 +226,7 @@ std::set<StmtRef> Slicer::augment(const std::set<StmtRef>& response_slice) {
     if (seeds.empty()) return {};
     obs::counter("slicer.augment_seeds").add(seeds.size());
     auto result = engine_->run(Direction::kBackward, seeds);
+    steps_used += result.steps_used;
     return std::move(result.statements);
 }
 

@@ -49,6 +49,9 @@ struct SlicerOptions {
     /// implementation stops at one hop (§4); higher values implement its
     /// "multiple iterations" extension.
     unsigned max_async_hops = 1;
+    /// Per-taint-run worklist cap (taint::EngineOptions::max_steps);
+    /// 0 = unlimited.
+    std::size_t max_taint_steps = 2'000'000;
 };
 
 class Slicer {
@@ -62,8 +65,11 @@ public:
     /// Slices every transaction in the program.
     [[nodiscard]] std::vector<SlicedTransaction> slice_all();
 
-    /// Slices one DP site (all contexts).
-    [[nodiscard]] std::vector<SlicedTransaction> slice_site(const xir::StmtRef& site);
+    /// Slices one DP site (all contexts). When `steps_used` is non-null it
+    /// receives the total taint-worklist iterations the site consumed (the
+    /// deterministic cost the budget layer charges).
+    [[nodiscard]] std::vector<SlicedTransaction> slice_site(
+        const xir::StmtRef& site, std::size_t* steps_used = nullptr);
 
     [[nodiscard]] const xir::CallGraph& callgraph() const { return *callgraph_; }
     [[nodiscard]] const xir::Program& program() const { return *program_; }
@@ -76,7 +82,8 @@ public:
 
 private:
     void resolve_trigger(SlicedTransaction& txn) const;
-    std::set<xir::StmtRef> augment(const std::set<xir::StmtRef>& response_slice);
+    std::set<xir::StmtRef> augment(const std::set<xir::StmtRef>& response_slice,
+                                   std::size_t& steps_used);
 
     const xir::Program* program_;
     const semantics::SemanticModel* model_;

@@ -1,0 +1,157 @@
+// Deterministic per-app analysis budgets (fault-isolation layer).
+//
+// A BudgetTracker bounds the total abstract work one app may consume across
+// the whole pipeline (taint worklist iterations, signature-builder statement
+// executions, interpreter steps) with ONE invariant: the set of work units
+// whose results count — and therefore the report — is byte-identical for
+// every `--jobs` value.
+//
+// The problem with a naive shared atomic is scheduling: with 8 workers the
+// counter crosses the limit at a different unit than with 1, so the report
+// would depend on thread timing. Instead the tracker charges units in
+// *index order* at a fold frontier:
+//
+//   * a parallel stage (`stage(n)`) gives every unit a slot; workers record
+//     each unit's deterministic step count when it finishes;
+//   * the frontier folds slot i into the running total only after slots
+//     0..i-1 are folded, so the unit at which the budget crosses the limit
+//     depends only on the per-unit costs (which are sequential computations,
+//     independent of scheduling) — never on which worker finished first;
+//   * results of units past the crossing point are dropped by the caller
+//     (`finish()` returns the cut); units that have not *started* once the
+//     budget is exhausted are skipped outright (`should_skip()`), which is
+//     safe because the frontier can only cross after every unit below the
+//     cut has finished — a skipped unit is always past the cut.
+//
+// Wall-clock deadlines are deliberately NOT offered: a timeout fires at a
+// machine-dependent point and would break report determinism. Steps are the
+// budget currency precisely because they are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace extractocol::support {
+
+class BudgetTracker {
+public:
+    /// `max_total_steps` == 0 means unlimited (the tracker never exhausts).
+    explicit BudgetTracker(std::size_t max_total_steps = 0)
+        : max_(max_total_steps) {}
+    BudgetTracker(const BudgetTracker&) = delete;
+    BudgetTracker& operator=(const BudgetTracker&) = delete;
+
+    [[nodiscard]] bool limited() const { return max_ != 0; }
+    [[nodiscard]] std::size_t max_total_steps() const { return max_; }
+
+    /// Sticky: set the moment the in-order fold crosses the limit, never
+    /// cleared. Safe to poll from worker threads.
+    [[nodiscard]] bool exhausted() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return exhausted_;
+    }
+
+    /// Steps charged so far (folded units only — work past the cut is never
+    /// counted, so the value is jobs-independent).
+    [[nodiscard]] std::size_t steps_used() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return used_;
+    }
+
+    /// Steps still available; SIZE_MAX when unlimited, 0 when exhausted.
+    [[nodiscard]] std::size_t remaining() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!limited()) return std::numeric_limits<std::size_t>::max();
+        if (exhausted_ || used_ >= max_) return 0;
+        return max_ - used_;
+    }
+
+    /// Sequential charge from a single-threaded call site (whole-phase costs,
+    /// interpreter events). The charge that crosses the limit is still
+    /// counted — its work already happened and its results are kept. Returns
+    /// false once the budget is exhausted.
+    bool charge(std::size_t steps) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (exhausted_) return false;
+        used_ += steps;
+        if (limited() && used_ > max_) exhausted_ = true;
+        return !exhausted_;
+    }
+
+    /// One data-parallel pipeline stage of `units` index-addressed work
+    /// items. Protocol (see file header): workers call `should_skip()`
+    /// before starting a unit and `record(i, steps)` after finishing it;
+    /// the caller, after the barrier, calls `finish()` and treats units at
+    /// indices >= the returned cut as budget-exhausted.
+    class Stage {
+    public:
+        /// True when the budget was exhausted before this unit started; the
+        /// unit must not run (its results would be dropped anyway).
+        [[nodiscard]] bool should_skip() const { return tracker_->exhausted(); }
+
+        /// Records unit `index`'s deterministic step count and folds every
+        /// ready unit, in index order, into the tracker.
+        void record(std::size_t index, std::size_t steps) {
+            std::lock_guard<std::mutex> lock(tracker_->mutex_);
+            steps_[index] = steps;
+            done_[index] = true;
+            advance_locked();
+        }
+
+        /// Folds any remaining completed units and returns the cut: units
+        /// [0, cut) count toward the report, [cut, n) are dropped. Equal to
+        /// n when the budget never exhausted.
+        [[nodiscard]] std::size_t finish() {
+            std::lock_guard<std::mutex> lock(tracker_->mutex_);
+            advance_locked();
+            return tracker_->exhausted_ ? cut_ : frontier_;
+        }
+
+    private:
+        friend class BudgetTracker;
+        Stage(BudgetTracker& tracker, std::size_t units)
+            : tracker_(&tracker), steps_(units, 0), done_(units, 0) {
+            std::lock_guard<std::mutex> lock(tracker_->mutex_);
+            // Already exhausted on entry: every unit of this stage is past
+            // the cut.
+            if (tracker_->exhausted_) cut_ = 0;
+        }
+
+        /// Requires tracker_->mutex_. Stops folding once exhausted: later
+        /// units are dropped whether they ran or not, so their (scheduling-
+        /// dependent) completion must not influence any observable state.
+        void advance_locked() {
+            while (!tracker_->exhausted_ && frontier_ < done_.size() &&
+                   done_[frontier_]) {
+                tracker_->used_ += steps_[frontier_];
+                ++frontier_;
+                if (tracker_->limited() && tracker_->used_ > tracker_->max_) {
+                    tracker_->exhausted_ = true;
+                    // The crossing unit is kept: its work is counted and its
+                    // partial results belong in the degraded report.
+                    cut_ = frontier_;
+                }
+            }
+        }
+
+        BudgetTracker* tracker_;
+        std::vector<std::size_t> steps_;
+        std::vector<char> done_;  // vector<bool> bit-packing is not thread-hostile
+                                  // here (mutex-guarded) but char keeps it simple
+        std::size_t frontier_ = 0;
+        std::size_t cut_ = std::numeric_limits<std::size_t>::max();
+    };
+
+    [[nodiscard]] Stage stage(std::size_t units) { return Stage(*this, units); }
+
+private:
+    friend class Stage;
+    const std::size_t max_;
+    mutable std::mutex mutex_;
+    std::size_t used_ = 0;
+    bool exhausted_ = false;
+};
+
+}  // namespace extractocol::support

@@ -1055,6 +1055,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
         if (options_.max_steps && ++run.steps > options_.max_steps) {
             log::warn().kv("max_steps", options_.max_steps)
                 << "taint engine hit step limit; result is truncated";
+            run.result.truncated = true;
             break;
         }
         auto [mi, b] = run.worklist.front();
@@ -1164,6 +1165,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
               [](const CallTaintEvent& a, const CallTaintEvent& b) {
                   return a.stmt < b.stmt;
               });
+    run.result.steps_used = run.steps;
     obs::counter("taint.slice_statements").add(run.result.statements.size());
     span.finish();
     obs::histogram("taint.run_ms").observe(span.seconds() * 1000.0);

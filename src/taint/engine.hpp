@@ -65,6 +65,11 @@ struct TaintResult {
     std::set<std::uint32_t> methods;
     /// Tainted-call observations, in discovery order (deduplicated).
     std::vector<CallTaintEvent> call_events;
+    /// Worklist iterations this run consumed — deterministic for a given
+    /// program + seeds, the currency of analysis budgets.
+    std::size_t steps_used = 0;
+    /// True when the run stopped at EngineOptions::max_steps.
+    bool truncated = false;
 
     [[nodiscard]] bool contains(const xir::StmtRef& ref) const {
         return statements.count(ref) > 0;

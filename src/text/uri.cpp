@@ -79,6 +79,15 @@ Result<Uri> parse_uri(std::string_view input) {
     std::string_view authority = rest.substr(0, authority_end);
     if (authority.empty()) return Error("uri missing host");
 
+    // RFC 3986 authority = [userinfo "@"] host [":" port]. Drop credentials
+    // before the host:port split: a userinfo like "user:pw" would otherwise
+    // poison the port parse ("invalid port: pw@host") or leak into the host.
+    auto at = authority.rfind('@');
+    if (at != std::string_view::npos) {
+        authority = authority.substr(at + 1);
+        if (authority.empty()) return Error("uri missing host");
+    }
+
     auto colon = authority.rfind(':');
     if (colon != std::string_view::npos) {
         std::string_view port_text = authority.substr(colon + 1);

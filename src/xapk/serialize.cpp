@@ -244,7 +244,13 @@ Result<Operand> parse_operand(const std::string& token) {
     if (token == "true") return Operand(Constant::of_bool(true));
     if (token == "false") return Operand(Constant::of_bool(false));
     if (strings::starts_with(token, "d:")) {
-        return Operand(Constant::of_double(std::stod(token.substr(2))));
+        double parsed = 0;
+        auto [dptr, dec] =
+            std::from_chars(token.data() + 2, token.data() + token.size(), parsed);
+        if (dec != std::errc() || dptr != token.data() + token.size()) {
+            return Error("bad double operand: " + token);
+        }
+        return Operand(Constant::of_double(parsed));
     }
     std::int64_t value = 0;
     auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
@@ -252,6 +258,18 @@ Result<Operand> parse_operand(const std::string& token) {
         return Operand(Constant::of_int(value));
     }
     return Error("bad operand: " + token);
+}
+
+/// Guarded decimal parse for header fields (method param counts, block
+/// indices): garbage and overflow become an Error instead of a std::stoul
+/// throw escaping parse_xapk's Result contract.
+Result<std::uint32_t> parse_u32(const std::string& token, const char* what) {
+    std::uint32_t value = 0;
+    auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+        return Error(std::string("bad ") + what + ": " + token);
+    }
+    return value;
 }
 
 Result<LocalId> parse_local(const std::string& token) {
@@ -516,7 +534,9 @@ Result<Program> parse_xapk(std::string_view input) {
             method.name = t[1];
             method.class_name = current_class->name;
             method.is_static = t[2] == "1";
-            method.param_count = static_cast<std::uint32_t>(std::stoul(t[3]));
+            auto params = parse_u32(t[3], "method param count");
+            if (!params.ok()) return fail(params.error().message);
+            method.param_count = params.value();
             method.return_type = t[4];
             current_class->methods.push_back(std::move(method));
             current_method = &current_class->methods.back();
@@ -528,8 +548,9 @@ Result<Program> parse_xapk(std::string_view input) {
         } else if (keyword == "block") {
             if (!current_method) return fail("block outside method");
             if (t.size() != 2) return fail("block INDEX");
-            auto index = std::stoul(t[1]);
-            if (index != current_method->blocks.size()) {
+            auto index = parse_u32(t[1], "block index");
+            if (!index.ok()) return fail(index.error().message);
+            if (index.value() != current_method->blocks.size()) {
                 return fail("blocks must appear in order");
             }
             current_method->blocks.emplace_back();

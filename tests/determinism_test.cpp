@@ -11,6 +11,7 @@
 
 #include "core/analyzer.hpp"
 #include "corpus/corpus.hpp"
+#include "xapk/serialize.hpp"
 #include "xir/ir.hpp"
 
 using namespace extractocol;
@@ -121,5 +122,100 @@ TEST(DeterminismTest, StatsCountContextsAfterIntentFilter) {
     EXPECT_EQ(report.stats.contexts, merged_contexts) << report.to_text();
     for (const auto& t : report.transactions) {
         EXPECT_EQ(t.uri_regex.find("push"), std::string::npos) << report.to_text();
+    }
+}
+
+TEST(DeterminismTest, BudgetCutIsByteIdenticalAcrossJobCounts) {
+    // A budget-limited run must degrade at the SAME point for every --jobs
+    // value: the cut is computed by an index-ordered fold of per-unit costs,
+    // never by which worker crossed the shared counter first.
+    std::vector<std::string> names = corpus::open_source_apps();
+    ASSERT_GE(names.size(), 3u);
+    names.resize(3);  // the fold logic is app-independent; three apps suffice
+
+    for (const auto& name : names) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        core::AnalysisReport unlimited = analyze(app.program, app.spec.open_source, 1);
+        ASSERT_GT(unlimited.stats.budget_steps_used, 1u) << name;
+
+        // Exercise several cut positions, including the degenerate one.
+        const std::size_t caps[] = {1, unlimited.stats.budget_steps_used / 4,
+                                    unlimited.stats.budget_steps_used / 2};
+        for (std::size_t cap : caps) {
+            if (cap == 0) continue;
+            core::AnalyzerOptions options;
+            options.async_heuristic = !app.spec.open_source;
+            options.max_total_steps = cap;
+            options.jobs = 1;
+            core::AnalysisReport baseline = core::Analyzer(options).analyze(app.program);
+            std::string baseline_text = baseline.to_text();
+            std::string baseline_audit = baseline.audit.to_text();
+            std::string baseline_json = normalized_json(baseline);
+
+            for (unsigned jobs : {2u, 8u}) {
+                options.jobs = jobs;
+                core::AnalysisReport parallel =
+                    core::Analyzer(options).analyze(app.program);
+                EXPECT_EQ(parallel.to_text(), baseline_text)
+                    << name << " budget=" << cap << " diverged at jobs=" << jobs;
+                EXPECT_EQ(normalized_json(parallel), baseline_json)
+                    << name << " budget=" << cap << " JSON diverged at jobs=" << jobs;
+                EXPECT_EQ(parallel.audit.to_text(), baseline_audit)
+                    << name << " budget=" << cap << " audit diverged at jobs=" << jobs;
+                EXPECT_EQ(parallel.stats.budget_steps_used,
+                          baseline.stats.budget_steps_used)
+                    << name << " budget=" << cap;
+                EXPECT_EQ(parallel.stats.budget_exhausted, baseline.stats.budget_exhausted)
+                    << name << " budget=" << cap;
+            }
+        }
+    }
+}
+
+TEST(DeterminismTest, BatchErrorIsolationIsByteIdenticalAcrossJobCounts) {
+    // analyze_batch contains per-app failures: a poisoned input yields an
+    // error item while every other input still reports — and the whole item
+    // list (reports AND error strings) is identical for every jobs value.
+    std::vector<core::BatchInput> inputs;
+    for (const auto& name : {"blippex", "iFixIt"}) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        inputs.push_back({std::string(name) + ".xapk", xapk::write_xapk(app.program)});
+    }
+    // Poison one in the middle: numeric overflow in a method header (the
+    // guarded-parse path) and outright garbage.
+    inputs.insert(inputs.begin() + 1,
+                  {"poisoned.xapk",
+                   "xapk 1\napp \"p\"\nclass com.p.C\n"
+                   "method go 1 99999999999999999999999 void\n"});
+    inputs.push_back({"garbage.xapk", "not an xapk at all"});
+
+    auto run = [&](unsigned jobs) {
+        core::AnalyzerOptions options;
+        options.jobs = jobs;
+        return core::Analyzer(options).analyze_batch(inputs);
+    };
+
+    auto baseline = run(1);
+    ASSERT_EQ(baseline.size(), inputs.size());
+    EXPECT_TRUE(baseline[0].ok());
+    EXPECT_FALSE(baseline[1].ok());
+    EXPECT_NE(baseline[1].error.find("param count"), std::string::npos)
+        << baseline[1].error;
+    EXPECT_TRUE(baseline[2].ok());
+    EXPECT_FALSE(baseline[3].ok());
+    for (const auto& item : baseline) EXPECT_EQ(item.ok(), item.error.empty());
+
+    for (unsigned jobs : {2u, 8u}) {
+        auto items = run(jobs);
+        ASSERT_EQ(items.size(), baseline.size()) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            EXPECT_EQ(items[i].file, baseline[i].file) << "jobs=" << jobs;
+            EXPECT_EQ(items[i].ok(), baseline[i].ok()) << "jobs=" << jobs;
+            EXPECT_EQ(items[i].error, baseline[i].error) << "jobs=" << jobs;
+            if (items[i].ok() && baseline[i].ok()) {
+                EXPECT_EQ(items[i].report->to_text(), baseline[i].report->to_text())
+                    << inputs[i].file << " diverged at jobs=" << jobs;
+            }
+        }
     }
 }

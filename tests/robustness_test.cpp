@@ -242,3 +242,235 @@ TEST(Display, EventKindNamesRoundTrip) {
     }
     EXPECT_FALSE(parse_event_kind("martian").ok());
 }
+
+// ------------------------------------------------- loader hardening sweep --
+//
+// parse_xapk returns Result: on arbitrary corruption it must come back with
+// an Error (or a verified program), never throw or abort. The sweep mutates
+// every corpus app's serialized text three ways — per-line deletion, token
+// mangling, numeric overflow — and funnels each mutant through the parser.
+
+namespace {
+
+std::vector<std::string> all_corpus_apps() {
+    std::vector<std::string> names = corpus::open_source_apps();
+    const auto& closed = corpus::closed_source_apps();
+    names.insert(names.end(), closed.begin(), closed.end());
+    return names;
+}
+
+/// Parses and, when the mutant happens to still be well-formed, touches the
+/// program so the parse is not optimized away. Any throw fails the test.
+void expect_contained(const std::string& text, const std::string& label) {
+    EXPECT_NO_THROW({
+        auto parsed = xapk::parse_xapk(text);
+        if (parsed.ok()) {
+            (void)parsed.value().total_statements();
+        } else {
+            EXPECT_FALSE(parsed.error().message.empty()) << label;
+        }
+    }) << label;
+}
+
+}  // namespace
+
+TEST(LoaderHardening, PerLineDeletionNeverThrows) {
+    for (const auto& name : all_corpus_apps()) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        std::string good = xapk::write_xapk(app.program);
+        std::vector<std::string> lines = strings::split(good, '\n');
+        // Stride keeps the sweep fast on big apps while still hitting every
+        // line kind (header, class, method, block, statement, event).
+        std::size_t stride = std::max<std::size_t>(1, lines.size() / 128);
+        for (std::size_t drop = 0; drop < lines.size(); drop += stride) {
+            std::string mutant;
+            mutant.reserve(good.size());
+            for (std::size_t i = 0; i < lines.size(); ++i) {
+                if (i == drop) continue;
+                mutant += lines[i];
+                mutant += '\n';
+            }
+            expect_contained(mutant, name + ": deleted line " + std::to_string(drop));
+        }
+    }
+}
+
+TEST(LoaderHardening, TokenManglingNeverThrows) {
+    const std::pair<const char*, const char*> kMangles[] = {
+        {"call", "c@ll"},       {"method", "m3th*d"}, {"block", "blk!"},
+        {"class", "cl@ss"},     {"event", "3v3nt"},   {"field", "fi#ld"},
+        {"local", "l0c@l"},     {"goto", "g0t0"},     {"ret", "r3t"},
+        {"if", "1f"},           {"\"", "'"},          {"$", "%"},
+    };
+    for (const auto& name : all_corpus_apps()) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        std::string good = xapk::write_xapk(app.program);
+        for (const auto& [from, to] : kMangles) {
+            std::string mutant = strings::replace_all(good, from, to);
+            expect_contained(mutant, name + ": mangled '" + from + "'");
+        }
+    }
+}
+
+TEST(LoaderHardening, NumericOverflowIsAnErrorNotACrash) {
+    // Numbers beyond the 32/64-bit parse range used to escape as std::stoul /
+    // std::stod exceptions despite parse_xapk's Result contract.
+    const char* kHuge = "99999999999999999999999999";
+    for (const auto& name : all_corpus_apps()) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        std::string good = xapk::write_xapk(app.program);
+        std::vector<std::string> lines = strings::split(good, '\n');
+        bool mutated_method = false;
+        bool mutated_block = false;
+        std::string method_mutant, block_mutant;
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            auto t = strings::split_nonempty(lines[i], ' ');
+            if (!mutated_method && t.size() == 5 && t[0] == "method") {
+                auto mutated = lines;
+                mutated[i] = t[0] + " " + t[1] + " " + t[2] + " " + kHuge + " " + t[4];
+                method_mutant = strings::join(mutated, "\n");
+                mutated_method = true;
+            }
+            if (!mutated_block && t.size() == 2 && t[0] == "block") {
+                auto mutated = lines;
+                mutated[i] = "block " + std::string(kHuge);
+                block_mutant = strings::join(mutated, "\n");
+                mutated_block = true;
+            }
+            if (mutated_method && mutated_block) break;
+        }
+        ASSERT_TRUE(mutated_method) << name;
+        ASSERT_TRUE(mutated_block) << name;
+        EXPECT_NO_THROW({
+            auto parsed = xapk::parse_xapk(method_mutant);
+            ASSERT_FALSE(parsed.ok()) << name;
+            EXPECT_NE(parsed.error().message.find("param count"), std::string::npos)
+                << name << ": " << parsed.error().message;
+        }) << name;
+        EXPECT_NO_THROW({
+            auto parsed = xapk::parse_xapk(block_mutant);
+            ASSERT_FALSE(parsed.ok()) << name;
+            EXPECT_NE(parsed.error().message.find("block index"), std::string::npos)
+                << name << ": " << parsed.error().message;
+        }) << name;
+    }
+}
+
+TEST(LoaderHardening, BadDoubleOperandIsAnError) {
+    // "d:" double constants had the same throwing-parse hole (std::stod).
+    const char* kDoc =
+        "xapk 1\n"
+        "app \"d\"\n"
+        "class com.d.C\n"
+        "method go 0 0 void\n"
+        "local x double\n"
+        "block 0\n"
+        "const $0 d:not_a_number\n"
+        "ret _\n";
+    EXPECT_NO_THROW({
+        auto parsed = xapk::parse_xapk(kDoc);
+        EXPECT_FALSE(parsed.ok());
+    });
+    // Overflowing exponents are also contained.
+    EXPECT_NO_THROW({
+        auto parsed = xapk::parse_xapk(
+            strings::replace_all(kDoc, "d:not_a_number", "d:1e99999999"));
+        EXPECT_FALSE(parsed.ok());
+    });
+    // A well-formed double still parses.
+    auto parsed =
+        xapk::parse_xapk(strings::replace_all(kDoc, "d:not_a_number", "d:3.25"));
+    EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().message);
+}
+
+// -------------------------------------------------------- analysis budgets --
+
+TEST(AnalysisBudget, UnlimitedBudgetMatchesDefaultReport) {
+    corpus::CorpusApp app = corpus::build_app("blippex");
+    core::AnalysisReport baseline = core::Analyzer().analyze(app.program);
+    core::AnalyzerOptions explicit_unlimited;
+    explicit_unlimited.max_total_steps = 0;
+    core::AnalysisReport same =
+        core::Analyzer(explicit_unlimited).analyze(app.program);
+    EXPECT_EQ(same.to_text(), baseline.to_text());
+    EXPECT_FALSE(baseline.stats.budget_exhausted);
+    // Unlimited runs still account their work (the fold always runs).
+    EXPECT_GT(baseline.stats.budget_steps_used, 0u);
+}
+
+TEST(AnalysisBudget, ExhaustionDegradesToPartialReportNeverAborts) {
+    corpus::CorpusApp app = corpus::build_app("blippex");
+    core::AnalysisReport full = core::Analyzer().analyze(app.program);
+    ASSERT_GT(full.stats.budget_steps_used, 1u);
+
+    // Halve the budget until the cut actually drops a site's results. A
+    // budget that crosses exactly at the final fold keeps everything (the
+    // crossing unit is kept by design), so full/2 alone is not guaranteed
+    // to degrade any site — but 1 step always is, so the scan terminates.
+    std::optional<core::AnalysisReport> partial;
+    for (std::size_t cap = full.stats.budget_steps_used / 2; cap >= 1; cap /= 2) {
+        core::AnalyzerOptions options;
+        options.max_total_steps = cap;
+        core::AnalysisReport report = core::Analyzer(options).analyze(app.program);
+        EXPECT_TRUE(report.stats.budget_exhausted) << cap;
+        // Degraded, never aborted: the report still renders.
+        EXPECT_FALSE(report.to_text().empty()) << cap;
+        // Exhaustion always skips dependency analysis.
+        EXPECT_TRUE(report.dependencies.empty()) << cap;
+        if (report.audit.count_outcome("budget_exhausted") >= 1) {
+            partial = std::move(report);
+            break;
+        }
+        if (cap == 1) break;
+    }
+    ASSERT_TRUE(partial.has_value())
+        << "no budget produced a budget_exhausted site outcome";
+
+    EXPECT_LE(partial->stats.budget_steps_used, full.stats.budget_steps_used);
+    EXPECT_LE(partial->transactions.size(), full.transactions.size());
+    // The audit layer names the cause in both renderings.
+    EXPECT_NE(partial->audit.to_text().find("budget_exhausted"), std::string::npos);
+    EXPECT_NE(partial->audit.to_json().dump_pretty().find("budget_exhausted"),
+              std::string::npos);
+}
+
+TEST(AnalysisBudget, SingleStepBudgetStillProducesAReport) {
+    corpus::CorpusApp app = corpus::build_app("blippex");
+    core::AnalyzerOptions options;
+    options.max_total_steps = 1;
+    core::AnalysisReport report = core::Analyzer(options).analyze(app.program);
+    EXPECT_TRUE(report.stats.budget_exhausted);
+    // Every DP site degrades, none is misattributed to another failure mode.
+    for (const auto& site : report.audit.dp_sites) {
+        EXPECT_EQ(site.outcome, "budget_exhausted") << site.dp;
+    }
+    // The report still renders (partial, not aborted).
+    EXPECT_FALSE(report.to_text().empty());
+    EXPECT_FALSE(report.to_json().dump_pretty().empty());
+}
+
+TEST(AnalysisBudget, PerBuildStepCapTagsResidualUnknowns) {
+    // A tiny per-build cap truncates signature construction; the build that
+    // survives long enough to capture the DP keeps a partial signature whose
+    // residual unknown leaves carry the budget_exhausted reason.
+    corpus::CorpusApp app = corpus::build_app("blippex");
+    core::AnalysisReport full = core::Analyzer().analyze(app.program);
+    ASSERT_FALSE(full.transactions.empty());
+
+    bool saw_budget_reason = false;
+    for (std::size_t cap = 4; cap <= (1u << 16) && !saw_budget_reason; cap *= 2) {
+        core::AnalyzerOptions options;
+        options.max_sig_steps = cap;
+        core::AnalysisReport report = core::Analyzer(options).analyze(app.program);
+        for (const auto& [reason, count] : report.audit.unknown_reasons) {
+            if (reason == "budget_exhausted" && count > 0) saw_budget_reason = true;
+        }
+        if (report.audit.count_outcome("budget_exhausted") == 0) {
+            // Cap high enough that no build was truncated: the sweep is done
+            // and the reason can no longer appear.
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_budget_reason)
+        << "no max_sig_steps cap produced a budget_exhausted unknown leaf";
+}

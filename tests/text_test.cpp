@@ -169,6 +169,32 @@ TEST(Uri, Errors) {
     EXPECT_FALSE(parse_uri("http://host:notaport/").ok());
 }
 
+TEST(Uri, UserinfoStripped) {
+    // RFC 3986 authority = [userinfo "@"] host [":" port]. Credentials are
+    // dropped; they must poison neither the host nor the port parse.
+    auto uri = parse_uri("http://user:pw@api.example.com:8080/v1?a=1").value();
+    EXPECT_EQ(uri.host, "api.example.com");
+    ASSERT_TRUE(uri.port.has_value());
+    EXPECT_EQ(*uri.port, 8080);
+    EXPECT_EQ(uri.path, "/v1");
+
+    EXPECT_EQ(parse_uri("https://alice@host/p").value().host, "host");
+    // '@' may legally occur inside userinfo; the host starts after the last.
+    EXPECT_EQ(parse_uri("http://a@b@host/p").value().host, "host");
+    // Userinfo with nothing after it is still a missing host.
+    EXPECT_FALSE(parse_uri("http://user:pw@").ok());
+    EXPECT_FALSE(parse_uri("http://user:pw@/path").ok());
+}
+
+TEST(Uri, UserinfoRoundTrip) {
+    // to_string() never re-emits credentials; re-parsing its output is
+    // stable (the round trip converges after the first parse).
+    auto uri = parse_uri("http://user:pw@h:99/a/b?x=1%202&y=z#f").value();
+    EXPECT_EQ(uri.to_string(), "http://h:99/a/b?x=1%202&y=z#f");
+    auto again = parse_uri(uri.to_string()).value();
+    EXPECT_EQ(uri, again);
+}
+
 TEST(Uri, HostCaseNormalized) {
     EXPECT_EQ(parse_uri("HTTP://ExAmPlE.com/P").value().host, "example.com");
     EXPECT_EQ(parse_uri("HTTP://ExAmPlE.com/P").value().path, "/P");

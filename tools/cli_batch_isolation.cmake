@@ -1,0 +1,133 @@
+# End-to-end check of the CLI's per-app fault isolation (ctest -P script).
+#
+# Drives `extractocol` in batch mode over two healthy corpus apps with one
+# poisoned .xapk in the middle and asserts the contract from DESIGN.md §10:
+#
+#   * the process exits non-zero (a batch with any failed input fails);
+#   * the failed input becomes a per-file error entry — `error:` line in the
+#     text report, `"error"` member in the --json array — while both healthy
+#     apps still get complete reports;
+#   * stdout is byte-identical at --jobs 1/2/8 (error entries included);
+#   * --fail-fast truncates the output after the first failed input.
+#
+# Expected definitions: EXTRACTOCOL, MAKE_CORPUS, WORK_DIR.
+
+foreach(var EXTRACTOCOL MAKE_CORPUS WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${MAKE_CORPUS}" "${WORK_DIR}/corpus"
+  RESULT_VARIABLE corpus_rc
+  OUTPUT_QUIET)
+if(NOT corpus_rc EQUAL 0)
+  message(FATAL_ERROR "make_corpus failed: ${corpus_rc}")
+endif()
+
+set(healthy_a "${WORK_DIR}/corpus/blippex.xapk")
+set(healthy_b "${WORK_DIR}/corpus/ifixit.xapk")
+foreach(f IN LISTS healthy_a healthy_b)
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "expected corpus file missing: ${f}")
+  endif()
+endforeach()
+
+# Numeric overflow in a method header: exercises the guarded u32 parse that
+# used to escape as a std::stoul exception.
+file(WRITE "${WORK_DIR}/poisoned.xapk"
+  "xapk 1\napp \"poisoned\"\nclass com.p.C\n"
+  "method go 1 99999999999999999999999 void\n")
+
+set(inputs "${healthy_a}" "${WORK_DIR}/poisoned.xapk" "${healthy_b}")
+
+# --- text mode: exit 1, per-file error entry, healthy reports intact -------
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --jobs 1 ${inputs}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE text_out
+  ERROR_VARIABLE text_err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "batch with a poisoned input must exit 1, got ${rc}")
+endif()
+foreach(needle "== ${healthy_a} ==" "== ${healthy_b} ==" "== ${WORK_DIR}/poisoned.xapk ==")
+  string(FIND "${text_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "text output missing section: ${needle}")
+  endif()
+endforeach()
+string(FIND "${text_out}" "error: xapk line 4: bad method param count" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "text output missing the per-file error entry:\n${text_out}")
+endif()
+string(FIND "${text_err}" "poisoned.xapk" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "stderr must name the failed file:\n${text_err}")
+endif()
+
+# Healthy reports are intact: each single-app run's report appears verbatim.
+foreach(f IN LISTS healthy_a healthy_b)
+  execute_process(
+    COMMAND "${EXTRACTOCOL}" "${f}"
+    RESULT_VARIABLE solo_rc
+    OUTPUT_VARIABLE solo_out)
+  if(NOT solo_rc EQUAL 0)
+    message(FATAL_ERROR "healthy app ${f} failed solo: ${solo_rc}")
+  endif()
+  string(FIND "${text_out}" "${solo_out}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "batch output does not contain the solo report of ${f}")
+  endif()
+endforeach()
+
+# --- determinism: stdout byte-identical at --jobs 1/2/8 --------------------
+foreach(jobs 2 8)
+  execute_process(
+    COMMAND "${EXTRACTOCOL}" --jobs ${jobs} ${inputs}
+    RESULT_VARIABLE rc_j
+    OUTPUT_VARIABLE out_j)
+  if(NOT rc_j EQUAL 1)
+    message(FATAL_ERROR "--jobs ${jobs} exit code diverged: ${rc_j}")
+  endif()
+  if(NOT out_j STREQUAL text_out)
+    message(FATAL_ERROR "--jobs ${jobs} stdout diverged from --jobs 1")
+  endif()
+endforeach()
+
+# --- JSON mode: error member present, array still covers every input -------
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --json --jobs 8 ${inputs}
+  RESULT_VARIABLE rc_json
+  OUTPUT_VARIABLE json_out)
+if(NOT rc_json EQUAL 1)
+  message(FATAL_ERROR "--json batch must exit 1, got ${rc_json}")
+endif()
+foreach(needle "\"error\"" "bad method param count" "poisoned.xapk")
+  string(FIND "${json_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "JSON output missing ${needle}:\n${json_out}")
+  endif()
+endforeach()
+
+# --- --fail-fast: output stops after the first failed input ----------------
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --fail-fast ${inputs}
+  RESULT_VARIABLE rc_ff
+  OUTPUT_VARIABLE ff_out)
+if(NOT rc_ff EQUAL 1)
+  message(FATAL_ERROR "--fail-fast must exit 1, got ${rc_ff}")
+endif()
+string(FIND "${ff_out}" "== ${healthy_b} ==" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR "--fail-fast must not emit inputs after the failure")
+endif()
+string(FIND "${ff_out}" "== ${healthy_a} ==" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "--fail-fast must keep inputs before the failure")
+endif()
+
+message(STATUS "cli batch isolation: all checks passed")

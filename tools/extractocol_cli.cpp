@@ -12,6 +12,17 @@
 //                          per hardware thread). With multiple inputs the
 //                          apps are analyzed concurrently; reports are
 //                          byte-identical for every value
+//   --max-steps <n>        per-app analysis budget in abstract steps (taint
+//                          worklist iterations + signature-builder statement
+//                          executions; 0 = unlimited). Exhaustion degrades
+//                          the app to a partial report with budget_exhausted
+//                          audit outcomes — it never aborts
+//   --keep-going           batch mode: report every app even after one fails
+//                          (the default). A failed app becomes a per-file
+//                          error entry and the exit code is non-zero
+//   --fail-fast            batch mode: stop emitting after the first failed
+//                          input (in input order — deterministic under
+//                          --jobs; every app is still analyzed)
 //   --stats                print analysis statistics to stderr
 //   --metrics              print the per-phase timing table and metric
 //                          counters to stderr
@@ -41,8 +52,6 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
-#include "support/parallel.hpp"
-#include "support/result.hpp"
 
 using namespace extractocol;
 
@@ -52,6 +61,7 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--json] [--scope PREFIX] [--no-async-heuristic]\n"
                  "          [--async-hops N] [--no-deobfuscation] [--jobs N]\n"
+                 "          [--max-steps N] [--keep-going] [--fail-fast]\n"
                  "          [--stats] [--metrics] [--audit] [--explain ID]\n"
                  "          [--trace FILE] [-v|--verbose]\n"
                  "          APP.xapk [APP2.xapk ...]\n",
@@ -72,14 +82,27 @@ bool parse_unsigned(const char* text, unsigned& out) {
     return true;
 }
 
+/// Strict std::size_t parse for step budgets, which may exceed 32 bits.
+bool parse_size(const char* text, std::size_t& out) {
+    if (text == nullptr || *text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') return false;
+    if (value > std::numeric_limits<std::size_t>::max()) return false;
+    out = static_cast<std::size_t>(value);
+    return true;
+}
+
 void print_stats(const core::AnalysisReport& report) {
     const auto& s = report.stats;
     std::fprintf(stderr,
                  "statements=%zu sliced=%zu (%.1f%%) dps=%zu contexts=%zu "
-                 "dropped_intent_contexts=%zu time=%.0fms\n",
+                 "dropped_intent_contexts=%zu time=%.0fms%s\n",
                  s.total_statements, s.slice_statements, 100 * s.slice_fraction(),
                  s.dp_sites, s.contexts, s.dropped_intent_contexts,
-                 s.analysis_seconds * 1000);
+                 s.analysis_seconds * 1000,
+                 s.budget_exhausted ? " budget_exhausted" : "");
 }
 
 void print_metrics(const core::AnalysisReport& report) {
@@ -116,6 +139,7 @@ int main(int argc, char** argv) {
     bool metrics = false;
     bool audit = false;
     bool explain = false;
+    bool fail_fast = false;
     unsigned explain_id = 0;
     int verbosity = 0;
     unsigned jobs = 1;
@@ -184,6 +208,20 @@ int main(int argc, char** argv) {
                              value);
                 return usage(argv[0]);
             }
+        } else if (std::strcmp(arg, "--max-steps") == 0) {
+            const char* value = value_of(i);
+            if (!value) return usage(argv[0]);
+            if (!parse_size(value, options.max_total_steps)) {
+                std::fprintf(
+                    stderr,
+                    "error: --max-steps expects a non-negative integer, got '%s'\n",
+                    value);
+                return usage(argv[0]);
+            }
+        } else if (std::strcmp(arg, "--keep-going") == 0) {
+            fail_fast = false;
+        } else if (std::strcmp(arg, "--fail-fast") == 0) {
+            fail_fast = true;
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "error: unknown option '%s'\n", arg);
             return usage(argv[0]);
@@ -204,7 +242,7 @@ int main(int argc, char** argv) {
     }
     if (trace_path) obs::TraceRecorder::global().set_enabled(true);
 
-    std::vector<std::string> texts(paths.size());
+    std::vector<core::BatchInput> inputs(paths.size());
     for (std::size_t i = 0; i < paths.size(); ++i) {
         std::ifstream in(paths[i]);
         if (!in) {
@@ -213,35 +251,28 @@ int main(int argc, char** argv) {
         }
         std::ostringstream buffer;
         buffer << in.rdbuf();
-        texts[i] = buffer.str();
+        inputs[i].file = paths[i];
+        inputs[i].text = buffer.str();
     }
 
-    // Batch mode: with several inputs the jobs are spent across apps first
-    // (whole analyses are independent), and any remainder inside each app.
-    // Reports land in pre-sized slots and are printed in input order, so the
-    // output is byte-identical for every --jobs value.
-    jobs = support::resolve_jobs(jobs);
-    unsigned app_jobs = static_cast<unsigned>(
-        std::min<std::size_t>(jobs, paths.size()));
-    options.jobs = std::max(1u, jobs / std::max(1u, app_jobs));
-
+    // Batch mode with per-app fault isolation: analyze_batch spends jobs
+    // across apps first and any remainder inside each app, contains per-app
+    // loader/analysis failures as error items, and returns everything in
+    // input order — output is byte-identical for every --jobs value.
+    options.jobs = jobs;
     core::Analyzer analyzer(options);
-    std::vector<Result<core::AnalysisReport>> reports(
-        paths.size(), Result<core::AnalysisReport>(core::AnalysisReport{}));
-    support::parallel_for(app_jobs, paths.size(), [&](std::size_t i) {
-        reports[i] = analyzer.analyze_xapk(texts[i]);
-    });
+    std::vector<core::BatchItem> items = analyzer.analyze_batch(inputs);
     if (paths.size() > 1) {
         // Per-run counter deltas are snapshots of the process-global registry;
         // concurrent analyses overlap each other's windows, so per-app
         // attribution is meaningless in batch mode and would make the output
         // vary with --jobs. The aggregate registry (--metrics) stays exact.
-        for (auto& r : reports) {
-            if (r.ok()) {
-                r.value().stats.counters.clear();
+        for (auto& item : items) {
+            if (item.ok()) {
+                item.report->stats.counters.clear();
                 // The unmodeled-API table is built from the same overlapping
                 // counter windows, so it is cleared for the same reason.
-                r.value().audit.unmodeled_apis.clear();
+                item.report->audit.unmodeled_apis.clear();
             }
         }
     }
@@ -249,13 +280,27 @@ int main(int argc, char** argv) {
     int exit_code = 0;
     text::Json batch = text::Json::array();
     for (std::size_t i = 0; i < paths.size(); ++i) {
-        if (!reports[i].ok()) {
+        if (!items[i].ok()) {
             std::fprintf(stderr, "error: %s: %s\n", paths[i],
-                         reports[i].error().message.c_str());
+                         items[i].error.c_str());
             exit_code = 1;
+            // The failure also lands in the report stream itself, so batch
+            // consumers see every input accounted for in input order.
+            if (as_json) {
+                if (paths.size() > 1) {
+                    text::Json entry = text::Json::object();
+                    entry.set("file", text::Json(std::string(paths[i])));
+                    entry.set("error", text::Json(items[i].error));
+                    batch.push_back(std::move(entry));
+                }
+            } else if (!explain && paths.size() > 1) {
+                std::printf("== %s ==\n", paths[i]);
+                std::printf("error: %s\n", items[i].error.c_str());
+            }
+            if (fail_fast) break;
             continue;
         }
-        const core::AnalysisReport& report = reports[i].value();
+        const core::AnalysisReport& report = *items[i].report;
         if (explain) {
             if (explain_id > report.transactions.size()) {
                 std::fprintf(stderr, "error: unknown transaction id '%u'\n", explain_id);
