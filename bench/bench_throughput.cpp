@@ -1,0 +1,167 @@
+// Fleet throughput trajectory: end-to-end corpus analysis (serialized .xapk
+// text -> parse -> full pipeline, via analyze_batch — the CLI's batch path)
+// at --jobs 1/2/4/8. Each configuration reports apps/sec and the per-app
+// latency distribution from obs::RunTelemetry, cross-checked for
+// determinism against the sequential run.
+//
+// The table goes to stdout; the machine-readable snapshot goes to
+// bench/BENCH_throughput.json (override with argv[1]). The committed
+// snapshot is the perf trajectory: regenerate with a quiet machine and
+// commit alongside changes that move throughput, so reviewers can diff
+// apps/sec across PRs.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/telemetry.hpp"
+#include "xapk/serialize.hpp"
+
+using namespace extractocol;
+using namespace extractocol::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef XT_BENCH_THROUGHPUT_PATH
+    const char* out_path = XT_BENCH_THROUGHPUT_PATH;
+#else
+    const char* out_path = "BENCH_throughput.json";
+#endif
+    if (argc > 1) out_path = argv[1];
+
+    std::printf("== Fleet throughput: end-to-end corpus apps/sec vs --jobs ==\n\n");
+
+    std::vector<std::string> names = corpus::open_source_apps();
+    const auto& closed = corpus::closed_source_apps();
+    names.insert(names.end(), closed.begin(), closed.end());
+
+    // End to end means from .xapk text: serialize once up front, then every
+    // measured run pays parse + analysis, exactly like the CLI.
+    std::vector<core::BatchInput> inputs;
+    inputs.reserve(names.size());
+    for (const auto& name : names) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        inputs.push_back({name + ".xapk", xapk::write_xapk(app.program)});
+    }
+
+    constexpr int kReps = 3;  // best-of to shed scheduler noise
+    const unsigned kJobs[] = {1, 2, 4, 8};
+
+    struct Row {
+        unsigned jobs = 0;
+        double wall_seconds = 0;
+        double apps_per_second = 0;
+        obs::HistogramStats latency_ms;
+    };
+    std::vector<Row> rows;
+    std::size_t expected_transactions = 0;
+    std::size_t expected_dependencies = 0;
+
+    for (unsigned jobs : kJobs) {
+        core::AnalyzerOptions options;
+        options.jobs = jobs;
+        core::Analyzer analyzer(options);
+
+        Row row;
+        row.jobs = jobs;
+        row.wall_seconds = 0;
+        std::vector<core::BatchItem> items;
+        for (int rep = 0; rep < kReps; ++rep) {
+            auto start = std::chrono::steady_clock::now();
+            auto run_items = analyzer.analyze_batch(inputs);
+            double wall = seconds_since(start);
+            if (rep == 0 || wall < row.wall_seconds) {
+                row.wall_seconds = wall;
+                items = std::move(run_items);
+            }
+        }
+        row.apps_per_second =
+            row.wall_seconds > 0
+                ? static_cast<double>(inputs.size()) / row.wall_seconds
+                : 0;
+
+        obs::RunTelemetry telemetry;
+        telemetry.set_run_wall_seconds(row.wall_seconds);
+        std::size_t transactions = 0;
+        std::size_t dependencies = 0;
+        for (const auto& item : items) {
+            if (!item.ok()) {
+                std::printf("ANALYSIS FAILURE at jobs=%u: %s: %s\n", jobs,
+                            item.file.c_str(), item.error.c_str());
+                return 1;
+            }
+            transactions += item.report->transactions.size();
+            dependencies += item.report->dependencies.size();
+            telemetry.add(core::telemetry_record(item, options));
+        }
+        row.latency_ms = telemetry.fleet().latency_ms;
+
+        if (jobs == 1) {
+            expected_transactions = transactions;
+            expected_dependencies = dependencies;
+        } else if (transactions != expected_transactions ||
+                   dependencies != expected_dependencies) {
+            std::printf("DETERMINISM VIOLATION at jobs=%u\n", jobs);
+            return 1;
+        }
+        rows.push_back(row);
+    }
+
+    const double base = rows.front().apps_per_second;
+    std::printf("%-6s  %10s  %10s  %8s  %9s  %9s\n", "jobs", "wall (ms)",
+                "apps/sec", "speedup", "p50 (ms)", "p95 (ms)");
+    for (const Row& row : rows) {
+        std::printf("%-6u  %10.1f  %10.1f  %7.2fx  %9.3f  %9.3f\n", row.jobs,
+                    row.wall_seconds * 1000, row.apps_per_second,
+                    base > 0 ? row.apps_per_second / base : 0,
+                    row.latency_ms.p50(), row.latency_ms.p95());
+    }
+
+    text::Json results = text::Json::array();
+    for (const Row& row : rows) {
+        text::Json obj = text::Json::object();
+        obj.set("jobs", text::Json(static_cast<std::int64_t>(row.jobs)));
+        obj.set("wall_seconds", text::Json(row.wall_seconds));
+        obj.set("apps_per_second", text::Json(row.apps_per_second));
+        obj.set("speedup",
+                text::Json(base > 0 ? row.apps_per_second / base : 0.0));
+        text::Json latency = text::Json::object();
+        latency.set("p50_ms", text::Json(row.latency_ms.p50()));
+        latency.set("p95_ms", text::Json(row.latency_ms.p95()));
+        latency.set("p99_ms", text::Json(row.latency_ms.p99()));
+        latency.set("mean_ms", text::Json(row.latency_ms.mean()));
+        latency.set("max_ms", text::Json(row.latency_ms.max));
+        obj.set("latency", std::move(latency));
+        results.push_back(std::move(obj));
+    }
+    text::Json doc = text::Json::object();
+    doc.set("schema", text::Json("extractocol.bench_throughput/v1"));
+    doc.set("apps", text::Json(static_cast<std::int64_t>(inputs.size())));
+    doc.set("reps", text::Json(static_cast<std::int64_t>(kReps)));
+    // Speedups only mean anything relative to the cores the run had:
+    // jobs > hardware_threads measures oversubscription, not scaling.
+    doc.set("hardware_threads",
+            text::Json(static_cast<std::int64_t>(
+                std::thread::hardware_concurrency())));
+    doc.set("results", std::move(results));
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::printf("cannot write %s\n", out_path);
+        return 1;
+    }
+    out << doc.dump_pretty() << "\n";
+    std::printf("\nwrote %s\n", out_path);
+    return 0;
+}

@@ -14,6 +14,7 @@
 #include "slicing/slicer.hpp"
 #include "support/budget.hpp"
 #include "support/log.hpp"
+#include "support/memtrack.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
 #include "xapk/serialize.hpp"
@@ -501,8 +502,20 @@ std::vector<BatchItem> Analyzer::analyze_batch(
     inner_options.jobs = std::max(1u, jobs / std::max(1u, app_jobs));
     Analyzer inner(std::move(inner_options));
 
+    // Per-app peak attribution needs non-overlapping measurement windows, so
+    // it is only meaningful when apps run one at a time (same caveat as the
+    // per-app counter deltas, which concurrent batches clear).
+    namespace memtrack = support::memtrack;
+    const bool track_per_app = app_jobs == 1 && memtrack::enabled();
+
+    std::atomic<std::size_t> done{0};
     support::parallel_for(app_jobs, inputs.size(), [&](std::size_t i) {
         items[i].file = inputs[i].file;
+        std::uint64_t mem_base = 0;
+        if (track_per_app) {
+            memtrack::reset_peak();
+            mem_base = memtrack::live_bytes();
+        }
         // The exception boundary of batch mode: without it the thread pool
         // rethrows the lowest-index error and one bad app kills the batch.
         try {
@@ -520,6 +533,14 @@ std::vector<BatchItem> Analyzer::analyze_batch(
         if (!items[i].ok() && items[i].error.empty()) {
             items[i].error = "analysis failed";
         }
+        if (track_per_app && items[i].report) {
+            std::uint64_t peak = memtrack::peak_bytes();
+            items[i].report->stats.peak_bytes = peak > mem_base ? peak - mem_base : 0;
+        }
+        if (options_.batch_progress) {
+            options_.batch_progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                                    inputs.size());
+        }
     });
     // Count contained failures sequentially so the counter total is exact
     // and jobs-independent.
@@ -527,6 +548,43 @@ std::vector<BatchItem> Analyzer::analyze_batch(
         if (!item.ok()) obs::counter("isolation.contained_errors").add(1);
     }
     return items;
+}
+
+obs::AppRunRecord telemetry_record(const BatchItem& item,
+                                   const AnalyzerOptions& options) {
+    obs::AppRunRecord rec;
+    rec.file = item.file;
+    if (!item.ok()) {
+        rec.outcome = "error";
+        rec.error = item.error;
+        return rec;
+    }
+    const AnalysisReport& report = *item.report;
+    if (report.stats.budget_exhausted) {
+        rec.outcome = "budget_exhausted";
+    } else {
+        rec.outcome = "complete";
+        for (const DpSiteAudit& a : report.audit.dp_sites) {
+            if (a.outcome != "complete") {
+                rec.outcome = "partial";
+                break;
+            }
+        }
+    }
+    rec.wall_seconds = report.stats.analysis_seconds;
+    rec.phase_seconds.reserve(report.stats.phases.size());
+    for (const PhaseTiming& p : report.stats.phases) {
+        rec.phase_seconds.emplace_back(p.name, p.seconds);
+    }
+    rec.steps_used = report.stats.budget_steps_used;
+    if (options.max_total_steps > 0) {
+        rec.budget_fraction = static_cast<double>(report.stats.budget_steps_used) /
+                              static_cast<double>(options.max_total_steps);
+    }
+    rec.peak_bytes = report.stats.peak_bytes;
+    rec.transactions = report.transactions.size();
+    rec.dependencies = report.dependencies.size();
+    return rec;
 }
 
 // ------------------------------------------------------------ tabulation --

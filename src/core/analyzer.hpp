@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "http/message.hpp"
+#include "obs/telemetry.hpp"
 #include "semantics/model.hpp"
 #include "sig/builder.hpp"
 #include "support/result.hpp"
@@ -81,6 +83,11 @@ struct AnalysisStats {
     /// True when AnalyzerOptions::max_total_steps ran out and the report is
     /// the degraded partial (budget_exhausted outcomes in the audit).
     bool budget_exhausted = false;
+    /// Peak tracked heap bytes attributed to this app's analysis. Filled by
+    /// analyze_batch only when support::memtrack is enabled AND apps run
+    /// sequentially (app-level concurrency would overlap the peak windows,
+    /// same caveat as the cleared per-app counters); 0 otherwise.
+    std::uint64_t peak_bytes = 0;
 
     [[nodiscard]] double phase_seconds_total() const {
         double total = 0;
@@ -190,6 +197,11 @@ struct AnalyzerOptions {
     /// unlimited). A capped build keeps its partial signature with residual
     /// unknowns tagged budget_exhausted.
     std::size_t max_sig_steps = 1'000'000;
+    /// Invoked by analyze_batch each time an input finishes, with the number
+    /// completed so far and the batch size. Called from whichever worker
+    /// finished the input, so the callback must be thread-safe when jobs > 1
+    /// (the CLI's --progress line serializes with a mutex). Null disables.
+    std::function<void(std::size_t done, std::size_t total)> batch_progress;
 };
 
 /// One input to analyze_batch: a file label (echoed into per-app report /
@@ -209,6 +221,15 @@ struct BatchItem {
 
     [[nodiscard]] bool ok() const { return report.has_value(); }
 };
+
+/// Folds one batch outcome into the obs::RunTelemetry record shape: outcome
+/// classification (error > budget_exhausted > partial > complete, where
+/// "partial" means any DP site terminated short of "complete"), per-phase
+/// wall times, budget consumption (fraction of `options.max_total_steps`; 0
+/// when unlimited), peak memory, and result sizes. The bridge between
+/// core's batch results and the obs-layer run manifest.
+[[nodiscard]] obs::AppRunRecord telemetry_record(const BatchItem& item,
+                                                const AnalyzerOptions& options);
 
 class Analyzer {
 public:

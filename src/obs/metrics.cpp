@@ -75,6 +75,18 @@ std::string format_double(double v) {
 
 }  // namespace
 
+std::string sanitize_metric_name(std::string_view name) {
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char ch : name) {
+        bool valid = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                     (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+        out.push_back(valid ? ch : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+    return out;
+}
+
 const std::uint64_t* MetricsSnapshot::counter(std::string_view name) const {
     return find_named(counters, name);
 }
@@ -95,15 +107,18 @@ MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& base) const 
     return out;
 }
 
-text::Json MetricsSnapshot::to_json() const {
+text::Json MetricsSnapshot::to_json(NameStyle style) const {
+    auto render = [style](const std::string& name) {
+        return style == NameStyle::kPrometheus ? sanitize_metric_name(name) : name;
+    };
     text::Json doc = text::Json::object();
     text::Json cs = text::Json::object();
     for (const auto& [name, value] : counters) {
-        cs.set(name, text::Json(static_cast<std::int64_t>(value)));
+        cs.set(render(name), text::Json(static_cast<std::int64_t>(value)));
     }
     doc.set("counters", std::move(cs));
     text::Json gs = text::Json::object();
-    for (const auto& [name, value] : gauges) gs.set(name, text::Json(value));
+    for (const auto& [name, value] : gauges) gs.set(render(name), text::Json(value));
     doc.set("gauges", std::move(gs));
     text::Json hs = text::Json::object();
     for (const auto& [name, stats] : histograms) {
@@ -116,10 +131,39 @@ text::Json MetricsSnapshot::to_json() const {
         h.set("p50", text::Json(stats.p50()));
         h.set("p95", text::Json(stats.p95()));
         h.set("p99", text::Json(stats.p99()));
-        hs.set(name, std::move(h));
+        hs.set(render(name), std::move(h));
     }
     doc.set("histograms", std::move(hs));
     return doc;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+    std::string out;
+    auto number = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        return std::string(buf);
+    };
+    for (const auto& [name, value] : counters) {
+        std::string prom = sanitize_metric_name(name);
+        out += "# TYPE " + prom + " counter\n";
+        out += prom + " " + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, value] : gauges) {
+        std::string prom = sanitize_metric_name(name);
+        out += "# TYPE " + prom + " gauge\n";
+        out += prom + " " + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, stats] : histograms) {
+        std::string prom = sanitize_metric_name(name);
+        out += "# TYPE " + prom + " summary\n";
+        out += prom + "{quantile=\"0.5\"} " + number(stats.p50()) + "\n";
+        out += prom + "{quantile=\"0.95\"} " + number(stats.p95()) + "\n";
+        out += prom + "{quantile=\"0.99\"} " + number(stats.p99()) + "\n";
+        out += prom + "_sum " + number(stats.sum) + "\n";
+        out += prom + "_count " + std::to_string(stats.count) + "\n";
+    }
+    return out;
 }
 
 std::string MetricsSnapshot::to_table() const {

@@ -111,6 +111,18 @@ private:
     HistogramStats stats_;
 };
 
+/// Sanitizes a dot-scoped instrument name for Prometheus exposition:
+/// '.' becomes '_', any character outside [a-zA-Z0-9_:] becomes '_', and a
+/// leading digit gains a '_' prefix. The single source of truth for metric
+/// renaming — both the text exposition and the sanitized JSON rendering go
+/// through here, so the two exports can never drift apart.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Naming convention of a metrics rendering: kDotted keeps the registry's
+/// canonical dot-scoped names (the repo-internal JSON convention);
+/// kPrometheus rewrites every name through sanitize_metric_name().
+enum class NameStyle { kDotted, kPrometheus };
+
 /// Point-in-time copy of every instrument, sorted by name.
 struct MetricsSnapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -126,9 +138,15 @@ struct MetricsSnapshot {
     /// absent from `base` keep their full stats).
     [[nodiscard]] MetricsSnapshot delta_since(const MetricsSnapshot& base) const;
 
-    [[nodiscard]] text::Json to_json() const;
+    [[nodiscard]] text::Json to_json(NameStyle style = NameStyle::kDotted) const;
     /// Aligned human-readable table (one instrument per line).
     [[nodiscard]] std::string to_table() const;
+    /// Prometheus text exposition format (version 0.0.4): counters and
+    /// gauges as single samples, histograms as summaries with
+    /// quantile="0.5/0.95/0.99" samples plus _sum and _count. Names are
+    /// sanitized with sanitize_metric_name(); output order follows the
+    /// snapshot's name sort, so the rendering is deterministic.
+    [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// Thread-safe instrument registry. Instruments live for the lifetime of the

@@ -1,0 +1,177 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+
+namespace extractocol::obs {
+
+namespace {
+
+text::Json histogram_json(const HistogramStats& stats) {
+    text::Json h = text::Json::object();
+    h.set("count", text::Json(static_cast<std::int64_t>(stats.count)));
+    h.set("sum", text::Json(stats.sum));
+    h.set("min", text::Json(stats.min));
+    h.set("max", text::Json(stats.max));
+    h.set("mean", text::Json(stats.mean()));
+    h.set("p50", text::Json(stats.p50()));
+    h.set("p95", text::Json(stats.p95()));
+    h.set("p99", text::Json(stats.p99()));
+    return h;
+}
+
+}  // namespace
+
+void RunTelemetry::set_jobs(unsigned jobs) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_ = jobs;
+}
+
+void RunTelemetry::set_timestamp_unix_ms(std::uint64_t ms) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    timestamp_unix_ms_ = ms;
+}
+
+void RunTelemetry::set_run_wall_seconds(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run_wall_seconds_ = seconds;
+}
+
+void RunTelemetry::set_metrics(MetricsSnapshot snapshot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = std::move(snapshot);
+}
+
+void RunTelemetry::add(AppRunRecord record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(record));
+}
+
+std::size_t RunTelemetry::app_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+FleetStats RunTelemetry::fleet() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FleetStats out;
+    out.apps = records_.size();
+    out.wall_seconds = run_wall_seconds_;
+    if (run_wall_seconds_ > 0) {
+        out.apps_per_second = static_cast<double>(records_.size()) / run_wall_seconds_;
+    }
+    for (const AppRunRecord& r : records_) {
+        if (r.outcome == "error") out.errors += 1;
+        auto it = std::find_if(out.outcomes.begin(), out.outcomes.end(),
+                               [&](const auto& p) { return p.first == r.outcome; });
+        if (it == out.outcomes.end()) {
+            out.outcomes.emplace_back(r.outcome, 1);
+        } else {
+            it->second += 1;
+        }
+        // Re-derive the latency distribution from the records rather than
+        // keeping a live Histogram: fleet() stays consistent with whatever
+        // subset of records has been added so far.
+        double ms = r.wall_seconds * 1000.0;
+        HistogramStats& h = out.latency_ms;
+        if (h.count == 0) {
+            h.min = ms;
+            h.max = ms;
+        } else {
+            h.min = std::min(h.min, ms);
+            h.max = std::max(h.max, ms);
+        }
+        h.count += 1;
+        h.sum += ms;
+        h.buckets[HistogramStats::bucket_index(ms)] += 1;
+    }
+    std::sort(out.outcomes.begin(), out.outcomes.end());
+    return out;
+}
+
+text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
+    FleetStats fs = fleet();
+
+    std::vector<AppRunRecord> records;
+    std::optional<MetricsSnapshot> metrics;
+    unsigned jobs = 1;
+    std::uint64_t timestamp = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        records = records_;
+        metrics = metrics_;
+        jobs = jobs_;
+        timestamp = timestamp_unix_ms_;
+    }
+
+    if (normalize_resources) {
+        timestamp = 0;
+        jobs = 0;
+        fs.wall_seconds = 0;
+        fs.apps_per_second = 0;
+        // Keep latency count (it equals the deterministic app count); zero
+        // the measured values so percentiles render as 0.
+        HistogramStats latency{};
+        latency.count = fs.latency_ms.count;
+        fs.latency_ms = latency;
+        for (AppRunRecord& r : records) {
+            r.wall_seconds = 0;
+            for (auto& [name, seconds] : r.phase_seconds) seconds = 0;
+            r.peak_bytes = 0;
+        }
+        if (metrics) {
+            // The registry is process-global: histogram counts and gauge
+            // values accumulate across runs in the same process, so a
+            // byte-comparable rendering must zero them entirely. Counters
+            // survive because callers attach delta_since() snapshots, which
+            // are deterministic per run at any --jobs value.
+            for (auto& [name, value] : metrics->gauges) value = 0;
+            for (auto& [name, stats] : metrics->histograms) stats = HistogramStats{};
+        }
+    }
+
+    text::Json apps = text::Json::array();
+    for (const AppRunRecord& r : records) {
+        text::Json obj = text::Json::object();
+        obj.set("file", text::Json(r.file));
+        obj.set("outcome", text::Json(r.outcome));
+        if (!r.error.empty()) obj.set("error", text::Json(r.error));
+        obj.set("wall_seconds", text::Json(r.wall_seconds));
+        text::Json phases = text::Json::array();
+        for (const auto& [name, seconds] : r.phase_seconds) {
+            text::Json p = text::Json::object();
+            p.set("name", text::Json(name));
+            p.set("seconds", text::Json(seconds));
+            phases.push_back(std::move(p));
+        }
+        obj.set("phases", std::move(phases));
+        obj.set("steps_used", text::Json(static_cast<std::int64_t>(r.steps_used)));
+        obj.set("budget_fraction", text::Json(r.budget_fraction));
+        obj.set("peak_bytes", text::Json(static_cast<std::int64_t>(r.peak_bytes)));
+        obj.set("transactions", text::Json(static_cast<std::int64_t>(r.transactions)));
+        obj.set("dependencies", text::Json(static_cast<std::int64_t>(r.dependencies)));
+        apps.push_back(std::move(obj));
+    }
+
+    text::Json outcomes = text::Json::object();
+    for (const auto& [name, count] : fs.outcomes) {
+        outcomes.set(name, text::Json(static_cast<std::int64_t>(count)));
+    }
+    text::Json fleet_obj = text::Json::object();
+    fleet_obj.set("apps", text::Json(static_cast<std::int64_t>(fs.apps)));
+    fleet_obj.set("errors", text::Json(static_cast<std::int64_t>(fs.errors)));
+    fleet_obj.set("outcomes", std::move(outcomes));
+    fleet_obj.set("wall_seconds", text::Json(fs.wall_seconds));
+    fleet_obj.set("apps_per_second", text::Json(fs.apps_per_second));
+    fleet_obj.set("latency_ms", histogram_json(fs.latency_ms));
+
+    text::Json doc = text::Json::object();
+    doc.set("schema", text::Json("extractocol.run_manifest/v1"));
+    doc.set("generated_unix_ms", text::Json(static_cast<std::int64_t>(timestamp)));
+    doc.set("jobs", text::Json(static_cast<std::int64_t>(jobs)));
+    doc.set("fleet", std::move(fleet_obj));
+    doc.set("apps", std::move(apps));
+    if (metrics) doc.set("metrics", metrics->to_json(NameStyle::kPrometheus));
+    return doc;
+}
+
+}  // namespace extractocol::obs

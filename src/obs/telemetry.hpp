@@ -1,0 +1,104 @@
+// Run telemetry (observability layer, part 3 — see metrics.hpp, trace.hpp).
+//
+// A batch run over many apps is the unit Extractocol's evaluation measures
+// (PAPER.md §4) and the unit a fleet orchestrator schedules. RunTelemetry
+// collects one AppRunRecord per input — terminal outcome, per-phase wall
+// clock, budget consumption, peak memory — and aggregates them into fleet
+// statistics (apps/sec throughput, per-app latency percentiles via
+// HistogramStats). manifest_json() renders the whole run as a JSON ledger an
+// orchestrator can store and diff across runs; the CLI's --run-manifest flag
+// writes it.
+//
+// Determinism contract: every field of the manifest is byte-identical for
+// any --jobs value EXCEPT resource measurements (wall clock, phase timings,
+// throughput, latency, memory) and run metadata (timestamp, jobs).
+// manifest_json(/*normalize_resources=*/true) zeroes exactly those fields,
+// and tests/determinism_test.cpp enforces that the normalized rendering is
+// byte-identical at --jobs 1/2/8 — including the poisoned-input batch case.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "text/json.hpp"
+
+namespace extractocol::obs {
+
+/// Telemetry record of one analyzed input. Deterministic fields (outcome,
+/// steps, budget fraction, transaction counts) come straight from the
+/// analysis; resource fields (wall clock, memory) are measurements.
+struct AppRunRecord {
+    std::string file;
+    /// Terminal outcome: "complete" (every DP site complete), "partial"
+    /// (some site degraded), "budget_exhausted" (the per-app step budget
+    /// ran out), or "error" (the input failed and was contained).
+    std::string outcome;
+    /// The contained per-app failure message; non-empty iff outcome=="error".
+    std::string error;
+    double wall_seconds = 0;
+    /// Per-phase wall times in pipeline order (name, seconds).
+    std::vector<std::pair<std::string, double>> phase_seconds;
+    /// Abstract steps charged against the per-app budget (taint worklist
+    /// iterations + signature-builder statement executions).
+    std::uint64_t steps_used = 0;
+    /// steps_used / max_total_steps; 0 when the run was unlimited.
+    double budget_fraction = 0;
+    /// Peak tracked bytes attributed to this app (0 unless memtrack is
+    /// enabled and apps ran sequentially — see DESIGN.md §11).
+    std::uint64_t peak_bytes = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t dependencies = 0;
+};
+
+/// Fleet-level aggregate of a run's AppRunRecords.
+struct FleetStats {
+    std::size_t apps = 0;
+    std::size_t errors = 0;
+    /// Outcome tally, sorted by outcome name.
+    std::vector<std::pair<std::string, std::size_t>> outcomes;
+    double wall_seconds = 0;     // whole-run wall clock
+    double apps_per_second = 0;  // apps / wall_seconds
+    /// Per-app latency distribution (milliseconds).
+    HistogramStats latency_ms;
+};
+
+/// Collects per-app records during a batch run and renders the run ledger.
+/// add() is thread-safe; records are kept in insertion order, so callers
+/// that need input order (the CLI, the determinism tests) add sequentially
+/// from the ordered batch result.
+class RunTelemetry {
+public:
+    void set_jobs(unsigned jobs);
+    void set_timestamp_unix_ms(std::uint64_t ms);
+    void set_run_wall_seconds(double seconds);
+    /// Attaches a metrics snapshot (typically the run's registry delta);
+    /// rendered into the manifest with Prometheus-sanitized names.
+    void set_metrics(MetricsSnapshot snapshot);
+
+    void add(AppRunRecord record);
+
+    [[nodiscard]] std::size_t app_count() const;
+    [[nodiscard]] FleetStats fleet() const;
+
+    /// The run ledger: schema tag, run metadata, per-app records, fleet
+    /// aggregate, and the attached metrics section. With
+    /// `normalize_resources` every wall-clock/memory/timestamp/jobs field is
+    /// zeroed (histogram stats and gauge values included) so the rendering
+    /// is byte-comparable across runs and --jobs values.
+    [[nodiscard]] text::Json manifest_json(bool normalize_resources = false) const;
+
+private:
+    mutable std::mutex mutex_;
+    unsigned jobs_ = 1;
+    std::uint64_t timestamp_unix_ms_ = 0;
+    double run_wall_seconds_ = 0;
+    std::optional<MetricsSnapshot> metrics_;
+    std::vector<AppRunRecord> records_;
+};
+
+}  // namespace extractocol::obs

@@ -3,12 +3,22 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "support/parallel.hpp"
+
 namespace extractocol::obs {
 
 namespace {
 
 // Per-thread open-span depth; spans nest lexically so a counter suffices.
 thread_local std::uint32_t t_depth = 0;
+
+// support::ThreadPool start hook: every pool worker self-registers with a
+// stable per-pool label before touching any work, so trace tids follow
+// thread creation order and rows carry readable names.
+void name_pool_worker(unsigned worker_index) {
+    TraceRecorder::global().name_current_thread("worker-" +
+                                                std::to_string(worker_index));
+}
 
 }  // namespace
 
@@ -17,6 +27,34 @@ TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
 TraceRecorder& TraceRecorder::global() {
     static TraceRecorder recorder;
     return recorder;
+}
+
+void TraceRecorder::set_enabled(bool enabled) {
+    if (enabled) {
+        // Install the worker-naming hook before any pool spawns and give the
+        // enabling thread (the CLI main thread in practice) tid 0.
+        support::set_thread_start_hook(&name_pool_worker);
+        name_current_thread("main");
+    }
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceRecorder::name_current_thread(std::string name) {
+    std::thread::id self = std::this_thread::get_id();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint32_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i] == self) {
+            thread_names_[i] = std::move(name);
+            return;
+        }
+    }
+    threads_.push_back(self);
+    thread_names_.push_back(std::move(name));
+}
+
+std::vector<std::string> TraceRecorder::thread_names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return thread_names_;
 }
 
 void TraceRecorder::record(TraceEvent event) {
@@ -52,11 +90,26 @@ std::uint32_t TraceRecorder::thread_number() {
         if (threads_[i] == self) return i;
     }
     threads_.push_back(self);
+    thread_names_.emplace_back();
     return static_cast<std::uint32_t>(threads_.size() - 1);
 }
 
 text::Json TraceRecorder::to_chrome_json() const {
     text::Json arr = text::Json::array();
+    std::vector<std::string> names = thread_names();
+    for (std::size_t tid = 0; tid < names.size(); ++tid) {
+        std::string name = std::move(names[tid]);
+        if (name.empty()) name = "thread-" + std::to_string(tid);
+        text::Json args = text::Json::object();
+        args.set("name", text::Json(std::move(name)));
+        text::Json meta = text::Json::object();
+        meta.set("name", text::Json("thread_name"));
+        meta.set("ph", text::Json("M"));
+        meta.set("pid", text::Json(1));
+        meta.set("tid", text::Json(static_cast<std::int64_t>(tid)));
+        meta.set("args", std::move(args));
+        arr.push_back(std::move(meta));
+    }
     for (const auto& e : events()) {
         text::Json obj = text::Json::object();
         obj.set("name", text::Json(e.name));

@@ -48,9 +48,9 @@ public:
     /// The process-wide recorder all Spans report to.
     static TraceRecorder& global();
 
-    void set_enabled(bool enabled) {
-        enabled_.store(enabled, std::memory_order_relaxed);
-    }
+    /// Enabling also installs the worker-naming thread hook and registers
+    /// the calling thread as "main" (see name_current_thread).
+    void set_enabled(bool enabled);
     [[nodiscard]] bool enabled() const {
         return enabled_.load(std::memory_order_relaxed);
     }
@@ -58,6 +58,17 @@ public:
     void record(TraceEvent event);
     void clear();
     [[nodiscard]] std::vector<TraceEvent> events() const;
+
+    /// Registers the calling thread under `name` (assigning its dense id if
+    /// it has none yet). Worker threads self-register as "worker-<i>" via a
+    /// support::ThreadPool start hook installed by set_enabled(true), which
+    /// also names the enabling thread "main" — so tids follow thread
+    /// *creation* order, not first-span order, and `--trace --jobs N` runs
+    /// render one labeled row per thread in Perfetto.
+    void name_current_thread(std::string name);
+    /// Registered thread names, indexed by dense thread number; threads
+    /// first seen through a Span (no explicit name) hold an empty string.
+    [[nodiscard]] std::vector<std::string> thread_names() const;
 
     /// Microseconds elapsed since the recorder epoch.
     [[nodiscard]] std::uint64_t now_us() const;
@@ -69,7 +80,9 @@ public:
     [[nodiscard]] std::uint32_t thread_number();
 
     /// {"traceEvents": [...], "displayTimeUnit": "ms"} per the Chrome
-    /// trace-event format.
+    /// trace-event format. Leads with one "thread_name" metadata event
+    /// (ph "M") per registered thread so Perfetto labels each row; spans
+    /// follow as "X" complete events.
     [[nodiscard]] text::Json to_chrome_json() const;
     /// Indented per-thread tree: one line per span, children beneath
     /// parents, with millisecond durations.
@@ -80,6 +93,7 @@ private:
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
     std::vector<std::thread::id> threads_;
+    std::vector<std::string> thread_names_;  // parallel to threads_
     std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -1,0 +1,197 @@
+#include "support/memtrack.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#define XT_MEMTRACK_USABLE_SIZE 1
+#else
+#define XT_MEMTRACK_USABLE_SIZE 0
+#endif
+
+namespace extractocol::support::memtrack {
+
+namespace {
+
+// Constant-initialized so the hooks are safe for allocations that happen
+// before any dynamic initializer runs.
+std::atomic<bool> g_enabled{false};
+std::atomic<std::int64_t> g_live{0};
+std::atomic<std::int64_t> g_peak{0};
+std::atomic<std::int64_t> g_process_peak{0};
+
+inline void raise_to(std::atomic<std::int64_t>& peak_slot, std::int64_t live) {
+    std::int64_t peak = peak_slot.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peak_slot.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+    }
+}
+
+inline std::int64_t block_size(void* ptr) {
+#if XT_MEMTRACK_USABLE_SIZE
+    return ptr == nullptr ? 0 : static_cast<std::int64_t>(malloc_usable_size(ptr));
+#else
+    (void)ptr;
+    return 0;
+#endif
+}
+
+inline void on_alloc(void* ptr) {
+    if (ptr == nullptr || !g_enabled.load(std::memory_order_relaxed)) return;
+    std::int64_t size = block_size(ptr);
+    std::int64_t live = g_live.fetch_add(size, std::memory_order_relaxed) + size;
+    raise_to(g_peak, live);
+    raise_to(g_process_peak, live);
+}
+
+inline void on_free(void* ptr) {
+    if (ptr == nullptr || !g_enabled.load(std::memory_order_relaxed)) return;
+    g_live.fetch_sub(block_size(ptr), std::memory_order_relaxed);
+}
+
+void* allocate(std::size_t size) {
+    if (size == 0) size = 1;
+    for (;;) {
+        void* ptr = std::malloc(size);
+        if (ptr != nullptr) {
+            on_alloc(ptr);
+            return ptr;
+        }
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr) throw std::bad_alloc();
+        handler();
+    }
+}
+
+void* allocate_aligned(std::size_t size, std::size_t alignment) {
+    if (size == 0) size = 1;
+    for (;;) {
+        void* ptr = nullptr;
+        // posix_memalign requires alignment to be a power-of-two multiple of
+        // sizeof(void*); std::align_val_t guarantees the power of two.
+        std::size_t align = alignment < sizeof(void*) ? sizeof(void*) : alignment;
+        if (posix_memalign(&ptr, align, size) == 0) {
+            on_alloc(ptr);
+            return ptr;
+        }
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr) throw std::bad_alloc();
+        handler();
+    }
+}
+
+inline void deallocate(void* ptr) {
+    on_free(ptr);
+    std::free(ptr);
+}
+
+}  // namespace
+
+bool available() { return XT_MEMTRACK_USABLE_SIZE != 0; }
+
+void set_enabled(bool enabled) {
+    if (enabled && !g_enabled.load(std::memory_order_relaxed)) {
+        g_live.store(0, std::memory_order_relaxed);
+        g_peak.store(0, std::memory_order_relaxed);
+        g_process_peak.store(0, std::memory_order_relaxed);
+    }
+    g_enabled.store(enabled && available(), std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::uint64_t live_bytes() {
+    std::int64_t live = g_live.load(std::memory_order_relaxed);
+    return live > 0 ? static_cast<std::uint64_t>(live) : 0;
+}
+
+std::uint64_t peak_bytes() {
+    std::int64_t peak = g_peak.load(std::memory_order_relaxed);
+    return peak > 0 ? static_cast<std::uint64_t>(peak) : 0;
+}
+
+std::uint64_t process_peak_bytes() {
+    std::int64_t peak = g_process_peak.load(std::memory_order_relaxed);
+    return peak > 0 ? static_cast<std::uint64_t>(peak) : 0;
+}
+
+void reset_peak() {
+    std::int64_t live = g_live.load(std::memory_order_relaxed);
+    g_peak.store(live > 0 ? live : 0, std::memory_order_relaxed);
+}
+
+}  // namespace extractocol::support::memtrack
+
+// ------------------------------------------------------ global operators --
+//
+// Every replaceable allocation function forwards to the tracked
+// allocate/deallocate pair above. free() handles posix_memalign blocks, so
+// the aligned deletes share the same path.
+
+namespace memtrack = extractocol::support::memtrack;
+using memtrack::allocate;
+using memtrack::allocate_aligned;
+using memtrack::deallocate;
+
+void* operator new(std::size_t size) { return allocate(size); }
+void* operator new[](std::size_t size) { return allocate(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+    return allocate_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return allocate_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    try {
+        return allocate(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    try {
+        return allocate(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+    try {
+        return allocate_aligned(size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+    try {
+        return allocate_aligned(size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void operator delete(void* ptr) noexcept { deallocate(ptr); }
+void operator delete[](void* ptr) noexcept { deallocate(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { deallocate(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { deallocate(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { deallocate(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { deallocate(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+    deallocate(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+    deallocate(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept { deallocate(ptr); }
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept { deallocate(ptr); }
+void operator delete(void* ptr, std::align_val_t, const std::nothrow_t&) noexcept {
+    deallocate(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t, const std::nothrow_t&) noexcept {
+    deallocate(ptr);
+}

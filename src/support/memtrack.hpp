@@ -1,0 +1,55 @@
+// Opt-in memory accounting (resource-accounting layer, see DESIGN.md §11).
+//
+// memtrack replaces the global allocation functions (operator new/delete in
+// every variant) with thin wrappers that, when enabled at runtime, keep a
+// process-wide live-byte count and a peak watermark. The disabled path costs
+// one relaxed atomic load per allocation — cheap enough to leave compiled
+// into every binary — and the hooks never allocate or lock, so they are safe
+// under sanitizers and inside allocation-sensitive code.
+//
+// Block sizes are measured with malloc_usable_size on the returned pointer
+// (self-consistent between new and delete, and interposed correctly by
+// asan/tsan); on libcs without it the hooks stay inert and available()
+// reports false.
+//
+// Usage contract:
+//   * enable once, early (CLI --memtrack does it before any analysis);
+//     enabling mid-run undercounts frees of blocks allocated before the
+//     switch, which is why live_bytes() clamps at zero;
+//   * read live_bytes()/peak_bytes() at sampling points (per-app boundaries,
+//     end of run) and feed them into obs gauges there — NEVER from inside
+//     allocation paths;
+//   * reset_peak() rebases the watermark to the current live count, giving
+//     per-window peak attribution when windows do not overlap (sequential
+//     batch mode). Overlapping windows (--jobs > 1 across apps) make
+//     per-app attribution meaningless — same caveat as per-app counter
+//     deltas — so callers must skip the per-app reset there.
+#pragma once
+
+#include <cstdint>
+
+namespace extractocol::support::memtrack {
+
+/// True when the hooks can measure block sizes on this platform.
+bool available();
+
+/// Turns accounting on or off. Off (the default) keeps the hooks inert.
+void set_enabled(bool enabled);
+[[nodiscard]] bool enabled();
+
+/// Bytes currently allocated through the hooks (0 when disabled or when
+/// frees of pre-enable blocks pushed the raw count negative).
+[[nodiscard]] std::uint64_t live_bytes();
+
+/// Highest live_bytes() observed since enable or the last reset_peak().
+[[nodiscard]] std::uint64_t peak_bytes();
+
+/// Highest live_bytes() observed since enable, ignoring reset_peak() — the
+/// whole-run watermark behind the mem.peak_bytes gauge, which must survive
+/// the per-app window rebasing batch mode performs.
+[[nodiscard]] std::uint64_t process_peak_bytes();
+
+/// Rebases the window peak watermark to the current live count.
+void reset_peak();
+
+}  // namespace extractocol::support::memtrack

@@ -1,8 +1,15 @@
 #include "support/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace extractocol::support {
+
+namespace {
+
+std::atomic<ThreadStartHook> g_thread_start_hook{nullptr};
+
+}  // namespace
 
 unsigned resolve_jobs(unsigned jobs) {
     if (jobs != 0) return jobs;
@@ -10,10 +17,21 @@ unsigned resolve_jobs(unsigned jobs) {
     return hw == 0 ? 1 : hw;
 }
 
+void set_thread_start_hook(ThreadStartHook hook) {
+    g_thread_start_hook.store(hook, std::memory_order_release);
+}
+
+ThreadStartHook thread_start_hook() {
+    return g_thread_start_hook.load(std::memory_order_acquire);
+}
+
 ThreadPool::ThreadPool(unsigned workers) {
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
-        threads_.emplace_back([this] { worker_loop(); });
+        threads_.emplace_back([this, i] {
+            if (ThreadStartHook hook = thread_start_hook()) hook(i);
+            worker_loop();
+        });
     }
 }
 

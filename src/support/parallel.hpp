@@ -30,6 +30,15 @@ namespace extractocol::support {
 /// (at least 1), anything else is taken as-is.
 unsigned resolve_jobs(unsigned jobs);
 
+/// Called on every freshly spawned pool worker, before it runs any work,
+/// with the worker's index within its pool. Higher layers use it to label
+/// worker threads without support depending on them (obs names trace rows
+/// "worker-<i>" this way). Must be async-signal-ish tame: no throwing, no
+/// reliance on pool state. nullptr (the default) disables the hook.
+using ThreadStartHook = void (*)(unsigned worker_index);
+void set_thread_start_hook(ThreadStartHook hook);
+[[nodiscard]] ThreadStartHook thread_start_hook();
+
 class ThreadPool {
 public:
     /// Spawns `workers` threads. The calling thread also participates in

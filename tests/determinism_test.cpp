@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/analyzer.hpp"
 #include "corpus/corpus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "support/memtrack.hpp"
 #include "xapk/serialize.hpp"
 #include "xir/ir.hpp"
 
@@ -218,4 +222,66 @@ TEST(DeterminismTest, BatchErrorIsolationIsByteIdenticalAcrossJobCounts) {
             }
         }
     }
+}
+
+TEST(DeterminismTest, RunManifestAndPrometheusAreByteIdenticalAcrossJobCounts) {
+    // The fleet-telemetry outputs (--run-manifest, --metrics-prom) must hold
+    // the same determinism bar as the report stream: once wall-clock,
+    // memory, and run-metadata fields are normalized away, the renderings
+    // are byte-identical at every --jobs value — including a batch with
+    // poisoned inputs, where the error records themselves are part of the
+    // ledger. memtrack is switched on so jobs=1 runs record real per-app
+    // peaks (which normalization must then erase).
+    namespace memtrack = support::memtrack;
+    std::vector<core::BatchInput> inputs;
+    for (const auto& name : {"blippex", "iFixIt"}) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        inputs.push_back({std::string(name) + ".xapk", xapk::write_xapk(app.program)});
+    }
+    inputs.insert(inputs.begin() + 1, {"poisoned.xapk", "not an xapk at all"});
+
+    if (memtrack::available()) memtrack::set_enabled(true);
+    auto run = [&](unsigned jobs) {
+        core::AnalyzerOptions options;
+        options.jobs = jobs;
+        options.max_total_steps = 1'000'000;  // exercise budget_fraction too
+        obs::MetricsSnapshot base = obs::MetricsRegistry::global().snapshot();
+        auto items = core::Analyzer(options).analyze_batch(inputs);
+        obs::MetricsSnapshot delta =
+            obs::MetricsRegistry::global().snapshot().delta_since(base);
+
+        obs::RunTelemetry telemetry;
+        telemetry.set_jobs(jobs);
+        telemetry.set_timestamp_unix_ms(1000 * jobs);  // erased by normalize
+        telemetry.set_run_wall_seconds(static_cast<double>(jobs));
+        for (const auto& item : items) {
+            telemetry.add(core::telemetry_record(item, options));
+        }
+        telemetry.set_metrics(delta);
+        std::string manifest =
+            telemetry.manifest_json(/*normalize_resources=*/true).dump_pretty();
+
+        // Prometheus normalization works on the snapshot itself: gauges and
+        // histograms carry absolute process-global state (they accumulate
+        // across the three runs of this test), counters are true per-run
+        // deltas and must match exactly.
+        obs::MetricsSnapshot normalized = delta;
+        for (auto& [name, value] : normalized.gauges) value = 0;
+        for (auto& [name, stats] : normalized.histograms) stats = obs::HistogramStats{};
+        return std::make_pair(std::move(manifest), normalized.to_prometheus());
+    };
+
+    auto baseline = run(1);
+    EXPECT_NE(baseline.first.find("\"outcome\": \"error\""), std::string::npos)
+        << "poisoned input missing from the ledger:\n" << baseline.first;
+    EXPECT_NE(baseline.first.find("extractocol.run_manifest/v1"), std::string::npos);
+    EXPECT_FALSE(baseline.second.empty());
+    for (unsigned jobs : {2u, 8u}) {
+        auto result = run(jobs);
+        EXPECT_EQ(result.first, baseline.first)
+            << "run manifest diverged at jobs=" << jobs;
+        EXPECT_EQ(result.second, baseline.second)
+            << "prometheus export diverged at jobs=" << jobs;
+    }
+    memtrack::set_enabled(false);
 }

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "support/parallel.hpp"
 #include "text/json.hpp"
 
 namespace obs = extractocol::obs;
@@ -260,16 +262,64 @@ TEST(Trace, ChromeExportIsValid) {
     const Json* events = doc.find("traceEvents");
     ASSERT_NE(events, nullptr);
     ASSERT_TRUE(events->is_array());
-    ASSERT_EQ(events->items().size(), 2u);
+    // The export leads with one thread_name metadata event per registered
+    // thread (registration is process-wide, so the exact count depends on
+    // what ran before this test), followed by the "X" span events.
+    std::size_t spans = 0;
+    std::size_t metadata = 0;
+    bool past_metadata = false;
     for (const auto& e : events->items()) {
-        EXPECT_EQ(e.find("ph")->as_string(), "X");
-        EXPECT_NE(e.find("name"), nullptr);
-        EXPECT_NE(e.find("cat"), nullptr);
-        EXPECT_GE(e.find("ts")->as_int(), 0);
-        EXPECT_GE(e.find("dur")->as_int(), 0);
+        const std::string ph = e.find("ph")->as_string();
         EXPECT_EQ(e.find("pid")->as_int(), 1);
         EXPECT_NE(e.find("tid"), nullptr);
+        if (ph == "M") {
+            EXPECT_FALSE(past_metadata) << "metadata events must lead";
+            ++metadata;
+            EXPECT_EQ(e.find("name")->as_string(), "thread_name");
+            const Json* args = e.find("args");
+            ASSERT_NE(args, nullptr);
+            EXPECT_FALSE(args->find("name")->as_string().empty());
+        } else {
+            past_metadata = true;
+            ++spans;
+            EXPECT_EQ(ph, "X");
+            EXPECT_NE(e.find("name"), nullptr);
+            EXPECT_NE(e.find("cat"), nullptr);
+            EXPECT_GE(e.find("ts")->as_int(), 0);
+            EXPECT_GE(e.find("dur")->as_int(), 0);
+        }
     }
+    EXPECT_EQ(spans, 2u);
+    EXPECT_GE(metadata, 1u);  // at least the "main" registration
+    recorder.clear();
+}
+
+TEST(Trace, PoolWorkersGetStableNames) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.clear();
+    recorder.set_enabled(true);  // installs the worker-naming hook
+    {
+        extractocol::support::ThreadPool pool(2);
+        pool.for_each_index(4, [](std::size_t) {});
+    }
+    recorder.set_enabled(false);
+
+    std::vector<std::string> names = recorder.thread_names();
+    auto has = [&names](const std::string& want) {
+        for (const auto& n : names) {
+            if (n == want) return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("main"));
+    EXPECT_TRUE(has("worker-0"));
+    EXPECT_TRUE(has("worker-1"));
+
+    // The Chrome export labels each registered thread's row.
+    Json doc = recorder.to_chrome_json();
+    std::string dumped = doc.dump();
+    EXPECT_NE(dumped.find("thread_name"), std::string::npos);
+    EXPECT_NE(dumped.find("worker-0"), std::string::npos);
     recorder.clear();
 }
 
@@ -281,4 +331,160 @@ TEST(Trace, ThreadNumbersAreDense) {
     std::thread([&recorder, &other_id] { other_id = recorder.thread_number(); })
         .join();
     EXPECT_NE(other_id, main_id);
+}
+
+TEST(Metrics, SanitizeMetricName) {
+    // The shared helper behind both the Prometheus exposition and the
+    // sanitized JSON rendering.
+    EXPECT_EQ(obs::sanitize_metric_name("taint.worklist_iterations"),
+              "taint_worklist_iterations");
+    EXPECT_EQ(obs::sanitize_metric_name("already_valid:name"), "already_valid:name");
+    EXPECT_EQ(obs::sanitize_metric_name("weird-chars %$"), "weird_chars___");
+    EXPECT_EQ(obs::sanitize_metric_name("9starts.with.digit"), "_9starts_with_digit");
+    EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+}
+
+TEST(Metrics, PrometheusExposition) {
+    obs::MetricsRegistry registry;
+    registry.counter("taint.runs").add(7);
+    registry.gauge("mem.live_bytes").set(1024);
+    registry.histogram("slicer.slice_ms").observe(3.0);
+    std::string prom = registry.snapshot().to_prometheus();
+
+    EXPECT_NE(prom.find("# TYPE mem_live_bytes gauge\nmem_live_bytes 1024\n"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("# TYPE taint_runs counter\ntaint_runs 7\n"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("# TYPE slicer_slice_ms summary\n"), std::string::npos);
+    EXPECT_NE(prom.find("slicer_slice_ms{quantile=\"0.5\"} 3\n"), std::string::npos);
+    EXPECT_NE(prom.find("slicer_slice_ms{quantile=\"0.99\"} 3\n"), std::string::npos);
+    EXPECT_NE(prom.find("slicer_slice_ms_sum 3\n"), std::string::npos);
+    EXPECT_NE(prom.find("slicer_slice_ms_count 1\n"), std::string::npos);
+    // No dotted name may survive into the exposition.
+    EXPECT_EQ(prom.find("taint.runs"), std::string::npos);
+    EXPECT_EQ(prom.find("mem.live_bytes"), std::string::npos);
+}
+
+TEST(Metrics, JsonNameStyles) {
+    obs::MetricsRegistry registry;
+    registry.counter("taint.runs").add(1);
+    auto snap = registry.snapshot();
+    // Default rendering keeps the repo's dotted convention (the committed
+    // bench baseline depends on it); kPrometheus applies the sanitizer.
+    Json dotted = snap.to_json();
+    EXPECT_NE(dotted.find("counters")->find("taint.runs"), nullptr);
+    Json prom = snap.to_json(obs::NameStyle::kPrometheus);
+    EXPECT_EQ(prom.find("counters")->find("taint.runs"), nullptr);
+    EXPECT_NE(prom.find("counters")->find("taint_runs"), nullptr);
+}
+
+namespace {
+
+obs::AppRunRecord make_record(const std::string& file, const std::string& outcome,
+                              double wall_seconds) {
+    obs::AppRunRecord r;
+    r.file = file;
+    r.outcome = outcome;
+    if (outcome == "error") r.error = "boom";
+    r.wall_seconds = wall_seconds;
+    r.phase_seconds = {{"slicing", wall_seconds / 2}, {"sig", wall_seconds / 2}};
+    r.steps_used = 100;
+    r.budget_fraction = 0.25;
+    r.peak_bytes = 4096;
+    r.transactions = 3;
+    r.dependencies = 1;
+    return r;
+}
+
+}  // namespace
+
+TEST(Telemetry, FleetAggregation) {
+    obs::RunTelemetry telemetry;
+    telemetry.set_run_wall_seconds(2.0);
+    telemetry.add(make_record("a.xapk", "complete", 0.010));
+    telemetry.add(make_record("b.xapk", "partial", 0.020));
+    telemetry.add(make_record("c.xapk", "error", 0.0));
+    telemetry.add(make_record("d.xapk", "complete", 0.040));
+    EXPECT_EQ(telemetry.app_count(), 4u);
+
+    obs::FleetStats fleet = telemetry.fleet();
+    EXPECT_EQ(fleet.apps, 4u);
+    EXPECT_EQ(fleet.errors, 1u);
+    EXPECT_DOUBLE_EQ(fleet.apps_per_second, 2.0);
+    ASSERT_EQ(fleet.outcomes.size(), 3u);  // sorted by outcome name
+    EXPECT_EQ(fleet.outcomes[0].first, "complete");
+    EXPECT_EQ(fleet.outcomes[0].second, 2u);
+    EXPECT_EQ(fleet.outcomes[1].first, "error");
+    EXPECT_EQ(fleet.outcomes[2].first, "partial");
+    EXPECT_EQ(fleet.latency_ms.count, 4u);
+    EXPECT_DOUBLE_EQ(fleet.latency_ms.max, 40.0);
+    EXPECT_GE(fleet.latency_ms.p95(), fleet.latency_ms.p50());
+}
+
+TEST(Telemetry, ManifestJsonShape) {
+    obs::RunTelemetry telemetry;
+    telemetry.set_jobs(4);
+    telemetry.set_timestamp_unix_ms(1234);
+    telemetry.set_run_wall_seconds(1.0);
+    telemetry.add(make_record("a.xapk", "complete", 0.010));
+    telemetry.add(make_record("bad.xapk", "error", 0.0));
+    obs::MetricsRegistry registry;
+    registry.counter("taint.runs").add(5);
+    telemetry.set_metrics(registry.snapshot());
+
+    Json doc = telemetry.manifest_json();
+    ASSERT_TRUE(parse_json(doc.dump()).ok());
+    EXPECT_EQ(doc.find("schema")->as_string(), "extractocol.run_manifest/v1");
+    EXPECT_EQ(doc.find("generated_unix_ms")->as_int(), 1234);
+    EXPECT_EQ(doc.find("jobs")->as_int(), 4);
+    const Json* fleet = doc.find("fleet");
+    ASSERT_NE(fleet, nullptr);
+    EXPECT_EQ(fleet->find("apps")->as_int(), 2);
+    EXPECT_EQ(fleet->find("errors")->as_int(), 1);
+    const Json* apps = doc.find("apps");
+    ASSERT_NE(apps, nullptr);
+    ASSERT_EQ(apps->items().size(), 2u);
+    const Json& first = apps->items()[0];
+    EXPECT_EQ(first.find("file")->as_string(), "a.xapk");
+    EXPECT_EQ(first.find("outcome")->as_string(), "complete");
+    EXPECT_EQ(first.find("error"), nullptr);  // only error records carry it
+    EXPECT_EQ(first.find("peak_bytes")->as_int(), 4096);
+    EXPECT_EQ(first.find("phases")->items().size(), 2u);
+    const Json& second = apps->items()[1];
+    EXPECT_EQ(second.find("error")->as_string(), "boom");
+    // Metrics ride along with Prometheus-sanitized names.
+    EXPECT_NE(doc.find("metrics")->find("counters")->find("taint_runs"), nullptr);
+}
+
+TEST(Telemetry, NormalizedManifestsAreByteIdentical) {
+    // Two runs over the same inputs that differ ONLY in resource
+    // measurements (timings, memory, jobs, timestamp) must render
+    // byte-identically once normalized — the property the determinism suite
+    // relies on at --jobs 1/2/8.
+    auto build = [](double scale, unsigned jobs, std::uint64_t stamp) {
+        auto telemetry = std::make_unique<obs::RunTelemetry>();
+        telemetry->set_jobs(jobs);
+        telemetry->set_timestamp_unix_ms(stamp);
+        telemetry->set_run_wall_seconds(scale);
+        obs::AppRunRecord a = make_record("a.xapk", "complete", 0.010 * scale);
+        a.peak_bytes = static_cast<std::uint64_t>(1000 * scale);
+        telemetry->add(a);
+        telemetry->add(make_record("bad.xapk", "error", 0.0));
+        return telemetry;
+    };
+    auto one = build(1.0, 1, 111);
+    auto two = build(3.0, 8, 222);
+    EXPECT_NE(one->manifest_json().dump_pretty(), two->manifest_json().dump_pretty());
+    EXPECT_EQ(one->manifest_json(/*normalize_resources=*/true).dump_pretty(),
+              two->manifest_json(/*normalize_resources=*/true).dump_pretty());
+    // Normalization keeps the deterministic payload: outcomes, steps,
+    // budget fractions, transaction counts all survive.
+    Json normalized = one->manifest_json(true);
+    const Json& app = normalized.find("apps")->items()[0];
+    EXPECT_EQ(app.find("steps_used")->as_int(), 100);
+    EXPECT_DOUBLE_EQ(app.find("budget_fraction")->as_double(), 0.25);
+    EXPECT_EQ(app.find("wall_seconds")->as_double(), 0.0);
+    EXPECT_EQ(app.find("peak_bytes")->as_int(), 0);
 }

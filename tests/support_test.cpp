@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -7,6 +10,7 @@
 #include "support/budget.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
+#include "support/memtrack.hpp"
 #include "support/parallel.hpp"
 #include "support/result.hpp"
 #include "support/strings.hpp"
@@ -320,4 +324,110 @@ TEST(Budget, DeterministicCutUnderConcurrentRecording) {
         EXPECT_EQ(result.second, baseline.second)
             << "steps diverged at jobs=" << jobs;
     }
+}
+
+// ------------------------------------------------------------- memtrack --
+
+namespace {
+
+namespace memtrack = extractocol::support::memtrack;
+
+// The hook is a plain function pointer, so the test observations go through
+// file-scope atomics.
+std::atomic<unsigned> g_hook_calls{0};
+std::atomic<unsigned> g_hook_index_bits{0};
+
+void record_worker_start(unsigned worker_index) {
+    g_hook_calls.fetch_add(1, std::memory_order_relaxed);
+    if (worker_index < 32) {
+        g_hook_index_bits.fetch_or(1u << worker_index, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace
+
+TEST(Memtrack, DisabledByDefault) {
+    EXPECT_FALSE(memtrack::enabled());
+    EXPECT_EQ(memtrack::live_bytes(), 0u);
+    EXPECT_EQ(memtrack::peak_bytes(), 0u);
+    EXPECT_EQ(memtrack::process_peak_bytes(), 0u);
+}
+
+TEST(Memtrack, TracksLiveAndPeak) {
+    if (!memtrack::available()) GTEST_SKIP() << "no malloc_usable_size";
+    memtrack::set_enabled(true);
+    ASSERT_TRUE(memtrack::enabled());
+
+    std::uint64_t base = memtrack::live_bytes();
+    constexpr std::size_t kBlock = 1 << 20;
+    {
+        auto block = std::make_unique<char[]>(kBlock);
+        block[0] = 1;  // keep the allocation observable
+        EXPECT_GE(memtrack::live_bytes(), base + kBlock);
+        EXPECT_GE(memtrack::peak_bytes(), base + kBlock);
+    }
+    // Freed: live drops back, both watermarks keep the high-water mark.
+    EXPECT_LT(memtrack::live_bytes(), base + kBlock);
+    EXPECT_GE(memtrack::peak_bytes(), base + kBlock);
+    EXPECT_GE(memtrack::process_peak_bytes(), base + kBlock);
+
+    // reset_peak rebases the *window* watermark only.
+    memtrack::reset_peak();
+    EXPECT_LT(memtrack::peak_bytes(), base + kBlock);
+    EXPECT_GE(memtrack::process_peak_bytes(), base + kBlock);
+
+    memtrack::set_enabled(false);
+    EXPECT_FALSE(memtrack::enabled());
+}
+
+TEST(Memtrack, WindowAttributionAfterReset) {
+    if (!memtrack::available()) GTEST_SKIP() << "no malloc_usable_size";
+    memtrack::set_enabled(true);
+
+    // The analyze_batch attribution pattern: rebase, record base, allocate,
+    // read peak - base as the window's contribution.
+    memtrack::reset_peak();
+    std::uint64_t base = memtrack::live_bytes();
+    constexpr std::size_t kBlock = 1 << 19;
+    {
+        auto block = std::make_unique<char[]>(kBlock);
+        block[0] = 1;
+    }
+    std::uint64_t peak = memtrack::peak_bytes();
+    EXPECT_GE(peak - base, kBlock);
+
+    memtrack::set_enabled(false);
+}
+
+TEST(Memtrack, AlignedAllocationsBalance) {
+    if (!memtrack::available()) GTEST_SKIP() << "no malloc_usable_size";
+    memtrack::set_enabled(true);
+    std::uint64_t base = memtrack::live_bytes();
+    {
+        struct alignas(64) Wide {
+            char data[256];
+        };
+        auto wide = std::make_unique<Wide>();
+        wide->data[0] = 1;
+        EXPECT_GE(memtrack::live_bytes(), base + sizeof(Wide));
+    }
+    // The aligned delete path must free exactly what the aligned new
+    // charged, or live_bytes drifts with every aligned object.
+    EXPECT_LE(memtrack::live_bytes(), base + 64);
+    memtrack::set_enabled(false);
+}
+
+TEST(Parallel, ThreadStartHookRunsOncePerWorker) {
+    using extractocol::support::ThreadPool;
+    auto* previous = extractocol::support::thread_start_hook();
+    g_hook_calls.store(0);
+    g_hook_index_bits.store(0);
+    extractocol::support::set_thread_start_hook(&record_worker_start);
+    {
+        ThreadPool pool(3);
+        pool.for_each_index(8, [](std::size_t) {});
+    }
+    extractocol::support::set_thread_start_hook(previous);
+    EXPECT_EQ(g_hook_calls.load(), 3u);
+    EXPECT_EQ(g_hook_index_bits.load(), 0b111u);  // indices 0,1,2 each seen
 }

@@ -1,0 +1,66 @@
+# CLI usage-surface check (ctest -P script).
+#
+#   * `--help` exits 0 and prints the option list to stdout;
+#   * every flag the parser accepts appears in that list (the usage text is
+#     the authoritative surface — a flag added to main() without a help line
+#     fails here);
+#   * no arguments and an unknown option both exit 2 with usage on stderr.
+#
+# Expected definitions: EXTRACTOCOL.
+
+if(NOT DEFINED EXTRACTOCOL)
+  message(FATAL_ERROR "missing -DEXTRACTOCOL=...")
+endif()
+
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --help
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE help_out
+  ERROR_VARIABLE help_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--help must exit 0, got ${rc}")
+endif()
+if(help_out STREQUAL "")
+  message(FATAL_ERROR "--help must print to stdout")
+endif()
+
+set(flags
+  --json --audit --explain
+  --scope --no-async-heuristic --async-hops --no-deobfuscation --max-steps
+  --jobs --keep-going --fail-fast --progress
+  --stats --metrics --metrics-prom --run-manifest --memtrack --trace
+  --verbose --help)
+foreach(flag IN LISTS flags)
+  string(FIND "${help_out}" "${flag}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "--help output missing ${flag}:\n${help_out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${EXTRACTOCOL}"
+  RESULT_VARIABLE rc_noargs
+  OUTPUT_VARIABLE noargs_out
+  ERROR_VARIABLE noargs_err)
+if(NOT rc_noargs EQUAL 2)
+  message(FATAL_ERROR "no arguments must exit 2, got ${rc_noargs}")
+endif()
+string(FIND "${noargs_err}" "usage:" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "argument errors must print usage to stderr")
+endif()
+
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --no-such-flag x.xapk
+  RESULT_VARIABLE rc_unknown
+  OUTPUT_QUIET
+  ERROR_VARIABLE unknown_err)
+if(NOT rc_unknown EQUAL 2)
+  message(FATAL_ERROR "unknown option must exit 2, got ${rc_unknown}")
+endif()
+string(FIND "${unknown_err}" "unknown option" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "unknown option must be named on stderr:\n${unknown_err}")
+endif()
+
+message(STATUS "cli help: all checks passed")

@@ -1,0 +1,128 @@
+# End-to-end check of the fleet-telemetry CLI surfaces (ctest -P script).
+#
+# Drives `extractocol` over two healthy corpus apps plus a poisoned input
+# and asserts:
+#
+#   * --run-manifest writes the JSON ledger: schema tag, one record per
+#     input (the poisoned one as an "error" outcome), fleet aggregates;
+#   * --metrics-prom writes Prometheus text exposition with sanitized
+#     (dot-free) names;
+#   * --progress reports on stderr only — stdout is byte-identical with and
+#     without it;
+#   * --memtrack at --jobs 1 attributes a non-zero per-app peak_bytes
+#     (skipped with a warning on libcs without malloc_usable_size).
+#
+# Expected definitions: EXTRACTOCOL, MAKE_CORPUS, WORK_DIR.
+
+foreach(var EXTRACTOCOL MAKE_CORPUS WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${MAKE_CORPUS}" "${WORK_DIR}/corpus"
+  RESULT_VARIABLE corpus_rc
+  OUTPUT_QUIET)
+if(NOT corpus_rc EQUAL 0)
+  message(FATAL_ERROR "make_corpus failed: ${corpus_rc}")
+endif()
+
+set(healthy_a "${WORK_DIR}/corpus/blippex.xapk")
+set(healthy_b "${WORK_DIR}/corpus/ifixit.xapk")
+file(WRITE "${WORK_DIR}/poisoned.xapk" "not an xapk at all\n")
+set(inputs "${healthy_a}" "${WORK_DIR}/poisoned.xapk" "${healthy_b}")
+
+set(manifest "${WORK_DIR}/manifest.json")
+set(prom "${WORK_DIR}/metrics.prom")
+
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --jobs 2 --progress
+          --run-manifest "${manifest}" --metrics-prom "${prom}" ${inputs}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE with_progress_out
+  ERROR_VARIABLE with_progress_err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "batch with a poisoned input must exit 1, got ${rc}")
+endif()
+
+# --- run manifest ----------------------------------------------------------
+if(NOT EXISTS "${manifest}")
+  message(FATAL_ERROR "--run-manifest did not write ${manifest}")
+endif()
+file(READ "${manifest}" manifest_text)
+foreach(needle
+    "extractocol.run_manifest/v1"
+    "\"fleet\""
+    "\"apps_per_second\""
+    "\"latency_ms\""
+    "\"outcome\": \"error\""
+    "poisoned.xapk"
+    "blippex.xapk"
+    "ifixit.xapk")
+  string(FIND "${manifest_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "run manifest missing ${needle}:\n${manifest_text}")
+  endif()
+endforeach()
+
+# --- prometheus export -----------------------------------------------------
+if(NOT EXISTS "${prom}")
+  message(FATAL_ERROR "--metrics-prom did not write ${prom}")
+endif()
+file(READ "${prom}" prom_text)
+string(FIND "${prom_text}" "# TYPE" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "prometheus export has no TYPE lines:\n${prom_text}")
+endif()
+# The poisoned input guarantees this counter; its name must be sanitized.
+string(FIND "${prom_text}" "isolation_contained_errors 1" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "expected sanitized counter sample:\n${prom_text}")
+endif()
+string(FIND "${prom_text}" "isolation.contained_errors" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR "dotted name leaked into the prometheus export")
+endif()
+
+# --- --progress: stderr only, stdout untouched -----------------------------
+string(FIND "${with_progress_err}" "apps, ETA" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "--progress must report on stderr:\n${with_progress_err}")
+endif()
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --jobs 2 ${inputs}
+  RESULT_VARIABLE rc_plain
+  OUTPUT_VARIABLE plain_out
+  ERROR_QUIET)
+if(NOT rc_plain EQUAL 1)
+  message(FATAL_ERROR "plain batch exit code diverged: ${rc_plain}")
+endif()
+if(NOT plain_out STREQUAL with_progress_out)
+  message(FATAL_ERROR "--progress changed stdout")
+endif()
+
+# --- --memtrack: per-app peak attribution at --jobs 1 ----------------------
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --jobs 1 --memtrack
+          --run-manifest "${WORK_DIR}/manifest_mem.json" ${inputs}
+  RESULT_VARIABLE rc_mem
+  OUTPUT_QUIET
+  ERROR_VARIABLE mem_err)
+if(NOT rc_mem EQUAL 1)
+  message(FATAL_ERROR "--memtrack batch exit code diverged: ${rc_mem}")
+endif()
+string(FIND "${mem_err}" "--memtrack unavailable" pos)
+if(NOT pos EQUAL -1)
+  message(STATUS "cli telemetry: memtrack unavailable here, peak check skipped")
+else()
+  file(READ "${WORK_DIR}/manifest_mem.json" mem_manifest)
+  if(NOT mem_manifest MATCHES "\"peak_bytes\": [1-9]")
+    message(FATAL_ERROR "expected a non-zero peak_bytes record:\n${mem_manifest}")
+  endif()
+endif()
+
+message(STATUS "cli telemetry: all checks passed")

@@ -34,14 +34,28 @@
 //                          single input only
 //   --trace <file>         write a Chrome trace-event JSON file of the
 //                          pipeline spans (open with chrome://tracing)
+//   --metrics-prom <file>  write the full metrics registry in Prometheus
+//                          text exposition format (0.0.4)
+//   --run-manifest <file>  write the JSON run ledger: one record per input
+//                          (outcome, per-phase wall clock, budget use, peak
+//                          memory) plus fleet aggregates and run metrics
+//   --progress             live "k/N apps, ETA" line on stderr during batch
+//                          analysis (stdout stays byte-deterministic)
+//   --memtrack             enable the tracking allocator: mem.live_bytes /
+//                          mem.peak_bytes gauges, and per-app peak
+//                          attribution when apps run sequentially
+//   --help                 print the option list and exit 0
 //   -v / --verbose         lower the log threshold (once: info, twice: debug)
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -50,22 +64,63 @@
 
 #include "core/analyzer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
+#include "support/memtrack.hpp"
 
 using namespace extractocol;
 
 namespace {
 
-int usage(const char* argv0) {
-    std::fprintf(stderr,
-                 "usage: %s [--json] [--scope PREFIX] [--no-async-heuristic]\n"
-                 "          [--async-hops N] [--no-deobfuscation] [--jobs N]\n"
-                 "          [--max-steps N] [--keep-going] [--fail-fast]\n"
-                 "          [--stats] [--metrics] [--audit] [--explain ID]\n"
-                 "          [--trace FILE] [-v|--verbose]\n"
-                 "          APP.xapk [APP2.xapk ...]\n",
+// The one authoritative option list: --help prints it to stdout (exit 0),
+// argument errors print it to stderr (exit 2). Every flag main() accepts
+// must appear here — tools/cli_help.cmake greps this output against the
+// parser.
+void print_usage(std::FILE* out, const char* argv0) {
+    std::fprintf(out,
+                 "usage: %s [options] APP.xapk [APP2.xapk ...]\n"
+                 "\n"
+                 "output:\n"
+                 "  --json                emit the machine-readable report (batch: one\n"
+                 "                        array entry per input, errors included)\n"
+                 "  --audit               print the analysis-quality report instead of\n"
+                 "                        the transaction table\n"
+                 "  --explain ID          print the provenance tree of transaction ID\n"
+                 "                        (1-based; single input only)\n"
+                 "analysis:\n"
+                 "  --scope PREFIX        restrict analysis to classes under PREFIX\n"
+                 "  --no-async-heuristic  disable the cross-event async heuristic\n"
+                 "  --async-hops N        async-chain depth (default 1)\n"
+                 "  --no-deobfuscation    skip library de-obfuscation pre-pass\n"
+                 "  --max-steps N         per-app analysis budget in abstract steps\n"
+                 "                        (0 = unlimited; exhaustion degrades, never\n"
+                 "                        aborts)\n"
+                 "batch:\n"
+                 "  --jobs N              worker threads (1 = sequential, 0 = one per\n"
+                 "                        hardware thread); output is byte-identical\n"
+                 "                        for every value\n"
+                 "  --keep-going          report every app even after one fails (default)\n"
+                 "  --fail-fast           stop emitting after the first failed input\n"
+                 "  --progress            live \"k/N apps, ETA\" line on stderr\n"
+                 "telemetry:\n"
+                 "  --stats               per-app analysis statistics on stderr\n"
+                 "  --metrics             per-phase timings and metric counters on stderr\n"
+                 "  --metrics-prom FILE   write the metrics registry in Prometheus text\n"
+                 "                        exposition format\n"
+                 "  --run-manifest FILE   write the JSON run ledger (per-app records,\n"
+                 "                        fleet aggregates, run metrics)\n"
+                 "  --memtrack            enable the tracking allocator (memory gauges\n"
+                 "                        and per-app peak attribution)\n"
+                 "  --trace FILE          write a Chrome trace-event JSON file\n"
+                 "general:\n"
+                 "  -v, --verbose         lower log threshold (once: info, twice: debug)\n"
+                 "  --help                print this list and exit\n",
                  argv0);
+}
+
+int usage(const char* argv0) {
+    print_usage(stderr, argv0);
     return 2;
 }
 
@@ -140,10 +195,14 @@ int main(int argc, char** argv) {
     bool audit = false;
     bool explain = false;
     bool fail_fast = false;
+    bool progress = false;
+    bool memtrack_flag = false;
     unsigned explain_id = 0;
     int verbosity = 0;
     unsigned jobs = 1;
     const char* trace_path = nullptr;
+    const char* metrics_prom_path = nullptr;
+    const char* manifest_path = nullptr;
     std::vector<const char*> paths;
 
     // Options that consume a value report their own name when it is
@@ -179,6 +238,17 @@ int main(int argc, char** argv) {
             explain = true;
         } else if (std::strcmp(arg, "--trace") == 0) {
             if (!(trace_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--metrics-prom") == 0) {
+            if (!(metrics_prom_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--run-manifest") == 0) {
+            if (!(manifest_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            progress = true;
+        } else if (std::strcmp(arg, "--memtrack") == 0) {
+            memtrack_flag = true;
+        } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+            print_usage(stdout, argv[0]);
+            return 0;
         } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
             ++verbosity;
         } else if (std::strcmp(arg, "--no-async-heuristic") == 0) {
@@ -241,6 +311,16 @@ int main(int argc, char** argv) {
         log::set_threshold(log::Level::kInfo);
     }
     if (trace_path) obs::TraceRecorder::global().set_enabled(true);
+    if (memtrack_flag) {
+        // Enable before the inputs load so the gauges see the whole run's
+        // heap, not just the analysis phase.
+        support::memtrack::set_enabled(true);
+        if (!support::memtrack::enabled()) {
+            std::fprintf(stderr,
+                         "warning: --memtrack unavailable on this platform "
+                         "(no malloc_usable_size); memory gauges stay 0\n");
+        }
+    }
 
     std::vector<core::BatchInput> inputs(paths.size());
     for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -260,8 +340,45 @@ int main(int argc, char** argv) {
     // loader/analysis failures as error items, and returns everything in
     // input order — output is byte-identical for every --jobs value.
     options.jobs = jobs;
+    auto run_started = std::chrono::steady_clock::now();
+    if (progress) {
+        // Progress writes only to stderr, so stdout (the report stream)
+        // keeps its determinism guarantee. Workers report concurrently; the
+        // mutex keeps the \r-overwritten line from interleaving.
+        auto mutex = std::make_shared<std::mutex>();
+        options.batch_progress = [mutex, run_started](std::size_t done,
+                                                      std::size_t total) {
+            double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - run_started)
+                                 .count();
+            double eta =
+                done > 0 ? elapsed * static_cast<double>(total - done) /
+                               static_cast<double>(done)
+                         : 0.0;
+            std::lock_guard<std::mutex> lock(*mutex);
+            std::fprintf(stderr, "\r%zu/%zu apps, ETA %.0fs", done, total, eta);
+            std::fflush(stderr);
+        };
+    }
+    obs::MetricsSnapshot run_base = obs::MetricsRegistry::global().snapshot();
+    std::uint64_t run_timestamp_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
     core::Analyzer analyzer(options);
     std::vector<core::BatchItem> items = analyzer.analyze_batch(inputs);
+    double run_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - run_started)
+            .count();
+    if (progress) std::fprintf(stderr, "\n");
+    if (memtrack_flag && support::memtrack::enabled()) {
+        // Sampled here — never from inside the allocator hooks — so the
+        // gauges themselves cannot recurse into tracked allocations.
+        obs::gauge("mem.live_bytes")
+            .set(static_cast<std::int64_t>(support::memtrack::live_bytes()));
+        obs::gauge("mem.peak_bytes")
+            .set(static_cast<std::int64_t>(support::memtrack::process_peak_bytes()));
+    }
     if (paths.size() > 1) {
         // Per-run counter deltas are snapshots of the process-global registry;
         // concurrent analyses overlap each other's windows, so per-app
@@ -377,6 +494,36 @@ int main(int argc, char** argv) {
         }
         trace_out << obs::TraceRecorder::global().to_chrome_json().dump_pretty()
                   << "\n";
+    }
+    if (metrics_prom_path) {
+        std::ofstream prom_out(metrics_prom_path);
+        if (!prom_out) {
+            std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                         metrics_prom_path);
+            return 1;
+        }
+        prom_out << obs::MetricsRegistry::global().snapshot().to_prometheus();
+    }
+    if (manifest_path) {
+        obs::RunTelemetry telemetry;
+        telemetry.set_jobs(jobs);
+        telemetry.set_timestamp_unix_ms(run_timestamp_ms);
+        telemetry.set_run_wall_seconds(run_wall_seconds);
+        // Counter deltas over this run only; gauges/histograms ride along
+        // whole (the registry is process-global, so only deltas are
+        // attributable — same convention as per-report counters).
+        telemetry.set_metrics(
+            obs::MetricsRegistry::global().snapshot().delta_since(run_base));
+        for (const auto& item : items) {
+            telemetry.add(core::telemetry_record(item, options));
+        }
+        std::ofstream manifest_out(manifest_path);
+        if (!manifest_out) {
+            std::fprintf(stderr, "error: cannot write run manifest to %s\n",
+                         manifest_path);
+            return 1;
+        }
+        manifest_out << telemetry.manifest_json().dump_pretty() << "\n";
     }
     return exit_code;
 }
