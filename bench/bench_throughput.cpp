@@ -1,22 +1,31 @@
 // Fleet throughput trajectory: end-to-end corpus analysis (serialized .xapk
 // text -> parse -> full pipeline, via analyze_batch — the CLI's batch path)
-// at --jobs 1/2/4/8. Each configuration reports apps/sec and the per-app
-// latency distribution from obs::RunTelemetry, cross-checked for
-// determinism against the sequential run.
+// at --jobs 1/2/4/8. Each configuration reports apps/sec, the per-app
+// latency distribution from obs::RunTelemetry, the per-phase wall-time
+// breakdown (summed across apps), and the pool-contention profile observed
+// through the parallel.* histograms — all cross-checked for determinism
+// against the sequential run.
 //
-// The table goes to stdout; the machine-readable snapshot goes to
-// bench/BENCH_throughput.json (override with argv[1]). The committed
-// snapshot is the perf trajectory: regenerate with a quiet machine and
-// commit alongside changes that move throughput, so reviewers can diff
-// apps/sec across PRs.
+// The table goes to stdout; the machine-readable snapshot (schema v2) goes
+// to bench/BENCH_throughput.json. Like bench_table2, the committed snapshot
+// doubles as a drift gate: the default run re-checks the *deterministic*
+// fields (apps, transactions, dependencies) against it and fails on
+// mismatch; timings and contention are trajectory data, not gated.
+// `--update` rewrites the committed snapshot in place; an explicit path
+// argument writes there instead (no gating) — that's the CI smoke mode.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "xapk/serialize.hpp"
 
@@ -30,17 +39,52 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
         .count();
 }
 
+/// Windowed histogram delta: sample count and sum accumulated between two
+/// registry snapshots (min/max/percentiles are absolute, so only these two
+/// compose across windows).
+struct HistDelta {
+    std::uint64_t count = 0;
+    double sum = 0;
+
+    [[nodiscard]] double mean() const {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+};
+
+HistDelta hist_delta(const obs::MetricsSnapshot& before,
+                     const obs::MetricsSnapshot& after, const char* name) {
+    HistDelta d;
+    const obs::HistogramStats* b = before.histogram(name);
+    const obs::HistogramStats* a = after.histogram(name);
+    if (a == nullptr) return d;
+    d.count = a->count - (b != nullptr ? b->count : 0);
+    d.sum = a->sum - (b != nullptr ? b->sum : 0);
+    return d;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
 #ifdef XT_BENCH_THROUGHPUT_PATH
-    const char* out_path = XT_BENCH_THROUGHPUT_PATH;
+    const char* committed_path = XT_BENCH_THROUGHPUT_PATH;
 #else
-    const char* out_path = "BENCH_throughput.json";
+    const char* committed_path = "BENCH_throughput.json";
 #endif
-    if (argc > 1) out_path = argv[1];
+    bool update = false;
+    const char* out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--update") == 0) {
+            update = true;
+        } else {
+            out_path = argv[i];
+        }
+    }
 
     std::printf("== Fleet throughput: end-to-end corpus apps/sec vs --jobs ==\n\n");
+
+    // Route pool batch timings into the parallel.* histograms, exactly as
+    // the CLI does; the per-jobs contention profile below reads them back.
+    obs::install_contention_metrics();
 
     std::vector<std::string> names = corpus::open_source_apps();
     const auto& closed = corpus::closed_source_apps();
@@ -63,10 +107,20 @@ int main(int argc, char** argv) {
         double wall_seconds = 0;
         double apps_per_second = 0;
         obs::HistogramStats latency_ms;
+        /// Per-phase wall seconds of the best rep, summed across apps, in
+        /// pipeline order.
+        std::vector<std::pair<std::string, double>> phase_seconds;
+        /// Contention over ALL reps of this jobs level (per-window deltas).
+        HistDelta queue_wait_ms;
+        HistDelta busy_ms;
+        HistDelta utilization;
+        HistDelta imbalance;
     };
     std::vector<Row> rows;
     std::size_t expected_transactions = 0;
     std::size_t expected_dependencies = 0;
+    std::size_t transactions_total = 0;
+    std::size_t dependencies_total = 0;
 
     for (unsigned jobs : kJobs) {
         core::AnalyzerOptions options;
@@ -76,6 +130,7 @@ int main(int argc, char** argv) {
         Row row;
         row.jobs = jobs;
         row.wall_seconds = 0;
+        obs::MetricsSnapshot window_start = obs::MetricsRegistry::global().snapshot();
         std::vector<core::BatchItem> items;
         for (int rep = 0; rep < kReps; ++rep) {
             auto start = std::chrono::steady_clock::now();
@@ -86,6 +141,11 @@ int main(int argc, char** argv) {
                 items = std::move(run_items);
             }
         }
+        obs::MetricsSnapshot window_end = obs::MetricsRegistry::global().snapshot();
+        row.queue_wait_ms = hist_delta(window_start, window_end, "parallel.queue_wait_ms");
+        row.busy_ms = hist_delta(window_start, window_end, "parallel.busy_ms");
+        row.utilization = hist_delta(window_start, window_end, "parallel.utilization");
+        row.imbalance = hist_delta(window_start, window_end, "parallel.imbalance");
         row.apps_per_second =
             row.wall_seconds > 0
                 ? static_cast<double>(inputs.size()) / row.wall_seconds
@@ -104,12 +164,26 @@ int main(int argc, char** argv) {
             transactions += item.report->transactions.size();
             dependencies += item.report->dependencies.size();
             telemetry.add(core::telemetry_record(item, options));
+            // Phase names arrive in pipeline order per app; keep that order.
+            for (const auto& phase : item.report->stats.phases) {
+                bool merged = false;
+                for (auto& [pname, pseconds] : row.phase_seconds) {
+                    if (pname == phase.name) {
+                        pseconds += phase.seconds;
+                        merged = true;
+                        break;
+                    }
+                }
+                if (!merged) row.phase_seconds.emplace_back(phase.name, phase.seconds);
+            }
         }
         row.latency_ms = telemetry.fleet().latency_ms;
 
         if (jobs == 1) {
             expected_transactions = transactions;
             expected_dependencies = dependencies;
+            transactions_total = transactions;
+            dependencies_total = dependencies;
         } else if (transactions != expected_transactions ||
                    dependencies != expected_dependencies) {
             std::printf("DETERMINISM VIOLATION at jobs=%u\n", jobs);
@@ -119,13 +193,19 @@ int main(int argc, char** argv) {
     }
 
     const double base = rows.front().apps_per_second;
-    std::printf("%-6s  %10s  %10s  %8s  %9s  %9s\n", "jobs", "wall (ms)",
-                "apps/sec", "speedup", "p50 (ms)", "p95 (ms)");
+    std::printf("%-6s  %10s  %10s  %8s  %9s  %9s  %11s  %9s\n", "jobs", "wall (ms)",
+                "apps/sec", "speedup", "p50 (ms)", "p95 (ms)", "qwait (ms)", "util");
     for (const Row& row : rows) {
-        std::printf("%-6u  %10.1f  %10.1f  %7.2fx  %9.3f  %9.3f\n", row.jobs,
-                    row.wall_seconds * 1000, row.apps_per_second,
+        std::printf("%-6u  %10.1f  %10.1f  %7.2fx  %9.3f  %9.3f  %11.3f  %9.2f\n",
+                    row.jobs, row.wall_seconds * 1000, row.apps_per_second,
                     base > 0 ? row.apps_per_second / base : 0,
-                    row.latency_ms.p50(), row.latency_ms.p95());
+                    row.latency_ms.p50(), row.latency_ms.p95(),
+                    row.queue_wait_ms.sum, row.utilization.mean());
+    }
+    std::printf("\nper-phase wall time at jobs=1 (summed across %zu apps):\n",
+                inputs.size());
+    for (const auto& [pname, pseconds] : rows.front().phase_seconds) {
+        std::printf("  %-18s  %8.1f ms\n", pname.c_str(), pseconds * 1000);
     }
 
     text::Json results = text::Json::array();
@@ -143,12 +223,35 @@ int main(int argc, char** argv) {
         latency.set("mean_ms", text::Json(row.latency_ms.mean()));
         latency.set("max_ms", text::Json(row.latency_ms.max));
         obj.set("latency", std::move(latency));
+        text::Json phases = text::Json::object();
+        for (const auto& [pname, pseconds] : row.phase_seconds) {
+            phases.set(pname, text::Json(pseconds));
+        }
+        obj.set("phase_seconds", std::move(phases));
+        text::Json contention = text::Json::object();
+        auto delta_json = [](const HistDelta& d) {
+            text::Json h = text::Json::object();
+            h.set("samples", text::Json(static_cast<std::int64_t>(d.count)));
+            h.set("sum", text::Json(d.sum));
+            h.set("mean", text::Json(d.mean()));
+            return h;
+        };
+        contention.set("queue_wait_ms", delta_json(row.queue_wait_ms));
+        contention.set("busy_ms", delta_json(row.busy_ms));
+        contention.set("utilization", delta_json(row.utilization));
+        contention.set("imbalance", delta_json(row.imbalance));
+        obj.set("contention", std::move(contention));
         results.push_back(std::move(obj));
     }
     text::Json doc = text::Json::object();
-    doc.set("schema", text::Json("extractocol.bench_throughput/v1"));
+    doc.set("schema", text::Json("extractocol.bench_throughput/v2"));
     doc.set("apps", text::Json(static_cast<std::int64_t>(inputs.size())));
     doc.set("reps", text::Json(static_cast<std::int64_t>(kReps)));
+    // The deterministic payload: identical for every machine, rep count and
+    // jobs value (the in-loop cross-check above enforces the latter). These
+    // are the fields the default mode gates against the committed snapshot.
+    doc.set("transactions", text::Json(static_cast<std::int64_t>(transactions_total)));
+    doc.set("dependencies", text::Json(static_cast<std::int64_t>(dependencies_total)));
     // Speedups only mean anything relative to the cores the run had:
     // jobs > hardware_threads measures oversubscription, not scaling.
     doc.set("hardware_threads",
@@ -156,12 +259,61 @@ int main(int argc, char** argv) {
                 std::thread::hardware_concurrency())));
     doc.set("results", std::move(results));
 
-    std::ofstream out(out_path);
-    if (!out) {
-        std::printf("cannot write %s\n", out_path);
+    if (out_path != nullptr || update) {
+        const char* target = out_path != nullptr ? out_path : committed_path;
+        std::ofstream out(target);
+        if (!out) {
+            std::printf("cannot write %s\n", target);
+            return 1;
+        }
+        out << doc.dump_pretty() << "\n";
+        std::printf("\nwrote %s\n", target);
+        return 0;
+    }
+
+    // Default mode: check the deterministic fields against the committed
+    // snapshot, so a PR that changes how much the pipeline *finds* must
+    // regenerate the trajectory file on purpose (--update), never silently.
+    std::ifstream in(committed_path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "error: cannot read committed snapshot %s "
+                     "(run with --update to create it)\n",
+                     committed_path);
         return 1;
     }
-    out << doc.dump_pretty() << "\n";
-    std::printf("\nwrote %s\n", out_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto committed = text::parse_json(buffer.str());
+    if (!committed.ok()) {
+        std::fprintf(stderr, "error: %s is not valid JSON: %s\n", committed_path,
+                     committed.error().message.c_str());
+        return 1;
+    }
+    int drifted = 0;
+    for (const char* field : {"apps", "transactions", "dependencies"}) {
+        const text::Json* want = committed.value().find(field);
+        const text::Json* got = doc.find(field);
+        if (want == nullptr || !want->is_int()) {
+            std::fprintf(stderr, "drift: committed snapshot lacks %s (schema v1?)\n",
+                         field);
+            ++drifted;
+        } else if (want->as_int() != got->as_int()) {
+            std::fprintf(stderr, "drift: %s = %lld, committed %lld\n", field,
+                         static_cast<long long>(got->as_int()),
+                         static_cast<long long>(want->as_int()));
+            ++drifted;
+        }
+    }
+    if (drifted > 0) {
+        std::fprintf(stderr,
+                     "\n%d field(s) drifted from %s.\n"
+                     "If the change is intentional, re-snapshot with: "
+                     "bench_throughput --update\n",
+                     drifted, committed_path);
+        return 1;
+    }
+    std::printf("\ndeterministic fields match committed snapshot %s\n",
+                committed_path);
     return 0;
 }

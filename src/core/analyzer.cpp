@@ -9,6 +9,7 @@
 #include <variant>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "semantics/deobfuscate.hpp"
 #include "slicing/slicer.hpp"
@@ -242,6 +243,21 @@ AnalysisReport Analyzer::analyze(const Program& input_program) const {
         auto stage = budget.stage(sliced.size());
         pool.for_each_index(sliced.size(), [&](std::size_t i) {
             if (stage.should_skip()) return;
+            // Same site key the slicer used for its kSlice scope, so both
+            // stages merge into one --profile row per DP site.
+            std::string profile_key;
+            if (obs::Profiler::global().enabled()) {
+                const StmtRef& site = sliced[i].dp_site;
+                auto audit_it = audit_index.find(site);
+                if (audit_it != audit_index.end()) {
+                    const DpSiteAudit& a = report.audit.dp_sites[audit_it->second];
+                    profile_key = obs::profile_site_key(program->app_name, a.dp, a.location,
+                                                        site.method_index, site.block,
+                                                        site.index);
+                }
+            }
+            obs::ProfileScope profile_scope(std::move(profile_key),
+                                            obs::ProfileScope::Stage::kSig);
             sig::BuildRequest request;
             request.dp_site = sliced[i].dp_site;
             request.dp = sliced[i].dp;

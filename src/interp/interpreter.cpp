@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -208,10 +209,27 @@ struct Interpreter::Impl {
     // hot path, so each tick is one relaxed atomic add.
     obs::Counter* stmts_evaluated = &obs::counter("interp.stmts_evaluated");
     obs::Counter* events_fired = &obs::counter("interp.events_fired");
+    // --profile: per-method statement tally, charged per frame (one map
+    // update per call, not per statement) and flushed to the global
+    // profiler after each fuzz pass.
+    bool profiling = false;
+    std::map<const Method*, std::uint64_t> profile_stmts;
 
     Impl(const Program& p, FakeServer& s, InterpreterOptions o)
         : program(&p), server(&s), options(o) {
         trace.app = p.app_name;
+        profiling = obs::Profiler::global().enabled();
+    }
+
+    void flush_profile() {
+        if (!profiling || profile_stmts.empty()) return;
+        obs::Profiler& profiler = obs::Profiler::global();
+        for (const auto& [method, count] : profile_stmts) {
+            profiler.charge_method(
+                obs::profile_method_key(program->app_name, method->ref().qualified()),
+                0, count);
+        }
+        profile_stmts.clear();
     }
 
     RtObjectPtr singleton(const std::string& class_name) {
@@ -258,6 +276,7 @@ struct Interpreter::Impl {
         }
         RtValue result;
         BlockId block = 0;
+        std::uint64_t frame_stmts = 0;
         while (true) {
             if (block >= method.blocks.size()) break;
             const auto& stmts = method.blocks[block].statements;
@@ -268,16 +287,19 @@ struct Interpreter::Impl {
                     log::warn().kv("method", method.ref().qualified())
                         << "interpreter: step budget exhausted";
                     --depth;
+                    if (profiling && frame_stmts > 0) profile_stmts[&method] += frame_stmts;
                     return result;
                 }
                 --steps_left;
                 stmts_evaluated->add(1);
+                ++frame_stmts;
                 if (exec_stmt(method, stmt, env, next, returned, result)) continue;
             }
             if (returned || !next) break;
             block = *next;
         }
         --depth;
+        if (profiling && frame_stmts > 0) profile_stmts[&method] += frame_stmts;
         return result;
     }
 
@@ -572,6 +594,7 @@ http::Trace Interpreter::fuzz(FuzzMode mode) {
     }
     span.finish();
     obs::histogram("interp.fuzz_ms").observe(span.seconds() * 1000.0);
+    impl_->flush_profile();
     return impl_->trace;
 }
 

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -87,6 +88,28 @@ std::string sanitize_metric_name(std::string_view name) {
     return out;
 }
 
+text::Json histogram_stats_json(const HistogramStats& stats) {
+    text::Json h = text::Json::object();
+    h.set("count", text::Json(static_cast<std::int64_t>(stats.count)));
+    h.set("sum", text::Json(stats.sum));
+    if (stats.count == 0) {
+        h.set("min", text::Json(nullptr));
+        h.set("max", text::Json(nullptr));
+        h.set("mean", text::Json(nullptr));
+        h.set("p50", text::Json(nullptr));
+        h.set("p95", text::Json(nullptr));
+        h.set("p99", text::Json(nullptr));
+    } else {
+        h.set("min", text::Json(stats.min));
+        h.set("max", text::Json(stats.max));
+        h.set("mean", text::Json(stats.mean()));
+        h.set("p50", text::Json(stats.p50()));
+        h.set("p95", text::Json(stats.p95()));
+        h.set("p99", text::Json(stats.p99()));
+    }
+    return h;
+}
+
 const std::uint64_t* MetricsSnapshot::counter(std::string_view name) const {
     return find_named(counters, name);
 }
@@ -122,16 +145,7 @@ text::Json MetricsSnapshot::to_json(NameStyle style) const {
     doc.set("gauges", std::move(gs));
     text::Json hs = text::Json::object();
     for (const auto& [name, stats] : histograms) {
-        text::Json h = text::Json::object();
-        h.set("count", text::Json(static_cast<std::int64_t>(stats.count)));
-        h.set("sum", text::Json(stats.sum));
-        h.set("min", text::Json(stats.min));
-        h.set("max", text::Json(stats.max));
-        h.set("mean", text::Json(stats.mean()));
-        h.set("p50", text::Json(stats.p50()));
-        h.set("p95", text::Json(stats.p95()));
-        h.set("p99", text::Json(stats.p99()));
-        hs.set(render(name), std::move(h));
+        hs.set(render(name), histogram_stats_json(stats));
     }
     doc.set("histograms", std::move(hs));
     return doc;
@@ -157,9 +171,13 @@ std::string MetricsSnapshot::to_prometheus() const {
     for (const auto& [name, stats] : histograms) {
         std::string prom = sanitize_metric_name(name);
         out += "# TYPE " + prom + " summary\n";
-        out += prom + "{quantile=\"0.5\"} " + number(stats.p50()) + "\n";
-        out += prom + "{quantile=\"0.95\"} " + number(stats.p95()) + "\n";
-        out += prom + "{quantile=\"0.99\"} " + number(stats.p99()) + "\n";
+        // Quantiles of an empty summary are undefined; Prometheus convention
+        // is to omit the quantile samples and let _count say "no data".
+        if (stats.count > 0) {
+            out += prom + "{quantile=\"0.5\"} " + number(stats.p50()) + "\n";
+            out += prom + "{quantile=\"0.95\"} " + number(stats.p95()) + "\n";
+            out += prom + "{quantile=\"0.99\"} " + number(stats.p99()) + "\n";
+        }
         out += prom + "_sum " + number(stats.sum) + "\n";
         out += prom + "_count " + std::to_string(stats.count) + "\n";
     }
@@ -183,6 +201,10 @@ std::string MetricsSnapshot::to_table() const {
         out += pad(name) + std::to_string(value) + "\n";
     }
     for (const auto& [name, stats] : histograms) {
+        if (stats.count == 0) {
+            out += pad(name) + "count=0 (no samples)\n";
+            continue;
+        }
         out += pad(name) + "count=" + std::to_string(stats.count) +
                " sum=" + format_double(stats.sum) + " min=" + format_double(stats.min) +
                " max=" + format_double(stats.max) +
@@ -201,10 +223,25 @@ MetricsRegistry& MetricsRegistry::global() {
     return registry;
 }
 
+std::unique_lock<std::mutex> MetricsRegistry::acquire() const {
+    std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        auto start = std::chrono::steady_clock::now();
+        lock.lock();
+        auto waited = std::chrono::steady_clock::now() - start;
+        lock_waits_.fetch_add(1, std::memory_order_relaxed);
+        lock_wait_ns_.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count()),
+            std::memory_order_relaxed);
+    }
+    return lock;
+}
+
 // Linear find-or-create; instrument acquisition is hoisted out of hot loops
 // so the registry sees a handful of lookups per analysis.
 Counter& MetricsRegistry::counter(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    auto lock = acquire();
     for (auto& [n, v] : counters_) {
         if (n == name) return *v;
     }
@@ -213,7 +250,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    auto lock = acquire();
     for (auto& [n, v] : gauges_) {
         if (n == name) return *v;
     }
@@ -222,7 +259,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    auto lock = acquire();
     for (auto& [n, v] : histograms_) {
         if (n == name) return *v;
     }
@@ -234,13 +271,22 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 MetricsSnapshot MetricsRegistry::snapshot() const {
     MetricsSnapshot out;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        auto lock = acquire();
         for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
         for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
         for (const auto& [name, h] : histograms_) {
             out.histograms.emplace_back(name, h->stats());
         }
     }
+    // Synthetic lock-contention gauges, reported even at zero so the key set
+    // is scheduling-independent (gauges are normalized away by determinism
+    // checks, but their *names* are compared).
+    out.gauges.emplace_back(
+        "obs.registry.lock_waits",
+        static_cast<std::int64_t>(lock_waits_.load(std::memory_order_relaxed)));
+    out.gauges.emplace_back(
+        "obs.registry.lock_wait_us",
+        static_cast<std::int64_t>(lock_wait_ns_.load(std::memory_order_relaxed) / 1000));
     auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
     std::sort(out.counters.begin(), out.counters.end(), by_name);
     std::sort(out.gauges.begin(), out.gauges.end(), by_name);
@@ -249,10 +295,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    auto lock = acquire();
     for (auto& [name, c] : counters_) c->reset();
     for (auto& [name, g] : gauges_) g->reset();
     for (auto& [name, h] : histograms_) h->reset();
+    lock_waits_.store(0, std::memory_order_relaxed);
+    lock_wait_ns_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace extractocol::obs

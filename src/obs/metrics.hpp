@@ -123,6 +123,12 @@ private:
 /// kPrometheus rewrites every name through sanitize_metric_name().
 enum class NameStyle { kDotted, kPrometheus };
 
+/// Canonical JSON rendering of histogram stats, shared by the snapshot
+/// export and telemetry manifests. A histogram with zero samples renders
+/// min/max/mean/p50/p95/p99 as JSON null — 0.0 would be indistinguishable
+/// from a genuinely observed zero; `count` disambiguates.
+[[nodiscard]] text::Json histogram_stats_json(const HistogramStats& stats);
+
 /// Point-in-time copy of every instrument, sorted by name.
 struct MetricsSnapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -165,12 +171,23 @@ public:
     Gauge& gauge(std::string_view name);
     Histogram& histogram(std::string_view name);
 
+    /// The snapshot always ends with two synthetic gauges,
+    /// `obs.registry.lock_waits` / `obs.registry.lock_wait_us`: how often
+    /// (and for how long) instrument acquisition or snapshotting blocked on
+    /// the registry mutex. Always present — even at zero — so the exported
+    /// key set does not depend on scheduling.
     [[nodiscard]] MetricsSnapshot snapshot() const;
     /// Zeroes every instrument (registrations and references stay valid).
     void reset();
 
 private:
+    /// Locks mutex_, attributing any blocking wait to the lock-contention
+    /// accumulators (try_lock first, so the uncontended path costs nothing).
+    [[nodiscard]] std::unique_lock<std::mutex> acquire() const;
+
     mutable std::mutex mutex_;
+    mutable std::atomic<std::uint64_t> lock_waits_{0};
+    mutable std::atomic<std::uint64_t> lock_wait_ns_{0};
     std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
     std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
     std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;

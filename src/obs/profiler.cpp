@@ -1,0 +1,292 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "support/parallel.hpp"
+
+namespace extractocol::obs {
+
+namespace {
+
+thread_local ProfileScope* t_scope = nullptr;
+
+// Innermost-scope accumulators, reachable from the static charge helpers
+// without exposing ProfileScope internals. Declared here so the thread_local
+// lives in exactly one TU.
+struct ScopeCharges {
+    std::uint64_t* taint_steps = nullptr;
+    std::uint64_t* interp_stmts = nullptr;
+    std::uint64_t* contexts = nullptr;
+};
+thread_local ScopeCharges t_charges;
+
+}  // namespace
+
+Profiler& Profiler::global() {
+    static Profiler instance;
+    return instance;
+}
+
+void Profiler::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.clear();
+    methods_.clear();
+}
+
+void Profiler::merge_site(const SiteProfile& delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SiteProfile& row = sites_[delta.site];
+    row.site = delta.site;
+    row.taint_steps += delta.taint_steps;
+    row.sig_steps += delta.sig_steps;
+    row.contexts += delta.contexts;
+    row.slice_seconds += delta.slice_seconds;
+    row.sig_seconds += delta.sig_seconds;
+}
+
+void Profiler::charge_method(std::string_view method_key, std::uint64_t taint_steps,
+                             std::uint64_t interp_stmts) {
+    if (taint_steps == 0 && interp_stmts == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    MethodProfile& row = methods_[std::string(method_key)];
+    if (row.method.empty()) row.method = std::string(method_key);
+    row.taint_steps += taint_steps;
+    row.interp_stmts += interp_stmts;
+}
+
+std::vector<SiteProfile> Profiler::sites() const {
+    std::vector<SiteProfile> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(sites_.size());
+        for (const auto& [key, row] : sites_) out.push_back(row);
+    }
+    std::sort(out.begin(), out.end(), [](const SiteProfile& a, const SiteProfile& b) {
+        if (a.total_steps() != b.total_steps()) return a.total_steps() > b.total_steps();
+        return a.site < b.site;
+    });
+    return out;
+}
+
+std::vector<MethodProfile> Profiler::methods() const {
+    std::vector<MethodProfile> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(methods_.size());
+        for (const auto& [key, row] : methods_) out.push_back(row);
+    }
+    std::sort(out.begin(), out.end(), [](const MethodProfile& a, const MethodProfile& b) {
+        if (a.total_steps() != b.total_steps()) return a.total_steps() > b.total_steps();
+        return a.method < b.method;
+    });
+    return out;
+}
+
+std::string Profiler::table(std::size_t top_k) const {
+    auto site_rows = sites();
+    auto method_rows = methods();
+    char line[256];
+
+    std::string out;
+    std::snprintf(line, sizeof(line),
+                  "profile: hot DP sites (top %zu of %zu by attributed steps)\n",
+                  std::min(top_k, site_rows.size()), site_rows.size());
+    out += line;
+    out += "  taint_steps    sig_steps  contexts  site\n";
+    for (std::size_t i = 0; i < site_rows.size() && i < top_k; ++i) {
+        const SiteProfile& s = site_rows[i];
+        std::snprintf(line, sizeof(line), "  %11" PRIu64 "  %11" PRIu64 "  %8" PRIu64 "  ",
+                      s.taint_steps, s.sig_steps, s.contexts);
+        out += line;
+        out += s.site;
+        out += '\n';
+    }
+
+    std::snprintf(line, sizeof(line),
+                  "profile: hot app methods (top %zu of %zu by attributed steps)\n",
+                  std::min(top_k, method_rows.size()), method_rows.size());
+    out += line;
+    out += "  taint_steps  interp_stmts  method\n";
+    for (std::size_t i = 0; i < method_rows.size() && i < top_k; ++i) {
+        const MethodProfile& m = method_rows[i];
+        std::snprintf(line, sizeof(line), "  %11" PRIu64 "  %12" PRIu64 "  ", m.taint_steps,
+                      m.interp_stmts);
+        out += line;
+        out += m.method;
+        out += '\n';
+    }
+    return out;
+}
+
+text::Json Profiler::to_json() const {
+    text::Json doc = text::Json::object();
+    doc.set("schema", text::Json("extractocol.profile/v1"));
+    doc.set("totals", summary_json());
+
+    text::Json site_arr = text::Json::array();
+    for (const SiteProfile& s : sites()) {
+        text::Json row = text::Json::object();
+        row.set("site", text::Json(s.site));
+        row.set("taint_steps", text::Json(static_cast<std::int64_t>(s.taint_steps)));
+        row.set("sig_steps", text::Json(static_cast<std::int64_t>(s.sig_steps)));
+        row.set("contexts", text::Json(static_cast<std::int64_t>(s.contexts)));
+        row.set("slice_seconds", text::Json(s.slice_seconds));
+        row.set("sig_seconds", text::Json(s.sig_seconds));
+        site_arr.push_back(std::move(row));
+    }
+    doc.set("sites", std::move(site_arr));
+
+    text::Json method_arr = text::Json::array();
+    for (const MethodProfile& m : methods()) {
+        text::Json row = text::Json::object();
+        row.set("method", text::Json(m.method));
+        row.set("taint_steps", text::Json(static_cast<std::int64_t>(m.taint_steps)));
+        row.set("interp_stmts", text::Json(static_cast<std::int64_t>(m.interp_stmts)));
+        method_arr.push_back(std::move(row));
+    }
+    doc.set("methods", std::move(method_arr));
+    return doc;
+}
+
+text::Json Profiler::summary_json() const {
+    std::uint64_t taint_steps = 0;
+    std::uint64_t sig_steps = 0;
+    std::uint64_t interp_stmts = 0;
+    std::uint64_t contexts = 0;
+    std::size_t site_count = 0;
+    std::size_t method_count = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        site_count = sites_.size();
+        method_count = methods_.size();
+        for (const auto& [key, s] : sites_) {
+            taint_steps += s.taint_steps;
+            sig_steps += s.sig_steps;
+            contexts += s.contexts;
+        }
+        for (const auto& [key, m] : methods_) interp_stmts += m.interp_stmts;
+    }
+    text::Json doc = text::Json::object();
+    doc.set("sites", text::Json(static_cast<std::int64_t>(site_count)));
+    doc.set("methods", text::Json(static_cast<std::int64_t>(method_count)));
+    doc.set("taint_steps", text::Json(static_cast<std::int64_t>(taint_steps)));
+    doc.set("sig_steps", text::Json(static_cast<std::int64_t>(sig_steps)));
+    doc.set("interp_stmts", text::Json(static_cast<std::int64_t>(interp_stmts)));
+    doc.set("contexts", text::Json(static_cast<std::int64_t>(contexts)));
+    return doc;
+}
+
+// ------------------------------------------------------------ ProfileScope
+
+ProfileScope::ProfileScope(std::string site_key, Stage stage)
+    : stage_(stage), site_(std::move(site_key)) {
+    if (site_.empty() || !Profiler::global().enabled()) return;
+    active_ = true;
+    start_ = std::chrono::steady_clock::now();
+    prev_ = t_scope;
+    t_scope = this;
+    t_charges = {&taint_steps_, &interp_stmts_, &contexts_};
+}
+
+ProfileScope::~ProfileScope() {
+    if (!active_) return;
+    t_scope = prev_;
+    if (prev_ != nullptr) {
+        t_charges = {&prev_->taint_steps_, &prev_->interp_stmts_, &prev_->contexts_};
+    } else {
+        t_charges = {};
+    }
+    double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                         .count();
+    SiteProfile delta;
+    delta.site = std::move(site_);
+    delta.taint_steps = taint_steps_;
+    delta.sig_steps = interp_stmts_;
+    delta.contexts = contexts_;
+    if (stage_ == Stage::kSlice) {
+        delta.slice_seconds = seconds;
+    } else {
+        delta.sig_seconds = seconds;
+    }
+    Profiler::global().merge_site(delta);
+}
+
+void ProfileScope::charge_taint_steps(std::uint64_t n) {
+    if (t_charges.taint_steps != nullptr) *t_charges.taint_steps += n;
+}
+
+void ProfileScope::charge_interp_stmts(std::uint64_t n) {
+    if (t_charges.interp_stmts != nullptr) *t_charges.interp_stmts += n;
+}
+
+void ProfileScope::charge_contexts(std::uint64_t n) {
+    if (t_charges.contexts != nullptr) *t_charges.contexts += n;
+}
+
+std::string profile_site_key(std::string_view app, std::string_view dp,
+                             std::string_view location, std::uint32_t method_index,
+                             std::uint32_t block, std::uint32_t index) {
+    std::string key;
+    key.reserve(app.size() + dp.size() + location.size() + 24);
+    key.append(app);
+    key += '|';
+    key.append(dp);
+    key += " @ ";
+    key.append(location);
+    key += " (";
+    key += std::to_string(method_index);
+    key += ':';
+    key += std::to_string(block);
+    key += ':';
+    key += std::to_string(index);
+    key += ')';
+    return key;
+}
+
+std::string profile_method_key(std::string_view app, std::string_view qualified_method) {
+    std::string key;
+    key.reserve(app.size() + qualified_method.size() + 1);
+    key.append(app);
+    key += '|';
+    key.append(qualified_method);
+    return key;
+}
+
+// ------------------------------------------------- contention observability
+
+namespace {
+
+// Batches run framework code, never user callbacks that could re-enter the
+// pool, so observing histograms here (registry mutex) is safe.
+void observe_batch_stats(const support::BatchStats& stats) {
+    auto& queue_wait = histogram("parallel.queue_wait_ms");
+    auto& busy = histogram("parallel.busy_ms");
+    auto& claimed = histogram("parallel.claimed_indices");
+    auto& utilization = histogram("parallel.utilization");
+    double max_busy = 0.0;
+    double sum_busy = 0.0;
+    for (const support::WorkerBatchStats& w : stats.participants) {
+        queue_wait.observe(w.queue_wait_ms);
+        busy.observe(w.busy_ms);
+        claimed.observe(static_cast<double>(w.claimed));
+        if (stats.wall_ms > 0.0) utilization.observe(w.busy_ms / stats.wall_ms);
+        max_busy = std::max(max_busy, w.busy_ms);
+        sum_busy += w.busy_ms;
+    }
+    histogram("parallel.batch_ms").observe(stats.wall_ms);
+    if (!stats.participants.empty()) {
+        double mean = sum_busy / static_cast<double>(stats.participants.size());
+        histogram("parallel.imbalance").observe(mean > 0.0 ? max_busy / mean : 1.0);
+    }
+}
+
+}  // namespace
+
+void install_contention_metrics() {
+    support::set_batch_stats_hook(&observe_batch_stats);
+}
+
+}  // namespace extractocol::obs

@@ -1,0 +1,141 @@
+// Work-attribution profiler: who spent the steps, statements and seconds?
+//
+// The obs stack's spans and histograms answer "how long did phase X take";
+// this layer answers "which DP site / app method inside the phase did the
+// work". Three rules keep it deterministic and cheap:
+//
+//  * All *counts* (taint steps, interpreted statements, contexts) derive
+//    from per-item deterministic work, so their sums are independent of
+//    thread interleaving. The `--profile` table renders counts only and is
+//    byte-identical for any --jobs value (enforced by determinism_test).
+//  * Wall-clock attribution (slice/sig self-time) is inherently racy across
+//    runs, so it is confined to the `--profile-out` sidecar JSON, which is
+//    exempt from the determinism contract.
+//  * Everything is gated on a single relaxed atomic; a disabled profiler
+//    costs one load per scope and nothing per step (engines keep local
+//    accumulators and flush once per run).
+//
+// Instrumented producers: slicing/slicer.cpp (site scopes, contexts),
+// taint/engine.cpp (steps per run + per-method worklist iterations),
+// sig/builder.cpp (interpreter steps per build + per-method statements),
+// interp/interpreter.cpp (fuzzing statements per method), core/analyzer.cpp
+// (sig-stage scopes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/json.hpp"
+
+namespace extractocol::obs {
+
+/// Cumulative cost charged to one demarcation-point site ("app|dp @
+/// location (m:b:i)"). Counts are deterministic; seconds are not.
+struct SiteProfile {
+    std::string site;
+    std::uint64_t taint_steps = 0;    ///< worklist steps in request/response/augment slicing
+    std::uint64_t sig_steps = 0;      ///< signature-interpreter statements for all contexts
+    std::uint64_t contexts = 0;       ///< calling contexts discovered for the site
+    double slice_seconds = 0.0;       ///< wall self-time inside slice_site (sidecar only)
+    double sig_seconds = 0.0;         ///< wall self-time inside signature builds (sidecar only)
+
+    [[nodiscard]] std::uint64_t total_steps() const { return taint_steps + sig_steps; }
+};
+
+/// Cumulative cost charged to one app method ("app|Cls.method").
+struct MethodProfile {
+    std::string method;
+    std::uint64_t taint_steps = 0;    ///< taint worklist iterations touching the method
+    std::uint64_t interp_stmts = 0;   ///< statements interpreted (sig builds + fuzzing)
+
+    [[nodiscard]] std::uint64_t total_steps() const { return taint_steps + interp_stmts; }
+};
+
+/// Global sink for attribution records. Disabled by default; `--profile`
+/// (or tests) flips it on before analysis starts.
+class Profiler {
+public:
+    static Profiler& global();
+
+    void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+    [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    void clear();
+
+    /// Fold a site-scope delta into the per-site table (sums all fields).
+    void merge_site(const SiteProfile& delta);
+    /// Charge per-method work (either count may be zero).
+    void charge_method(std::string_view method_key, std::uint64_t taint_steps,
+                       std::uint64_t interp_stmts);
+
+    /// Snapshots sorted by total cost descending, then key ascending.
+    [[nodiscard]] std::vector<SiteProfile> sites() const;
+    [[nodiscard]] std::vector<MethodProfile> methods() const;
+
+    /// Deterministic top-K table (counts only, no timings) for `--profile`.
+    [[nodiscard]] std::string table(std::size_t top_k = 20) const;
+    /// Full sidecar document (timings included) for `--profile-out`.
+    [[nodiscard]] text::Json to_json() const;
+    /// Deterministic aggregate totals for the run manifest's "profile" block.
+    [[nodiscard]] text::Json summary_json() const;
+
+private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, SiteProfile> sites_;
+    std::unordered_map<std::string, MethodProfile> methods_;
+};
+
+/// RAII attribution window for one DP site on the current thread. Engines
+/// running inside the scope charge work to it via the static helpers; the
+/// destructor folds the accumulated delta into Profiler::global(). Inactive
+/// (and free apart from one atomic load) when the profiler is disabled.
+class ProfileScope {
+public:
+    enum class Stage { kSlice, kSig };
+
+    ProfileScope(std::string site_key, Stage stage);
+    ~ProfileScope();
+    ProfileScope(const ProfileScope&) = delete;
+    ProfileScope& operator=(const ProfileScope&) = delete;
+
+    /// Charge work to the innermost active scope on this thread (no-ops
+    /// when none is active, so engines can charge unconditionally).
+    static void charge_taint_steps(std::uint64_t n);
+    static void charge_interp_stmts(std::uint64_t n);
+    static void charge_contexts(std::uint64_t n);
+
+private:
+    bool active_ = false;
+    Stage stage_{Stage::kSlice};
+    std::string site_;
+    std::uint64_t taint_steps_ = 0;
+    std::uint64_t interp_stmts_ = 0;
+    std::uint64_t contexts_ = 0;
+    std::chrono::steady_clock::time_point start_{};
+    ProfileScope* prev_ = nullptr;
+};
+
+/// Canonical site key, shared by the slicer (kSlice scopes) and the
+/// analyzer's sig stage (kSig scopes) so both stages merge into one row.
+[[nodiscard]] std::string profile_site_key(std::string_view app, std::string_view dp,
+                                           std::string_view location, std::uint32_t method_index,
+                                           std::uint32_t block, std::uint32_t index);
+
+/// Canonical method key ("app|Cls.method").
+[[nodiscard]] std::string profile_method_key(std::string_view app,
+                                             std::string_view qualified_method);
+
+/// Install the support::parallel batch-stats hook that turns per-batch
+/// worker timings into `parallel.*` histograms (queue_wait_ms, busy_ms,
+/// utilization, imbalance, claimed_indices, batch_ms). Idempotent; safe to
+/// call from multiple entry points (CLI, benches, tests).
+void install_contention_metrics();
+
+}  // namespace extractocol::obs

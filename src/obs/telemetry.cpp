@@ -4,23 +4,6 @@
 
 namespace extractocol::obs {
 
-namespace {
-
-text::Json histogram_json(const HistogramStats& stats) {
-    text::Json h = text::Json::object();
-    h.set("count", text::Json(static_cast<std::int64_t>(stats.count)));
-    h.set("sum", text::Json(stats.sum));
-    h.set("min", text::Json(stats.min));
-    h.set("max", text::Json(stats.max));
-    h.set("mean", text::Json(stats.mean()));
-    h.set("p50", text::Json(stats.p50()));
-    h.set("p95", text::Json(stats.p95()));
-    h.set("p99", text::Json(stats.p99()));
-    return h;
-}
-
-}  // namespace
-
 void RunTelemetry::set_jobs(unsigned jobs) {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_ = jobs;
@@ -39,6 +22,11 @@ void RunTelemetry::set_run_wall_seconds(double seconds) {
 void RunTelemetry::set_metrics(MetricsSnapshot snapshot) {
     std::lock_guard<std::mutex> lock(mutex_);
     metrics_ = std::move(snapshot);
+}
+
+void RunTelemetry::set_profile_summary(text::Json summary) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    profile_summary_ = std::move(summary);
 }
 
 void RunTelemetry::add(AppRunRecord record) {
@@ -93,12 +81,14 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
 
     std::vector<AppRunRecord> records;
     std::optional<MetricsSnapshot> metrics;
+    std::optional<text::Json> profile;
     unsigned jobs = 1;
     std::uint64_t timestamp = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         records = records_;
         metrics = metrics_;
+        profile = profile_summary_;
         jobs = jobs_;
         timestamp = timestamp_unix_ms_;
     }
@@ -162,7 +152,7 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
     fleet_obj.set("outcomes", std::move(outcomes));
     fleet_obj.set("wall_seconds", text::Json(fs.wall_seconds));
     fleet_obj.set("apps_per_second", text::Json(fs.apps_per_second));
-    fleet_obj.set("latency_ms", histogram_json(fs.latency_ms));
+    fleet_obj.set("latency_ms", histogram_stats_json(fs.latency_ms));
 
     text::Json doc = text::Json::object();
     doc.set("schema", text::Json("extractocol.run_manifest/v1"));
@@ -170,6 +160,9 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
     doc.set("jobs", text::Json(static_cast<std::int64_t>(jobs)));
     doc.set("fleet", std::move(fleet_obj));
     doc.set("apps", std::move(apps));
+    // Profile totals are deterministic counts (Profiler::summary_json), so
+    // they need no normalization.
+    if (profile) doc.set("profile", *profile);
     if (metrics) doc.set("metrics", metrics->to_json(NameStyle::kPrometheus));
     return doc;
 }

@@ -79,6 +79,9 @@ public:
     /// Attaches a metrics snapshot (typically the run's registry delta);
     /// rendered into the manifest with Prometheus-sanitized names.
     void set_metrics(MetricsSnapshot snapshot);
+    /// Attaches the profiler's deterministic totals (Profiler::summary_json)
+    /// as the manifest's "profile" section. Omitted when never set.
+    void set_profile_summary(text::Json summary);
 
     void add(AppRunRecord record);
 
@@ -98,6 +101,7 @@ private:
     std::uint64_t timestamp_unix_ms_ = 0;
     double run_wall_seconds_ = 0;
     std::optional<MetricsSnapshot> metrics_;
+    std::optional<text::Json> profile_summary_;
     std::vector<AppRunRecord> records_;
 };
 

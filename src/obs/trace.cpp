@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
+#include "obs/metrics.hpp"
+#include "support/memtrack.hpp"
 #include "support/parallel.hpp"
 
 namespace extractocol::obs {
@@ -155,11 +158,81 @@ std::string TraceRecorder::summary() const {
     return out;
 }
 
+std::string TraceRecorder::to_collapsed() const {
+    std::vector<TraceEvent> sorted = events();
+    // Same replay as summary(): events are appended at span *close* (children
+    // before parents); (thread, start, depth) order walks each thread's tree
+    // top-down, so a running frame stack reconstructs ancestry.
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.thread != b.thread) return a.thread < b.thread;
+                         if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                         return a.depth < b.depth;
+                     });
+
+    struct Frame {
+        const TraceEvent* event;
+        std::uint64_t child_us = 0;  // direct children's total duration
+    };
+    std::map<std::string, std::uint64_t> folded;  // stack key -> self us
+    std::vector<Frame> stack;
+
+    auto pop = [&] {
+        Frame frame = stack.back();
+        stack.pop_back();
+        std::uint64_t self = frame.event->duration_us > frame.child_us
+                                 ? frame.event->duration_us - frame.child_us
+                                 : 0;
+        if (self == 0) return;
+        std::string key;
+        for (const Frame& f : stack) {
+            key += f.event->name;
+            key += ';';
+        }
+        key += frame.event->name;
+        folded[key] += self;
+    };
+
+    std::uint32_t current_thread = 0;
+    bool first = true;
+    for (const TraceEvent& e : sorted) {
+        if (first || e.thread != current_thread) {
+            while (!stack.empty()) pop();
+            current_thread = e.thread;
+            first = false;
+        }
+        // The recorded depth says how many ancestors the span had; anything
+        // deeper on the stack is a closed sibling subtree. A frame whose
+        // window ended before this span started is stale too (its parent was
+        // never recorded, e.g. still open at export time).
+        while (stack.size() > e.depth) pop();
+        while (!stack.empty() &&
+               e.start_us >= stack.back().event->start_us + stack.back().event->duration_us) {
+            pop();
+        }
+        if (!stack.empty()) stack.back().child_us += e.duration_us;
+        stack.push_back(Frame{&e});
+    }
+    while (!stack.empty()) pop();
+
+    std::string out;
+    for (const auto& [key, self_us] : folded) {
+        out += key;
+        out += ' ';
+        out += std::to_string(self_us);
+        out += '\n';
+    }
+    return out;
+}
+
 // ----------------------------------------------------------------- span --
 
 Span::Span(std::string_view name, std::string_view category)
     : name_(name), category_(category), start_(std::chrono::steady_clock::now()) {
     depth_ = t_depth++;
+    if (support::memtrack::enabled()) {
+        mem_start_ = static_cast<std::int64_t>(support::memtrack::live_bytes());
+    }
 }
 
 double Span::seconds() const {
@@ -173,6 +246,13 @@ void Span::finish() {
     finished_ = true;
     elapsed_ = std::chrono::steady_clock::now() - start_;
     if (t_depth > 0) --t_depth;
+    if (mem_start_ >= 0 && support::memtrack::enabled()) {
+        // Net allocation attributed to this phase window. Negative deltas
+        // (the phase freed more than it allocated) are real data, and the
+        // histogram's min/max/sum carry them fine.
+        std::int64_t now = static_cast<std::int64_t>(support::memtrack::live_bytes());
+        histogram("mem.phase." + name_).observe(static_cast<double>(now - mem_start_));
+    }
     TraceRecorder& recorder = TraceRecorder::global();
     if (!recorder.enabled()) return;
     TraceEvent event;

@@ -87,6 +87,14 @@ public:
     /// Indented per-thread tree: one line per span, children beneath
     /// parents, with millisecond durations.
     [[nodiscard]] std::string summary() const;
+    /// Brendan Gregg collapsed-stack format for flamegraph.pl / speedscope:
+    /// one line per unique span stack, `root;child;leaf <self_us>`, where
+    /// the value is the stack's *self* time in microseconds (own duration
+    /// minus direct children). Identical stacks merge across threads and
+    /// batch apps; lines are sorted by stack name so the fold order is
+    /// stable for a given event set. Spans whose parent closed before the
+    /// recorder saw it (or never recorded) root at their own name.
+    [[nodiscard]] std::string to_collapsed() const;
 
 private:
     std::atomic<bool> enabled_{false};
@@ -123,6 +131,10 @@ private:
     std::chrono::steady_clock::duration elapsed_{};
     std::uint32_t depth_ = 0;
     bool finished_ = false;
+    /// Live heap bytes at construction when memtrack is on, else -1. The
+    /// destructor observes the net delta as a `mem.phase.<name>` histogram,
+    /// attributing allocation growth to the phase that caused it.
+    std::int64_t mem_start_ = -1;
 };
 
 }  // namespace extractocol::obs

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -55,6 +56,9 @@ public:
            const semantics::SemanticModel& model, const BuildRequest& request)
         : program_(&program), callgraph_(&callgraph), model_(&model), request_(&request) {
         response_root_ = std::make_shared<DemandNode>();
+        if (obs::Profiler::global().enabled()) {
+            method_stmts_.resize(program.method_table().size(), 0);
+        }
     }
 
     std::optional<TransactionSignature> run() {
@@ -285,6 +289,7 @@ private:
         // every run regardless of --jobs.
         if (step_capped_) return;
         ++steps_;
+        if (!method_stmts_.empty()) ++method_stmts_[ref.method_index];
         if (request_->max_steps && steps_ > request_->max_steps) {
             step_capped_ = true;
             obs::counter("sig.unknown_reason.budget_exhausted").add(1);
@@ -1406,6 +1411,9 @@ private:
     bool captured_ = false;
     std::size_t steps_ = 0;
     bool step_capped_ = false;
+    /// --profile: statements executed per method (dense, non-empty only when
+    /// the profiler is enabled at construction).
+    std::vector<std::uint64_t> method_stmts_;
     TransactionSignature out_;
     DemandNodePtr response_root_;
     std::vector<std::pair<MethodRef, int>> pending_callbacks_;
@@ -1413,6 +1421,22 @@ private:
 public:
     [[nodiscard]] std::size_t steps() const { return steps_; }
     [[nodiscard]] bool step_capped() const { return step_capped_; }
+
+    /// Flushes per-method statement counts to the global profiler and the
+    /// interpreted-statement total to the innermost ProfileScope.
+    void flush_profile() const {
+        if (method_stmts_.empty()) return;
+        obs::Profiler& profiler = obs::Profiler::global();
+        const auto& methods = program_->method_table();
+        for (std::uint32_t mi = 0; mi < method_stmts_.size(); ++mi) {
+            if (method_stmts_[mi] == 0) continue;
+            profiler.charge_method(
+                obs::profile_method_key(program_->app_name,
+                                        methods[mi]->ref().qualified()),
+                0, method_stmts_[mi]);
+        }
+        obs::ProfileScope::charge_interp_stmts(steps_);
+    }
 };
 
 }  // namespace
@@ -1426,6 +1450,7 @@ std::optional<TransactionSignature> SignatureBuilder::build(const BuildRequest& 
     obs::Span span("sig.build", "sig");
     Interp interp(*program_, *callgraph_, *model_, request);
     auto signature = interp.run();
+    interp.flush_profile();
     if (stats) {
         stats->steps = interp.steps();
         stats->step_capped = interp.step_capped();

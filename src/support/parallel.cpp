@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 namespace extractocol::support {
 
 namespace {
 
 std::atomic<ThreadStartHook> g_thread_start_hook{nullptr};
+std::atomic<BatchStatsHook> g_batch_stats_hook{nullptr};
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
 
 }  // namespace
 
@@ -23,6 +31,14 @@ void set_thread_start_hook(ThreadStartHook hook) {
 
 ThreadStartHook thread_start_hook() {
     return g_thread_start_hook.load(std::memory_order_acquire);
+}
+
+void set_batch_stats_hook(BatchStatsHook hook) {
+    g_batch_stats_hook.store(hook, std::memory_order_release);
+}
+
+BatchStatsHook batch_stats_hook() {
+    return g_batch_stats_hook.load(std::memory_order_acquire);
 }
 
 ThreadPool::ThreadPool(unsigned workers) {
@@ -68,33 +84,60 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::drain(Batch& batch) {
+    // Timing is gated on batch.timed (a hook was installed when the batch
+    // started): an unobserved batch pays zero clock reads per index.
+    const bool timed = batch.timed;
+    WorkerBatchStats ws;
     for (;;) {
         std::size_t index;
+        bool exhausted = false;
         {
+            Clock::time_point wait_start;
+            if (timed) wait_start = Clock::now();
             std::lock_guard<std::mutex> lock(mutex_);
-            if (batch.next >= batch.n) return;
-            index = batch.next++;
+            if (timed) ws.queue_wait_ms += ms_since(wait_start);
+            if (batch.next >= batch.n) {
+                exhausted = true;
+            } else {
+                index = batch.next++;
+            }
         }
+        if (exhausted) break;
+        ws.claimed += 1;
+        Clock::time_point run_start;
+        if (timed) run_start = Clock::now();
         std::exception_ptr error;
         try {
             (*batch.fn)(index);
         } catch (...) {
             error = std::current_exception();
         }
+        if (timed) ws.busy_ms += ms_since(run_start);
         {
+            Clock::time_point wait_start;
+            if (timed) wait_start = Clock::now();
             std::lock_guard<std::mutex> lock(mutex_);
+            if (timed) ws.queue_wait_ms += ms_since(wait_start);
             batch.completed += 1;
             if (error) errors_.emplace_back(index, error);
         }
+    }
+    if (timed) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch.participants.push_back(ws);
     }
 }
 
 void ThreadPool::for_each_index(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
+    BatchStatsHook hook = batch_stats_hook();
     Batch batch;
     batch.n = n;
     batch.fn = &fn;
+    batch.timed = hook != nullptr;
+    Clock::time_point wall_start;
+    if (batch.timed) wall_start = Clock::now();
     if (!threads_.empty() && n > 1) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -114,6 +157,16 @@ void ThreadPool::for_each_index(std::size_t n,
             batch_ = nullptr;
         }
         errors.swap(errors_);
+    }
+    if (batch.timed) {
+        // After the done_cv wait every participant has appended its stats,
+        // so the vector is complete and no longer shared. Fire the hook
+        // before the rethrow: a failed batch's contention is still data.
+        BatchStats stats;
+        stats.n = n;
+        stats.wall_ms = ms_since(wall_start);
+        stats.participants = std::move(batch.participants);
+        hook(stats);
     }
     if (!errors.empty()) {
         auto lowest = std::min_element(

@@ -39,6 +39,34 @@ using ThreadStartHook = void (*)(unsigned worker_index);
 void set_thread_start_hook(ThreadStartHook hook);
 [[nodiscard]] ThreadStartHook thread_start_hook();
 
+/// Timing for one batch participant (a pool worker or the calling thread).
+/// `queue_wait_ms` is time spent blocked on the claim lock, `busy_ms` time
+/// inside user work, `claimed` how many indices this participant ran —
+/// together they expose contention and load imbalance per batch.
+struct WorkerBatchStats {
+    double queue_wait_ms = 0.0;
+    double busy_ms = 0.0;
+    std::size_t claimed = 0;
+};
+
+/// One completed `for_each_index` batch: total size, wall time, and one
+/// entry per participant that entered the batch (including zero-claim
+/// wakeups — a wasted wakeup is contention signal, not noise).
+struct BatchStats {
+    std::size_t n = 0;
+    double wall_ms = 0.0;
+    std::vector<WorkerBatchStats> participants;
+};
+
+/// Observer for completed batches, same pattern as ThreadStartHook: higher
+/// layers (obs) turn these into `parallel.*` metrics without support
+/// depending on them. Called on the batch's calling thread, after the batch
+/// fully drains and outside pool locks. When unset (the default), batches
+/// skip all timing work. Must not re-enter the pool.
+using BatchStatsHook = void (*)(const BatchStats&);
+void set_batch_stats_hook(BatchStatsHook hook);
+[[nodiscard]] BatchStatsHook batch_stats_hook();
+
 class ThreadPool {
 public:
     /// Spawns `workers` threads. The calling thread also participates in
@@ -64,6 +92,8 @@ private:
         std::size_t next = 0;       // first unclaimed index (guarded by mutex_)
         std::size_t completed = 0;  // finished fn() calls (guarded by mutex_)
         std::size_t active = 0;     // workers currently inside the batch
+        bool timed = false;         // collect WorkerBatchStats (hook installed)
+        std::vector<WorkerBatchStats> participants;  // guarded by mutex_
     };
 
     void worker_loop();

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -177,6 +178,13 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
     Run run;
     run.dir = direction;
     const auto& methods = program_->method_table();
+    // --profile attribution: per-method worklist iterations, kept in a dense
+    // local array (one add per iteration) and flushed to the global profiler
+    // once per run. run.steps only counts when a step cap is set, so the
+    // profiler charges the true iteration total instead.
+    const bool profiling = obs::Profiler::global().enabled();
+    std::vector<std::uint64_t> method_iterations;
+    if (profiling) method_iterations.resize(methods.size(), 0);
     run.states.resize(methods.size());
     run.summary_subscribers.resize(methods.size());
     for (std::uint32_t mi = 0; mi < methods.size(); ++mi) {
@@ -1061,6 +1069,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
         auto [mi, b] = run.worklist.front();
         run.worklist.pop_front();
         run.queued.erase({mi, b});
+        if (profiling) ++method_iterations[mi];
 
         const Method& method = *methods[mi];
         MethodState& state = run.states[mi];
@@ -1166,6 +1175,19 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                   return a.stmt < b.stmt;
               });
     run.result.steps_used = run.steps;
+    if (profiling) {
+        std::uint64_t total_iterations = 0;
+        obs::Profiler& profiler = obs::Profiler::global();
+        for (std::uint32_t mi = 0; mi < method_iterations.size(); ++mi) {
+            if (method_iterations[mi] == 0) continue;
+            total_iterations += method_iterations[mi];
+            profiler.charge_method(
+                obs::profile_method_key(program_->app_name,
+                                        methods[mi]->ref().qualified()),
+                method_iterations[mi], 0);
+        }
+        obs::ProfileScope::charge_taint_steps(total_iterations);
+    }
     obs::counter("taint.slice_statements").add(run.result.statements.size());
     span.finish();
     obs::histogram("taint.run_ms").observe(span.seconds() * 1000.0);

@@ -13,6 +13,7 @@
 #include "core/analyzer.hpp"
 #include "corpus/corpus.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "support/memtrack.hpp"
 #include "xapk/serialize.hpp"
@@ -284,4 +285,65 @@ TEST(DeterminismTest, RunManifestAndPrometheusAreByteIdenticalAcrossJobCounts) {
             << "prometheus export diverged at jobs=" << jobs;
     }
     memtrack::set_enabled(false);
+}
+
+TEST(DeterminismTest, ProfileTableIsByteIdenticalAcrossJobCounts) {
+    // The --profile hot table holds the report's determinism bar: every
+    // count in it is a sum of per-item deterministic work, so the rendered
+    // table (and the aggregate summary) is byte-identical at any --jobs.
+    // Wall-clock attribution lives only in the --profile-out sidecar, which
+    // this test deliberately does not compare.
+    std::vector<std::string> names = corpus::open_source_apps();
+    ASSERT_GE(names.size(), 3u);
+    names.resize(3);
+
+    obs::Profiler& profiler = obs::Profiler::global();
+    auto run = [&](unsigned jobs) {
+        profiler.clear();
+        profiler.set_enabled(true);
+        for (const auto& name : names) {
+            corpus::CorpusApp app = corpus::build_app(name);
+            (void)analyze(app.program, app.spec.open_source, jobs);
+        }
+        profiler.set_enabled(false);
+    };
+
+    run(1);
+    std::string baseline_table = profiler.table();
+    std::string baseline_summary = profiler.summary_json().dump_pretty();
+    std::vector<obs::SiteProfile> baseline_sites = profiler.sites();
+    std::vector<obs::MethodProfile> baseline_methods = profiler.methods();
+    ASSERT_FALSE(baseline_sites.empty());
+    ASSERT_FALSE(baseline_methods.empty());
+
+    for (unsigned jobs : {2u, 8u}) {
+        run(jobs);
+        EXPECT_EQ(profiler.table(), baseline_table)
+            << "profile table diverged at jobs=" << jobs;
+        EXPECT_EQ(profiler.summary_json().dump_pretty(), baseline_summary)
+            << "profile summary diverged at jobs=" << jobs;
+        // Beyond the top-K rendering: the FULL attribution maps must agree
+        // count-for-count (seconds excluded — they are sidecar-only).
+        std::vector<obs::SiteProfile> sites = profiler.sites();
+        ASSERT_EQ(sites.size(), baseline_sites.size()) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+            EXPECT_EQ(sites[i].site, baseline_sites[i].site) << "jobs=" << jobs;
+            EXPECT_EQ(sites[i].taint_steps, baseline_sites[i].taint_steps)
+                << sites[i].site << " jobs=" << jobs;
+            EXPECT_EQ(sites[i].sig_steps, baseline_sites[i].sig_steps)
+                << sites[i].site << " jobs=" << jobs;
+            EXPECT_EQ(sites[i].contexts, baseline_sites[i].contexts)
+                << sites[i].site << " jobs=" << jobs;
+        }
+        std::vector<obs::MethodProfile> methods = profiler.methods();
+        ASSERT_EQ(methods.size(), baseline_methods.size()) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < methods.size(); ++i) {
+            EXPECT_EQ(methods[i].method, baseline_methods[i].method) << "jobs=" << jobs;
+            EXPECT_EQ(methods[i].taint_steps, baseline_methods[i].taint_steps)
+                << methods[i].method << " jobs=" << jobs;
+            EXPECT_EQ(methods[i].interp_stmts, baseline_methods[i].interp_stmts)
+                << methods[i].method << " jobs=" << jobs;
+        }
+    }
+    profiler.clear();
 }

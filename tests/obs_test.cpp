@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "support/memtrack.hpp"
 #include "support/parallel.hpp"
 #include "text/json.hpp"
 
@@ -487,4 +490,185 @@ TEST(Telemetry, NormalizedManifestsAreByteIdentical) {
     EXPECT_DOUBLE_EQ(app.find("budget_fraction")->as_double(), 0.25);
     EXPECT_EQ(app.find("wall_seconds")->as_double(), 0.0);
     EXPECT_EQ(app.find("peak_bytes")->as_int(), 0);
+}
+
+TEST(Metrics, ZeroSampleHistogramRendering) {
+    // An instrument that exists but never observed a sample must say so:
+    // percentiles of an empty distribution are undefined, and rendering
+    // them as 0.0 (the old behavior) is indistinguishable from real zeros.
+    obs::MetricsRegistry registry;
+    registry.histogram("test.empty");                // registered, no samples
+    registry.histogram("test.full").observe(5.0);
+    obs::MetricsSnapshot snap = registry.snapshot();
+
+    Json doc = snap.to_json();
+    const Json* empty = doc.find("histograms")->find("test.empty");
+    ASSERT_NE(empty, nullptr);
+    EXPECT_EQ(empty->find("count")->as_int(), 0);
+    EXPECT_TRUE(empty->find("p50")->is_null());
+    EXPECT_TRUE(empty->find("p95")->is_null());
+    EXPECT_TRUE(empty->find("p99")->is_null());
+    EXPECT_TRUE(empty->find("min")->is_null());
+    EXPECT_TRUE(empty->find("max")->is_null());
+    EXPECT_TRUE(empty->find("mean")->is_null());
+    const Json* full = doc.find("histograms")->find("test.full");
+    EXPECT_EQ(full->find("count")->as_int(), 1);
+    EXPECT_DOUBLE_EQ(full->find("p50")->as_double(), 5.0);
+
+    // Prometheus: quantile samples omitted, _sum/_count still exported so
+    // the series exists and dashboards can alert on count == 0.
+    std::string prom = snap.to_prometheus();
+    EXPECT_EQ(prom.find("test_empty{quantile"), std::string::npos) << prom;
+    EXPECT_NE(prom.find("test_empty_count 0"), std::string::npos) << prom;
+    EXPECT_NE(prom.find("test_empty_sum 0"), std::string::npos) << prom;
+    EXPECT_NE(prom.find("test_full{quantile=\"0.5\"} 5"), std::string::npos) << prom;
+
+    // Table: an explicit marker instead of a row of fake zeros.
+    std::string table = snap.to_table();
+    EXPECT_NE(table.find("count=0 (no samples)"), std::string::npos) << table;
+}
+
+TEST(Trace, CollapsedStackExport) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.clear();
+    recorder.set_enabled(true);
+    {
+        obs::Span outer("test.fold_outer", "t");
+        {
+            obs::Span inner("test.fold_inner", "t");
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    recorder.set_enabled(false);
+
+    std::string collapsed = recorder.to_collapsed();
+    // Every line is `stack;frames <self_us>` — frame names, one space, an
+    // integer — and lines are sorted by stack so the export is stable.
+    std::istringstream lines(collapsed);
+    std::string line;
+    std::string prev;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        ++n;
+        auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        ASSERT_GT(space, 0u) << line;
+        const std::string value = line.substr(space + 1);
+        ASSERT_FALSE(value.empty()) << line;
+        EXPECT_EQ(value.find_first_not_of("0123456789"), std::string::npos) << line;
+        EXPECT_GT(std::stoull(value), 0u) << "zero-self stacks must be dropped";
+        EXPECT_LT(prev, line) << "collapsed lines must be sorted";
+        prev = line;
+    }
+    ASSERT_EQ(n, 2u) << collapsed;
+    // The child folds under its parent; the parent keeps only self time
+    // (~2ms each, so both survive the zero-self filter).
+    EXPECT_NE(collapsed.find("test.fold_outer;test.fold_inner "), std::string::npos)
+        << collapsed;
+    EXPECT_NE(collapsed.find("test.fold_outer "), std::string::npos) << collapsed;
+    recorder.clear();
+}
+
+TEST(Trace, CollapsedStacksMergeAcrossThreads) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.clear();
+    recorder.set_enabled(true);
+    {
+        extractocol::support::ThreadPool pool(2);
+        pool.for_each_index(6, [](std::size_t) {
+            obs::Span span("test.merge_work", "t");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        });
+    }
+    recorder.set_enabled(false);
+
+    ASSERT_EQ(recorder.events().size(), 6u);
+    std::string collapsed = recorder.to_collapsed();
+    // Identical stacks from different threads fold into ONE line whose self
+    // time is the sum over all six spans (>= 6ms).
+    std::istringstream lines(collapsed);
+    std::string line;
+    std::size_t merge_lines = 0;
+    while (std::getline(lines, line)) {
+        if (line.rfind("test.merge_work ", 0) == 0) {
+            ++merge_lines;
+            EXPECT_GE(std::stoull(line.substr(line.rfind(' ') + 1)), 6000u) << line;
+        }
+    }
+    EXPECT_EQ(merge_lines, 1u) << collapsed;
+    recorder.clear();
+}
+
+TEST(Trace, ConcurrentPoolSpansKeepDepthAndThread) {
+    // Nested spans opened on pool workers must keep per-thread depth intact:
+    // the inner span sits exactly one level below its outer span, on the
+    // same thread, inside its parent's time window — for every index, no
+    // matter which worker claimed it.
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.clear();
+    recorder.set_enabled(true);
+    {
+        extractocol::support::ThreadPool pool(3);
+        pool.for_each_index(12, [](std::size_t) {
+            obs::Span outer("test.nest_outer", "t");
+            std::this_thread::sleep_for(std::chrono::microseconds(300));
+            obs::Span inner("test.nest_inner", "t");
+            std::this_thread::sleep_for(std::chrono::microseconds(300));
+        });
+    }
+    recorder.set_enabled(false);
+
+    auto events = recorder.events();
+    std::vector<obs::TraceEvent> outers;
+    std::vector<obs::TraceEvent> inners;
+    for (const auto& e : events) {
+        if (e.name == "test.nest_outer") outers.push_back(e);
+        if (e.name == "test.nest_inner") inners.push_back(e);
+    }
+    ASSERT_EQ(outers.size(), 12u);
+    ASSERT_EQ(inners.size(), 12u);
+    for (const auto& inner : inners) {
+        bool parented = false;
+        for (const auto& outer : outers) {
+            // Timestamps truncate to whole microseconds, so an inner span
+            // closing nanoseconds before its parent can overshoot the
+            // parent's recorded end by 1us — allow that much slack.
+            if (outer.thread == inner.thread && outer.depth + 1 == inner.depth &&
+                inner.start_us >= outer.start_us &&
+                inner.start_us + inner.duration_us <=
+                    outer.start_us + outer.duration_us + 1) {
+                parented = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(parented) << "inner span with no enclosing outer on thread "
+                              << inner.thread;
+    }
+    // The fold then attributes all inner self time under the outer frame.
+    std::string collapsed = recorder.to_collapsed();
+    EXPECT_NE(collapsed.find("test.nest_outer;test.nest_inner "), std::string::npos)
+        << collapsed;
+    recorder.clear();
+}
+
+TEST(Trace, SpanAttributesMemoryToPhase) {
+    namespace memtrack = extractocol::support::memtrack;
+    if (!memtrack::available()) GTEST_SKIP() << "allocator hooks unavailable";
+    memtrack::set_enabled(true);
+    obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+    const obs::HistogramStats* before_hist = before.histogram("mem.phase.test.mem_span");
+    const std::uint64_t count_before = before_hist != nullptr ? before_hist->count : 0;
+    {
+        obs::Span span("test.mem_span", "t");
+        std::vector<char> block(1 << 20, 'x');  // ~1 MiB net growth
+        // Close while the block is still alive so the delta is positive.
+        span.finish();
+        obs::MetricsSnapshot after = obs::MetricsRegistry::global().snapshot();
+        const obs::HistogramStats* hist = after.histogram("mem.phase.test.mem_span");
+        ASSERT_NE(hist, nullptr);
+        EXPECT_EQ(hist->count, count_before + 1);
+        EXPECT_GE(hist->max, static_cast<double>(1 << 20));
+    }
+    memtrack::set_enabled(false);
 }

@@ -29,6 +29,7 @@ set(flags
   --scope --no-async-heuristic --async-hops --no-deobfuscation --max-steps
   --jobs --keep-going --fail-fast --progress
   --stats --metrics --metrics-prom --run-manifest --memtrack --trace
+  --profile --profile-out --flamegraph
   --verbose --help)
 foreach(flag IN LISTS flags)
   string(FIND "${help_out}" "${flag}" pos)
@@ -62,5 +63,21 @@ string(FIND "${unknown_err}" "unknown option" pos)
 if(pos EQUAL -1)
   message(FATAL_ERROR "unknown option must be named on stderr:\n${unknown_err}")
 endif()
+
+# Value-taking options must name themselves when the value is missing.
+foreach(value_flag --profile-out --flamegraph)
+  execute_process(
+    COMMAND "${EXTRACTOCOL}" ${value_flag}
+    RESULT_VARIABLE rc_novalue
+    OUTPUT_QUIET
+    ERROR_VARIABLE novalue_err)
+  if(NOT rc_novalue EQUAL 2)
+    message(FATAL_ERROR "${value_flag} without a value must exit 2, got ${rc_novalue}")
+  endif()
+  string(FIND "${novalue_err}" "option '${value_flag}' requires a value" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${value_flag} must report its missing value:\n${novalue_err}")
+  endif()
+endforeach()
 
 message(STATUS "cli help: all checks passed")

@@ -34,6 +34,15 @@
 //                          single input only
 //   --trace <file>         write a Chrome trace-event JSON file of the
 //                          pipeline spans (open with chrome://tracing)
+//   --profile              print the deterministic hot-DP-site / hot-method
+//                          cost attribution table to stderr (top 20 by
+//                          taint steps + interpreted statements)
+//   --profile-out <file>   write the full profile (every site and method,
+//                          wall-clock self-times included) as a JSON
+//                          sidecar; implies --profile collection
+//   --flamegraph <file>    write the span tree in Brendan Gregg
+//                          collapsed-stack format (feed to flamegraph.pl
+//                          or speedscope); implies span recording
 //   --metrics-prom <file>  write the full metrics registry in Prometheus
 //                          text exposition format (0.0.4)
 //   --run-manifest <file>  write the JSON run ledger: one record per input
@@ -64,6 +73,7 @@
 
 #include "core/analyzer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
@@ -113,6 +123,13 @@ void print_usage(std::FILE* out, const char* argv0) {
                  "  --memtrack            enable the tracking allocator (memory gauges\n"
                  "                        and per-app peak attribution)\n"
                  "  --trace FILE          write a Chrome trace-event JSON file\n"
+                 "profiling:\n"
+                 "  --profile             print the hot-DP-site / hot-method cost table\n"
+                 "                        on stderr (deterministic for any --jobs)\n"
+                 "  --profile-out FILE    write the full profile as JSON (timings\n"
+                 "                        included; implies --profile collection)\n"
+                 "  --flamegraph FILE     write the span tree as collapsed stacks for\n"
+                 "                        flamegraph.pl / speedscope\n"
                  "general:\n"
                  "  -v, --verbose         lower log threshold (once: info, twice: debug)\n"
                  "  --help                print this list and exit\n",
@@ -197,10 +214,13 @@ int main(int argc, char** argv) {
     bool fail_fast = false;
     bool progress = false;
     bool memtrack_flag = false;
+    bool profile = false;
     unsigned explain_id = 0;
     int verbosity = 0;
     unsigned jobs = 1;
     const char* trace_path = nullptr;
+    const char* profile_out_path = nullptr;
+    const char* flamegraph_path = nullptr;
     const char* metrics_prom_path = nullptr;
     const char* manifest_path = nullptr;
     std::vector<const char*> paths;
@@ -238,6 +258,12 @@ int main(int argc, char** argv) {
             explain = true;
         } else if (std::strcmp(arg, "--trace") == 0) {
             if (!(trace_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            profile = true;
+        } else if (std::strcmp(arg, "--profile-out") == 0) {
+            if (!(profile_out_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--flamegraph") == 0) {
+            if (!(flamegraph_path = value_of(i))) return usage(argv[0]);
         } else if (std::strcmp(arg, "--metrics-prom") == 0) {
             if (!(metrics_prom_path = value_of(i))) return usage(argv[0]);
         } else if (std::strcmp(arg, "--run-manifest") == 0) {
@@ -310,7 +336,15 @@ int main(int argc, char** argv) {
     } else if (verbosity == 1) {
         log::set_threshold(log::Level::kInfo);
     }
-    if (trace_path) obs::TraceRecorder::global().set_enabled(true);
+    // The batch-stats hook is on for every run: it only costs clock reads
+    // when a batch actually drains, and it is what puts parallel.queue_wait
+    // / parallel.imbalance numbers behind any --metrics / --metrics-prom
+    // request without a separate opt-in.
+    obs::install_contention_metrics();
+    // --flamegraph folds the same span tree --trace exports, so either flag
+    // turns the recorder on.
+    if (trace_path || flamegraph_path) obs::TraceRecorder::global().set_enabled(true);
+    if (profile || profile_out_path) obs::Profiler::global().set_enabled(true);
     if (memtrack_flag) {
         // Enable before the inputs load so the gauges see the whole run's
         // heap, not just the analysis phase.
@@ -486,6 +520,29 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(value));
         }
     }
+    if (profile) {
+        // stderr, like --stats/--metrics: stdout stays the report stream.
+        // The table is counts-only and byte-identical for any --jobs value.
+        std::fprintf(stderr, "%s", obs::Profiler::global().table().c_str());
+    }
+    if (profile_out_path) {
+        std::ofstream profile_file(profile_out_path);
+        if (!profile_file) {
+            std::fprintf(stderr, "error: cannot write profile to %s\n",
+                         profile_out_path);
+            return 1;
+        }
+        profile_file << obs::Profiler::global().to_json().dump_pretty() << "\n";
+    }
+    if (flamegraph_path) {
+        std::ofstream flame_out(flamegraph_path);
+        if (!flame_out) {
+            std::fprintf(stderr, "error: cannot write flamegraph to %s\n",
+                         flamegraph_path);
+            return 1;
+        }
+        flame_out << obs::TraceRecorder::global().to_collapsed();
+    }
     if (trace_path) {
         std::ofstream trace_out(trace_path);
         if (!trace_out) {
@@ -514,6 +571,9 @@ int main(int argc, char** argv) {
         // attributable — same convention as per-report counters).
         telemetry.set_metrics(
             obs::MetricsRegistry::global().snapshot().delta_since(run_base));
+        if (profile || profile_out_path) {
+            telemetry.set_profile_summary(obs::Profiler::global().summary_json());
+        }
         for (const auto& item : items) {
             telemetry.add(core::telemetry_record(item, options));
         }
