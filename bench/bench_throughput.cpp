@@ -193,14 +193,22 @@ int main(int argc, char** argv) {
     }
 
     const double base = rows.front().apps_per_second;
+    const unsigned hardware_threads = std::thread::hardware_concurrency();
+    // A jobs level above the machine's core count measures oversubscription,
+    // not scaling: mark those rows so consumers (and the speedup gate below)
+    // know the ratio is meaningless there.
+    auto oversubscribed = [hardware_threads](unsigned jobs) {
+        return hardware_threads != 0 && hardware_threads < jobs;
+    };
     std::printf("%-6s  %10s  %10s  %8s  %9s  %9s  %11s  %9s\n", "jobs", "wall (ms)",
                 "apps/sec", "speedup", "p50 (ms)", "p95 (ms)", "qwait (ms)", "util");
     for (const Row& row : rows) {
-        std::printf("%-6u  %10.1f  %10.1f  %7.2fx  %9.3f  %9.3f  %11.3f  %9.2f\n",
+        std::printf("%-6u  %10.1f  %10.1f  %7.2fx  %9.3f  %9.3f  %11.3f  %9.2f%s\n",
                     row.jobs, row.wall_seconds * 1000, row.apps_per_second,
                     base > 0 ? row.apps_per_second / base : 0,
                     row.latency_ms.p50(), row.latency_ms.p95(),
-                    row.queue_wait_ms.sum, row.utilization.mean());
+                    row.queue_wait_ms.sum, row.utilization.mean(),
+                    oversubscribed(row.jobs) ? "  (oversubscribed)" : "");
     }
     std::printf("\nper-phase wall time at jobs=1 (summed across %zu apps):\n",
                 inputs.size());
@@ -216,6 +224,7 @@ int main(int argc, char** argv) {
         obj.set("apps_per_second", text::Json(row.apps_per_second));
         obj.set("speedup",
                 text::Json(base > 0 ? row.apps_per_second / base : 0.0));
+        if (oversubscribed(row.jobs)) obj.set("oversubscribed", text::Json(true));
         text::Json latency = text::Json::object();
         latency.set("p50_ms", text::Json(row.latency_ms.p50()));
         latency.set("p95_ms", text::Json(row.latency_ms.p95()));
@@ -312,6 +321,29 @@ int main(int argc, char** argv) {
                      "bench_throughput --update\n",
                      drifted, committed_path);
         return 1;
+    }
+    // Scaling gate: parallelism must pay. On a machine with the cores to
+    // exercise it, --jobs 2 has to beat sequential; on an oversubscribed
+    // runner (1-core CI) the ratio measures context-switch overhead, not
+    // scaling, so the gate does not apply there.
+    for (const Row& row : rows) {
+        if (row.jobs != 2) continue;
+        if (oversubscribed(row.jobs)) {
+            std::printf("\nspeedup gate skipped at jobs=2: oversubscribed "
+                        "(%u hardware threads)\n",
+                        hardware_threads);
+            break;
+        }
+        double speedup = base > 0 ? row.apps_per_second / base : 0;
+        if (speedup <= 1.0) {
+            std::fprintf(stderr,
+                         "\nspeedup regression: jobs=2 ran at %.2fx of "
+                         "sequential (must exceed 1.0x)\n",
+                         speedup);
+            return 1;
+        }
+        std::printf("\nspeedup gate passed at jobs=2: %.2fx\n", speedup);
+        break;
     }
     std::printf("\ndeterministic fields match committed snapshot %s\n",
                 committed_path);

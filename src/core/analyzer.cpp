@@ -503,8 +503,7 @@ Result<AnalysisReport> Analyzer::analyze_xapk(std::string_view xapk_text) const 
     return report;
 }
 
-std::vector<BatchItem> Analyzer::analyze_batch(
-    const std::vector<BatchInput>& inputs) const {
+std::vector<BatchItem> Analyzer::analyze_batch(std::vector<BatchInput> inputs) const {
     std::vector<BatchItem> items(inputs.size());
     if (inputs.empty()) return items;
 
@@ -546,6 +545,10 @@ std::vector<BatchItem> Analyzer::analyze_batch(
         } catch (...) {
             items[i].error = "analysis failed: unknown error";
         }
+        // The text was only needed for the parse; release it now so the
+        // batch's resident set shrinks as it drains instead of holding
+        // every input until the end (workers each touch their own slot).
+        std::string().swap(inputs[i].text);
         if (!items[i].ok() && items[i].error.empty()) {
             items[i].error = "analysis failed";
         }

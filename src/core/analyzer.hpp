@@ -247,8 +247,12 @@ public:
     /// concurrently (`jobs` split across apps, remainder inside each app) and
     /// results are returned in input order — the item list is byte-identical
     /// for every `jobs` value.
+    ///
+    /// Takes the inputs by value: each input's serialized text is released
+    /// as soon as that app has been analyzed, so a large batch's peak memory
+    /// holds only the not-yet-processed texts instead of all of them.
     [[nodiscard]] std::vector<BatchItem> analyze_batch(
-        const std::vector<BatchInput>& inputs) const;
+        std::vector<BatchInput> inputs) const;
 
     [[nodiscard]] const semantics::SemanticModel& model() const { return model_; }
 

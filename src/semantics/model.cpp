@@ -36,23 +36,56 @@ std::vector<FlowRule> args_to_ret(int argc) {
     return rules;
 }
 
+/// Stable key of "cls.method" — bytewise identical to fnv1a of the
+/// concatenated string, computed without building it.
+std::uint64_t qualified_key(std::string_view cls, std::string_view method) {
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::string_view s) {
+        for (char c : s) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 1099511628211ull;
+        }
+    };
+    mix(cls);
+    mix(".");
+    mix(method);
+    return h;
+}
+
 }  // namespace
 
 void SemanticModel::register_api(ApiModel model) {
-    std::string key = model.cls + "." + model.method;
+    std::uint64_t key = qualified_key(model.cls, model.method);
+    auto it = apis_.find(key);
+    if (it != apis_.end() &&
+        (it->second.cls != model.cls || it->second.method != model.method)) {
+        api_overflow_.push_back(std::move(model));
+        return;
+    }
     apis_[key] = std::move(model);
 }
 
 void SemanticModel::register_demarcation(DemarcationSpec spec) {
-    std::string key = spec.cls + "." + spec.method;
-    dps_[key] = spec;
+    std::uint64_t key = qualified_key(spec.cls, spec.method);
+    auto it = dps_.find(key);
+    if (it != dps_.end() &&
+        (it->second.cls != spec.cls || it->second.method != spec.method)) {
+        dp_overflow_.push_back(spec);
+    } else {
+        dps_[key] = spec;
+    }
     demarcations_.push_back(std::move(spec));
 }
 
 const ApiModel* SemanticModel::api(std::string_view cls, std::string_view method) const {
-    auto it = apis_.find(std::string(cls) + "." + std::string(method));
-    if (it == apis_.end()) return nullptr;
-    return &it->second;
+    auto it = apis_.find(qualified_key(cls, method));
+    if (it != apis_.end() && it->second.cls == cls && it->second.method == method) {
+        return &it->second;
+    }
+    for (const auto& model : api_overflow_) {
+        if (model.cls == cls && model.method == method) return &model;
+    }
+    return nullptr;
 }
 
 std::vector<std::string> SemanticModel::modeled_classes() const {
@@ -71,9 +104,14 @@ std::vector<const ApiModel*> SemanticModel::apis_for_class(std::string_view cls)
 
 const DemarcationSpec* SemanticModel::demarcation(std::string_view cls,
                                                   std::string_view method) const {
-    auto it = dps_.find(std::string(cls) + "." + std::string(method));
-    if (it == dps_.end()) return nullptr;
-    return &it->second;
+    auto it = dps_.find(qualified_key(cls, method));
+    if (it != dps_.end() && it->second.cls == cls && it->second.method == method) {
+        return &it->second;
+    }
+    for (const auto& spec : dp_overflow_) {
+        if (spec.cls == cls && spec.method == method) return &spec;
+    }
+    return nullptr;
 }
 
 std::size_t SemanticModel::demarcation_class_count() const {

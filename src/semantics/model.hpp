@@ -15,6 +15,7 @@
 // API semantics"): register() adds entries.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -222,8 +223,14 @@ public:
     [[nodiscard]] bool is_known_library_class(std::string_view cls) const;
 
 private:
-    std::unordered_map<std::string, ApiModel> apis_;          // "Cls.method"
-    std::unordered_map<std::string, DemarcationSpec> dps_;    // "Cls.method"
+    // Keyed by the stable FNV-1a hash of "Cls.method" so lookups on the hot
+    // analysis paths never build a concatenated string. Entries carry their
+    // own cls/method, which lookups re-verify; the (never yet observed)
+    // 64-bit collision case falls back to the overflow lists.
+    std::unordered_map<std::uint64_t, ApiModel> apis_;
+    std::unordered_map<std::uint64_t, DemarcationSpec> dps_;
+    std::vector<ApiModel> api_overflow_;
+    std::vector<DemarcationSpec> dp_overflow_;
     std::vector<DemarcationSpec> demarcations_;
 };
 

@@ -1,0 +1,172 @@
+// Arena / bump allocation (memory-layout layer, DESIGN.md §13).
+//
+// An Arena hands out pointer-bumped storage from geometrically-growing
+// chunks: allocation is a couple of arithmetic ops, deallocation is a no-op,
+// and everything is released at once when the arena is destroyed or reset().
+// This fits the analysis pipeline's monotone per-run state — taint facts
+// only accumulate during a worklist run and die together at the end — where
+// per-node malloc/free both costs time and fragments the peak.
+//
+// ArenaAllocator<T> adapts an Arena to the std allocator interface so
+// standard containers can live inside one. deallocate() is a no-op by
+// design: containers that erase or rehash leave their old storage behind in
+// the arena (bounded by geometric growth for rehashes), so back only
+// grow-mostly containers with it.
+//
+// Chunks are obtained with operator new, so --memtrack sees arena memory
+// like any other allocation and peak accounting stays truthful.
+//
+// Arenas are single-threaded by contract (one per analysis run); they are
+// not synchronized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace extractocol::support {
+
+class Arena {
+public:
+    static constexpr std::size_t kMinChunkBytes = 4 << 10;
+    static constexpr std::size_t kMaxChunkBytes = 256 << 10;
+
+    Arena() = default;
+    ~Arena() { release(); }
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// Bump-allocates `size` bytes at `align` (align must be a power of 2).
+    void* allocate(std::size_t size, std::size_t align) {
+        std::uintptr_t p = (cursor_ + (align - 1)) & ~(std::uintptr_t(align) - 1);
+        if (p + size > limit_) {
+            return allocate_slow(size, align);
+        }
+        cursor_ = p + size;
+        used_ += size;
+        return reinterpret_cast<void*>(p);
+    }
+
+    template <typename T, typename... Args>
+    T* create(Args&&... args) {
+        return ::new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+    }
+
+    /// Frees every chunk. All pointers handed out become invalid.
+    void release() {
+        Chunk* c = chunks_;
+        while (c != nullptr) {
+            Chunk* next = c->next;
+            ::operator delete(static_cast<void*>(c));
+            c = next;
+        }
+        chunks_ = nullptr;
+        cursor_ = limit_ = 0;
+        used_ = 0;
+        next_chunk_bytes_ = kMinChunkBytes;
+    }
+
+    /// Rewinds to empty while *keeping* the chunks for reuse (steady-state
+    /// runs stop allocating from the OS entirely). Outstanding pointers
+    /// become logically invalid.
+    void reset() {
+        if (chunks_ == nullptr) return;
+        // Keep only the newest (largest) chunk; drop the growth tail.
+        Chunk* keep = chunks_;
+        Chunk* c = keep->next;
+        while (c != nullptr) {
+            Chunk* next = c->next;
+            ::operator delete(static_cast<void*>(c));
+            c = next;
+        }
+        keep->next = nullptr;
+        chunks_ = keep;
+        cursor_ = keep->begin();
+        limit_ = keep->end;
+        used_ = 0;
+    }
+
+    /// Bytes handed out since construction / the last reset().
+    [[nodiscard]] std::size_t bytes_used() const { return used_; }
+    /// Bytes obtained from the system allocator and currently held.
+    [[nodiscard]] std::size_t bytes_reserved() const {
+        std::size_t total = 0;
+        for (Chunk* c = chunks_; c != nullptr; c = c->next) total += c->size;
+        return total;
+    }
+
+private:
+    struct Chunk {
+        Chunk* next = nullptr;
+        std::size_t size = 0;  // total bytes including the header
+        std::uintptr_t end = 0;
+
+        [[nodiscard]] std::uintptr_t begin() {
+            return reinterpret_cast<std::uintptr_t>(this) + sizeof(Chunk);
+        }
+    };
+
+    void* allocate_slow(std::size_t size, std::size_t align) {
+        std::size_t need = size + align + sizeof(Chunk);
+        std::size_t bytes = next_chunk_bytes_;
+        while (bytes < need) bytes *= 2;
+        if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ *= 2;
+        auto* chunk = static_cast<Chunk*>(::operator new(bytes));
+        chunk->next = chunks_;
+        chunk->size = bytes;
+        chunk->end = reinterpret_cast<std::uintptr_t>(chunk) + bytes;
+        chunks_ = chunk;
+        cursor_ = chunk->begin();
+        limit_ = chunk->end;
+        std::uintptr_t p = (cursor_ + (align - 1)) & ~(std::uintptr_t(align) - 1);
+        cursor_ = p + size;
+        used_ += size;
+        return reinterpret_cast<void*>(p);
+    }
+
+    Chunk* chunks_ = nullptr;
+    std::uintptr_t cursor_ = 0;
+    std::uintptr_t limit_ = 0;
+    std::size_t used_ = 0;
+    std::size_t next_chunk_bytes_ = kMinChunkBytes;
+};
+
+/// std-compatible allocator over an Arena. Default-constructed (no arena)
+/// it falls back to the heap so allocator-aware containers stay
+/// default-constructible; copies propagate the arena, so a container copy
+/// constructed from an arena-backed one allocates from the same arena.
+template <typename T>
+class ArenaAllocator {
+public:
+    using value_type = T;
+
+    ArenaAllocator() = default;
+    explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}  // NOLINT
+
+    T* allocate(std::size_t n) {
+        if (arena_ == nullptr) {
+            return static_cast<T*>(::operator new(n * sizeof(T)));
+        }
+        return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+
+    void deallocate(T* p, std::size_t) noexcept {
+        if (arena_ == nullptr) ::operator delete(static_cast<void*>(p));
+        // Arena-backed storage is reclaimed wholesale at reset/destruction.
+    }
+
+    [[nodiscard]] Arena* arena() const { return arena_; }
+
+    template <typename U>
+    bool operator==(const ArenaAllocator<U>& other) const {
+        return arena_ == other.arena();
+    }
+
+private:
+    Arena* arena_ = nullptr;
+};
+
+}  // namespace extractocol::support

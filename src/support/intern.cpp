@@ -1,0 +1,187 @@
+#include "support/intern.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace extractocol::support::intern {
+
+namespace {
+
+// Storage: append-only chunked arrays so published entries never move and
+// readers never take a lock. Entry records (offset into a character chunk,
+// length, precomputed hash) live in fixed-size EntryChunks; the character
+// data lives in CharChunks. Both chunk directories are arrays of atomic
+// pointers published with release stores; entry fields are written before
+// the entry becomes reachable (either through the lookup table's
+// release-stored slot or through a release increment of the entry count).
+
+constexpr std::size_t kEntriesPerChunk = 4096;
+constexpr std::size_t kMaxEntryChunks = 4096;  // 16M symbols, plenty
+constexpr std::size_t kCharChunkBytes = 1 << 16;
+
+struct Entry {
+    const char* data = nullptr;
+    std::uint32_t length = 0;
+    std::uint64_t hash = 0;
+};
+
+struct EntryChunk {
+    Entry entries[kEntriesPerChunk];
+};
+
+/// Open-addressing lookup table: each slot holds symbol+1 (0 = empty).
+/// Grown by allocating a bigger table and republishing; retired tables are
+/// kept alive forever (bounded by geometric growth) so readers holding a
+/// stale pointer stay safe.
+struct Table {
+    std::size_t mask = 0;  // capacity - 1, capacity is a power of two
+    std::vector<std::atomic<std::uint32_t>> slots;
+
+    explicit Table(std::size_t capacity) : mask(capacity - 1), slots(capacity) {}
+};
+
+class Interner {
+public:
+    Interner() {
+        table_.store(new Table(1 << 12), std::memory_order_release);
+        Symbol empty = insert_locked("");
+        (void)empty;
+        assert(empty == 0);
+    }
+
+    Symbol intern(std::string_view s) {
+        std::uint64_t h = fnv1a(s);
+        Table* table = table_.load(std::memory_order_acquire);
+        Symbol sym;
+        if (probe(*table, s, h, sym)) return sym;
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Re-probe the current table: another thread may have inserted (or
+        // grown the table) while we waited for the lock.
+        Table* current = table_.load(std::memory_order_relaxed);
+        if (probe(*current, s, h, sym)) return sym;
+        return insert_locked(s);
+    }
+
+    const Entry& entry(Symbol sym) const {
+        assert(sym < count_.load(std::memory_order_acquire));
+        return chunk_ptr(sym / kEntriesPerChunk)->entries[sym % kEntriesPerChunk];
+    }
+
+    std::size_t size() const { return count_.load(std::memory_order_acquire); }
+
+private:
+    bool probe(const Table& table, std::string_view s, std::uint64_t h,
+               Symbol& out) const {
+        for (std::size_t i = h & table.mask;; i = (i + 1) & table.mask) {
+            std::uint32_t slot = table.slots[i].load(std::memory_order_acquire);
+            if (slot == 0) return false;
+            const Entry& e = entry(slot - 1);
+            if (e.hash == h && e.length == s.size() &&
+                std::memcmp(e.data, s.data(), s.size()) == 0) {
+                out = slot - 1;
+                return true;
+            }
+        }
+    }
+
+    EntryChunk* chunk_ptr(std::size_t index) const {
+        return entry_chunks_[index].load(std::memory_order_acquire);
+    }
+
+    /// Appends the string bytes to character storage. Called under mutex_.
+    const char* store_chars(std::string_view s) {
+        if (current_chars_ == nullptr ||
+            char_used_ + s.size() + 1 > kCharChunkBytes) {
+            std::size_t bytes = s.size() + 1 > kCharChunkBytes ? s.size() + 1
+                                                               : kCharChunkBytes;
+            current_chars_ = new char[bytes];
+            char_used_ = 0;
+        }
+        char* dst = current_chars_ + char_used_;
+        std::memcpy(dst, s.data(), s.size());
+        dst[s.size()] = '\0';
+        char_used_ += s.size() + 1;
+        return dst;
+    }
+
+    /// Inserts a new symbol. Called under mutex_ (except from the ctor).
+    Symbol insert_locked(std::string_view s) {
+        Symbol sym = static_cast<Symbol>(count_.load(std::memory_order_relaxed));
+        std::size_t chunk = sym / kEntriesPerChunk;
+        assert(chunk < kMaxEntryChunks && "interner symbol space exhausted");
+        EntryChunk* ec = entry_chunks_[chunk].load(std::memory_order_relaxed);
+        if (ec == nullptr) {
+            ec = new EntryChunk();
+            entry_chunks_[chunk].store(ec, std::memory_order_release);
+        }
+        Entry& e = ec->entries[sym % kEntriesPerChunk];
+        e.data = store_chars(s);
+        e.length = static_cast<std::uint32_t>(s.size());
+        e.hash = fnv1a(s);
+        // Publish the entry before the symbol becomes discoverable.
+        count_.fetch_add(1, std::memory_order_release);
+
+        Table* table = table_.load(std::memory_order_relaxed);
+        if ((count_.load(std::memory_order_relaxed)) * 4 > (table->mask + 1) * 3) {
+            grow(table);  // re-places every symbol, including this one
+        } else {
+            place(*table, e.hash, sym + 1);
+        }
+        return sym;
+    }
+
+    /// Allocates a table 4x bigger, re-places every symbol, publishes it.
+    Table* grow(Table* old) {
+        auto* bigger = new Table((old->mask + 1) * 4);
+        std::uint32_t n = static_cast<std::uint32_t>(
+            count_.load(std::memory_order_relaxed));
+        for (std::uint32_t sym = 0; sym < n; ++sym) {
+            place(*bigger, entry(sym).hash, sym + 1);
+        }
+        table_.store(bigger, std::memory_order_release);
+        retired_.push_back(old);  // readers may still hold it; never freed
+        return bigger;
+    }
+
+    static void place(Table& table, std::uint64_t h, std::uint32_t slot_value) {
+        for (std::size_t i = h & table.mask;; i = (i + 1) & table.mask) {
+            if (table.slots[i].load(std::memory_order_relaxed) == 0) {
+                table.slots[i].store(slot_value, std::memory_order_release);
+                return;
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::atomic<Table*> table_{nullptr};
+    std::atomic<EntryChunk*> entry_chunks_[kMaxEntryChunks] = {};
+    std::atomic<std::uint64_t> count_{0};
+    char* current_chars_ = nullptr;      // guarded by mutex_
+    std::size_t char_used_ = 0;          // guarded by mutex_
+    std::vector<Table*> retired_;        // guarded by mutex_
+};
+
+Interner& instance() {
+    static Interner* interner = new Interner();  // intentionally leaked
+    return *interner;
+}
+
+}  // namespace
+
+Symbol intern(std::string_view s) { return instance().intern(s); }
+
+std::string_view str(Symbol sym) {
+    const Entry& e = instance().entry(sym);
+    return {e.data, e.length};
+}
+
+std::uint64_t hash(Symbol sym) { return instance().entry(sym).hash; }
+
+std::size_t size() { return instance().size(); }
+
+}  // namespace extractocol::support::intern

@@ -1,0 +1,44 @@
+// Global string interning (memory-layout layer, DESIGN.md §13).
+//
+// Hot analysis comparisons — access-path fields, static-field owners,
+// global-channel keys, API method names — used to be std::string compares
+// plus per-copy heap allocations. intern() maps each distinct string to a
+// dense 32-bit Symbol exactly once; afterwards equality is an integer
+// compare, hashing is a table lookup of the precomputed FNV-1a value, and
+// copying a symbol costs nothing.
+//
+// Concurrency contract: intern() and all readers are safe from any thread.
+// The read path (already-interned string, or str()/hash() on a held symbol)
+// is lock-free — one acquire load of the open-addressing table plus probe
+// reads; only a first-ever insertion takes the interner mutex. Symbols are
+// process-global and never freed.
+//
+// Determinism contract: symbol *ids* depend on interning order, which under
+// --jobs > 1 depends on thread interleaving. Ids must therefore NEVER leak
+// into output or into any ordering that can reach output — order by string
+// content (or by precomputed content hash) instead. AccessPathHash follows
+// this rule: it mixes hash(sym), not sym.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace extractocol::support::intern {
+
+/// Dense id of an interned string. Symbol 0 is always the empty string.
+using Symbol = std::uint32_t;
+
+/// Interns `s`, returning its symbol (allocating one on first sight).
+Symbol intern(std::string_view s);
+
+/// The interned string. Valid for the process lifetime.
+[[nodiscard]] std::string_view str(Symbol sym);
+
+/// Precomputed FNV-1a hash of the interned string (content-stable: equal
+/// strings hash equal in every process, on every platform).
+[[nodiscard]] std::uint64_t hash(Symbol sym);
+
+/// Number of distinct strings interned so far (diagnostics/tests).
+[[nodiscard]] std::size_t size();
+
+}  // namespace extractocol::support::intern

@@ -66,7 +66,9 @@ void ThreadPool::worker_loop() {
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [this] {
-                return stop_ || (batch_ != nullptr && batch_->next < batch_->n);
+                return stop_ ||
+                       (batch_ != nullptr &&
+                        batch_->next.load(std::memory_order_relaxed) < batch_->n);
             });
             if (stop_) return;
             batch = batch_;
@@ -76,7 +78,8 @@ void ThreadPool::worker_loop() {
         {
             std::lock_guard<std::mutex> lock(mutex_);
             batch->active -= 1;
-            if (batch->completed == batch->n && batch->active == 0) {
+            if (batch->completed.load(std::memory_order_relaxed) == batch->n &&
+                batch->active == 0) {
                 done_cv_.notify_all();
             }
         }
@@ -86,23 +89,18 @@ void ThreadPool::worker_loop() {
 void ThreadPool::drain(Batch& batch) {
     // Timing is gated on batch.timed (a hook was installed when the batch
     // started): an unobserved batch pays zero clock reads per index.
+    //
+    // The claim path is lock-free: one relaxed fetch-add per index. The
+    // header used to promise "an atomic cursor" while this loop took mutex_
+    // for every claim *and* every completion — at small work items that
+    // self-inflicted claim-lock contention dominated parallel.queue_wait_ms
+    // and ate the whole --jobs speedup. mutex_ is now only touched on the
+    // error path and for the one participant-stats append per batch.
     const bool timed = batch.timed;
     WorkerBatchStats ws;
     for (;;) {
-        std::size_t index;
-        bool exhausted = false;
-        {
-            Clock::time_point wait_start;
-            if (timed) wait_start = Clock::now();
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (timed) ws.queue_wait_ms += ms_since(wait_start);
-            if (batch.next >= batch.n) {
-                exhausted = true;
-            } else {
-                index = batch.next++;
-            }
-        }
-        if (exhausted) break;
+        std::size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= batch.n) break;
         ws.claimed += 1;
         Clock::time_point run_start;
         if (timed) run_start = Clock::now();
@@ -113,17 +111,21 @@ void ThreadPool::drain(Batch& batch) {
             error = std::current_exception();
         }
         if (timed) ws.busy_ms += ms_since(run_start);
-        {
+        if (error) {
             Clock::time_point wait_start;
             if (timed) wait_start = Clock::now();
             std::lock_guard<std::mutex> lock(mutex_);
             if (timed) ws.queue_wait_ms += ms_since(wait_start);
-            batch.completed += 1;
-            if (error) errors_.emplace_back(index, error);
+            errors_.emplace_back(index, error);
         }
+        // Release-publish the completion so the caller's done_cv_ predicate
+        // (acquire) observes all of this index's side effects.
+        batch.completed.fetch_add(1, std::memory_order_release);
     }
     if (timed) {
+        Clock::time_point wait_start = Clock::now();
         std::lock_guard<std::mutex> lock(mutex_);
+        ws.queue_wait_ms += ms_since(wait_start);
         batch.participants.push_back(ws);
     }
 }

@@ -15,6 +15,7 @@
 // degenerates to an inline sequential loop with the same contract.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -40,9 +41,11 @@ void set_thread_start_hook(ThreadStartHook hook);
 [[nodiscard]] ThreadStartHook thread_start_hook();
 
 /// Timing for one batch participant (a pool worker or the calling thread).
-/// `queue_wait_ms` is time spent blocked on the claim lock, `busy_ms` time
-/// inside user work, `claimed` how many indices this participant ran —
-/// together they expose contention and load imbalance per batch.
+/// `queue_wait_ms` is time spent blocked on pool bookkeeping (the rare
+/// error/stats mutex — index claiming itself is a lock-free fetch-add and
+/// contributes nothing), `busy_ms` time inside user work, `claimed` how many
+/// indices this participant ran — together they expose contention and load
+/// imbalance per batch.
 struct WorkerBatchStats {
     double queue_wait_ms = 0.0;
     double busy_ms = 0.0;
@@ -89,9 +92,12 @@ private:
     struct Batch {
         std::size_t n = 0;
         const std::function<void(std::size_t)>* fn = nullptr;
-        std::size_t next = 0;       // first unclaimed index (guarded by mutex_)
-        std::size_t completed = 0;  // finished fn() calls (guarded by mutex_)
-        std::size_t active = 0;     // workers currently inside the batch
+        /// First unclaimed index. Claiming is a lock-free fetch-add: workers
+        /// never serialize on mutex_ to obtain work, only to report errors
+        /// and (when timed) to append their participant stats.
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> completed{0};  // finished fn() calls
+        std::size_t active = 0;     // workers currently inside (guarded by mutex_)
         bool timed = false;         // collect WorkerBatchStats (hook installed)
         std::vector<WorkerBatchStats> participants;  // guarded by mutex_
     };

@@ -2,34 +2,71 @@
 // variable, static field, or abstract global location such as a database
 // cell or preference key) followed by a bounded chain of field dereferences
 // (depth limit k, default 3).
+//
+// Representation (DESIGN.md §13): every string component is an interned
+// Symbol, and the field chain is a fixed-capacity inline array, so an
+// AccessPath is a small POD — copying one is a register move, comparing two
+// is integer compares, and a taint fact never owns heap memory. The previous
+// representation (two std::strings plus a vector<string>) cost several heap
+// allocations per fact and dominated the engine's allocation profile.
 #pragma once
 
+#include <array>
 #include <string>
-#include <vector>
+#include <string_view>
 
 #include "support/hash.hpp"
+#include "support/intern.hpp"
 #include "xir/ir.hpp"
 
 namespace extractocol::taint {
 
+using support::intern::Symbol;
+
 inline constexpr std::size_t kMaxFieldDepth = 3;
 
+/// Bounded inline sequence of interned field names. Push beyond the depth
+/// limit truncates (a truncated path over-approximates, which is safe).
+struct FieldSeq {
+    std::array<Symbol, kMaxFieldDepth> syms{};
+    std::uint8_t count = 0;
+
+    [[nodiscard]] bool empty() const { return count == 0; }
+    [[nodiscard]] std::size_t size() const { return count; }
+    [[nodiscard]] Symbol operator[](std::size_t i) const { return syms[i]; }
+    [[nodiscard]] const Symbol* begin() const { return syms.data(); }
+    [[nodiscard]] const Symbol* end() const { return syms.data() + count; }
+
+    void push_back(Symbol f) {
+        if (count < kMaxFieldDepth) syms[count++] = f;
+    }
+
+    /// The subsequence starting at field `n` (caller guarantees n <= size).
+    [[nodiscard]] FieldSeq from(std::size_t n) const {
+        FieldSeq out;
+        for (std::size_t i = n; i < count; ++i) out.push_back(syms[i]);
+        return out;
+    }
+
+    bool operator==(const FieldSeq&) const = default;
+};
+
 struct AccessPath {
-    enum class RootKind {
+    enum class RootKind : std::uint8_t {
         kLocal,   // method-scoped local variable
         kStatic,  // Class.field
         kGlobal,  // abstract location: "db:table.column", "prefs:key", ...
     };
 
     RootKind root = RootKind::kLocal;
-    xir::LocalId local = 0;       // kLocal
-    std::string static_class;     // kStatic
-    std::string key;              // kStatic: field name; kGlobal: location key
-    std::vector<std::string> fields;
     /// How many asynchronous-event boundaries (static/db/prefs channels) this
     /// fact has crossed. The engine bounds it (§4: the implementation "only
     /// detects dependencies across one hop" of async chains by default).
     std::uint8_t global_hops = 0;
+    xir::LocalId local = 0;  // kLocal
+    Symbol static_class = 0;  // kStatic
+    Symbol key = 0;           // kStatic: field name; kGlobal: location key
+    FieldSeq fields;
 
     static AccessPath of_local(xir::LocalId id) {
         AccessPath p;
@@ -37,30 +74,38 @@ struct AccessPath {
         p.local = id;
         return p;
     }
-    static AccessPath of_static(std::string cls, std::string field) {
+    static AccessPath of_static(Symbol cls, Symbol field) {
         AccessPath p;
         p.root = RootKind::kStatic;
-        p.static_class = std::move(cls);
-        p.key = std::move(field);
+        p.static_class = cls;
+        p.key = field;
         return p;
     }
-    static AccessPath of_global(std::string key) {
+    static AccessPath of_static(std::string_view cls, std::string_view field) {
+        return of_static(support::intern::intern(cls), support::intern::intern(field));
+    }
+    static AccessPath of_global(Symbol key) {
         AccessPath p;
         p.root = RootKind::kGlobal;
-        p.key = std::move(key);
+        p.key = key;
         return p;
+    }
+    static AccessPath of_global(std::string_view key) {
+        return of_global(support::intern::intern(key));
     }
 
     [[nodiscard]] bool is_local() const { return root == RootKind::kLocal; }
     [[nodiscard]] bool is_static() const { return root == RootKind::kStatic; }
     [[nodiscard]] bool is_global() const { return root == RootKind::kGlobal; }
 
-    /// Extends the path by one field (truncating at the depth limit: a
-    /// truncated path over-approximates, which is safe).
-    [[nodiscard]] AccessPath with_field(const std::string& field) const {
+    /// Extends the path by one field (truncating at the depth limit).
+    [[nodiscard]] AccessPath with_field(Symbol field) const {
         AccessPath p = *this;
-        if (p.fields.size() < kMaxFieldDepth) p.fields.push_back(field);
+        p.fields.push_back(field);
         return p;
+    }
+    [[nodiscard]] AccessPath with_field(std::string_view field) const {
+        return with_field(support::intern::intern(field));
     }
 
     /// Replaces the local root (for copy propagation dst<->src).
@@ -89,32 +134,40 @@ struct AccessPath {
     }
 
     /// Drops `n` leading fields (caller guarantees n <= fields.size()).
-    [[nodiscard]] std::vector<std::string> fields_from(std::size_t n) const {
-        return {fields.begin() + static_cast<std::ptrdiff_t>(n), fields.end()};
-    }
+    [[nodiscard]] FieldSeq fields_from(std::size_t n) const { return fields.from(n); }
 
     bool operator==(const AccessPath&) const = default;
 
     [[nodiscard]] std::string to_display() const {
+        namespace in = support::intern;
         std::string out;
         switch (root) {
             case RootKind::kLocal: out = "$" + std::to_string(local); break;
-            case RootKind::kStatic: out = static_class + "." + key; break;
-            case RootKind::kGlobal: out = "<" + key + ">"; break;
+            case RootKind::kStatic:
+                out = std::string(in::str(static_class)) + "." + std::string(in::str(key));
+                break;
+            case RootKind::kGlobal:
+                out = "<" + std::string(in::str(key)) + ">";
+                break;
         }
-        for (const auto& f : fields) out += "." + f;
+        for (Symbol f : fields) out += "." + std::string(in::str(f));
         return out;
     }
 };
 
+/// Content-stable hash: mixes the precomputed FNV-1a hashes of the interned
+/// strings, never raw symbol ids — symbol numbering depends on interning
+/// order (thread interleaving under --jobs), and this hash drives iteration
+/// orders that can reach reports. Equal paths hash equal in every process.
 struct AccessPathHash {
     std::size_t operator()(const AccessPath& p) const {
+        namespace in = support::intern;
         std::size_t seed = static_cast<std::size_t>(p.root);
         hash_combine(seed, p.global_hops);
         hash_combine(seed, p.local);
-        hash_combine(seed, p.static_class);
-        hash_combine(seed, p.key);
-        for (const auto& f : p.fields) hash_combine(seed, f);
+        hash_combine(seed, in::hash(p.static_class));
+        hash_combine(seed, in::hash(p.key));
+        for (Symbol f : p.fields) hash_combine(seed, in::hash(f));
         return seed;
     }
 };

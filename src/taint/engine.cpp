@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
-#include "support/strings.hpp"
 
 namespace extractocol::taint {
 
@@ -15,16 +15,27 @@ using namespace xir;
 using semantics::ApiModel;
 using semantics::Role;
 using semantics::SigAction;
+using support::DenseBitset;
+namespace in = support::intern;
 
 namespace {
 
 /// Index key for the global-location access indices: statics and prefs are
 /// exact; db cells index by table so one writer services all columns.
-std::string global_index_key(const AccessPath& p) {
-    if (p.is_static()) return "static:" + p.static_class + "." + p.key;
-    if (strings::starts_with(p.key, "db:")) {
-        auto dot = p.key.find('.', 3);
-        return dot == std::string::npos ? p.key : p.key.substr(0, dot);
+/// Returned as an interned symbol (non-static, non-db keys need no work at
+/// all — the path's own key symbol is the index key).
+Symbol global_index_key(const AccessPath& p) {
+    if (p.is_static()) {
+        std::string key = "static:";
+        key += in::str(p.static_class);
+        key += '.';
+        key += in::str(p.key);
+        return in::intern(key);
+    }
+    std::string_view k = in::str(p.key);
+    if (k.starts_with("db:")) {
+        auto dot = k.find('.', 3);
+        return dot == std::string_view::npos ? p.key : in::intern(k.substr(0, dot));
     }
     return p.key;
 }
@@ -49,23 +60,62 @@ TaintEngine::TaintEngine(const Program& program, const CallGraph& callgraph,
 
 void TaintEngine::build_indices() {
     const auto& methods = program_->method_table();
-    event_roots_of_.assign(methods.size(), {});
+    event_roots_of_.assign(methods.size(),
+                           DenseBitset(methods.size()));
 
     for (std::uint32_t root : callgraph_->roots()) {
         for (std::uint32_t m : callgraph_->reachable_from({root})) {
-            event_roots_of_[m].insert(root);
+            event_roots_of_[m].set(root);
         }
     }
 
+    // Dense (method, block) / statement numbering for the per-run bitsets.
+    block_base_.resize(methods.size());
+    for (std::uint32_t mi = 0; mi < methods.size(); ++mi) {
+        block_base_[mi] = total_blocks_;
+        total_blocks_ += static_cast<std::uint32_t>(methods[mi]->blocks.size());
+    }
+    stmt_block_start_.resize(total_blocks_);
+    flat_block_method_.resize(total_blocks_);
+    flat_block_id_.resize(total_blocks_);
+    for (std::uint32_t mi = 0; mi < methods.size(); ++mi) {
+        for (BlockId b = 0; b < methods[mi]->blocks.size(); ++b) {
+            std::uint32_t fb = block_base_[mi] + b;
+            stmt_block_start_[fb] = total_stmts_;
+            flat_block_method_[fb] = mi;
+            flat_block_id_[fb] = b;
+            total_stmts_ +=
+                static_cast<std::uint32_t>(methods[mi]->blocks[b].statements.size());
+        }
+    }
+    stmt_owner_block_.resize(total_stmts_);
+    for (std::uint32_t fb = 0; fb < total_blocks_; ++fb) {
+        std::uint32_t begin = stmt_block_start_[fb];
+        std::uint32_t end = fb + 1 < total_blocks_ ? stmt_block_start_[fb + 1]
+                                                   : total_stmts_;
+        for (std::uint32_t si = begin; si < end; ++si) stmt_owner_block_[si] = fb;
+    }
+
+    std::string key;
+    auto indexed = [&key](std::string_view prefix, std::string_view a,
+                          std::string_view b = {}) {
+        key.assign(prefix);
+        key += a;
+        if (!b.empty()) {
+            key += '.';
+            key += b;
+        }
+        return in::intern(key);
+    };
     for (std::uint32_t mi = 0; mi < methods.size(); ++mi) {
         const Method& method = *methods[mi];
         for (BlockId b = 0; b < method.blocks.size(); ++b) {
             for (const auto& stmt : method.blocks[b].statements) {
                 if (const auto* load = std::get_if<LoadStatic>(&stmt)) {
-                    global_readers_["static:" + load->class_name + "." + load->field]
+                    global_readers_[indexed("static:", load->class_name, load->field)]
                         .emplace_back(mi, b);
                 } else if (const auto* store = std::get_if<StoreStatic>(&stmt)) {
-                    global_writers_["static:" + store->class_name + "." + store->field]
+                    global_writers_[indexed("static:", store->class_name, store->field)]
                         .emplace_back(mi, b);
                 } else if (const auto* call = std::get_if<Invoke>(&stmt)) {
                     const ApiModel* api =
@@ -73,20 +123,20 @@ void TaintEngine::build_indices() {
                     if (!api) continue;
                     if (api->action == SigAction::kDbQuery) {
                         if (const auto* table = const_string_arg(*call, 0)) {
-                            global_readers_["db:" + *table].emplace_back(mi, b);
+                            global_readers_[indexed("db:", *table)].emplace_back(mi, b);
                         }
                     } else if (api->action == SigAction::kDbInsert ||
                                api->action == SigAction::kDbUpdate) {
                         if (const auto* table = const_string_arg(*call, 0)) {
-                            global_writers_["db:" + *table].emplace_back(mi, b);
+                            global_writers_[indexed("db:", *table)].emplace_back(mi, b);
                         }
                     } else if (api->action == SigAction::kPrefsGetString) {
-                        if (const auto* key = const_string_arg(*call, 0)) {
-                            global_readers_["prefs:" + *key].emplace_back(mi, b);
+                        if (const auto* key0 = const_string_arg(*call, 0)) {
+                            global_readers_[indexed("prefs:", *key0)].emplace_back(mi, b);
                         }
                     } else if (api->action == SigAction::kPrefsPutString) {
-                        if (const auto* key = const_string_arg(*call, 0)) {
-                            global_writers_["prefs:" + *key].emplace_back(mi, b);
+                        if (const auto* key0 = const_string_arg(*call, 0)) {
+                            global_writers_[indexed("prefs:", *key0)].emplace_back(mi, b);
                         }
                     }
                 }
@@ -98,34 +148,41 @@ void TaintEngine::build_indices() {
 // ---------------------------------------------------------------- run ----
 
 struct TaintEngine::Run {
+    /// Backs the block_facts sets; declared first so it outlives them.
+    support::Arena arena;
     Direction dir = Direction::kForward;
     std::vector<MethodState> states;
     /// Tainted global locations with the event roots of their writers
-    /// (forward) / demanding readers (backward).
-    std::unordered_map<AccessPath, std::set<std::uint32_t>, AccessPathHash> globals;
+    /// (forward) / demanding readers (backward), as method-index bitsets.
+    std::unordered_map<AccessPath, DenseBitset, AccessPathHash> globals;
     std::deque<std::pair<std::uint32_t, BlockId>> worklist;
-    std::set<std::pair<std::uint32_t, BlockId>> queued;
+    DenseBitset queued;       // over flat block ids
+    DenseBitset stmt_bits;    // over flat statement ids — the slice
+    DenseBitset method_bits;  // over method indices
     /// Callers to requeue when a callee's summary facts grow.
     std::vector<std::set<std::pair<std::uint32_t, BlockId>>> summary_subscribers;
-    std::unordered_map<std::size_t, CallTaintEvent> events;  // keyed by StmtRef hash mix
+    std::unordered_map<std::uint32_t, CallTaintEvent> events;  // keyed by flat stmt id
     TaintResult result;
     std::size_t steps = 0;
 };
 
 namespace {
 
-bool add_path(PathSet& facts, const AccessPath& path) {
+template <typename Set>
+bool add_path(Set& facts, const AccessPath& path) {
     return facts.insert(path).second;
 }
 
-bool any_rooted(const PathSet& facts, LocalId local) {
+template <typename Set>
+bool any_rooted(const Set& facts, LocalId local) {
     for (const auto& p : facts) {
         if (p.rooted_at(local)) return true;
     }
     return false;
 }
 
-std::vector<AccessPath> rooted(const PathSet& facts, LocalId local) {
+template <typename Set>
+std::vector<AccessPath> rooted(const Set& facts, LocalId local) {
     std::vector<AccessPath> out;
     for (const auto& p : facts) {
         if (p.rooted_at(local)) out.push_back(p);
@@ -133,7 +190,8 @@ std::vector<AccessPath> rooted(const PathSet& facts, LocalId local) {
     return out;
 }
 
-void kill_local(PathSet& facts, LocalId local) {
+template <typename Set>
+void kill_local(Set& facts, LocalId local) {
     for (auto it = facts.begin(); it != facts.end();) {
         if (it->rooted_at(local)) {
             it = facts.erase(it);
@@ -145,7 +203,8 @@ void kill_local(PathSet& facts, LocalId local) {
 
 /// Highest async-hop count among paths rooted at `local` — derived facts
 /// must carry their origin's hop count so the chain limit holds.
-std::uint8_t hops_of(const PathSet& facts, LocalId local) {
+template <typename Set>
+std::uint8_t hops_of(const Set& facts, LocalId local) {
     std::uint8_t h = 0;
     for (const auto& p : facts) {
         if (p.rooted_at(local) && p.global_hops > h) h = p.global_hops;
@@ -153,15 +212,16 @@ std::uint8_t hops_of(const PathSet& facts, LocalId local) {
     return h;
 }
 
-bool operand_tainted(const PathSet& facts, const Operand& op) {
+template <typename Set>
+bool operand_tainted(const Set& facts, const Operand& op) {
     return op.is_local() && any_rooted(facts, op.local);
 }
 
-AccessPath local_with_fields(LocalId local, const std::vector<std::string>& fields,
+AccessPath local_with_fields(LocalId local, const FieldSeq& fields,
                              std::uint8_t hops = 0) {
     AccessPath p = AccessPath::of_local(local);
     p.global_hops = hops;
-    for (const auto& f : fields) p = p.with_field(f);
+    p.fields = fields;
     return p;
 }
 
@@ -187,15 +247,28 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
     if (profiling) method_iterations.resize(methods.size(), 0);
     run.states.resize(methods.size());
     run.summary_subscribers.resize(methods.size());
+    const ArenaPathSet arena_set{support::ArenaAllocator<AccessPath>(&run.arena)};
     for (std::uint32_t mi = 0; mi < methods.size(); ++mi) {
-        run.states[mi].block_facts.resize(methods[mi]->blocks.size());
+        run.states[mi].block_facts.assign(methods[mi]->blocks.size(), arena_set);
     }
+    run.queued.resize(total_blocks_);
+    run.stmt_bits.resize(total_stmts_);
+    run.method_bits.resize(methods.size());
+
+    auto flat_stmt = [&](const StmtRef& ref) {
+        return stmt_block_start_[block_base_[ref.method_index] + ref.block] + ref.index;
+    };
 
     auto enqueue = [&](std::uint32_t mi, BlockId b) {
-        if (run.queued.insert({mi, b}).second) {
+        if (run.queued.set(block_base_[mi] + b)) {
             run.worklist.emplace_back(mi, b);
             propagations.add(1);
         }
+    };
+
+    auto note_stmt = [&](const StmtRef& ref) {
+        run.stmt_bits.set(flat_stmt(ref));
+        run.method_bits.set(ref.method_index);
     };
 
     for (const auto& seed : seeds) {
@@ -205,18 +278,13 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
         } else {
             run.states[seed.stmt.method_index].local_seeds.emplace_back(
                 seed.stmt.block, seed.stmt.index, seed.path);
-            run.result.statements.insert(seed.stmt);
+            run.stmt_bits.set(flat_stmt(seed.stmt));
         }
         enqueue(seed.stmt.method_index, seed.stmt.block);
-        run.result.methods.insert(seed.stmt.method_index);
+        run.method_bits.set(seed.stmt.method_index);
     }
 
     // ---- shared helpers bound to this run ----
-
-    auto note_stmt = [&](const StmtRef& ref) {
-        run.result.statements.insert(ref);
-        run.result.methods.insert(ref.method_index);
-    };
 
     // Coverage audit: a taint fact hit an API call the semantic model does
     // not know; the default open-ended rule applies. Recorded per symbol so
@@ -232,8 +300,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
 
     auto note_event = [&](const StmtRef& ref, bool base_t, bool dst_t,
                           const std::vector<bool>& args_t) {
-        std::size_t key = StmtRefHash{}(ref);
-        auto [it, inserted] = run.events.try_emplace(key);
+        auto [it, inserted] = run.events.try_emplace(flat_stmt(ref));
         CallTaintEvent& ev = it->second;
         if (inserted) {
             ev.stmt = ref;
@@ -246,14 +313,9 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
         }
     };
 
-    /// Whether method `mi` may exchange global taint with roots `writer_roots`.
-    auto roots_allowed = [&](std::uint32_t mi, const std::set<std::uint32_t>& other) {
-        if (options_.cross_event_globals) return true;
-        const auto& mine = event_roots_of_[mi];
-        for (auto r : mine) {
-            if (other.count(r) > 0) return true;
-        }
-        return false;
+    /// Whether method `mi` may exchange global taint with roots `other`.
+    auto roots_allowed = [&](std::uint32_t mi, const DenseBitset& other) {
+        return options_.cross_event_globals || event_roots_of_[mi].intersects(other);
     };
 
     /// Records a crossing into a global channel. `origin_hops` is the hop
@@ -263,12 +325,11 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                             std::uint8_t origin_hops) {
         if (origin_hops + 1u > options_.max_global_hops) return;
         gpath.global_hops = static_cast<std::uint8_t>(origin_hops + 1);
-        auto& roots = run.globals[gpath];
-        std::size_t before = roots.size();
-        const auto& mine = event_roots_of_[from_method];
-        roots.insert(mine.begin(), mine.end());
+        DenseBitset& roots = run.globals[gpath];
+        if (roots.size() == 0) roots.resize(methods.size());
+        bool roots_grew = roots.or_with(event_roots_of_[from_method]);
         bool fresh = run.result.globals.insert(gpath).second;
-        if (fresh || roots.size() != before) {
+        if (fresh || roots_grew) {
             const auto& index =
                 run.dir == Direction::kForward ? global_readers_ : global_writers_;
             auto it = index.find(global_index_key(gpath));
@@ -278,16 +339,32 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
         }
     };
 
-    /// Tainted globals visible to method `mi` whose key starts with `prefix`.
-    auto visible_globals = [&](std::uint32_t mi, const std::string& prefix,
-                               bool statics) -> std::vector<AccessPath> {
+    /// Tainted static Cls.field globals visible to method `mi`. (The string
+    /// prefix match the old code did over "static:Cls.field" was always
+    /// re-filtered to exact class/field equality by its callers, so exact
+    /// symbol equality is the same set without building a string.)
+    auto visible_statics = [&](std::uint32_t mi, Symbol cls,
+                               Symbol field) -> std::vector<AccessPath> {
         std::vector<AccessPath> out;
         for (const auto& [path, roots] : run.globals) {
-            if (statics != path.is_static()) continue;
-            if (!statics && !strings::starts_with(path.key, prefix)) continue;
-            if (statics && !strings::starts_with("static:" + path.static_class + "." +
-                                                     path.key,
-                                                 prefix)) {
+            if (!path.is_static() || path.static_class != cls || path.key != field) {
+                continue;
+            }
+            if (roots_allowed(mi, roots)) out.push_back(path);
+        }
+        return out;
+    };
+
+    /// Tainted db/prefs globals visible to `mi` whose key starts with
+    /// `kind` ("db:" / "prefs:") followed by `rest` — same prefix semantics
+    /// as the old string concatenation, without allocating.
+    auto visible_globals = [&](std::uint32_t mi, std::string_view kind,
+                               std::string_view rest) -> std::vector<AccessPath> {
+        std::vector<AccessPath> out;
+        for (const auto& [path, roots] : run.globals) {
+            if (!path.is_global()) continue;
+            std::string_view k = in::str(path.key);
+            if (!k.starts_with(kind) || !k.substr(kind.size()).starts_with(rest)) {
                 continue;
             }
             if (roots_allowed(mi, roots)) out.push_back(path);
@@ -313,11 +390,12 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                 } else if constexpr (std::is_same_v<T, NewObject>) {
                     kill_local(facts, s.dst);
                 } else if constexpr (std::is_same_v<T, LoadField>) {
+                    Symbol fsym = in::intern(s.field);
                     std::vector<AccessPath> gen;
                     for (const auto& p : rooted(facts, s.base)) {
                         if (p.fields.empty()) {
                             gen.push_back(local_with_fields(s.dst, {}, p.global_hops));
-                        } else if (p.fields[0] == s.field) {
+                        } else if (p.fields[0] == fsym) {
                             gen.push_back(
                                 local_with_fields(s.dst, p.fields_from(1), p.global_hops));
                         }
@@ -327,9 +405,10 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                     if (!gen.empty()) note_stmt(ref);
                 } else if constexpr (std::is_same_v<T, StoreField>) {
                     // Strong update of base.field.
+                    Symbol fsym = in::intern(s.field);
                     for (auto it = facts.begin(); it != facts.end();) {
                         if (it->rooted_at(s.base) && !it->fields.empty() &&
-                            it->fields[0] == s.field) {
+                            it->fields[0] == fsym) {
                             it = facts.erase(it);
                         } else {
                             ++it;
@@ -338,21 +417,19 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                     if (s.src.is_local()) {
                         auto src_paths = rooted(facts, s.src.local);
                         for (const auto& p : src_paths) {
-                            AccessPath np = AccessPath::of_local(s.base).with_field(s.field);
+                            AccessPath np = AccessPath::of_local(s.base).with_field(fsym);
                             np.global_hops = p.global_hops;
-                            for (const auto& f : p.fields) np = np.with_field(f);
+                            for (Symbol f : p.fields) np = np.with_field(f);
                             add_path(facts, np);
                         }
                         if (!src_paths.empty()) note_stmt(ref);
                     }
                 } else if constexpr (std::is_same_v<T, LoadStatic>) {
+                    Symbol cls = in::intern(s.class_name);
+                    Symbol fld = in::intern(s.field);
                     std::vector<AccessPath> gen;
-                    for (const auto& g : visible_globals(
-                             mi, "static:" + s.class_name + "." + s.field, true)) {
-                        if (g.static_class == s.class_name && g.key == s.field) {
-                            gen.push_back(
-                                local_with_fields(s.dst, g.fields, g.global_hops));
-                        }
+                    for (const auto& g : visible_statics(mi, cls, fld)) {
+                        gen.push_back(local_with_fields(s.dst, g.fields, g.global_hops));
                     }
                     kill_local(facts, s.dst);
                     for (const auto& p : gen) add_path(facts, p);
@@ -360,12 +437,16 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                 } else if constexpr (std::is_same_v<T, StoreStatic>) {
                     if (s.src.is_local()) {
                         auto src_paths = rooted(facts, s.src.local);
-                        for (const auto& p : src_paths) {
-                            AccessPath g = AccessPath::of_static(s.class_name, s.field);
-                            for (const auto& f : p.fields) g = g.with_field(f);
-                            taint_global(mi, g, p.global_hops);
+                        if (!src_paths.empty()) {
+                            AccessPath base =
+                                AccessPath::of_static(s.class_name, s.field);
+                            for (const auto& p : src_paths) {
+                                AccessPath g = base;
+                                for (Symbol f : p.fields) g = g.with_field(f);
+                                taint_global(mi, g, p.global_hops);
+                            }
+                            note_stmt(ref);
                         }
-                        if (!src_paths.empty()) note_stmt(ref);
                     }
                 } else if constexpr (std::is_same_v<T, LoadArray>) {
                     bool arr_t = any_rooted(facts, s.array);
@@ -454,7 +535,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                         for (const auto& edge : app_edges) {
                             const Method& callee = program_->method_at(edge.callee);
                             MethodState& cstate = run.states[edge.callee];
-                            PathSet& centry = cstate.block_facts[0];
+                            ArenaPathSet& centry = cstate.block_facts[0];
                             bool grew = false;
                             std::uint32_t formal0 = callee.is_static ? 0 : 1;
                             if (s.base && !callee.is_static) {
@@ -512,14 +593,18 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                             handled = true;
                             if (s.args.size() > 1 && s.args[1].is_local()) {
                                 auto vp = rooted(facts, s.args[1].local);
-                                for (const auto& p : vp) {
-                                    AccessPath np =
-                                        AccessPath::of_local(*s.base).with_field(*key0);
-                                    np.global_hops = p.global_hops;
-                                    for (const auto& f : p.fields) np = np.with_field(f);
-                                    add_path(facts, np);
+                                if (!vp.empty()) {
+                                    Symbol key_sym = in::intern(*key0);
+                                    for (const auto& p : vp) {
+                                        AccessPath np =
+                                            AccessPath::of_local(*s.base).with_field(
+                                                key_sym);
+                                        np.global_hops = p.global_hops;
+                                        for (Symbol f : p.fields) np = np.with_field(f);
+                                        add_path(facts, np);
+                                    }
+                                    note_stmt(ref);
                                 }
-                                if (!vp.empty()) note_stmt(ref);
                             }
                             if (s.dst && base_t) {
                                 add_path(facts, AccessPath::of_local(*s.dst));
@@ -529,12 +614,13 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                                     action == SigAction::kCursorGetString) &&
                                    key0 && s.base && s.dst) {
                             handled = true;
+                            Symbol key_sym = in::intern(*key0);
                             std::vector<AccessPath> gen;
                             for (const auto& p : rooted(facts, *s.base)) {
                                 if (p.fields.empty()) {
                                     gen.push_back(
                                         local_with_fields(*s.dst, {}, p.global_hops));
-                                } else if (p.fields[0] == *key0) {
+                                } else if (p.fields[0] == key_sym) {
                                     gen.push_back(local_with_fields(
                                         *s.dst, p.fields_from(1), p.global_hops));
                                 }
@@ -550,7 +636,10 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                                 if (!s.args[ai].is_local()) continue;
                                 for (const auto& p : rooted(facts, s.args[ai].local)) {
                                     std::string cell = "db:" + *key0;
-                                    if (!p.fields.empty()) cell += "." + p.fields[0];
+                                    if (!p.fields.empty()) {
+                                        cell += '.';
+                                        cell += in::str(p.fields[0]);
+                                    }
                                     taint_global(mi, AccessPath::of_global(cell),
                                                  p.global_hops);
                                     note_stmt(ref);
@@ -559,13 +648,13 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                         } else if (action == SigAction::kDbQuery && key0 && s.dst) {
                             handled = true;
                             kill_local(facts, *s.dst);
-                            for (const auto& g :
-                                 visible_globals(mi, "db:" + *key0, false)) {
+                            for (const auto& g : visible_globals(mi, "db:", *key0)) {
                                 AccessPath np = AccessPath::of_local(*s.dst);
                                 np.global_hops = g.global_hops;
-                                std::string cell_prefix = "db:" + *key0;
-                                if (g.key.size() > cell_prefix.size() + 1) {
-                                    np = np.with_field(g.key.substr(cell_prefix.size() + 1));
+                                std::string_view gkey = in::str(g.key);
+                                std::size_t plen = 3 + key0->size();  // "db:" + table
+                                if (gkey.size() > plen + 1) {
+                                    np = np.with_field(gkey.substr(plen + 1));
                                 }
                                 add_path(facts, np);
                                 note_stmt(ref);
@@ -583,8 +672,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                         } else if (action == SigAction::kPrefsGetString && key0 && s.dst) {
                             handled = true;
                             kill_local(facts, *s.dst);
-                            for (const auto& g :
-                                 visible_globals(mi, "prefs:" + *key0, false)) {
+                            for (const auto& g : visible_globals(mi, "prefs:", *key0)) {
                                 add_path(facts,
                                          local_with_fields(*s.dst, {}, g.global_hops));
                                 note_stmt(ref);
@@ -694,17 +782,21 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                 } else if constexpr (std::is_same_v<T, LoadField>) {
                     auto dst_paths = rooted(facts, s.dst);
                     kill_local(facts, s.dst);
-                    for (const auto& p : dst_paths) {
-                        AccessPath np = AccessPath::of_local(s.base).with_field(s.field);
-                        for (const auto& f : p.fields) np = np.with_field(f);
-                        add_path(facts, np);
+                    if (!dst_paths.empty()) {
+                        Symbol fsym = in::intern(s.field);
+                        for (const auto& p : dst_paths) {
+                            AccessPath np = AccessPath::of_local(s.base).with_field(fsym);
+                            for (Symbol f : p.fields) np = np.with_field(f);
+                            add_path(facts, np);
+                        }
+                        note_stmt(ref);
                     }
-                    if (!dst_paths.empty()) note_stmt(ref);
                 } else if constexpr (std::is_same_v<T, StoreField>) {
+                    Symbol fsym = in::intern(s.field);
                     std::vector<AccessPath> selected;
                     for (auto it = facts.begin(); it != facts.end();) {
                         if (it->rooted_at(s.base) && !it->fields.empty() &&
-                            it->fields[0] == s.field) {
+                            it->fields[0] == fsym) {
                             selected.push_back(*it);
                             it = facts.erase(it);
                         } else {
@@ -730,22 +822,20 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                 } else if constexpr (std::is_same_v<T, LoadStatic>) {
                     auto dst_paths = rooted(facts, s.dst);
                     kill_local(facts, s.dst);
-                    for (const auto& p : dst_paths) {
-                        AccessPath g = AccessPath::of_static(s.class_name, s.field);
-                        for (const auto& f : p.fields) g = g.with_field(f);
-                        taint_global(mi, g, p.global_hops);
+                    if (!dst_paths.empty()) {
+                        AccessPath base = AccessPath::of_static(s.class_name, s.field);
+                        for (const auto& p : dst_paths) {
+                            AccessPath g = base;
+                            for (Symbol f : p.fields) g = g.with_field(f);
+                            taint_global(mi, g, p.global_hops);
+                        }
+                        note_stmt(ref);
                     }
-                    if (!dst_paths.empty()) note_stmt(ref);
                 } else if constexpr (std::is_same_v<T, StoreStatic>) {
                     // Demanded globals are satisfied by this store.
-                    std::vector<AccessPath> demanded = visible_globals(
-                        mi, "static:" + s.class_name + "." + s.field, true);
-                    std::vector<AccessPath> mine;
-                    for (const auto& g : demanded) {
-                        if (g.static_class == s.class_name && g.key == s.field) {
-                            mine.push_back(g);
-                        }
-                    }
+                    Symbol cls = in::intern(s.class_name);
+                    Symbol fld = in::intern(s.field);
+                    auto mine = visible_statics(mi, cls, fld);
                     if (!mine.empty() && s.src.is_local()) {
                         for (const auto& g : mine) {
                             add_path(facts, local_with_fields(s.src.local, g.fields,
@@ -820,7 +910,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                             // Heap contributions through receiver/args.
                             std::uint32_t formal0 = callee.is_static ? 0 : 1;
                             auto demand_param = [&](std::uint32_t pi,
-                                                    const std::vector<std::string>& fields) {
+                                                    const FieldSeq& fields) {
                                 auto entry = std::make_pair(pi, fields);
                                 if (std::find(cstate.demanded_params.begin(),
                                               cstate.demanded_params.end(),
@@ -864,11 +954,12 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                              action == SigAction::kMapPut) &&
                             key0 && s.base) {
                             handled = true;
+                            Symbol key_sym = in::intern(*key0);
                             std::vector<AccessPath> selected;
                             bool base_whole = false;
                             for (auto it = facts.begin(); it != facts.end();) {
                                 if (it->rooted_at(*s.base) && !it->fields.empty() &&
-                                    it->fields[0] == *key0) {
+                                    it->fields[0] == key_sym) {
                                     selected.push_back(*it);
                                     it = facts.erase(it);
                                 } else {
@@ -909,21 +1000,27 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                             handled = true;
                             auto dst_paths = rooted(facts, *s.dst);
                             kill_local(facts, *s.dst);
-                            for (const auto& p : dst_paths) {
-                                AccessPath np =
-                                    AccessPath::of_local(*s.base).with_field(*key0);
-                                np.global_hops = p.global_hops;
-                                for (const auto& f : p.fields) np = np.with_field(f);
-                                add_path(facts, np);
+                            if (!dst_paths.empty()) {
+                                Symbol key_sym = in::intern(*key0);
+                                for (const auto& p : dst_paths) {
+                                    AccessPath np =
+                                        AccessPath::of_local(*s.base).with_field(key_sym);
+                                    np.global_hops = p.global_hops;
+                                    for (Symbol f : p.fields) np = np.with_field(f);
+                                    add_path(facts, np);
+                                }
+                                note_stmt(ref);
                             }
-                            if (!dst_paths.empty()) note_stmt(ref);
                         } else if (action == SigAction::kDbQuery && key0 && s.dst) {
                             handled = true;
                             auto dst_paths = rooted(facts, *s.dst);
                             kill_local(facts, *s.dst);
                             for (const auto& p : dst_paths) {
                                 std::string cell = "db:" + *key0;
-                                if (!p.fields.empty()) cell += "." + p.fields[0];
+                                if (!p.fields.empty()) {
+                                    cell += '.';
+                                    cell += in::str(p.fields[0]);
+                                }
                                 taint_global(mi, AccessPath::of_global(cell),
                                              p.global_hops);
                             }
@@ -932,18 +1029,18 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                                     action == SigAction::kDbUpdate) &&
                                    key0) {
                             handled = true;
-                            auto demanded = visible_globals(mi, "db:" + *key0, false);
+                            auto demanded = visible_globals(mi, "db:", *key0);
                             if (!demanded.empty()) {
+                                std::size_t plen = 3 + key0->size();  // "db:" + table
                                 for (std::size_t ai = 1; ai < s.args.size(); ++ai) {
                                     if (!s.args[ai].is_local()) continue;
                                     for (const auto& g : demanded) {
-                                        std::string cell_prefix = "db:" + *key0;
                                         AccessPath np =
                                             AccessPath::of_local(s.args[ai].local);
                                         np.global_hops = g.global_hops;
-                                        if (g.key.size() > cell_prefix.size() + 1) {
-                                            np = np.with_field(
-                                                g.key.substr(cell_prefix.size() + 1));
+                                        std::string_view gkey = in::str(g.key);
+                                        if (gkey.size() > plen + 1) {
+                                            np = np.with_field(gkey.substr(plen + 1));
                                         }
                                         add_path(facts, np);
                                     }
@@ -961,8 +1058,7 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                             }
                         } else if (action == SigAction::kPrefsPutString && key0) {
                             handled = true;
-                            for (const auto& g :
-                                 visible_globals(mi, "prefs:" + *key0, false)) {
+                            for (const auto& g : visible_globals(mi, "prefs:", *key0)) {
                                 if (s.args.size() > 1 && s.args[1].is_local()) {
                                     add_path(facts, local_with_fields(s.args[1].local, {},
                                                                       g.global_hops));
@@ -1068,15 +1164,19 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
         }
         auto [mi, b] = run.worklist.front();
         run.worklist.pop_front();
-        run.queued.erase({mi, b});
+        run.queued.clear(block_base_[mi] + b);
         if (profiling) ++method_iterations[mi];
 
         const Method& method = *methods[mi];
         MethodState& state = run.states[mi];
         const auto& stmts = method.blocks[b].statements;
 
+        // The per-iteration scratch copy stays heap-backed on purpose:
+        // kill_local erases from it, and a no-free arena would turn that
+        // churn into unbounded growth. Only the monotone block_facts /
+        // globals state lives in the arena.
         if (direction == Direction::kForward) {
-            PathSet facts = state.block_facts[b];
+            PathSet facts(state.block_facts[b].begin(), state.block_facts[b].end());
             for (std::uint32_t i = 0; i < stmts.size(); ++i) {
                 forward_stmt(mi, b, i, stmts[i], facts);
                 for (const auto& [sb, si, path] : state.local_seeds) {
@@ -1084,14 +1184,14 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                 }
             }
             for (BlockId succ : method.blocks[b].successors()) {
-                PathSet& target = state.block_facts[succ];
+                ArenaPathSet& target = state.block_facts[succ];
                 bool grew = false;
                 for (const auto& p : facts) grew |= add_path(target, p);
                 if (grew) enqueue(mi, succ);
             }
             // Return facts already handled inside forward_stmt.
         } else {
-            PathSet facts = state.block_facts[b];
+            PathSet facts(state.block_facts[b].begin(), state.block_facts[b].end());
             // Demanded return/param facts materialize at return blocks.
             if (!stmts.empty() && std::holds_alternative<Return>(stmts.back())) {
                 const auto& ret = std::get<Return>(stmts.back());
@@ -1161,13 +1261,27 @@ TaintResult TaintEngine::run(Direction direction, const std::vector<TaintSeed>& 
                      }
                      return preds;
                  }()) {
-                PathSet& target = state.block_facts[pred];
+                ArenaPathSet& target = state.block_facts[pred];
                 bool grew = false;
                 for (const auto& p : facts) grew |= add_path(target, p);
                 if (grew) enqueue(mi, pred);
             }
         }
     }
+
+    // Materialize the bit-packed slice into the ordered result sets; flat
+    // ids ascend in (method, block, index) order, so hinted inserts are O(1).
+    run.method_bits.for_each([&](std::size_t mi) {
+        run.result.methods.insert(run.result.methods.end(),
+                                  static_cast<std::uint32_t>(mi));
+    });
+    run.stmt_bits.for_each([&](std::size_t si) {
+        std::uint32_t fb = stmt_owner_block_[si];
+        run.result.statements.insert(
+            run.result.statements.end(),
+            StmtRef{flat_block_method_[fb], flat_block_id_[fb],
+                    static_cast<std::uint32_t>(si - stmt_block_start_[fb])});
+    });
 
     for (auto& [key, ev] : run.events) run.result.call_events.push_back(std::move(ev));
     std::sort(run.result.call_events.begin(), run.result.call_events.end(),

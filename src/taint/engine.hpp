@@ -17,6 +17,11 @@
 // Cross-event propagation through these channels is the async-event
 // heuristic; it can be disabled (the paper disables it for open-source apps
 // in §5.1).
+//
+// Memory layout (DESIGN.md §13): taint facts are POD AccessPaths over
+// interned symbols; per-run fact sets live in a bump arena; dense per-run
+// bookkeeping (queued blocks, slice statements/methods, event-root
+// reachability) is bit-packed and propagated with bulk word-ORs.
 #pragma once
 
 #include <functional>
@@ -25,6 +30,9 @@
 #include <unordered_set>
 
 #include "semantics/model.hpp"
+#include "support/arena.hpp"
+#include "support/bitset.hpp"
+#include "support/intern.hpp"
 #include "taint/access_path.hpp"
 #include "xir/callgraph.hpp"
 #include "xir/ir.hpp"
@@ -45,6 +53,11 @@ struct TaintSeed {
 };
 
 using PathSet = std::unordered_set<AccessPath, AccessPathHash>;
+/// Long-lived per-run fact sets allocate their nodes from the run's arena
+/// (they only grow during a run and die together at its end).
+using ArenaPathSet =
+    std::unordered_set<AccessPath, AccessPathHash, std::equal_to<AccessPath>,
+                       support::ArenaAllocator<AccessPath>>;
 
 /// Reported whenever an Invoke statement touches tainted data; consumers
 /// (transaction dependency analysis) use it to locate where tainted values
@@ -99,16 +112,16 @@ public:
 private:
     struct MethodState {
         /// Forward: facts at block entry. Backward: facts at block exit.
-        std::vector<PathSet> block_facts;
+        std::vector<ArenaPathSet> block_facts;
         /// Facts describing the method's tainted return value (field
         /// suffixes on the returned object). Forward direction.
-        std::vector<std::vector<std::string>> return_suffixes;
+        std::vector<FieldSeq> return_suffixes;
         /// Backward: tainted suffixes demanded of the return value.
-        std::vector<std::vector<std::string>> demanded_return;
+        std::vector<FieldSeq> demanded_return;
         /// Backward: (param, suffix) facts demanded at callee exits.
-        std::vector<std::pair<std::uint32_t, std::vector<std::string>>> demanded_params;
+        std::vector<std::pair<std::uint32_t, FieldSeq>> demanded_params;
         /// Forward: heap effects on params discovered at returns.
-        std::vector<std::pair<std::uint32_t, std::vector<std::string>>> param_effects;
+        std::vector<std::pair<std::uint32_t, FieldSeq>> param_effects;
         /// Seeds injected mid-block: (block, stmt index, path). Forward seeds
         /// take effect after the statement; backward seeds before it.
         std::vector<std::tuple<xir::BlockId, std::uint32_t, AccessPath>> local_seeds;
@@ -121,15 +134,29 @@ private:
     const semantics::SemanticModel* model_;
     EngineOptions options_;
 
-    /// Static/db/prefs access indices: location key prefix -> blocks that
-    /// read (forward) or write (backward) it.
-    std::unordered_map<std::string, std::vector<std::pair<std::uint32_t, xir::BlockId>>>
+    /// Static/db/prefs access indices: interned location key prefix ->
+    /// blocks that read (forward) or write (backward) it.
+    std::unordered_map<support::intern::Symbol,
+                       std::vector<std::pair<std::uint32_t, xir::BlockId>>>
         global_readers_;
-    std::unordered_map<std::string, std::vector<std::pair<std::uint32_t, xir::BlockId>>>
+    std::unordered_map<support::intern::Symbol,
+                       std::vector<std::pair<std::uint32_t, xir::BlockId>>>
         global_writers_;
-    /// Event-root reachability: method -> set of event-root method indices
-    /// (for gating cross-event global propagation).
-    std::vector<std::set<std::uint32_t>> event_roots_of_;
+    /// Event-root reachability: method -> bitset over method indices of the
+    /// event roots reaching it (gates cross-event global propagation).
+    std::vector<support::DenseBitset> event_roots_of_;
+
+    /// Dense numbering of (method, block) and statements, precomputed once:
+    /// flat block id = block_base_[mi] + b; flat statement id =
+    /// stmt_block_start_[flat block] + stmt index. The per-run worklist
+    /// membership and slice sets are bitsets over these universes.
+    std::vector<std::uint32_t> block_base_;       // per method
+    std::vector<std::uint32_t> stmt_block_start_; // per flat block
+    std::vector<std::uint32_t> flat_block_method_;
+    std::vector<xir::BlockId> flat_block_id_;
+    std::vector<std::uint32_t> stmt_owner_block_; // per flat statement
+    std::uint32_t total_blocks_ = 0;
+    std::uint32_t total_stmts_ = 0;
 
     void build_indices();
 };

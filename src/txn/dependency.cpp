@@ -170,18 +170,24 @@ std::vector<Dependency> DependencyAnalyzer::analyze(
                 if (j == i) continue;
                 const SlicedTransaction& req_txn = txns[j];
 
-                // The mediating channel, if the flow crossed one.
+                // The mediating channel, if the flow crossed one. Several
+                // channels can match; pick the lexicographically-smallest
+                // rendering so the reported channel never depends on
+                // hash-set iteration order (which is stdlib-specific).
                 std::string via;
                 for (const auto& g : flow.globals) {
-                    AccessPath probe = g;
                     for (const auto& h : req_txn.request_taint.globals) {
-                        if (h == probe || h.has_prefix(probe) || probe.has_prefix(h)) {
-                            via = g.is_static() ? "static:" + g.static_class + "." + g.key
-                                                : g.key;
+                        if (h == g || h.has_prefix(g) || g.has_prefix(h)) {
+                            namespace in = support::intern;
+                            std::string channel =
+                                g.is_static()
+                                    ? "static:" + std::string(in::str(g.static_class)) +
+                                          "." + std::string(in::str(g.key))
+                                    : std::string(in::str(g.key));
+                            if (via.empty() || channel < via) via = std::move(channel);
                             break;
                         }
                     }
-                    if (!via.empty()) break;
                 }
 
                 // Rank candidate landing sites; prefer the most specific.

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/memtrack.hpp"
+
+using extractocol::support::Arena;
+using extractocol::support::ArenaAllocator;
+namespace memtrack = extractocol::support::memtrack;
+
+TEST(Arena, AllocationsAreAligned) {
+    Arena arena;
+    for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+        for (int i = 0; i < 8; ++i) {
+            void* p = arena.allocate(3, align);  // odd size forces realignment
+            EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+                << "align " << align << " iteration " << i;
+        }
+    }
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+    Arena arena;
+    std::vector<unsigned char*> blocks;
+    for (int i = 0; i < 256; ++i) {
+        auto* p = static_cast<unsigned char*>(arena.allocate(16, 8));
+        std::memset(p, i, 16);
+        blocks.push_back(p);
+    }
+    for (int i = 0; i < 256; ++i) {
+        for (int j = 0; j < 16; ++j) {
+            ASSERT_EQ(blocks[i][j], static_cast<unsigned char>(i));
+        }
+    }
+}
+
+TEST(Arena, CreateConstructsInPlace) {
+    Arena arena;
+    struct Pair {
+        std::uint64_t a;
+        std::uint32_t b;
+    };
+    Pair* p = arena.create<Pair>(Pair{7, 9});
+    EXPECT_EQ(p->a, 7u);
+    EXPECT_EQ(p->b, 9u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(Pair), 0u);
+}
+
+TEST(Arena, UsedAndReservedAccounting) {
+    Arena arena;
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), 0u);
+    arena.allocate(100, 8);
+    EXPECT_EQ(arena.bytes_used(), 100u);
+    EXPECT_GE(arena.bytes_reserved(), Arena::kMinChunkBytes);
+    arena.allocate(50, 8);
+    EXPECT_EQ(arena.bytes_used(), 150u);
+}
+
+TEST(Arena, ResetKeepsOnlyNewestChunk) {
+    Arena arena;
+    // Force several growth chunks.
+    for (int i = 0; i < 64; ++i) arena.allocate(4096, 8);
+    std::size_t reserved_grown = arena.bytes_reserved();
+    ASSERT_GT(reserved_grown, Arena::kMinChunkBytes);
+
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    // The growth tail is dropped; only the newest (largest) chunk survives.
+    std::size_t reserved_after = arena.bytes_reserved();
+    EXPECT_LT(reserved_after, reserved_grown);
+    EXPECT_GT(reserved_after, 0u);
+
+    // Steady state: refilling within the kept chunk reserves nothing new.
+    arena.allocate(1024, 8);
+    EXPECT_EQ(arena.bytes_reserved(), reserved_after);
+}
+
+TEST(Arena, ResetOnEmptyArenaIsANoOp) {
+    Arena arena;
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+TEST(Arena, ReleaseReturnsEverything) {
+    Arena arena;
+    arena.allocate(10000, 8);
+    ASSERT_GT(arena.bytes_reserved(), 0u);
+    arena.release();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), 0u);
+    // The arena is reusable after release.
+    void* p = arena.allocate(8, 8);
+    EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, OversizedAllocationGetsItsOwnChunk) {
+    Arena arena;
+    // Larger than kMaxChunkBytes: the chunk must grow to fit anyway.
+    constexpr std::size_t kBig = Arena::kMaxChunkBytes * 2;
+    auto* p = static_cast<unsigned char*>(arena.allocate(kBig, 8));
+    ASSERT_NE(p, nullptr);
+    p[0] = 1;
+    p[kBig - 1] = 2;
+    EXPECT_GE(arena.bytes_reserved(), kBig);
+}
+
+TEST(Arena, MemtrackSeesChunkMemory) {
+    if (!memtrack::available()) GTEST_SKIP() << "no malloc_usable_size";
+    memtrack::set_enabled(true);
+    std::uint64_t base = memtrack::live_bytes();
+    {
+        Arena arena;
+        arena.allocate(64 << 10, 8);
+        // Chunks come from operator new, so --memtrack accounting covers
+        // arena memory like any other allocation.
+        EXPECT_GE(memtrack::live_bytes(), base + (64 << 10));
+    }
+    EXPECT_LT(memtrack::live_bytes(), base + (64 << 10));
+    memtrack::set_enabled(false);
+}
+
+TEST(ArenaAllocator, DefaultConstructedFallsBackToHeap) {
+    ArenaAllocator<int> alloc;
+    EXPECT_EQ(alloc.arena(), nullptr);
+    int* p = alloc.allocate(4);
+    ASSERT_NE(p, nullptr);
+    p[0] = 42;
+    alloc.deallocate(p, 4);  // must reach operator delete, not leak
+}
+
+TEST(ArenaAllocator, ArenaBackedContainerAllocatesFromArena) {
+    Arena arena;
+    std::unordered_set<int, std::hash<int>, std::equal_to<int>, ArenaAllocator<int>>
+        set{ArenaAllocator<int>(&arena)};
+    for (int i = 0; i < 1000; ++i) set.insert(i);
+    EXPECT_EQ(set.size(), 1000u);
+    EXPECT_GT(arena.bytes_used(), 1000 * sizeof(int));
+    for (int i = 0; i < 1000; ++i) EXPECT_TRUE(set.contains(i));
+}
+
+TEST(ArenaAllocator, CopiedContainerSharesTheArena) {
+    Arena arena;
+    using Set = std::unordered_set<int, std::hash<int>, std::equal_to<int>,
+                                   ArenaAllocator<int>>;
+    Set a{ArenaAllocator<int>(&arena)};
+    a.insert(1);
+    Set b = a;  // allocator propagates on copy
+    b.insert(2);
+    EXPECT_EQ(b.get_allocator().arena(), &arena);
+    EXPECT_TRUE(b.contains(1));
+    EXPECT_TRUE(b.contains(2));
+}
+
+TEST(ArenaAllocator, EqualityComparesArenas) {
+    Arena a, b;
+    EXPECT_TRUE(ArenaAllocator<int>(&a) == ArenaAllocator<char>(&a));
+    EXPECT_FALSE(ArenaAllocator<int>(&a) == ArenaAllocator<int>(&b));
+    EXPECT_TRUE(ArenaAllocator<int>() == ArenaAllocator<long>());
+}

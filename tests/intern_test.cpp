@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/hash.hpp"
+#include "support/intern.hpp"
+
+namespace in = extractocol::support::intern;
+
+TEST(Intern, EmptyStringIsSymbolZero) {
+    EXPECT_EQ(in::intern(""), 0u);
+    EXPECT_EQ(in::str(0), "");
+}
+
+TEST(Intern, SameStringSameSymbol) {
+    in::Symbol a = in::intern("com.example.Cls");
+    in::Symbol b = in::intern("com.example.Cls");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(in::str(a), "com.example.Cls");
+}
+
+TEST(Intern, DistinctStringsDistinctSymbols) {
+    in::Symbol a = in::intern("intern_test.alpha");
+    in::Symbol b = in::intern("intern_test.beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(in::str(a), "intern_test.alpha");
+    EXPECT_EQ(in::str(b), "intern_test.beta");
+}
+
+TEST(Intern, StringViewIntoTemporaryIsCopied) {
+    in::Symbol sym;
+    {
+        std::string temp = "intern_test.temporary.payload";
+        sym = in::intern(temp);
+    }
+    // The interner owns its bytes; the source string is gone.
+    EXPECT_EQ(in::str(sym), "intern_test.temporary.payload");
+}
+
+TEST(Intern, HashIsContentFnv1a) {
+    // The determinism contract rests on this: hash(sym) depends only on the
+    // string's bytes, never on the (interleaving-dependent) symbol id.
+    in::Symbol sym = in::intern("intern_test.hash.probe");
+    EXPECT_EQ(in::hash(sym), extractocol::fnv1a("intern_test.hash.probe"));
+    EXPECT_EQ(in::hash(0), extractocol::fnv1a(""));
+}
+
+TEST(Intern, SizeGrowsOnlyOnNewStrings) {
+    std::size_t before = in::size();
+    in::intern("intern_test.size.fresh");
+    EXPECT_EQ(in::size(), before + 1);
+    in::intern("intern_test.size.fresh");
+    EXPECT_EQ(in::size(), before + 1);
+}
+
+TEST(Intern, GrowthPastInitialTableKeepsSymbolsValid) {
+    // Force table growth and verify every earlier symbol still resolves
+    // (readers may hold a retired table's view mid-probe).
+    std::vector<std::pair<in::Symbol, std::string>> pinned;
+    for (int i = 0; i < 5000; ++i) {
+        std::string s = "intern_test.grow." + std::to_string(i);
+        pinned.emplace_back(in::intern(s), s);
+    }
+    for (const auto& [sym, s] : pinned) {
+        EXPECT_EQ(in::str(sym), s);
+        EXPECT_EQ(in::intern(s), sym);
+    }
+}
+
+TEST(Intern, ConcurrentInterningConverges) {
+    // Many threads racing to intern an overlapping set: every thread must
+    // get the same symbol for the same string, and str() must round-trip.
+    constexpr int kThreads = 8;
+    constexpr int kStrings = 400;
+    std::vector<std::vector<in::Symbol>> per_thread(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &per_thread] {
+            per_thread[t].reserve(kStrings);
+            for (int i = 0; i < kStrings; ++i) {
+                per_thread[t].push_back(
+                    in::intern("intern_test.race." + std::to_string(i)));
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (int i = 0; i < kStrings; ++i) {
+        for (int t = 1; t < kThreads; ++t) {
+            ASSERT_EQ(per_thread[t][i], per_thread[0][i])
+                << "thread " << t << " diverged on string " << i;
+        }
+        EXPECT_EQ(in::str(per_thread[0][i]),
+                  "intern_test.race." + std::to_string(i));
+    }
+}
+
+TEST(Intern, SymbolsAreDense) {
+    // Symbols index a dense table: a fresh batch of strings lands in a
+    // contiguous-ish range with no duplicates, never huge sparse ids.
+    std::set<in::Symbol> seen;
+    for (int i = 0; i < 100; ++i) {
+        seen.insert(in::intern("intern_test.dense." + std::to_string(i)));
+    }
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_LT(*seen.rbegin(), in::size());
+}

@@ -10,6 +10,7 @@
 using namespace extractocol;
 using namespace extractocol::xir;
 using namespace extractocol::taint;
+constexpr auto in_str = extractocol::support::intern::str;
 
 namespace {
 
@@ -62,7 +63,7 @@ TEST(TaintChannels, AsyncTaskArgsReachDoInBackground) {
                                  {{seed, AccessPath::of_local(1 /* u */)}});
     bool sink_hit = false;
     for (const auto& g : result.globals) {
-        if (g.is_static() && g.key == "sUrl") sink_hit = true;
+        if (g.is_static() && in_str(g.key) == "sUrl") sink_hit = true;
     }
     EXPECT_TRUE(sink_hit);
     auto bg = fx.program.method_index({"com.t.Fetch", "doInBackground"});
@@ -118,8 +119,8 @@ TEST(TaintChannels, DatabaseCellsAreColumnSensitive) {
     auto result = fx.engine->run(Direction::kForward, {{seed, AccessPath::of_local(1)}});
     bool cell_recorded = false;
     for (const auto& g : result.globals) {
-        if (g.is_global() && g.key == "db:session.token") cell_recorded = true;
-        EXPECT_NE(g.key, "db:session.label");
+        if (g.is_global() && in_str(g.key) == "db:session.token") cell_recorded = true;
+        EXPECT_NE(in_str(g.key), "db:session.label");
     }
     EXPECT_TRUE(cell_recorded);
 
@@ -157,7 +158,7 @@ TEST(TaintChannels, ReturnSummariesFlowToUnvisitedCallers) {
         fx.engine->run(Direction::kForward, {{seed, AccessPath::of_local(1)}});
     bool hit = false;
     for (const auto& g : result.globals) {
-        if (g.is_static() && g.key == "sGot") hit = true;
+        if (g.is_static() && in_str(g.key) == "sGot") hit = true;
     }
     EXPECT_TRUE(hit);
 }
@@ -188,8 +189,8 @@ TEST(TaintChannels, FieldStoreLoadRoundTrip) {
         fx.engine->run(Direction::kForward, {{seed, AccessPath::of_local(1)}});
     bool out_hit = false, other_hit = false;
     for (const auto& g : result.globals) {
-        if (g.is_static() && g.key == "sOut") out_hit = true;
-        if (g.is_static() && g.key == "sOther") other_hit = true;
+        if (g.is_static() && in_str(g.key) == "sOut") out_hit = true;
+        if (g.is_static() && in_str(g.key) == "sOther") other_hit = true;
     }
     EXPECT_TRUE(out_hit);
     EXPECT_FALSE(other_hit);

@@ -8,6 +8,7 @@
 using namespace extractocol;
 using namespace extractocol::xir;
 using namespace extractocol::taint;
+constexpr auto in_str = extractocol::support::intern::str;
 
 namespace {
 
@@ -92,7 +93,7 @@ TEST(TaintForward, ResponseFlowsToStaticViaJson) {
     // Token static became tainted, with the json field recorded.
     bool static_tainted = false;
     for (const auto& g : result.globals) {
-        if (g.is_static() && g.static_class == "com.t.State" && g.key == "sToken") {
+        if (g.is_static() && in_str(g.static_class) == "com.t.State" && in_str(g.key) == "sToken") {
             static_tainted = true;
         }
     }
@@ -126,8 +127,8 @@ TEST(TaintForward, FieldSensitiveJsonKeys) {
                                  {{StmtRef{*mi, 0, 0}, AccessPath::of_local(src)}});
     bool a_tainted = false, b_tainted = false;
     for (const auto& g : result.globals) {
-        if (g.is_static() && g.key == "A") a_tainted = true;
-        if (g.is_static() && g.key == "B") b_tainted = true;
+        if (g.is_static() && in_str(g.key) == "A") a_tainted = true;
+        if (g.is_static() && in_str(g.key) == "B") b_tainted = true;
     }
     EXPECT_TRUE(a_tainted);
     EXPECT_FALSE(b_tainted);

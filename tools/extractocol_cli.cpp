@@ -400,7 +400,7 @@ int main(int argc, char** argv) {
             std::chrono::system_clock::now().time_since_epoch())
             .count());
     core::Analyzer analyzer(options);
-    std::vector<core::BatchItem> items = analyzer.analyze_batch(inputs);
+    std::vector<core::BatchItem> items = analyzer.analyze_batch(std::move(inputs));
     double run_wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - run_started)
             .count();
