@@ -1,0 +1,188 @@
+// Accuracy-drift gate (DESIGN.md §14). Scores the full corpus with the
+// accuracy observatory and diffs the integer count profile — per app, per
+// field — against the committed snapshot (bench/BENCH_accuracy.json), so a
+// PR cannot silently lose an endpoint, grow a spurious signature, or drop a
+// dependency edge. Every quantity compared is an integer count (never a
+// float), so the diff is exact and the failure output names the app and the
+// field that moved.
+//
+// Default mode compares and exits 1 on drift; `--update` re-snapshots the
+// committed baseline in place; an explicit path argument writes a snapshot
+// there without comparing. `--jobs N` scores apps concurrently — results
+// accumulate in name order, so the snapshot is byte-identical for any N.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/eval.hpp"
+#include "support/parallel.hpp"
+#include "text/json.hpp"
+
+#ifndef XT_BENCH_ACCURACY_PATH
+#define XT_BENCH_ACCURACY_PATH "BENCH_accuracy.json"
+#endif
+
+using namespace extractocol;
+using namespace extractocol::bench;
+
+namespace {
+
+/// Exact per-field diff of two integer-count objects. Prints one line per
+/// moved field, prefixed with the app label; returns the number of drifts.
+int diff_counts(const std::string& label, const text::Json* want,
+                const text::Json* have) {
+    if (want == nullptr || !want->is_object()) {
+        std::fprintf(stderr, "drift: %s missing from baseline\n", label.c_str());
+        return 1;
+    }
+    if (have == nullptr || !have->is_object()) {
+        std::fprintf(stderr, "drift: %s disappeared from current run\n",
+                     label.c_str());
+        return 1;
+    }
+    int drifted = 0;
+    for (const auto& [field, value] : want->members()) {
+        const text::Json* now = have->find(field);
+        if (now == nullptr) {
+            std::fprintf(stderr, "drift: %s.%s disappeared (baseline %lld)\n",
+                         label.c_str(), field.c_str(),
+                         static_cast<long long>(value.as_int()));
+            ++drifted;
+        } else if (now->as_int() != value.as_int()) {
+            std::fprintf(stderr, "drift: %s.%s = %lld, baseline %lld (%+lld)\n",
+                         label.c_str(), field.c_str(),
+                         static_cast<long long>(now->as_int()),
+                         static_cast<long long>(value.as_int()),
+                         static_cast<long long>(now->as_int() - value.as_int()));
+            ++drifted;
+        }
+    }
+    for (const auto& [field, value] : have->members()) {
+        if (want->find(field) == nullptr) {
+            std::fprintf(stderr, "drift: new field %s.%s = %lld not in baseline\n",
+                         label.c_str(), field.c_str(),
+                         static_cast<long long>(value.as_int()));
+            ++drifted;
+        }
+    }
+    return drifted;
+}
+
+int diff_snapshot(const text::Json& baseline, const text::Json& current) {
+    int drifted = 0;
+    const text::Json* want_apps = baseline.find("apps");
+    const text::Json* have_apps = current.find("apps");
+    if (want_apps == nullptr || !want_apps->is_object()) {
+        std::fprintf(stderr, "drift: baseline has no apps object\n");
+        return 1;
+    }
+    for (const auto& [app, counts] : want_apps->members()) {
+        drifted += diff_counts(app, &counts, have_apps->find(app));
+    }
+    for (const auto& [app, counts] : have_apps->members()) {
+        if (want_apps->find(app) == nullptr) {
+            std::fprintf(stderr, "drift: new app %s not in baseline\n", app.c_str());
+            ++drifted;
+        }
+    }
+    drifted += diff_counts("fleet", baseline.find("fleet"), current.find("fleet"));
+    return drifted;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    unsigned jobs = 1;
+    bool update = false;
+    const char* out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--update") == 0) {
+            update = true;
+        } else {
+            out_path = argv[i];
+        }
+    }
+    jobs = support::resolve_jobs(jobs);
+
+    std::printf("== Accuracy observatory: corpus P/R profile vs committed baseline ==\n\n");
+    auto wall_start = std::chrono::steady_clock::now();
+
+    std::vector<std::string> names = corpus::open_source_apps();
+    const auto& closed = corpus::closed_source_apps();
+    names.insert(names.end(), closed.begin(), closed.end());
+
+    // Apps score independently into per-index slots; accumulation below is
+    // sequential in name order, so the snapshot does not depend on --jobs.
+    auto results = support::parallel_map<eval::EvalResult>(
+        jobs, names.size(), [&names](std::size_t i) {
+            corpus::CorpusApp app = corpus::build_app(names[i]);
+            core::AnalyzerOptions options;
+            options.async_heuristic = !app.spec.open_source;
+            core::AnalysisReport report = core::Analyzer(options).analyze(app.program);
+            return eval::evaluate_report(report, app);
+        });
+
+    eval::FleetEval fleet = eval::aggregate(results);
+    std::fputs(eval::render_table(results, fleet).c_str(), stdout);
+
+    double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    std::printf("\nwall-clock: %.0f ms over %zu apps (--jobs %u)\n",
+                wall_seconds * 1000, names.size(), jobs);
+
+    text::Json apps = text::Json::object();
+    for (const auto& r : results) apps.set(r.app, r.counts.to_json());
+    text::Json doc = text::Json::object();
+    doc.set("bench", text::Json("bench_accuracy"));
+    doc.set("apps", std::move(apps));
+    doc.set("fleet", fleet.counts.to_json());
+
+    if (out_path != nullptr || update) {
+        const char* target = out_path != nullptr ? out_path : XT_BENCH_ACCURACY_PATH;
+        std::ofstream out(target);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n", target);
+            return 1;
+        }
+        out << doc.dump_pretty() << "\n";
+        std::printf("\nwrote accuracy snapshot to %s\n", target);
+        return 0;
+    }
+
+    std::ifstream in(XT_BENCH_ACCURACY_PATH);
+    if (!in) {
+        std::fprintf(stderr,
+                     "error: cannot read committed baseline %s "
+                     "(run with --update to create it)\n",
+                     XT_BENCH_ACCURACY_PATH);
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto baseline = text::parse_json(buffer.str());
+    if (!baseline.ok()) {
+        std::fprintf(stderr, "error: baseline %s is not valid JSON: %s\n",
+                     XT_BENCH_ACCURACY_PATH, baseline.error().message.c_str());
+        return 1;
+    }
+    int drifted = diff_snapshot(baseline.value(), doc);
+    if (drifted > 0) {
+        std::fprintf(stderr,
+                     "\n%d accuracy count(s) drifted from %s.\n"
+                     "If the change is intentional, re-snapshot with: "
+                     "bench_accuracy --update\n",
+                     drifted, XT_BENCH_ACCURACY_PATH);
+        return 1;
+    }
+    std::printf("\naccuracy counts match committed baseline %s\n",
+                XT_BENCH_ACCURACY_PATH);
+    return 0;
+}

@@ -184,68 +184,96 @@ ByteAccounting TraceMatcher::account_payload(const std::vector<std::string>& sig
     return acc;
 }
 
-MatchOutcome TraceMatcher::match(const http::Transaction& txn) const {
+std::optional<MatchOutcome> TraceMatcher::match_signature(
+    std::size_t index, const http::Transaction& txn, const std::string& uri_text) const {
+    const ReportTransaction& candidate = report_->transactions[index];
+    if (candidate.signature.method != txn.request.method) return std::nullopt;
+    if (!compiled_[index].uri) return std::nullopt;
+    auto uri_match = compiled_[index].uri->full_match_info(uri_text);
+    if (!uri_match) return std::nullopt;
+
+    // Body: regex match, or keyword-subset fallback for structured
+    // payloads whose serialization order differs.
+    bool body_ok = true;
+    if (candidate.signature.has_body && txn.request.body_kind != BodyKind::kNone) {
+        body_ok = false;
+        if (compiled_[index].body && compiled_[index].body->full_match(txn.request.body)) {
+            body_ok = true;
+        } else if (keywords_subset(candidate.signature.body.keywords(),
+                                   txn.request.body_kind, txn.request.body)) {
+            body_ok = true;
+        }
+    }
+    if (!body_ok) return std::nullopt;
+
     MatchOutcome outcome;
-    std::string uri_text = txn.request.uri.to_string();
+    outcome.transaction = index;
+    outcome.uri_matched = true;
+    outcome.body_matched = candidate.signature.has_body;
+    outcome.uri_accounting.key_bytes = uri_match->accounting.literal_bytes;
+    outcome.uri_accounting.wildcard_bytes = uri_match->accounting.wildcard_bytes;
 
-    for (std::size_t i = 0; i < report_->transactions.size(); ++i) {
-        const ReportTransaction& candidate = report_->transactions[i];
-        if (candidate.signature.method != txn.request.method) continue;
-        if (!compiled_[i].uri) continue;
-        auto uri_match = compiled_[i].uri->full_match_info(uri_text);
-        if (!uri_match) continue;
+    // Request payload accounting: query string in the URI plus the body.
+    std::vector<std::string> request_keywords;
+    if (candidate.signature.has_body) {
+        request_keywords = candidate.signature.body.keywords();
+    }
+    for (auto& k : candidate.signature.uri.keywords()) {
+        request_keywords.push_back(std::move(k));
+    }
+    if (!txn.request.uri.query.empty()) {
+        ByteAccounting q;
+        std::set<std::string> keys(request_keywords.begin(), request_keywords.end());
+        account_query(txn.request.uri.query, keys, q);
+        outcome.request_accounting += q;
+    }
+    if (txn.request.body_kind != BodyKind::kNone) {
+        outcome.request_accounting +=
+            account_payload(request_keywords, txn.request.body_kind, txn.request.body);
+    }
 
-        // Body: regex match, or keyword-subset fallback for structured
-        // payloads whose serialization order differs.
-        bool body_ok = true;
-        if (candidate.signature.has_body && txn.request.body_kind != BodyKind::kNone) {
-            body_ok = false;
-            if (compiled_[i].body && compiled_[i].body->full_match(txn.request.body)) {
-                body_ok = true;
-            } else if (keywords_subset(candidate.signature.body.keywords(),
-                                       txn.request.body_kind, txn.request.body)) {
-                body_ok = true;
-            }
-        }
-        if (!body_ok) continue;
-
-        outcome.transaction = i;
-        outcome.uri_matched = true;
-        outcome.body_matched = candidate.signature.has_body;
-        outcome.uri_accounting.key_bytes = uri_match->accounting.literal_bytes;
-        outcome.uri_accounting.wildcard_bytes = uri_match->accounting.wildcard_bytes;
-
-        // Request payload accounting: query string in the URI plus the body.
-        std::vector<std::string> request_keywords;
-        if (candidate.signature.has_body) {
-            request_keywords = candidate.signature.body.keywords();
-        }
-        for (auto& k : candidate.signature.uri.keywords()) {
-            request_keywords.push_back(std::move(k));
-        }
-        if (!txn.request.uri.query.empty()) {
-            ByteAccounting q;
-            std::set<std::string> keys(request_keywords.begin(), request_keywords.end());
-            account_query(txn.request.uri.query, keys, q);
-            outcome.request_accounting += q;
-        }
-        if (txn.request.body_kind != BodyKind::kNone) {
-            outcome.request_accounting += account_payload(
-                request_keywords, txn.request.body_kind, txn.request.body);
-        }
-
-        // Response: structural subset + accounting.
-        if (candidate.signature.has_response_body &&
-            txn.response.body_kind != BodyKind::kNone) {
-            auto demanded = candidate.signature.response_body.keywords();
-            outcome.response_matched =
-                keywords_subset(demanded, txn.response.body_kind, txn.response.body);
-            outcome.response_accounting =
-                account_payload(demanded, txn.response.body_kind, txn.response.body);
-        }
-        return outcome;
+    // Response: structural subset + accounting.
+    if (candidate.signature.has_response_body &&
+        txn.response.body_kind != BodyKind::kNone) {
+        auto demanded = candidate.signature.response_body.keywords();
+        outcome.response_matched =
+            keywords_subset(demanded, txn.response.body_kind, txn.response.body);
+        outcome.response_accounting =
+            account_payload(demanded, txn.response.body_kind, txn.response.body);
     }
     return outcome;
+}
+
+MatchOutcome TraceMatcher::match(const http::Transaction& txn) const {
+    std::string uri_text = txn.request.uri.to_string();
+    for (std::size_t i = 0; i < report_->transactions.size(); ++i) {
+        if (auto outcome = match_signature(i, txn, uri_text)) return *outcome;
+    }
+    return {};
+}
+
+MatchOutcome TraceMatcher::match_best(const http::Transaction& txn) const {
+    std::string uri_text = txn.request.uri.to_string();
+    MatchOutcome best;
+    for (std::size_t i = 0; i < report_->transactions.size(); ++i) {
+        auto outcome = match_signature(i, txn, uri_text);
+        if (!outcome) continue;
+        if (!best.transaction ||
+            outcome->uri_accounting.key_bytes > best.uri_accounting.key_bytes) {
+            best = std::move(*outcome);
+        }
+    }
+    return best;
+}
+
+std::vector<MatchOutcome> TraceMatcher::match_all(const http::Transaction& txn) const {
+    std::string uri_text = txn.request.uri.to_string();
+    std::vector<MatchOutcome> accepting;
+    for (std::size_t i = 0; i < report_->transactions.size(); ++i) {
+        auto outcome = match_signature(i, txn, uri_text);
+        if (outcome) accepting.push_back(std::move(*outcome));
+    }
+    return accepting;
 }
 
 CoverageSummary TraceMatcher::evaluate(const http::Trace& trace) const {

@@ -70,7 +70,23 @@ public:
     explicit TraceMatcher(const AnalysisReport& report);
 
     /// Matches one concrete transaction against the report's signatures.
+    /// First accepting signature in report order wins.
     [[nodiscard]] MatchOutcome match(const http::Transaction& txn) const;
+
+    /// Specificity-ranked variant of match(): among all signatures accepting
+    /// the transaction, returns the one matching the most literal URI bytes
+    /// (ties -> lowest index). Needed wherever wildcard-URI signatures (the
+    /// uri_from degradations, GET (.*)) coexist with constant ones — in
+    /// report order the wildcard would absorb traffic belonging to a more
+    /// specific signature declared after it.
+    [[nodiscard]] MatchOutcome match_best(const http::Transaction& txn) const;
+
+    /// Every signature accepting the transaction, in report order. Callers
+    /// that assign traffic to signatures one-to-one (the accuracy
+    /// observatory) pick among these; match_best() is the single-winner
+    /// projection of this list.
+    [[nodiscard]] std::vector<MatchOutcome> match_all(
+        const http::Transaction& txn) const;
 
     /// Runs the whole trace and aggregates.
     [[nodiscard]] CoverageSummary evaluate(const http::Trace& trace) const;
@@ -90,6 +106,12 @@ private:
     [[nodiscard]] static ByteAccounting account_payload(
         const std::vector<std::string>& sig_keywords, http::BodyKind kind,
         const std::string& body);
+
+    /// Full outcome of matching `txn` against signature `index` alone;
+    /// nullopt if that signature does not accept the transaction.
+    [[nodiscard]] std::optional<MatchOutcome> match_signature(
+        std::size_t index, const http::Transaction& txn,
+        const std::string& uri_text) const;
 
     const AnalysisReport* report_;
     std::vector<CompiledSignature> compiled_;

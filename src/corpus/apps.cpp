@@ -5,6 +5,7 @@
 // intent / async-chain structure exercised by the case studies.
 #include "corpus/corpus.hpp"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "support/log.hpp"
@@ -1271,5 +1272,39 @@ AppSpec app_spec(const std::string& name) {
 }
 
 CorpusApp build_app(const std::string& name) { return generate(app_spec(name)); }
+
+std::string app_slug(const std::string& name) {
+    std::string out;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+        } else if (!out.empty() && out.back() != '_') {
+            out.push_back('_');
+        }
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+}
+
+std::optional<std::string> resolve_app_name(const std::string& label) {
+    auto scan = [&label](const std::vector<std::string>& names)
+        -> std::optional<std::string> {
+        for (const auto& n : names) {
+            if (n == label) return n;
+        }
+        for (const auto& n : names) {
+            if (app_slug(n) == label) return n;
+        }
+        return std::nullopt;
+    };
+    if (auto n = scan(open_source_apps())) return n;
+    return scan(closed_source_apps());
+}
+
+std::optional<AppSpec> find_app_spec(const std::string& name) {
+    auto resolved = resolve_app_name(name);
+    if (!resolved) return std::nullopt;
+    return app_spec(*resolved);
+}
 
 }  // namespace extractocol::corpus

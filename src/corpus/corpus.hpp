@@ -6,6 +6,7 @@
 // substitution argument.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,5 +25,17 @@ CorpusApp build_app(const std::string& name);
 
 /// Spec lookup (without generating the program).
 AppSpec app_spec(const std::string& name);
+
+/// File-name slug of an app name ("radio reddit" -> "radio_reddit"):
+/// lowercase alphanumerics, runs of anything else collapsed to '_'. The
+/// naming convention of make_corpus's .xapk artifacts.
+std::string app_slug(const std::string& name);
+
+/// Resolves a corpus app from its exact name or its slug (e.g. the stem of
+/// a make_corpus .xapk file); nullopt when no corpus app matches.
+std::optional<std::string> resolve_app_name(const std::string& label);
+
+/// Non-aborting spec lookup for externally supplied names.
+std::optional<AppSpec> find_app_spec(const std::string& name);
 
 }  // namespace extractocol::corpus

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 
 #include "support/strings.hpp"
 #include "text/json.hpp"
@@ -272,7 +273,7 @@ private:
                     LocalId v = mb.local("rs" + std::to_string((*unique)++),
                                          "java.lang.String");
                     mb.vcall(v, json, "org.json.JSONObject.getString", {cs(f.key)});
-                    store_response_value(mb, e, f, v, unique);
+                    store_response_value(mb, e, f, v);
                     break;
                 }
             }
@@ -294,35 +295,53 @@ private:
             mb.vcall(el, nodes, "org.w3c.dom.NodeList.item", {ci(0)});
             LocalId v = mb.local("xv" + std::to_string((*unique)++), "java.lang.String");
             mb.vcall(v, el, "org.w3c.dom.Element.getTextContent");
-            store_response_value(mb, e, f, v, unique);
+            store_response_value(mb, e, f, v);
         }
     }
 
     /// Persists a read response value into the session static and/or the
-    /// SQLite database, as the field spec demands.
+    /// row under construction for its SQLite table, as the field spec
+    /// demands. Database rows accumulate in one ContentValues per table
+    /// (see parse_response) so every column lands in the same row.
     void store_response_value(MethodBuilder& mb, const EndpointSpec& e, const FieldSpec& f,
-                              LocalId v, int* unique) {
+                              LocalId v) {
         if (f.store_to_static) {
             mb.store_static(session_class_, token_static(e.name + "." + f.key),
                             Operand(v));
         }
         if (!f.store_to_db.empty()) {
-            LocalId values = mb.local("cv" + std::to_string((*unique)++),
-                                      "android.content.ContentValues");
-            mb.new_object(values, "android.content.ContentValues");
-            mb.special(values, "android.content.ContentValues.<init>");
-            mb.vcall(std::nullopt, values, "android.content.ContentValues.put",
-                     {cs(f.key), Operand(v)});
-            LocalId database = mb.local("db" + std::to_string((*unique)++),
-                                        "android.database.sqlite.SQLiteDatabase");
-            mb.vcall(std::nullopt, database,
-                     "android.database.sqlite.SQLiteDatabase.insert",
-                     {cs(f.store_to_db), cnull(), Operand(values)});
+            mb.vcall(std::nullopt, db_rows_.at(f.store_to_db),
+                     "android.content.ContentValues.put", {cs(f.key), Operand(v)});
+        }
+    }
+
+    void collect_db_tables(const std::vector<FieldSpec>& fields, int depth,
+                           std::vector<std::string>& tables) {
+        for (const auto& f : fields) {
+            if (!f.read_by_app) continue;
+            if (!f.store_to_db.empty() &&
+                std::find(tables.begin(), tables.end(), f.store_to_db) == tables.end()) {
+                tables.push_back(f.store_to_db);
+            }
+            if (depth < 3) collect_db_tables(f.children, depth + 1, tables);
         }
     }
 
     void parse_response(MethodBuilder& mb, const EndpointSpec& e, LocalId body,
                         int* unique) {
+        // One ContentValues per target table, inserted once after parsing:
+        // cache-to-db apps write each row's columns together, and consumers
+        // read several columns back from the same cursor row.
+        std::vector<std::string> tables;
+        collect_db_tables(e.response_fields, 0, tables);
+        db_rows_.clear();
+        for (const auto& table : tables) {
+            LocalId values = mb.local("cv" + std::to_string((*unique)++),
+                                      "android.content.ContentValues");
+            mb.new_object(values, "android.content.ContentValues");
+            mb.special(values, "android.content.ContentValues.<init>");
+            db_rows_.emplace(table, values);
+        }
         if (e.response == EndpointSpec::Response::kJson) {
             LocalId json = mb.local("rjson", "org.json.JSONObject");
             mb.new_object(json, "org.json.JSONObject");
@@ -331,6 +350,14 @@ private:
         } else if (e.response == EndpointSpec::Response::kXml) {
             parse_xml_fields(mb, body, e, unique);
         }
+        for (const auto& table : tables) {
+            LocalId database = mb.local("db" + std::to_string((*unique)++),
+                                        "android.database.sqlite.SQLiteDatabase");
+            mb.vcall(std::nullopt, database,
+                     "android.database.sqlite.SQLiteDatabase.insert",
+                     {cs(table), cnull(), Operand(db_rows_.at(table))});
+        }
+        db_rows_.clear();
     }
 
     // ---- per-library request/response plumbing ----------------------------
@@ -797,6 +824,9 @@ private:
     ProgramBuilder pb_;
     std::string main_class_;
     std::string session_class_;
+    /// Per-table ContentValues for the response currently being parsed
+    /// (populated by parse_response, read by store_response_value).
+    std::map<std::string, LocalId> db_rows_;
 };
 
 // ------------------------------------------------------------ fake server --
@@ -847,13 +877,28 @@ std::string synthesize_xml(const std::vector<FieldSpec>& fields) {
 std::unique_ptr<interp::FakeServer> CorpusApp::make_server() const {
     auto server = std::make_unique<interp::ScriptedServer>();
     for (const auto& e : spec.endpoints) {
-        std::string route = e.host;
-        if (e.dynamic_path_id) {
+        std::vector<std::string> routes;
+        if (!e.uri_from.empty()) {
+            // Response-derived fetch: the endpoint has no host/path of its
+            // own — its URL is synthesized by the producer's response as
+            // "http://cdn.example.com/<field>/1". Key the route on that
+            // path; an empty prefix would shadow every route added after
+            // this endpoint (first match wins).
+            if (e.response == EndpointSpec::Response::kNone) continue;
+            auto dot = e.uri_from.rfind('.');
+            routes.push_back("cdn.example.com/" + e.uri_from.substr(dot + 1) + "/");
+        } else if (e.dynamic_path_id) {
             auto slash = e.path.rfind('/');
-            route += e.path.substr(0, slash + 1);
+            routes.push_back(e.host + e.path.substr(0, slash + 1));
         } else {
-            route += e.path;
+            routes.push_back(e.host + e.path);
+            // Branchy-path endpoints serve the same payload on every variant.
+            for (const auto& alt : e.path_alternatives) {
+                routes.push_back(e.host + alt);
+            }
         }
+        http::BodyKind kind = http::BodyKind::kNone;
+        std::string payload;
         if (e.response == EndpointSpec::Response::kJson) {
             // Real servers decorate responses with metadata the app ignores;
             // these keys appear on the wire but never in signatures (the
@@ -863,12 +908,14 @@ std::unique_ptr<interp::FakeServer> CorpusApp::make_server() const {
             body.set("meta_node", text::Json("edge-cache-sfo-0042.example.net"));
             body.set("meta_version", text::Json("api-build-20161212-rc7"));
             body.set("meta_trace", text::Json("0f9a3c77-52b1-4d66-9d20-8e2f9f1b6a31"));
-            server->route_fixed(route, http::BodyKind::kJson, body.dump());
+            kind = http::BodyKind::kJson;
+            payload = body.dump();
         } else if (e.response == EndpointSpec::Response::kXml) {
-            server->route_fixed(route, http::BodyKind::kXml,
-                                synthesize_xml(e.response_fields));
-        } else {
-            server->route_fixed(route, http::BodyKind::kNone, "");
+            kind = http::BodyKind::kXml;
+            payload = synthesize_xml(e.response_fields);
+        }
+        for (const auto& route : routes) {
+            server->route_fixed(route, kind, payload);
         }
     }
     // Media/thumbnail CDN catch-all for response-derived fetches.

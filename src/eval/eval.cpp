@@ -1,0 +1,971 @@
+#include "eval/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "core/matcher.hpp"
+#include "interp/interpreter.hpp"
+#include "obs/metrics.hpp"
+#include "sig/sig.hpp"
+#include "support/strings.hpp"
+
+namespace extractocol::eval {
+
+namespace {
+
+// ------------------------------------------------------------ formatting --
+
+std::string format_score(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return buf;
+}
+
+double ratio_or_one(std::size_t num, std::size_t den) {
+    return den == 0 ? 1.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+text::Json string_array(const std::vector<std::string>& items) {
+    text::Json arr = text::Json::array();
+    for (const auto& s : items) arr.push_back(text::Json(s));
+    return arr;
+}
+
+void sort_unique(std::vector<std::string>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+// ------------------------------------------------------- sig-tree probes --
+
+/// Constant text of every const node, '\n'-separated so substring probes
+/// cannot bridge two unrelated segments.
+void collect_const_text(const sig::Sig& s, std::string& out) {
+    if (s.kind == sig::Sig::Kind::kConst) {
+        out += s.text;
+        out += '\n';
+    }
+    for (const auto& c : s.children) collect_const_text(c, out);
+    for (const auto& [key, value] : s.members) {
+        out += key;
+        out += '\n';
+        collect_const_text(value, out);
+    }
+    for (const auto& t : s.xml_text) collect_const_text(t, out);
+}
+
+/// Unknown-leaf reasons and provenance origins of a signature tree.
+void collect_unknowns(const sig::Sig& s, std::vector<std::string>& reasons,
+                      std::vector<std::string>& origins) {
+    if (s.is_unknown()) {
+        reasons.emplace_back(sig::unknown_reason_name(s.reason));
+        if (!s.origin.empty()) origins.push_back(s.origin);
+    }
+    for (const auto& c : s.children) collect_unknowns(c, reasons, origins);
+    for (const auto& [key, value] : s.members) collect_unknowns(value, reasons, origins);
+    for (const auto& t : s.xml_text) collect_unknowns(t, reasons, origins);
+}
+
+void collect_signature_unknowns(const sig::TransactionSignature& s,
+                                std::vector<std::string>& reasons,
+                                std::vector<std::string>& origins) {
+    collect_unknowns(s.uri, reasons, origins);
+    if (s.has_body) collect_unknowns(s.body, reasons, origins);
+    if (s.has_response_body) collect_unknowns(s.response_body, reasons, origins);
+}
+
+// ----------------------------------------------------- oracle-trace taxon --
+
+/// Recovers the ground-truth endpoint name from an interpreter trigger
+/// label. The corpus generator encodes the endpoint name as the label tail:
+/// "<event_kind>:<name>", "intent:<name>", "location:<name>",
+/// "custom_ui:relay_<name>", and "_alt<N>" suffixes on branchy-path
+/// wrappers. Returns "" for traffic with no endpoint mapping (CDN fetches).
+std::string endpoint_of_trigger(const std::string& trigger,
+                                const std::set<std::string>& names) {
+    std::string tail = trigger;
+    if (auto pos = tail.find(':'); pos != std::string::npos) tail = tail.substr(pos + 1);
+    for (int pass = 0; pass < 2; ++pass) {
+        if (names.count(tail) > 0) return tail;
+        if (strings::starts_with(tail, "relay_")) {
+            tail = tail.substr(6);
+            continue;
+        }
+        auto alt = tail.rfind("_alt");
+        if (alt != std::string::npos && alt + 4 < tail.size() &&
+            strings::is_all_digits(std::string_view(tail).substr(alt + 4))) {
+            tail = tail.substr(0, alt);
+            continue;
+        }
+        break;
+    }
+    return names.count(tail) > 0 ? tail : std::string();
+}
+
+const corpus::EndpointSpec* find_endpoint(const corpus::AppSpec& spec,
+                                          const std::string& name) {
+    for (const auto& e : spec.endpoints) {
+        if (e.name == name) return &e;
+    }
+    return nullptr;
+}
+
+/// URI constants the spec demands of an exact template: host, the path (or
+/// its dynamic-id prefix/suffix halves, or every branchy alternative), and
+/// each query key. uri_from endpoints have no code-built URI, so no demands.
+std::vector<std::string> expected_uri_constants(const corpus::EndpointSpec& e) {
+    std::vector<std::string> expected;
+    if (!e.uri_from.empty()) return expected;
+    expected.push_back(e.host);
+    if (e.dynamic_path_id) {
+        auto cut = e.path.rfind('/');
+        if (cut != std::string::npos) {
+            expected.push_back(e.path.substr(0, cut + 1));
+            expected.push_back(e.path.substr(cut));  // "/<last-segment>"
+        } else {
+            expected.push_back(e.path);
+        }
+    } else {
+        expected.push_back(e.path);
+        for (const auto& alt : e.path_alternatives) expected.push_back(alt);
+    }
+    for (const auto& q : e.query) expected.push_back(q.key);
+    return expected;
+}
+
+// --------------------------------------------------- ground-truth edges --
+
+struct GtEdge {
+    std::string from;
+    std::string to;
+    std::string channel;  // "token" | "static" | "db"
+};
+
+std::string token_producer(const std::string& token_ref) {
+    auto dot = token_ref.find('.');
+    return dot == std::string::npos ? token_ref : token_ref.substr(0, dot);
+}
+
+bool field_stores_to_db(const corpus::FieldSpec& f, const std::string& table,
+                        const std::string& column) {
+    if (f.store_to_db == table && f.key == column) return true;
+    for (const auto& c : f.children) {
+        if (field_stores_to_db(c, table, column)) return true;
+    }
+    return false;
+}
+
+std::string db_producer(const corpus::AppSpec& spec, const std::string& table,
+                        const std::string& column) {
+    for (const auto& e : spec.endpoints) {
+        for (const auto& f : e.response_fields) {
+            if (field_stores_to_db(f, table, column)) return e.name;
+        }
+    }
+    return {};
+}
+
+/// Dependency pairs the spec mandates, endpoint-granular, deduplicated, in
+/// spec-endpoint order.
+std::vector<GtEdge> gt_edges_of(const corpus::AppSpec& spec) {
+    std::vector<GtEdge> edges;
+    auto add = [&edges](std::string from, std::string to, const char* channel) {
+        if (from.empty() || from == to) return;
+        for (const auto& e : edges) {
+            if (e.from == from && e.to == to) return;
+        }
+        edges.push_back({std::move(from), std::move(to), channel});
+    };
+    for (const auto& e : spec.endpoints) {
+        auto scan_params = [&](const std::vector<corpus::ParamSpec>& params) {
+            for (const auto& p : params) {
+                if (p.value == corpus::ParamSpec::Value::kToken) {
+                    add(token_producer(p.text), e.name, "token");
+                }
+            }
+        };
+        scan_params(e.query);
+        scan_params(e.body_params);
+        scan_params(e.headers);
+        if (strings::starts_with(e.uri_from, "static:")) {
+            add(token_producer(e.uri_from.substr(7)), e.name, "static");
+        } else if (strings::starts_with(e.uri_from, "db:")) {
+            std::string ref = e.uri_from.substr(3);
+            auto dot = ref.find('.');
+            if (dot != std::string::npos) {
+                add(db_producer(spec, ref.substr(0, dot), ref.substr(dot + 1)), e.name,
+                    "db");
+            }
+        }
+    }
+    return edges;
+}
+
+// ----------------------------------------------------------- attribution --
+
+/// Audit sites with the given outcome, as ("site:<outcome>", "<dp> at
+/// <location>") rows.
+void site_attribution(const core::AnalysisAudit& audit, std::string_view outcome,
+                      std::vector<std::string>& reasons,
+                      std::vector<std::string>& origins) {
+    for (const auto& site : audit.dp_sites) {
+        if (site.outcome != outcome) continue;
+        reasons.push_back("site:" + site.outcome);
+        origins.push_back(site.dp + " at " + site.location);
+    }
+}
+
+/// Why a ground-truth endpoint is missing from the report. Tries, in order:
+/// dropped-intent sites (for via_intent endpoints), unknown leaves of
+/// signatures aimed at the endpoint's host, every non-complete site outcome,
+/// the app-level unknown-reason tally, then "unspecified" — so a miss is
+/// always linked to at least one audit reason.
+void attribute_miss(const corpus::GroundTruthEndpoint& gt,
+                    const corpus::EndpointSpec* spec,
+                    const core::AnalysisReport& report, TriageRow& row) {
+    if (gt.via_intent) {
+        site_attribution(report.audit, "dropped_intent", row.reasons, row.origins);
+        if (!row.reasons.empty()) {
+            sort_unique(row.reasons);
+            sort_unique(row.origins);
+            return;
+        }
+    }
+    if (spec != nullptr && !spec->host.empty()) {
+        for (const auto& t : report.transactions) {
+            std::string consts;
+            collect_const_text(t.signature.uri, consts);
+            if (!strings::contains(consts, spec->host)) continue;
+            collect_signature_unknowns(t.signature, row.reasons, row.origins);
+        }
+        if (!row.reasons.empty()) {
+            sort_unique(row.reasons);
+            sort_unique(row.origins);
+            return;
+        }
+    }
+    for (const auto& site : report.audit.dp_sites) {
+        if (site.outcome == "complete") continue;
+        row.reasons.push_back("site:" + site.outcome);
+        row.origins.push_back(site.dp + " at " + site.location);
+    }
+    if (row.reasons.empty()) {
+        for (const auto& [name, count] : report.audit.unknown_reasons) {
+            (void)count;
+            row.reasons.push_back(name);
+        }
+    }
+    if (row.reasons.empty()) row.reasons.emplace_back("unspecified");
+    sort_unique(row.reasons);
+    sort_unique(row.origins);
+}
+
+/// Attribution from a signature's own unknown leaves, with the same
+/// "unspecified" floor.
+void attribute_signature(const sig::TransactionSignature& s, TriageRow& row) {
+    collect_signature_unknowns(s, row.reasons, row.origins);
+    if (row.reasons.empty()) row.reasons.emplace_back("unspecified");
+    sort_unique(row.reasons);
+    sort_unique(row.origins);
+}
+
+std::vector<std::string> unique_keywords(const std::vector<std::string>& keywords) {
+    std::vector<std::string> out;
+    for (const auto& k : keywords) {
+        if (std::find(out.begin(), out.end(), k) == out.end()) out.push_back(k);
+    }
+    return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Counts --
+
+void Counts::operator+=(const Counts& other) {
+    gt_endpoints += other.gt_endpoints;
+    matched_endpoints += other.matched_endpoints;
+    signatures += other.signatures;
+    matched_signatures += other.matched_signatures;
+    spurious_signatures += other.spurious_signatures;
+    uri_exact += other.uri_exact;
+    request_keywords_expected += other.request_keywords_expected;
+    request_keywords_found += other.request_keywords_found;
+    response_keywords_expected += other.response_keywords_expected;
+    response_keywords_found += other.response_keywords_found;
+    gt_edges += other.gt_edges;
+    matched_edges += other.matched_edges;
+    report_edges += other.report_edges;
+    matched_report_edges += other.matched_report_edges;
+}
+
+double Counts::precision() const { return ratio_or_one(matched_signatures, signatures); }
+double Counts::recall() const { return ratio_or_one(matched_endpoints, gt_endpoints); }
+double Counts::f1() const {
+    double p = precision();
+    double r = recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+}
+double Counts::uri_exactness() const { return ratio_or_one(uri_exact, matched_endpoints); }
+double Counts::request_keyword_coverage() const {
+    return ratio_or_one(request_keywords_found, request_keywords_expected);
+}
+double Counts::response_keyword_coverage() const {
+    return ratio_or_one(response_keywords_found, response_keywords_expected);
+}
+double Counts::edge_precision() const {
+    return ratio_or_one(matched_report_edges, report_edges);
+}
+double Counts::edge_recall() const { return ratio_or_one(matched_edges, gt_edges); }
+double Counts::edge_f1() const {
+    double p = edge_precision();
+    double r = edge_recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+}
+
+text::Json Counts::to_json() const {
+    text::Json j = text::Json::object();
+    auto put = [&j](const char* key, std::size_t v) {
+        j.set(key, text::Json(static_cast<std::int64_t>(v)));
+    };
+    put("gt_endpoints", gt_endpoints);
+    put("matched_endpoints", matched_endpoints);
+    put("signatures", signatures);
+    put("matched_signatures", matched_signatures);
+    put("spurious_signatures", spurious_signatures);
+    put("uri_exact", uri_exact);
+    put("request_keywords_expected", request_keywords_expected);
+    put("request_keywords_found", request_keywords_found);
+    put("response_keywords_expected", response_keywords_expected);
+    put("response_keywords_found", response_keywords_found);
+    put("gt_edges", gt_edges);
+    put("matched_edges", matched_edges);
+    put("report_edges", report_edges);
+    put("matched_report_edges", matched_report_edges);
+    return j;
+}
+
+namespace {
+
+text::Json scores_json(const Counts& c) {
+    text::Json j = text::Json::object();
+    j.set("precision", text::Json(format_score(c.precision())));
+    j.set("recall", text::Json(format_score(c.recall())));
+    j.set("f1", text::Json(format_score(c.f1())));
+    j.set("uri_exactness", text::Json(format_score(c.uri_exactness())));
+    j.set("request_keyword_coverage",
+          text::Json(format_score(c.request_keyword_coverage())));
+    j.set("response_keyword_coverage",
+          text::Json(format_score(c.response_keyword_coverage())));
+    j.set("edge_precision", text::Json(format_score(c.edge_precision())));
+    j.set("edge_recall", text::Json(format_score(c.edge_recall())));
+    j.set("edge_f1", text::Json(format_score(c.edge_f1())));
+    return j;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- renderers --
+
+text::Json TriageRow::to_json() const {
+    text::Json j = text::Json::object();
+    j.set("app", text::Json(app));
+    j.set("subject", text::Json(subject));
+    j.set("kind", text::Json(kind));
+    if (!detail.empty()) j.set("detail", text::Json(detail));
+    j.set("reasons", string_array(reasons));
+    if (!origins.empty()) j.set("origins", string_array(origins));
+    return j;
+}
+
+text::Json EndpointEval::to_json() const {
+    text::Json j = text::Json::object();
+    j.set("name", text::Json(name));
+    j.set("divergence", text::Json(divergence));
+    if (transaction) {
+        j.set("transaction", text::Json(static_cast<std::int64_t>(*transaction)));
+    }
+    j.set("uri_exact", text::Json(uri_exact));
+    j.set("request_keywords_expected",
+          text::Json(static_cast<std::int64_t>(request_keywords_expected)));
+    j.set("request_keywords_found",
+          text::Json(static_cast<std::int64_t>(request_keywords_found)));
+    j.set("response_keywords_expected",
+          text::Json(static_cast<std::int64_t>(response_keywords_expected)));
+    j.set("response_keywords_found",
+          text::Json(static_cast<std::int64_t>(response_keywords_found)));
+    if (!missing_request_keywords.empty()) {
+        j.set("missing_request_keywords", string_array(missing_request_keywords));
+    }
+    if (!missing_response_keywords.empty()) {
+        j.set("missing_response_keywords", string_array(missing_response_keywords));
+    }
+    return j;
+}
+
+text::Json EvalResult::to_json() const {
+    text::Json j = text::Json::object();
+    j.set("app", text::Json(app));
+    if (!file.empty()) j.set("file", text::Json(file));
+    j.set("scored", text::Json(scored));
+    if (!error.empty()) j.set("error", text::Json(error));
+    if (!note.empty()) j.set("note", text::Json(note));
+    if (scored) {
+        j.set("counts", counts.to_json());
+        j.set("scores", scores_json(counts));
+        text::Json eps = text::Json::array();
+        for (const auto& e : endpoints) eps.push_back(e.to_json());
+        j.set("endpoints", std::move(eps));
+        text::Json rows = text::Json::array();
+        for (const auto& r : triage) rows.push_back(r.to_json());
+        j.set("triage", std::move(rows));
+    }
+    return j;
+}
+
+text::Json EvalResult::accuracy_json() const {
+    text::Json j = text::Json::object();
+    j.set("scored", text::Json(scored));
+    if (!note.empty()) j.set("note", text::Json(note));
+    if (!scored) return j;
+    j.set("gt_endpoints", text::Json(static_cast<std::int64_t>(counts.gt_endpoints)));
+    j.set("matched_endpoints",
+          text::Json(static_cast<std::int64_t>(counts.matched_endpoints)));
+    j.set("signatures", text::Json(static_cast<std::int64_t>(counts.signatures)));
+    j.set("spurious_signatures",
+          text::Json(static_cast<std::int64_t>(counts.spurious_signatures)));
+    j.set("precision", text::Json(format_score(counts.precision())));
+    j.set("recall", text::Json(format_score(counts.recall())));
+    j.set("f1", text::Json(format_score(counts.f1())));
+    j.set("uri_exactness", text::Json(format_score(counts.uri_exactness())));
+    j.set("request_keyword_coverage",
+          text::Json(format_score(counts.request_keyword_coverage())));
+    j.set("response_keyword_coverage",
+          text::Json(format_score(counts.response_keyword_coverage())));
+    j.set("edge_precision", text::Json(format_score(counts.edge_precision())));
+    j.set("edge_recall", text::Json(format_score(counts.edge_recall())));
+    j.set("triage_rows", text::Json(static_cast<std::int64_t>(triage.size())));
+    return j;
+}
+
+text::Json FleetEval::to_json() const {
+    text::Json j = text::Json::object();
+    j.set("apps", text::Json(static_cast<std::int64_t>(apps)));
+    j.set("scored", text::Json(static_cast<std::int64_t>(scored)));
+    j.set("unscored", text::Json(static_cast<std::int64_t>(unscored)));
+    j.set("errors", text::Json(static_cast<std::int64_t>(errors)));
+    j.set("counts", counts.to_json());
+    j.set("scores", scores_json(counts));
+    return j;
+}
+
+text::Json FleetEval::accuracy_json() const {
+    text::Json j = text::Json::object();
+    j.set("apps", text::Json(static_cast<std::int64_t>(apps)));
+    j.set("scored", text::Json(static_cast<std::int64_t>(scored)));
+    j.set("unscored", text::Json(static_cast<std::int64_t>(unscored)));
+    j.set("errors", text::Json(static_cast<std::int64_t>(errors)));
+    j.set("gt_endpoints", text::Json(static_cast<std::int64_t>(counts.gt_endpoints)));
+    j.set("matched_endpoints",
+          text::Json(static_cast<std::int64_t>(counts.matched_endpoints)));
+    j.set("precision", text::Json(format_score(counts.precision())));
+    j.set("recall", text::Json(format_score(counts.recall())));
+    j.set("f1", text::Json(format_score(counts.f1())));
+    j.set("uri_exactness", text::Json(format_score(counts.uri_exactness())));
+    j.set("request_keyword_coverage",
+          text::Json(format_score(counts.request_keyword_coverage())));
+    j.set("response_keyword_coverage",
+          text::Json(format_score(counts.response_keyword_coverage())));
+    j.set("edge_precision", text::Json(format_score(counts.edge_precision())));
+    j.set("edge_recall", text::Json(format_score(counts.edge_recall())));
+    return j;
+}
+
+// ----------------------------------------------------------------- scoring --
+
+EvalResult evaluate_report(const core::AnalysisReport& report,
+                           const corpus::CorpusApp& app) {
+    EvalResult result;
+    result.app = app.spec.name;
+    result.scored = true;
+    result.counts.signatures = report.transactions.size();
+    result.counts.report_edges = report.dependencies.size();
+
+    // The oracle: a full-fuzz interpreter run reaches every endpoint —
+    // timers, server pushes, purchase-style actions, and intent-routed
+    // messages included — so recall is measured against complete traffic.
+    auto server = app.make_server();
+    interp::Interpreter interpreter(app.program, *server);
+    http::Trace trace = interpreter.fuzz(interp::FuzzMode::kFull);
+
+    core::TraceMatcher matcher(report);
+
+    std::set<std::string> names;
+    for (const auto& gt : app.ground_truth) names.insert(gt.name);
+
+    // Assign oracle traffic to signatures one-to-one where possible.
+    // Specificity ranks first (most literal URI bytes, so uri_from
+    // wildcards don't absorb traffic of constant signatures); among tied
+    // candidates a greedy claim resolves structurally identical signatures
+    // (several consumer endpoints each degrade to GET (.*)) — without it,
+    // one wildcard would soak up all the consumer traffic and the rest
+    // would be flagged spurious. Tie order: signature already claimed by
+    // this endpoint, then unclaimed, then lowest index. Deterministic —
+    // both the trace and the report order are.
+    struct EndpointTraffic {
+        bool saw_traffic = false;
+        std::optional<std::size_t> transaction;  // claimed signature
+    };
+    std::vector<EndpointTraffic> traffic(app.ground_truth.size());
+    std::vector<bool> signature_hit(report.transactions.size(), false);
+    std::map<std::size_t, std::string> claimed_by;  // signature -> endpoint
+    for (const auto& txn : trace.transactions) {
+        std::vector<core::MatchOutcome> candidates = matcher.match_all(txn);
+        std::string name = endpoint_of_trigger(txn.trigger, names);
+        const core::MatchOutcome* chosen = nullptr;
+        std::size_t best_key = 0;
+        for (const auto& c : candidates) {
+            best_key = std::max(best_key, c.uri_accounting.key_bytes);
+        }
+        auto pick = [&](auto&& want) {
+            for (const auto& c : candidates) {
+                if (c.uri_accounting.key_bytes != best_key) continue;
+                if (want(*c.transaction)) return &c;
+            }
+            return static_cast<const core::MatchOutcome*>(nullptr);
+        };
+        if (!name.empty()) {
+            chosen = pick([&](std::size_t s) {
+                auto it = claimed_by.find(s);
+                return it != claimed_by.end() && it->second == name;
+            });
+        }
+        if (!chosen) {
+            chosen = pick([&](std::size_t s) { return claimed_by.count(s) == 0; });
+        }
+        if (!chosen) chosen = pick([](std::size_t) { return true; });
+        if (chosen) {
+            signature_hit[*chosen->transaction] = true;
+            if (!name.empty()) claimed_by.emplace(*chosen->transaction, name);
+        }
+        if (name.empty()) continue;
+        for (std::size_t i = 0; i < app.ground_truth.size(); ++i) {
+            if (app.ground_truth[i].name != name) continue;
+            traffic[i].saw_traffic = true;
+            if (chosen && !traffic[i].transaction) {
+                traffic[i].transaction = chosen->transaction;
+            }
+        }
+    }
+
+    result.counts.matched_signatures = static_cast<std::size_t>(
+        std::count(signature_hit.begin(), signature_hit.end(), true));
+    result.counts.spurious_signatures =
+        result.counts.signatures - result.counts.matched_signatures;
+
+    // Per-endpoint verdicts. Reasons of every miss are kept for edge triage.
+    std::vector<std::vector<std::string>> sig_endpoints(report.transactions.size());
+    std::vector<std::pair<std::string, TriageRow>> miss_rows;  // endpoint -> row
+    result.counts.gt_endpoints = app.ground_truth.size();
+    for (std::size_t i = 0; i < app.ground_truth.size(); ++i) {
+        const corpus::GroundTruthEndpoint& gt = app.ground_truth[i];
+        const corpus::EndpointSpec* spec = find_endpoint(app.spec, gt.name);
+        EndpointEval ep;
+        ep.name = gt.name;
+
+        auto expected_req = unique_keywords(gt.request_keywords);
+        auto expected_resp = unique_keywords(gt.response_keywords);
+        ep.request_keywords_expected = expected_req.size();
+        ep.response_keywords_expected = expected_resp.size();
+        result.counts.request_keywords_expected += expected_req.size();
+        result.counts.response_keywords_expected += expected_resp.size();
+
+        if (traffic[i].transaction) {
+            ep.divergence = "matched";
+            ep.transaction = traffic[i].transaction;
+            result.counts.matched_endpoints += 1;
+            const sig::TransactionSignature& s =
+                report.transactions[*ep.transaction].signature;
+            sig_endpoints[*ep.transaction].push_back(gt.name);
+
+            // URI-template exactness: the matched signature must carry every
+            // constant the spec puts in the URI. uri_from endpoints have no
+            // code-built URI — matching their traffic at all is exact.
+            ep.uri_exact = true;
+            if (spec != nullptr) {
+                std::string consts;
+                collect_const_text(s.uri, consts);
+                std::vector<std::string> absent;
+                for (const auto& want : expected_uri_constants(*spec)) {
+                    if (!strings::contains(consts, want)) absent.push_back(want);
+                }
+                if (!absent.empty()) {
+                    ep.uri_exact = false;
+                    TriageRow row;
+                    row.app = result.app;
+                    row.subject = gt.name;
+                    row.kind = "inexact_uri";
+                    row.detail = "missing constants: " + strings::join(absent, ", ");
+                    attribute_signature(s, row);
+                    result.triage.push_back(std::move(row));
+                }
+            }
+            if (ep.uri_exact) result.counts.uri_exact += 1;
+
+            // Fig. 7 keyword coverage, request and response side.
+            std::vector<std::string> sig_req = s.uri.keywords();
+            if (s.has_body) {
+                for (auto& k : s.body.keywords()) sig_req.push_back(std::move(k));
+            }
+            std::set<std::string> have_req(sig_req.begin(), sig_req.end());
+            for (const auto& k : expected_req) {
+                if (have_req.count(k) > 0) {
+                    ep.request_keywords_found += 1;
+                } else {
+                    ep.missing_request_keywords.push_back(k);
+                }
+            }
+            std::vector<std::string> sig_resp;
+            if (s.has_response_body) sig_resp = s.response_body.keywords();
+            std::set<std::string> have_resp(sig_resp.begin(), sig_resp.end());
+            for (const auto& k : expected_resp) {
+                if (have_resp.count(k) > 0) {
+                    ep.response_keywords_found += 1;
+                } else {
+                    ep.missing_response_keywords.push_back(k);
+                }
+            }
+            result.counts.request_keywords_found += ep.request_keywords_found;
+            result.counts.response_keywords_found += ep.response_keywords_found;
+            if (!ep.missing_request_keywords.empty() ||
+                !ep.missing_response_keywords.empty()) {
+                TriageRow row;
+                row.app = result.app;
+                row.subject = gt.name;
+                row.kind = "missing_keywords";
+                std::vector<std::string> all = ep.missing_request_keywords;
+                for (const auto& k : ep.missing_response_keywords) all.push_back(k);
+                row.detail = strings::join(all, ", ");
+                attribute_signature(s, row);
+                result.triage.push_back(std::move(row));
+            }
+        } else {
+            ep.divergence = traffic[i].saw_traffic ? "missed" : "no_oracle_traffic";
+            TriageRow row;
+            row.app = result.app;
+            row.subject = gt.name;
+            row.kind = traffic[i].saw_traffic ? "missed_endpoint" : "no_oracle_traffic";
+            row.detail = std::string(http::method_name(gt.method)) + " " +
+                         (spec != nullptr ? spec->host + spec->path : std::string());
+            attribute_miss(gt, spec, report, row);
+            miss_rows.emplace_back(gt.name, row);
+            result.triage.push_back(std::move(row));
+        }
+        result.endpoints.push_back(std::move(ep));
+    }
+
+    // Spurious signatures: never hit by any oracle traffic.
+    for (std::size_t i = 0; i < report.transactions.size(); ++i) {
+        if (signature_hit[i]) continue;
+        const auto& t = report.transactions[i];
+        TriageRow row;
+        row.app = result.app;
+        row.subject = "sig#" + std::to_string(i + 1);
+        row.kind = "spurious_signature";
+        row.detail = std::string(http::method_name(t.signature.method)) + " " +
+                     t.signature.uri.to_display();
+        attribute_signature(t.signature, row);
+        result.triage.push_back(std::move(row));
+    }
+
+    // Dependency edges, endpoint-granular on both sides.
+    std::vector<GtEdge> gt_edges = gt_edges_of(app.spec);
+    result.counts.gt_edges = gt_edges.size();
+    auto edge_covered = [&](const GtEdge& want) {
+        for (const auto& d : report.dependencies) {
+            const auto& from_eps = sig_endpoints[d.from];
+            const auto& to_eps = sig_endpoints[d.to];
+            bool from_ok = std::find(from_eps.begin(), from_eps.end(), want.from) !=
+                           from_eps.end();
+            bool to_ok =
+                std::find(to_eps.begin(), to_eps.end(), want.to) != to_eps.end();
+            if (from_ok && to_ok) return true;
+        }
+        return false;
+    };
+    for (const auto& want : gt_edges) {
+        if (edge_covered(want)) {
+            result.counts.matched_edges += 1;
+            continue;
+        }
+        TriageRow row;
+        row.app = result.app;
+        row.subject = "edge " + want.from + "->" + want.to;
+        row.kind = "missed_edge";
+        row.detail = "via " + want.channel;
+        // A missed consumer endpoint explains its missing edges; otherwise
+        // the consumer's own signature wildcards do.
+        for (const auto& [name, miss] : miss_rows) {
+            if (name != want.to && name != want.from) continue;
+            for (const auto& r : miss.reasons) row.reasons.push_back(r);
+            for (const auto& o : miss.origins) row.origins.push_back(o);
+        }
+        if (row.reasons.empty()) {
+            for (const auto& ep : result.endpoints) {
+                if (ep.name == want.to && ep.transaction) {
+                    attribute_signature(report.transactions[*ep.transaction].signature,
+                                        row);
+                    break;
+                }
+            }
+        }
+        if (row.reasons.empty()) row.reasons.emplace_back("unspecified");
+        sort_unique(row.reasons);
+        sort_unique(row.origins);
+        result.triage.push_back(std::move(row));
+    }
+    for (const auto& d : report.dependencies) {
+        bool backed = false;
+        for (const auto& want : gt_edges) {
+            const auto& from_eps = sig_endpoints[d.from];
+            const auto& to_eps = sig_endpoints[d.to];
+            if (std::find(from_eps.begin(), from_eps.end(), want.from) !=
+                    from_eps.end() &&
+                std::find(to_eps.begin(), to_eps.end(), want.to) != to_eps.end()) {
+                backed = true;
+                break;
+            }
+        }
+        if (backed) {
+            result.counts.matched_report_edges += 1;
+            continue;
+        }
+        TriageRow row;
+        row.app = result.app;
+        row.subject =
+            "edge sig#" + std::to_string(d.from + 1) + "->sig#" + std::to_string(d.to + 1);
+        row.kind = "spurious_edge";
+        row.detail = d.response_field + " -> " + d.request_field +
+                     (d.via.empty() ? std::string() : " via " + d.via);
+        // A spurious edge is over-approximation on one of its ends — the
+        // unknown leaves of the two signatures say which degradation let
+        // the dependency analysis connect them.
+        if (d.from < report.transactions.size()) {
+            collect_signature_unknowns(report.transactions[d.from].signature,
+                                       row.reasons, row.origins);
+        }
+        if (d.to < report.transactions.size()) {
+            collect_signature_unknowns(report.transactions[d.to].signature,
+                                       row.reasons, row.origins);
+        }
+        if (row.reasons.empty()) row.reasons.emplace_back("unspecified");
+        sort_unique(row.reasons);
+        sort_unique(row.origins);
+        result.triage.push_back(std::move(row));
+    }
+
+    return result;
+}
+
+namespace {
+
+std::string file_stem(const std::string& path) {
+    std::string stem = path;
+    if (auto slash = stem.find_last_of("/\\"); slash != std::string::npos) {
+        stem = stem.substr(slash + 1);
+    }
+    if (auto dot = stem.rfind('.'); dot != std::string::npos && dot > 0) {
+        stem = stem.substr(0, dot);
+    }
+    return stem;
+}
+
+/// Zero-recall entry for a corpus app whose analysis failed: every
+/// ground-truth endpoint counts as demanded and none as recovered.
+EvalResult zero_recall_result(const corpus::CorpusApp& app, const std::string& file,
+                              const std::string& error) {
+    EvalResult result;
+    result.app = app.spec.name;
+    result.file = file;
+    result.scored = true;
+    result.error = error;
+    result.counts.gt_endpoints = app.ground_truth.size();
+    result.counts.gt_edges = gt_edges_of(app.spec).size();
+    for (const auto& gt : app.ground_truth) {
+        EndpointEval ep;
+        ep.name = gt.name;
+        ep.divergence = "error";
+        ep.request_keywords_expected = unique_keywords(gt.request_keywords).size();
+        ep.response_keywords_expected = unique_keywords(gt.response_keywords).size();
+        ep.missing_request_keywords = unique_keywords(gt.request_keywords);
+        ep.missing_response_keywords = unique_keywords(gt.response_keywords);
+        result.counts.request_keywords_expected += ep.request_keywords_expected;
+        result.counts.response_keywords_expected += ep.response_keywords_expected;
+        result.endpoints.push_back(std::move(ep));
+    }
+    TriageRow row;
+    row.app = result.app;
+    row.subject = result.app;
+    row.kind = "app_error";
+    row.detail = error;
+    row.reasons.emplace_back("unspecified");
+    result.triage.push_back(std::move(row));
+    return result;
+}
+
+}  // namespace
+
+EvalResult evaluate_item(const core::BatchItem& item) {
+    // Resolve the corpus app: the report's app name when the analysis
+    // succeeded, the input file's stem otherwise (make_corpus names .xapk
+    // artifacts after the app slug).
+    std::optional<std::string> name;
+    if (item.ok()) name = corpus::resolve_app_name(item.report->app_name);
+    if (!name) name = corpus::resolve_app_name(file_stem(item.file));
+
+    if (!name) {
+        EvalResult result;
+        result.app = item.ok() ? item.report->app_name : file_stem(item.file);
+        result.file = item.file;
+        result.error = item.error;
+        result.note = "no ground truth for this app";
+        return result;
+    }
+
+    corpus::CorpusApp app = corpus::build_app(*name);
+    if (!item.ok()) return zero_recall_result(app, item.file, item.error);
+
+    EvalResult result = evaluate_report(*item.report, app);
+    result.file = item.file;
+    return result;
+}
+
+FleetEval aggregate(const std::vector<EvalResult>& results) {
+    FleetEval fleet;
+    fleet.apps = results.size();
+    for (const auto& r : results) {
+        if (!r.error.empty()) fleet.errors += 1;
+        if (!r.scored) {
+            fleet.unscored += 1;
+            continue;
+        }
+        fleet.scored += 1;
+        fleet.counts += r.counts;
+    }
+    return fleet;
+}
+
+std::string render_table(const std::vector<EvalResult>& results, const FleetEval& fleet) {
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "Accuracy observatory — %zu inputs, %zu scored, %zu unscored, %zu "
+                  "errors\n\n",
+                  fleet.apps, fleet.scored, fleet.unscored, fleet.errors);
+    out += buf;
+
+    std::size_t width = 5;  // "fleet"
+    for (const auto& r : results) width = std::max(width, r.app.size());
+
+    auto row = [&](const std::string& app, const Counts& c, const char* mark) {
+        std::snprintf(buf, sizeof buf,
+                      "  %-*s  %4zu %4zu  %s  %s  %s  %s  %s  %s  %s  %s%s\n",
+                      static_cast<int>(width), app.c_str(), c.gt_endpoints, c.signatures,
+                      format_score(c.precision()).c_str(),
+                      format_score(c.recall()).c_str(), format_score(c.f1()).c_str(),
+                      format_score(c.uri_exactness()).c_str(),
+                      format_score(c.request_keyword_coverage()).c_str(),
+                      format_score(c.response_keyword_coverage()).c_str(),
+                      format_score(c.edge_precision()).c_str(),
+                      format_score(c.edge_recall()).c_str(), mark);
+        out += buf;
+    };
+
+    std::snprintf(buf, sizeof buf,
+                  "  %-*s    gt  sig  prec   rec    f1     uri    reqkw  rspkw  edgeP  "
+                  "edgeR\n",
+                  static_cast<int>(width), "app");
+    out += buf;
+    for (const auto& r : results) {
+        if (!r.scored) {
+            std::snprintf(buf, sizeof buf, "  %-*s  (unscored: %s)\n",
+                          static_cast<int>(width), r.app.c_str(), r.note.c_str());
+            out += buf;
+            continue;
+        }
+        row(r.app, r.counts, r.error.empty() ? "" : "  [error]");
+    }
+    row("fleet", fleet.counts, "");
+
+    std::size_t rows = 0;
+    for (const auto& r : results) rows += r.triage.size();
+    std::snprintf(buf, sizeof buf, "\nDivergence triage (%zu rows)\n", rows);
+    out += buf;
+    if (rows == 0) {
+        out += "  (none)\n";
+        return out;
+    }
+    for (const auto& r : results) {
+        for (const auto& t : r.triage) {
+            out += "  " + t.app + " | " + t.kind + " | " + t.subject +
+                   " | reasons=" + strings::join(t.reasons, ",");
+            if (!t.origins.empty()) out += " | origins=" + strings::join(t.origins, "; ");
+            if (!t.detail.empty()) out += " | " + t.detail;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+text::Json results_json(const std::vector<EvalResult>& results, const FleetEval& fleet) {
+    text::Json doc = text::Json::object();
+    doc.set("schema", text::Json("extractocol.eval/v1"));
+    text::Json apps = text::Json::array();
+    for (const auto& r : results) apps.push_back(r.to_json());
+    doc.set("apps", std::move(apps));
+    doc.set("fleet", fleet.to_json());
+    return doc;
+}
+
+void record_metrics(const std::vector<EvalResult>& results, const FleetEval& fleet) {
+    obs::counter("eval.apps").add(fleet.apps);
+    obs::counter("eval.apps_scored").add(fleet.scored);
+    obs::counter("eval.apps_unscored").add(fleet.unscored);
+    obs::counter("eval.app_errors").add(fleet.errors);
+    const Counts& c = fleet.counts;
+    obs::counter("eval.gt_endpoints").add(c.gt_endpoints);
+    obs::counter("eval.matched_endpoints").add(c.matched_endpoints);
+    obs::counter("eval.signatures").add(c.signatures);
+    obs::counter("eval.matched_signatures").add(c.matched_signatures);
+    obs::counter("eval.spurious_signatures").add(c.spurious_signatures);
+    obs::counter("eval.uri_exact").add(c.uri_exact);
+    obs::counter("eval.request_keywords_expected").add(c.request_keywords_expected);
+    obs::counter("eval.request_keywords_found").add(c.request_keywords_found);
+    obs::counter("eval.response_keywords_expected").add(c.response_keywords_expected);
+    obs::counter("eval.response_keywords_found").add(c.response_keywords_found);
+    obs::counter("eval.gt_edges").add(c.gt_edges);
+    obs::counter("eval.matched_edges").add(c.matched_edges);
+    obs::counter("eval.report_edges").add(c.report_edges);
+    obs::counter("eval.matched_report_edges").add(c.matched_report_edges);
+    std::size_t rows = 0;
+    for (const auto& r : results) rows += r.triage.size();
+    obs::counter("eval.triage_rows").add(rows);
+
+    auto permille = [](double v) {
+        return static_cast<std::int64_t>(std::llround(v * 1000.0));
+    };
+    obs::gauge("eval.fleet.precision_permille").set(permille(c.precision()));
+    obs::gauge("eval.fleet.recall_permille").set(permille(c.recall()));
+    obs::gauge("eval.fleet.f1_permille").set(permille(c.f1()));
+    obs::gauge("eval.fleet.uri_exactness_permille").set(permille(c.uri_exactness()));
+    obs::gauge("eval.fleet.request_keyword_coverage_permille")
+        .set(permille(c.request_keyword_coverage()));
+    obs::gauge("eval.fleet.response_keyword_coverage_permille")
+        .set(permille(c.response_keyword_coverage()));
+    obs::gauge("eval.fleet.edge_precision_permille").set(permille(c.edge_precision()));
+    obs::gauge("eval.fleet.edge_recall_permille").set(permille(c.edge_recall()));
+}
+
+}  // namespace extractocol::eval

@@ -1,0 +1,174 @@
+// Accuracy observatory (DESIGN.md §14). Every corpus spec derives machine
+// ground truth (corpus::GroundTruthEndpoint); this module closes the loop by
+// scoring an AnalysisReport against it:
+//
+//   * endpoint-level precision / recall / F1 — a ground-truth endpoint is
+//     *recalled* when some reconstructed signature matches its oracle
+//     request/response traffic (core::TraceMatcher over a FuzzMode::kFull
+//     interpreter run, which reaches every endpoint including timers,
+//     pushes, and intent-routed messages); a signature is *precise* when it
+//     matches at least one oracle transaction;
+//   * URI-template exactness — the matched signature carries every constant
+//     the spec puts in the URI (host, path segments, query keys);
+//   * constant-keyword coverage — the Fig. 7 metric, per endpoint, for the
+//     request and response sides;
+//   * dependency-edge precision / recall — report edges vs the spec's
+//     token/static/db dependency pairs;
+//
+// plus a divergence triage table that joins every miss, spurious signature,
+// inexact URI, and keyword gap to the audit's UnknownReason taxonomy and
+// --explain provenance origins, so a drop in recall names the give-up site
+// that caused it. All scoring is derived from deterministic inputs (the
+// report and the generated corpus), so every rendering is byte-identical at
+// any --jobs value.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "text/json.hpp"
+
+namespace extractocol::eval {
+
+/// Integer substrate of every accuracy score. Scores are stored as counts
+/// (never floats) so fleet aggregation is exact and the committed
+/// bench_accuracy baseline diffs integer-for-integer.
+struct Counts {
+    std::size_t gt_endpoints = 0;        // ground-truth endpoints
+    std::size_t matched_endpoints = 0;   // recalled by some signature
+    std::size_t signatures = 0;          // report transactions
+    std::size_t matched_signatures = 0;  // matched >=1 oracle transaction
+    std::size_t spurious_signatures = 0;  // signatures - matched_signatures
+    std::size_t uri_exact = 0;           // matched endpoints w/ exact template
+    std::size_t request_keywords_expected = 0;
+    std::size_t request_keywords_found = 0;
+    std::size_t response_keywords_expected = 0;
+    std::size_t response_keywords_found = 0;
+    std::size_t gt_edges = 0;             // spec dependency pairs
+    std::size_t matched_edges = 0;        // spec pairs covered by the report
+    std::size_t report_edges = 0;         // report dependency edges
+    std::size_t matched_report_edges = 0;  // report edges backed by a spec pair
+
+    void operator+=(const Counts& other);
+
+    // Ratios follow the usual convention: an empty denominator scores 1.0
+    // (nothing demanded, nothing wrong) — except recall over zero matched
+    // endpoints for uri_exactness, which also reports 1.0.
+    [[nodiscard]] double precision() const;  // matched_signatures / signatures
+    [[nodiscard]] double recall() const;     // matched_endpoints / gt_endpoints
+    [[nodiscard]] double f1() const;
+    [[nodiscard]] double uri_exactness() const;  // uri_exact / matched_endpoints
+    [[nodiscard]] double request_keyword_coverage() const;
+    [[nodiscard]] double response_keyword_coverage() const;
+    [[nodiscard]] double edge_precision() const;  // matched_report / report
+    [[nodiscard]] double edge_recall() const;     // matched / gt
+    [[nodiscard]] double edge_f1() const;
+
+    [[nodiscard]] text::Json to_json() const;
+};
+
+/// One divergence joined to its audit attribution.
+struct TriageRow {
+    std::string app;
+    /// Endpoint name, "sig#<id>" (1-based report id), or "edge <a>-><b>".
+    std::string subject;
+    /// missed_endpoint | spurious_signature | inexact_uri | missing_keywords
+    /// | missed_edge | spurious_edge | app_error | no_oracle_traffic.
+    std::string kind;
+    std::string detail;  // human hint: oracle URI, missing keys, error text
+    /// UnknownReason names and/or "site:<outcome>" audit outcomes — never
+    /// empty (falls back to "unspecified"), so every sub-1.0 recall row is
+    /// linked to at least one audit reason.
+    std::vector<std::string> reasons;
+    /// --explain provenance origins of the implicated unknown leaves and/or
+    /// "<dp> at <location>" for DP-site attributions.
+    std::vector<std::string> origins;
+
+    [[nodiscard]] text::Json to_json() const;
+};
+
+/// How one ground-truth endpoint fared.
+struct EndpointEval {
+    std::string name;
+    /// matched | missed | no_oracle_traffic | error
+    std::string divergence;
+    /// Matching report transaction (0-based), when matched.
+    std::optional<std::size_t> transaction;
+    bool uri_exact = false;
+    std::size_t request_keywords_expected = 0;
+    std::size_t request_keywords_found = 0;
+    std::size_t response_keywords_expected = 0;
+    std::size_t response_keywords_found = 0;
+    std::vector<std::string> missing_request_keywords;
+    std::vector<std::string> missing_response_keywords;
+
+    [[nodiscard]] text::Json to_json() const;
+};
+
+/// Accuracy verdict for one analyzed input.
+struct EvalResult {
+    std::string app;   // resolved corpus name (or the raw label if unknown)
+    std::string file;  // batch file label; empty when scored directly
+    /// True when corpus ground truth was found and scoring ran (errored
+    /// corpus apps still score — as zero-recall entries).
+    bool scored = false;
+    std::string error;  // contained per-app analysis failure, if any
+    std::string note;   // e.g. "no ground truth for this app"
+    Counts counts;
+    std::vector<EndpointEval> endpoints;
+    std::vector<TriageRow> triage;
+
+    /// Full sidecar entry (counts, scores, endpoints, triage).
+    [[nodiscard]] text::Json to_json() const;
+    /// Compact block for the run-manifest `accuracy` field (schema v2).
+    [[nodiscard]] text::Json accuracy_json() const;
+};
+
+/// Fleet-level aggregate (micro-averaged over the scored apps).
+struct FleetEval {
+    std::size_t apps = 0;      // all inputs
+    std::size_t scored = 0;    // inputs with ground truth
+    std::size_t unscored = 0;  // inputs without ground truth
+    std::size_t errors = 0;    // contained per-app failures
+    Counts counts;             // sum over scored apps
+
+    [[nodiscard]] text::Json to_json() const;
+    [[nodiscard]] text::Json accuracy_json() const;
+};
+
+/// Scores a report against one corpus app's ground truth. Pure function of
+/// its inputs; deterministic.
+[[nodiscard]] EvalResult evaluate_report(const core::AnalysisReport& report,
+                                         const corpus::CorpusApp& app);
+
+/// Scores one batch item: resolves the corpus app from the report's app name
+/// (or, for errored items, the input file stem), regenerates its ground
+/// truth, and scores. Errored corpus apps become zero-recall entries; inputs
+/// with no corpus ground truth come back unscored (never a crash).
+[[nodiscard]] EvalResult evaluate_item(const core::BatchItem& item);
+
+/// Micro-averaged fleet aggregate of per-app results.
+[[nodiscard]] FleetEval aggregate(const std::vector<EvalResult>& results);
+
+/// Deterministic per-app + fleet accuracy table with the divergence triage
+/// section — the `--eval` stderr output. Byte-identical at any --jobs value.
+[[nodiscard]] std::string render_table(const std::vector<EvalResult>& results,
+                                       const FleetEval& fleet);
+
+/// The `extractocol.eval/v1` sidecar document (--eval-out). Carries no run
+/// metadata (timestamps, jobs), so the rendering is inherently normalized.
+[[nodiscard]] text::Json results_json(const std::vector<EvalResult>& results,
+                                      const FleetEval& fleet);
+
+/// Publishes eval.* counters and fleet-score permille gauges into the global
+/// MetricsRegistry (--metrics table and Prometheus exposition). Instruments
+/// are created only when this is called, so runs without --eval emit no new
+/// metric names.
+void record_metrics(const std::vector<EvalResult>& results, const FleetEval& fleet);
+
+}  // namespace extractocol::eval

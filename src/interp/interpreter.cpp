@@ -247,7 +247,8 @@ struct Interpreter::Impl {
         response_obj->class_name = "org.apache.http.HttpResponse";
         auto uri = text::parse_uri(req->url);
         if (!uri.ok()) {
-            log::debug() << "interpreter: unparsable url '" << req->url << "'";
+            log::debug().kv("trigger", current_trigger)
+                << "interpreter: unparsable url '" << req->url << "'";
             response_obj->response.status = 0;
             return response_obj;
         }

@@ -29,6 +29,11 @@ void RunTelemetry::set_profile_summary(text::Json summary) {
     profile_summary_ = std::move(summary);
 }
 
+void RunTelemetry::set_fleet_accuracy(text::Json accuracy) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fleet_accuracy_ = std::move(accuracy);
+}
+
 void RunTelemetry::add(AppRunRecord record) {
     std::lock_guard<std::mutex> lock(mutex_);
     records_.push_back(std::move(record));
@@ -82,6 +87,7 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
     std::vector<AppRunRecord> records;
     std::optional<MetricsSnapshot> metrics;
     std::optional<text::Json> profile;
+    std::optional<text::Json> fleet_accuracy;
     unsigned jobs = 1;
     std::uint64_t timestamp = 0;
     {
@@ -89,6 +95,7 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
         records = records_;
         metrics = metrics_;
         profile = profile_summary_;
+        fleet_accuracy = fleet_accuracy_;
         jobs = jobs_;
         timestamp = timestamp_unix_ms_;
     }
@@ -139,6 +146,9 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
         obj.set("peak_bytes", text::Json(static_cast<std::int64_t>(r.peak_bytes)));
         obj.set("transactions", text::Json(static_cast<std::int64_t>(r.transactions)));
         obj.set("dependencies", text::Json(static_cast<std::int64_t>(r.dependencies)));
+        // Accuracy blocks are deterministic scores, exempt from
+        // normalization by the same argument as steps_used.
+        if (r.accuracy) obj.set("accuracy", *r.accuracy);
         apps.push_back(std::move(obj));
     }
 
@@ -153,9 +163,12 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
     fleet_obj.set("wall_seconds", text::Json(fs.wall_seconds));
     fleet_obj.set("apps_per_second", text::Json(fs.apps_per_second));
     fleet_obj.set("latency_ms", histogram_stats_json(fs.latency_ms));
+    if (fleet_accuracy) fleet_obj.set("accuracy", *fleet_accuracy);
 
     text::Json doc = text::Json::object();
-    doc.set("schema", text::Json("extractocol.run_manifest/v1"));
+    // v2: per-app and fleet "accuracy" blocks (optional, --eval runs only).
+    // v1 consumers that only read the fields they know keep working.
+    doc.set("schema", text::Json("extractocol.run_manifest/v2"));
     doc.set("generated_unix_ms", text::Json(static_cast<std::int64_t>(timestamp)));
     doc.set("jobs", text::Json(static_cast<std::int64_t>(jobs)));
     doc.set("fleet", std::move(fleet_obj));

@@ -53,6 +53,11 @@ struct AppRunRecord {
     std::uint64_t peak_bytes = 0;
     std::uint64_t transactions = 0;
     std::uint64_t dependencies = 0;
+    /// Per-app accuracy block (eval::EvalResult::accuracy_json) — the schema
+    /// v2 addition, present only when the run scored accuracy (--eval). The
+    /// block is derived from deterministic inputs, so normalization leaves
+    /// it untouched.
+    std::optional<text::Json> accuracy;
 };
 
 /// Fleet-level aggregate of a run's AppRunRecords.
@@ -82,6 +87,9 @@ public:
     /// Attaches the profiler's deterministic totals (Profiler::summary_json)
     /// as the manifest's "profile" section. Omitted when never set.
     void set_profile_summary(text::Json summary);
+    /// Attaches the fleet accuracy block (eval::FleetEval::accuracy_json) as
+    /// the manifest fleet's "accuracy" section. Omitted when never set.
+    void set_fleet_accuracy(text::Json accuracy);
 
     void add(AppRunRecord record);
 
@@ -102,6 +110,7 @@ private:
     double run_wall_seconds_ = 0;
     std::optional<MetricsSnapshot> metrics_;
     std::optional<text::Json> profile_summary_;
+    std::optional<text::Json> fleet_accuracy_;
     std::vector<AppRunRecord> records_;
 };
 

@@ -12,6 +12,7 @@
 
 #include "core/analyzer.hpp"
 #include "corpus/corpus.hpp"
+#include "eval/eval.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
@@ -275,7 +276,7 @@ TEST(DeterminismTest, RunManifestAndPrometheusAreByteIdenticalAcrossJobCounts) {
     auto baseline = run(1);
     EXPECT_NE(baseline.first.find("\"outcome\": \"error\""), std::string::npos)
         << "poisoned input missing from the ledger:\n" << baseline.first;
-    EXPECT_NE(baseline.first.find("extractocol.run_manifest/v1"), std::string::npos);
+    EXPECT_NE(baseline.first.find("extractocol.run_manifest/v2"), std::string::npos);
     EXPECT_FALSE(baseline.second.empty());
     for (unsigned jobs : {2u, 8u}) {
         auto result = run(jobs);
@@ -285,6 +286,49 @@ TEST(DeterminismTest, RunManifestAndPrometheusAreByteIdenticalAcrossJobCounts) {
             << "prometheus export diverged at jobs=" << jobs;
     }
     memtrack::set_enabled(false);
+}
+
+TEST(DeterminismTest, EvalTableAndSidecarAreByteIdenticalAcrossJobCounts) {
+    // The accuracy observatory holds the same bar as the report stream: the
+    // --eval table and the eval sidecar are pure functions of the reports
+    // and the regenerated corpus, so both renderings are byte-identical at
+    // every --jobs value — including a batch with a poisoned input, whose
+    // error record becomes a zero-score entry rather than a crash.
+    std::vector<core::BatchInput> inputs;
+    for (const auto& name : {"blippex", "radio reddit", "iFixIt"}) {
+        corpus::CorpusApp app = corpus::build_app(name);
+        inputs.push_back({std::string(name) + ".xapk", xapk::write_xapk(app.program)});
+    }
+    // A poisoned input named after a corpus app becomes a zero-recall
+    // app_error entry; one with no ground truth comes back unscored.
+    inputs.insert(inputs.begin() + 1, {"ted.xapk", "not an xapk at all"});
+    inputs.push_back({"poisoned.xapk", "also not an xapk"});
+
+    auto run = [&](unsigned jobs) {
+        core::AnalyzerOptions options;
+        options.jobs = jobs;
+        auto items = core::Analyzer(options).analyze_batch(inputs);
+        std::vector<eval::EvalResult> results;
+        for (const auto& item : items) results.push_back(eval::evaluate_item(item));
+        eval::FleetEval fleet = eval::aggregate(results);
+        return std::make_pair(eval::render_table(results, fleet),
+                              eval::results_json(results, fleet).dump_pretty());
+    };
+
+    auto baseline = run(1);
+    // Both poisoned inputs must be present — as error / unscored entries,
+    // not omissions (silent drops would inflate fleet scores).
+    EXPECT_NE(baseline.first.find("poisoned"), std::string::npos) << baseline.first;
+    EXPECT_NE(baseline.second.find("extractocol.eval/v1"), std::string::npos);
+    EXPECT_NE(baseline.second.find("\"app_error\""), std::string::npos)
+        << baseline.second;
+    for (unsigned jobs : {2u, 8u}) {
+        auto result = run(jobs);
+        EXPECT_EQ(result.first, baseline.first)
+            << "eval table diverged at jobs=" << jobs;
+        EXPECT_EQ(result.second, baseline.second)
+            << "eval sidecar diverged at jobs=" << jobs;
+    }
 }
 
 TEST(DeterminismTest, ProfileTableIsByteIdenticalAcrossJobCounts) {

@@ -1,0 +1,295 @@
+// Accuracy observatory unit fixtures (DESIGN.md §14). Each test builds a
+// minimal corpus spec (or mutates a correct report) to force exactly one
+// divergence class, then asserts the score movement AND that the triage
+// table attributes the divergence to the right audit reason — the
+// observatory's contract is not just "a number dropped" but "here is the
+// give-up site that made it drop".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "eval/eval.hpp"
+#include "sig/sig.hpp"
+
+using namespace extractocol;
+
+namespace {
+
+core::AnalysisReport analyze(const corpus::CorpusApp& app) {
+    core::AnalyzerOptions options;
+    options.async_heuristic = !app.spec.open_source;
+    options.jobs = 1;
+    return core::Analyzer(options).analyze(app.program);
+}
+
+/// One GET endpoint with a constant query key and a read JSON response —
+/// the analysis reconstructs it perfectly, so this is the 1.000 baseline
+/// every mutation test perturbs.
+corpus::AppSpec exact_spec() {
+    corpus::AppSpec spec;
+    spec.name = "evalfix";
+    spec.package = "com.evalfix";
+    spec.open_source = true;
+    spec.https = false;
+
+    corpus::EndpointSpec feed;
+    feed.name = "feed";
+    feed.method = http::Method::kGet;
+    feed.lib = corpus::HttpLib::kApache;
+    feed.host = "api.evalfix.com";
+    feed.path = "/v1/feed.json";
+    feed.query.push_back({"v", corpus::ParamSpec::Value::kConst, "2"});
+    feed.response = corpus::EndpointSpec::Response::kJson;
+    corpus::FieldSpec items;
+    items.key = "items";
+    feed.response_fields.push_back(items);
+    spec.endpoints.push_back(feed);
+    return spec;
+}
+
+const eval::TriageRow* find_row(const eval::EvalResult& result,
+                                const std::string& kind) {
+    for (const auto& row : result.triage) {
+        if (row.kind == kind) return &row;
+    }
+    return nullptr;
+}
+
+bool has_reason(const eval::TriageRow& row, const std::string& reason) {
+    return std::find(row.reasons.begin(), row.reasons.end(), reason) !=
+           row.reasons.end();
+}
+
+}  // namespace
+
+TEST(EvalTest, ExactMatchScoresPerfectly) {
+    corpus::CorpusApp app = corpus::generate(exact_spec());
+    eval::EvalResult result = eval::evaluate_report(analyze(app), app);
+
+    ASSERT_TRUE(result.scored);
+    EXPECT_EQ(result.counts.gt_endpoints, 1u);
+    EXPECT_EQ(result.counts.matched_endpoints, 1u);
+    EXPECT_EQ(result.counts.spurious_signatures, 0u);
+    EXPECT_EQ(result.counts.uri_exact, 1u);
+    EXPECT_DOUBLE_EQ(result.counts.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(result.counts.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(result.counts.request_keyword_coverage(), 1.0);
+    EXPECT_DOUBLE_EQ(result.counts.response_keyword_coverage(), 1.0);
+    ASSERT_EQ(result.endpoints.size(), 1u);
+    EXPECT_EQ(result.endpoints[0].divergence, "matched");
+    EXPECT_TRUE(result.endpoints[0].uri_exact);
+    // A perfect app produces an empty triage table — divergence rows must
+    // never appear as noise on clean runs.
+    EXPECT_TRUE(result.triage.empty()) << eval::render_table({result}, {});
+}
+
+TEST(EvalTest, MissedIntentEndpointIsAttributedToDroppedIntent) {
+    // The §4 blind spot: an intent-routed endpoint is invisible to the
+    // analysis but visible to the oracle fuzzer. The miss must surface as a
+    // missed_endpoint row attributed to the dropped-intent audit site, with
+    // the receiver's DP origin named.
+    corpus::AppSpec spec = exact_spec();
+    corpus::EndpointSpec push;
+    push.name = "push";
+    push.method = http::Method::kGet;
+    push.lib = corpus::HttpLib::kApache;
+    push.host = "push.evalfix.com";
+    push.path = "/v1/push";
+    push.via_intent = true;
+    spec.endpoints.push_back(push);
+
+    corpus::CorpusApp app = corpus::generate(spec);
+    eval::EvalResult result = eval::evaluate_report(analyze(app), app);
+
+    ASSERT_TRUE(result.scored);
+    EXPECT_EQ(result.counts.gt_endpoints, 2u);
+    EXPECT_EQ(result.counts.matched_endpoints, 1u);
+    EXPECT_LT(result.counts.recall(), 1.0);
+    ASSERT_EQ(result.endpoints.size(), 2u);
+    EXPECT_EQ(result.endpoints[1].divergence, "missed");
+
+    const eval::TriageRow* row = find_row(result, "missed_endpoint");
+    ASSERT_NE(row, nullptr) << eval::render_table({result}, {});
+    EXPECT_EQ(row->subject, "push");
+    EXPECT_TRUE(has_reason(*row, "site:dropped_intent"))
+        << eval::render_table({result}, {});
+    EXPECT_FALSE(row->origins.empty());
+}
+
+TEST(EvalTest, SpuriousSignatureIsFlagged) {
+    // A signature matching no oracle traffic at all costs precision and
+    // gets its own triage row naming the phantom pattern.
+    corpus::CorpusApp app = corpus::generate(exact_spec());
+    core::AnalysisReport report = analyze(app);
+    ASSERT_FALSE(report.transactions.empty());
+
+    core::ReportTransaction phantom = report.transactions[0];
+    phantom.signature.uri = sig::Sig::constant("http://ghost.evalfix.com/none");
+    phantom.uri_regex = "http://ghost\\.evalfix\\.com/none";
+    report.transactions.push_back(phantom);
+
+    eval::EvalResult result = eval::evaluate_report(report, app);
+    EXPECT_EQ(result.counts.signatures, 2u);
+    EXPECT_EQ(result.counts.matched_signatures, 1u);
+    EXPECT_EQ(result.counts.spurious_signatures, 1u);
+    EXPECT_DOUBLE_EQ(result.counts.precision(), 0.5);
+    // The real endpoint still scores.
+    EXPECT_EQ(result.counts.matched_endpoints, 1u);
+
+    const eval::TriageRow* row = find_row(result, "spurious_signature");
+    ASSERT_NE(row, nullptr) << eval::render_table({result}, {});
+    EXPECT_EQ(row->subject, "sig#2");
+    EXPECT_FALSE(row->reasons.empty());
+}
+
+TEST(EvalTest, DegradedUriTemplateIsInexactAndAttributed) {
+    // A signature that degrades its URI to a pure wildcard still matches
+    // the oracle traffic (recall holds) but loses template exactness; the
+    // triage row must name the missing constants and carry the unknown
+    // leaf's reason.
+    corpus::CorpusApp app = corpus::generate(exact_spec());
+    core::AnalysisReport report = analyze(app);
+    ASSERT_FALSE(report.transactions.empty());
+    report.transactions[0].signature.uri = sig::Sig::unknown(
+        sig::Sig::ValueType::kAny, sig::UnknownReason::kDynamicInput, "test:input");
+    report.transactions[0].uri_regex = "(.*)";
+
+    eval::EvalResult result = eval::evaluate_report(report, app);
+    EXPECT_EQ(result.counts.matched_endpoints, 1u);
+    EXPECT_EQ(result.counts.uri_exact, 0u);
+    EXPECT_LT(result.counts.uri_exactness(), 1.0);
+    ASSERT_EQ(result.endpoints.size(), 1u);
+    EXPECT_EQ(result.endpoints[0].divergence, "matched");
+    EXPECT_FALSE(result.endpoints[0].uri_exact);
+
+    const eval::TriageRow* row = find_row(result, "inexact_uri");
+    ASSERT_NE(row, nullptr) << eval::render_table({result}, {});
+    EXPECT_EQ(row->subject, "feed");
+    EXPECT_NE(row->detail.find("api.evalfix.com"), std::string::npos) << row->detail;
+    EXPECT_TRUE(has_reason(*row, "dynamic_input"))
+        << eval::render_table({result}, {});
+}
+
+TEST(EvalTest, MissingResponseKeywordsAreAttributed) {
+    // Reflection-style deserialization collapses the response signature to
+    // an opaque blob: keyword coverage drops and the missing_keywords row
+    // names both the lost keys and the reflection reason.
+    corpus::CorpusApp app = corpus::generate(exact_spec());
+    core::AnalysisReport report = analyze(app);
+    ASSERT_FALSE(report.transactions.empty());
+    ASSERT_TRUE(report.transactions[0].signature.has_response_body);
+    report.transactions[0].signature.response_body = sig::Sig::unknown(
+        sig::Sig::ValueType::kAny, sig::UnknownReason::kReflection, "api:gson");
+    report.transactions[0].response_regex = "(.*)";
+
+    eval::EvalResult result = eval::evaluate_report(report, app);
+    EXPECT_EQ(result.counts.matched_endpoints, 1u);
+    EXPECT_LT(result.counts.response_keyword_coverage(), 1.0);
+    ASSERT_EQ(result.endpoints.size(), 1u);
+    ASSERT_FALSE(result.endpoints[0].missing_response_keywords.empty());
+    EXPECT_EQ(result.endpoints[0].missing_response_keywords[0], "items");
+
+    const eval::TriageRow* row = find_row(result, "missing_keywords");
+    ASSERT_NE(row, nullptr) << eval::render_table({result}, {});
+    EXPECT_EQ(row->subject, "feed");
+    EXPECT_NE(row->detail.find("items"), std::string::npos) << row->detail;
+    EXPECT_TRUE(has_reason(*row, "reflection")) << eval::render_table({result}, {});
+}
+
+TEST(EvalTest, DependencyEdgesScoreBothDirections) {
+    // Token dependency (login.modhash -> save's uh param): the spec derives
+    // one ground-truth edge; the analysis recovers it (edge recall 1.0, no
+    // spurious edges). Deleting the report edge yields a missed_edge row;
+    // fabricating a self-edge yields a spurious_edge row — both attributed.
+    corpus::AppSpec spec = exact_spec();
+
+    corpus::EndpointSpec login;
+    login.name = "login";
+    login.method = http::Method::kPost;
+    login.lib = corpus::HttpLib::kApache;
+    login.host = "api.evalfix.com";
+    login.path = "/v1/login";
+    login.trigger = xir::EventKind::kOnLogin;
+    login.body = corpus::EndpointSpec::Body::kQueryString;
+    login.body_params.push_back({"user", corpus::ParamSpec::Value::kUserInput, ""});
+    login.response = corpus::EndpointSpec::Response::kJson;
+    corpus::FieldSpec modhash;
+    modhash.key = "modhash";
+    modhash.store_to_static = true;
+    login.response_fields.push_back(modhash);
+    spec.endpoints.push_back(login);
+
+    corpus::EndpointSpec save;
+    save.name = "save";
+    save.method = http::Method::kPost;
+    save.lib = corpus::HttpLib::kApache;
+    save.host = "api.evalfix.com";
+    save.path = "/v1/save";
+    save.body = corpus::EndpointSpec::Body::kQueryString;
+    save.body_params.push_back(
+        {"uh", corpus::ParamSpec::Value::kToken, "login.modhash"});
+    spec.endpoints.push_back(save);
+
+    corpus::CorpusApp app = corpus::generate(spec);
+    core::AnalysisReport report = analyze(app);
+
+    eval::EvalResult clean = eval::evaluate_report(report, app);
+    ASSERT_GE(clean.counts.gt_edges, 1u);
+    EXPECT_EQ(clean.counts.matched_edges, clean.counts.gt_edges);
+    EXPECT_EQ(clean.counts.matched_report_edges, clean.counts.report_edges);
+    EXPECT_DOUBLE_EQ(clean.counts.edge_recall(), 1.0);
+    EXPECT_DOUBLE_EQ(clean.counts.edge_precision(), 1.0);
+    EXPECT_EQ(find_row(clean, "missed_edge"), nullptr);
+    EXPECT_EQ(find_row(clean, "spurious_edge"), nullptr);
+
+    // Drop every recovered edge: recall collapses, each lost spec pair gets
+    // a missed_edge row.
+    core::AnalysisReport lost = report;
+    lost.dependencies.clear();
+    eval::EvalResult missed = eval::evaluate_report(lost, app);
+    EXPECT_EQ(missed.counts.matched_edges, 0u);
+    EXPECT_DOUBLE_EQ(missed.counts.edge_recall(), 0.0);
+    const eval::TriageRow* miss_row = find_row(missed, "missed_edge");
+    ASSERT_NE(miss_row, nullptr) << eval::render_table({missed}, {});
+    EXPECT_NE(miss_row->subject.find("login->save"), std::string::npos)
+        << miss_row->subject;
+    EXPECT_FALSE(miss_row->reasons.empty());
+
+    // Fabricate an edge no spec pair backs: precision drops, the phantom
+    // edge gets its own row.
+    core::AnalysisReport extra = report;
+    txn::Dependency bogus;
+    bogus.from = 0;
+    bogus.to = 0;
+    bogus.response_field = "items";
+    bogus.request_field = "uri";
+    extra.dependencies.push_back(bogus);
+    eval::EvalResult spurious = eval::evaluate_report(extra, app);
+    EXPECT_LT(spurious.counts.edge_precision(), 1.0);
+    const eval::TriageRow* spur_row = find_row(spurious, "spurious_edge");
+    ASSERT_NE(spur_row, nullptr) << eval::render_table({spurious}, {});
+    EXPECT_FALSE(spur_row->reasons.empty());
+}
+
+TEST(EvalTest, UnknownAppComesBackUnscored) {
+    // evaluate_item must never crash on inputs without ground truth: they
+    // come back unscored with an explanatory note and do not dilute fleet
+    // scores (aggregate counts only scored apps).
+    core::BatchItem item;
+    item.file = "mystery.xapk";
+    item.report = core::AnalysisReport{};
+    item.report->app_name = "not-in-the-corpus";
+    eval::EvalResult result = eval::evaluate_item(item);
+    EXPECT_FALSE(result.scored);
+    EXPECT_FALSE(result.note.empty());
+
+    eval::FleetEval fleet = eval::aggregate({result});
+    EXPECT_EQ(fleet.apps, 1u);
+    EXPECT_EQ(fleet.scored, 0u);
+    EXPECT_EQ(fleet.unscored, 1u);
+    EXPECT_EQ(fleet.counts.gt_endpoints, 0u);
+}

@@ -439,7 +439,7 @@ TEST(Telemetry, ManifestJsonShape) {
 
     Json doc = telemetry.manifest_json();
     ASSERT_TRUE(parse_json(doc.dump()).ok());
-    EXPECT_EQ(doc.find("schema")->as_string(), "extractocol.run_manifest/v1");
+    EXPECT_EQ(doc.find("schema")->as_string(), "extractocol.run_manifest/v2");
     EXPECT_EQ(doc.find("generated_unix_ms")->as_int(), 1234);
     EXPECT_EQ(doc.find("jobs")->as_int(), 4);
     const Json* fleet = doc.find("fleet");

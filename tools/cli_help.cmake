@@ -30,6 +30,7 @@ set(flags
   --jobs --keep-going --fail-fast --progress
   --stats --metrics --metrics-prom --run-manifest --memtrack --trace
   --profile --profile-out --flamegraph
+  --eval --eval-out
   --verbose --help)
 foreach(flag IN LISTS flags)
   string(FIND "${help_out}" "${flag}" pos)
@@ -65,7 +66,7 @@ if(pos EQUAL -1)
 endif()
 
 # Value-taking options must name themselves when the value is missing.
-foreach(value_flag --profile-out --flamegraph)
+foreach(value_flag --profile-out --flamegraph --eval-out)
   execute_process(
     COMMAND "${EXTRACTOCOL}" ${value_flag}
     RESULT_VARIABLE rc_novalue

@@ -54,8 +54,12 @@ if(NOT EXISTS "${manifest}")
   message(FATAL_ERROR "--run-manifest did not write ${manifest}")
 endif()
 file(READ "${manifest}" manifest_text)
+# Schema v1-or-v2 compat: consumers of this ledger key off the prefix; v2
+# only adds optional "accuracy" blocks.
+if(NOT manifest_text MATCHES "extractocol\\.run_manifest/v[12]")
+  message(FATAL_ERROR "run manifest missing schema tag:\n${manifest_text}")
+endif()
 foreach(needle
-    "extractocol.run_manifest/v1"
     "\"fleet\""
     "\"apps_per_second\""
     "\"latency_ms\""
@@ -124,5 +128,51 @@ else()
     message(FATAL_ERROR "expected a non-zero peak_bytes record:\n${mem_manifest}")
   endif()
 endif()
+
+# --- --eval: schema v2 accuracy blocks in the manifest ---------------------
+set(manifest_eval "${WORK_DIR}/manifest_eval.json")
+set(eval_sidecar "${WORK_DIR}/eval.json")
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --jobs 2 --eval --eval-out "${eval_sidecar}"
+          --run-manifest "${manifest_eval}" ${inputs}
+  RESULT_VARIABLE rc_eval
+  OUTPUT_QUIET
+  ERROR_VARIABLE eval_err)
+if(NOT rc_eval EQUAL 1)
+  message(FATAL_ERROR "--eval batch exit code diverged: ${rc_eval}")
+endif()
+string(FIND "${eval_err}" "Accuracy observatory" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "--eval must print the accuracy table on stderr:\n${eval_err}")
+endif()
+file(READ "${manifest_eval}" eval_manifest)
+if(NOT eval_manifest MATCHES "extractocol\\.run_manifest/v2")
+  message(FATAL_ERROR "--eval manifest must carry schema v2:\n${eval_manifest}")
+endif()
+foreach(needle
+    "\"accuracy\""
+    "\"recall\""
+    "\"uri_exactness\""
+    "\"gt_endpoints\"")
+  string(FIND "${eval_manifest}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "--eval manifest missing ${needle}:\n${eval_manifest}")
+  endif()
+endforeach()
+# The poisoned input resolves to no corpus app, so it rides as unscored.
+string(FIND "${eval_manifest}" "\"scored\": false" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "poisoned input must appear unscored:\n${eval_manifest}")
+endif()
+if(NOT EXISTS "${eval_sidecar}")
+  message(FATAL_ERROR "--eval-out did not write ${eval_sidecar}")
+endif()
+file(READ "${eval_sidecar}" eval_text)
+foreach(needle "extractocol.eval/v1" "\"fleet\"" "\"triage\"" "\"counts\"")
+  string(FIND "${eval_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "eval sidecar missing ${needle}:\n${eval_text}")
+  endif()
+endforeach()
 
 message(STATUS "cli telemetry: all checks passed")

@@ -48,6 +48,15 @@
 //   --run-manifest <file>  write the JSON run ledger: one record per input
 //                          (outcome, per-phase wall clock, budget use, peak
 //                          memory) plus fleet aggregates and run metrics
+//   --eval                 score each report against its corpus ground truth
+//                          (precision/recall/F1, URI exactness, keyword
+//                          coverage, dependency edges) and print the per-app
+//                          + fleet table with divergence triage to stderr;
+//                          inputs without corpus ground truth are listed as
+//                          unscored. Byte-identical for every --jobs value
+//   --eval-out <file>      write the full evaluation as an
+//                          extractocol.eval/v1 JSON sidecar (implies --eval
+//                          scoring; the stderr table still needs --eval)
 //   --progress             live "k/N apps, ETA" line on stderr during batch
 //                          analysis (stdout stays byte-deterministic)
 //   --memtrack             enable the tracking allocator: mem.live_bytes /
@@ -72,6 +81,7 @@
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "eval/eval.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
@@ -123,6 +133,12 @@ void print_usage(std::FILE* out, const char* argv0) {
                  "  --memtrack            enable the tracking allocator (memory gauges\n"
                  "                        and per-app peak attribution)\n"
                  "  --trace FILE          write a Chrome trace-event JSON file\n"
+                 "accuracy:\n"
+                 "  --eval                score reports against corpus ground truth and\n"
+                 "                        print the precision/recall/F1 table with\n"
+                 "                        divergence triage on stderr\n"
+                 "  --eval-out FILE       write the evaluation as an extractocol.eval/v1\n"
+                 "                        JSON sidecar (implies scoring)\n"
                  "profiling:\n"
                  "  --profile             print the hot-DP-site / hot-method cost table\n"
                  "                        on stderr (deterministic for any --jobs)\n"
@@ -215,6 +231,7 @@ int main(int argc, char** argv) {
     bool progress = false;
     bool memtrack_flag = false;
     bool profile = false;
+    bool eval_flag = false;
     unsigned explain_id = 0;
     int verbosity = 0;
     unsigned jobs = 1;
@@ -223,6 +240,7 @@ int main(int argc, char** argv) {
     const char* flamegraph_path = nullptr;
     const char* metrics_prom_path = nullptr;
     const char* manifest_path = nullptr;
+    const char* eval_out_path = nullptr;
     std::vector<const char*> paths;
 
     // Options that consume a value report their own name when it is
@@ -268,6 +286,10 @@ int main(int argc, char** argv) {
             if (!(metrics_prom_path = value_of(i))) return usage(argv[0]);
         } else if (std::strcmp(arg, "--run-manifest") == 0) {
             if (!(manifest_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--eval") == 0) {
+            eval_flag = true;
+        } else if (std::strcmp(arg, "--eval-out") == 0) {
+            if (!(eval_out_path = value_of(i))) return usage(argv[0]);
         } else if (std::strcmp(arg, "--progress") == 0) {
             progress = true;
         } else if (std::strcmp(arg, "--memtrack") == 0) {
@@ -520,6 +542,35 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(value));
         }
     }
+    // Accuracy scoring runs sequentially in input order over the finished
+    // batch (oracle interpreter runs and matching are pure functions of the
+    // reports and the generated corpus), so table, sidecar, and manifest
+    // accuracy blocks are byte-identical for every --jobs value.
+    std::vector<eval::EvalResult> eval_results;
+    eval::FleetEval eval_fleet;
+    bool do_eval = eval_flag || eval_out_path != nullptr;
+    if (do_eval) {
+        eval_results.reserve(items.size());
+        for (const auto& item : items) {
+            eval_results.push_back(eval::evaluate_item(item));
+        }
+        eval_fleet = eval::aggregate(eval_results);
+        eval::record_metrics(eval_results, eval_fleet);
+        if (eval_flag) {
+            std::fprintf(stderr, "%s",
+                         eval::render_table(eval_results, eval_fleet).c_str());
+        }
+        if (eval_out_path) {
+            std::ofstream eval_out(eval_out_path);
+            if (!eval_out) {
+                std::fprintf(stderr, "error: cannot write evaluation to %s\n",
+                             eval_out_path);
+                return 1;
+            }
+            eval_out << eval::results_json(eval_results, eval_fleet).dump_pretty()
+                     << "\n";
+        }
+    }
     if (profile) {
         // stderr, like --stats/--metrics: stdout stays the report stream.
         // The table is counts-only and byte-identical for any --jobs value.
@@ -574,8 +625,13 @@ int main(int argc, char** argv) {
         if (profile || profile_out_path) {
             telemetry.set_profile_summary(obs::Profiler::global().summary_json());
         }
-        for (const auto& item : items) {
-            telemetry.add(core::telemetry_record(item, options));
+        if (do_eval) telemetry.set_fleet_accuracy(eval_fleet.accuracy_json());
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            obs::AppRunRecord record = core::telemetry_record(items[i], options);
+            if (do_eval && i < eval_results.size()) {
+                record.accuracy = eval_results[i].accuracy_json();
+            }
+            telemetry.add(std::move(record));
         }
         std::ofstream manifest_out(manifest_path);
         if (!manifest_out) {

@@ -18,19 +18,6 @@ using namespace extractocol;
 
 namespace {
 
-std::string slug_of(const std::string& name) {
-    std::string out;
-    for (char c : name) {
-        if (std::isalnum(static_cast<unsigned char>(c))) {
-            out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-        } else if (!out.empty() && out.back() != '_') {
-            out.push_back('_');
-        }
-    }
-    while (!out.empty() && out.back() == '_') out.pop_back();
-    return out;
-}
-
 text::Json truth_json(const corpus::CorpusApp& app) {
     text::Json arr = text::Json::array();
     for (const auto& gt : app.ground_truth) {
@@ -79,7 +66,7 @@ int main(int argc, char** argv) {
 
     for (const auto& name : names) {
         corpus::CorpusApp app = corpus::build_app(name);
-        std::string slug = slug_of(name);
+        std::string slug = corpus::app_slug(name);
         {
             std::ofstream out(dir / (slug + ".xapk"));
             out << xapk::write_xapk(app.program);
