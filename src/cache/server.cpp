@@ -1,0 +1,394 @@
+#include "cache/server.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/log.hpp"
+#include "text/json.hpp"
+
+namespace extractocol::cache {
+
+namespace {
+
+// Self-pipe write end for the signal handlers. write() is async-signal-safe;
+// the accept loop polls the read end. Set before handlers are installed.
+int g_wake_fd = -1;
+
+void wake_on_signal(int) {
+    char byte = 'x';
+    [[maybe_unused]] ssize_t n = ::write(g_wake_fd, &byte, 1);
+}
+
+bool write_all(int fd, std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Open connections shared between the accept loop (shutdown broadcast)
+/// and the per-connection threads (self-removal on close).
+struct ConnectionSet {
+    std::mutex mutex;
+    std::vector<int> fds;
+
+    void add(int fd) {
+        std::lock_guard<std::mutex> lock(mutex);
+        fds.push_back(fd);
+    }
+    void remove(int fd) {
+        std::lock_guard<std::mutex> lock(mutex);
+        fds.erase(std::remove(fds.begin(), fds.end(), fd), fds.end());
+    }
+    void shutdown_all() {
+        std::lock_guard<std::mutex> lock(mutex);
+        // SHUT_RDWR unblocks any read()/write() in flight; the connection
+        // threads then fall out of their loops and close their fds.
+        for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+    }
+};
+
+struct ServerState {
+    const core::Analyzer* analyzer = nullptr;
+    ReportCache* cache = nullptr;
+    int wake_fd = -1;  // shutdown-request path (same pipe as the signals)
+};
+
+text::Json error_response(const text::Json* id, const std::string& message) {
+    text::Json response = text::Json::object();
+    if (id != nullptr) response.set("id", *id);
+    response.set("ok", text::Json(false));
+    response.set("error", text::Json(message));
+    return response;
+}
+
+/// Handles one request line; returns the response document and sets
+/// `shutdown` when the daemon should stop after responding.
+text::Json handle_request(ServerState& state, const std::string& line,
+                          bool& shutdown) {
+    Result<text::Json> parsed = text::parse_json(line);
+    if (!parsed.ok()) {
+        return error_response(nullptr, "bad request: " + parsed.error().message);
+    }
+    const text::Json& request = parsed.value();
+    if (!request.is_object()) return error_response(nullptr, "bad request: not an object");
+    const text::Json* id = request.find("id");
+
+    if (const text::Json* op = request.find("op")) {
+        if (!op->is_string()) return error_response(id, "bad request: 'op' must be a string");
+        if (op->as_string() == "ping") {
+            text::Json response = text::Json::object();
+            if (id != nullptr) response.set("id", *id);
+            response.set("ok", text::Json(true));
+            response.set("pong", text::Json(true));
+            response.set("cache", state.cache != nullptr ? state.cache->stats_json()
+                                                         : text::Json());
+            return response;
+        }
+        if (op->as_string() == "shutdown") {
+            shutdown = true;
+            text::Json response = text::Json::object();
+            if (id != nullptr) response.set("id", *id);
+            response.set("ok", text::Json(true));
+            response.set("shutdown", text::Json(true));
+            return response;
+        }
+        return error_response(id, "bad request: unknown op '" + op->as_string() + "'");
+    }
+
+    std::string label;
+    std::string text;
+    if (const text::Json* file = request.find("file")) {
+        if (!file->is_string()) return error_response(id, "bad request: 'file' must be a string");
+        label = file->as_string();
+        std::ifstream in(label, std::ios::binary);
+        if (!in) return error_response(id, "cannot open " + label);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    } else if (const text::Json* xapk = request.find("xapk")) {
+        if (!xapk->is_string()) return error_response(id, "bad request: 'xapk' must be a string");
+        label = "<inline>";
+        text = xapk->as_string();
+    } else {
+        return error_response(id, "bad request: expected 'file', 'xapk', or 'op'");
+    }
+
+    std::vector<core::BatchInput> inputs(1);
+    inputs[0].file = label;
+    inputs[0].text = std::move(text);
+    CachedBatch batch =
+        analyze_batch_cached(*state.analyzer, state.cache, std::move(inputs));
+    const core::BatchItem& item = batch.items[0];
+
+    text::Json response = text::Json::object();
+    if (id != nullptr) response.set("id", *id);
+    if (!item.ok()) {
+        response.set("ok", text::Json(false));
+        response.set("file", text::Json(item.file));
+        response.set("error", text::Json(item.error));
+        return response;
+    }
+    response.set("ok", text::Json(true));
+    response.set("file", text::Json(item.file));
+    response.set("cached", text::Json(batch.hits > 0));
+    response.set("report", item.report->to_json());
+    return response;
+}
+
+void serve_connection(ServerState& state, ConnectionSet& connections, int fd) {
+    std::string buffer;
+    char chunk[4096];
+    bool shutdown = false;
+    bool dead = false;
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (n == 0) break;  // client closed (or shutdown_all unblocked us)
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t newline = 0;
+        while ((newline = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            if (line.empty()) continue;
+            text::Json response = handle_request(state, line, shutdown);
+            // Compact dump has no raw newlines, so one response = one line.
+            bool sent = write_all(fd, response.dump() + "\n");
+            if (shutdown) {
+                char byte = 'x';
+                [[maybe_unused]] ssize_t w = ::write(state.wake_fd, &byte, 1);
+            }
+            if (!sent || shutdown) {
+                dead = true;
+                break;
+            }
+        }
+        // A "line" past 64 MiB with no newline is not a protocol client.
+        if (dead || buffer.size() > (64u << 20)) break;
+    }
+    connections.remove(fd);
+    ::close(fd);
+}
+
+}  // namespace
+
+int serve(const ServeOptions& options) {
+    const std::string& path = options.socket_path;
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "error: socket path too long: %s\n", path.c_str());
+        return 1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    // A leftover socket file from a crashed daemon would make bind() fail.
+    // Probe it: a live daemon accepts the connect (refuse to double-bind);
+    // a dead one refuses, and the stale file is unlinked.
+    if (std::filesystem::exists(path)) {
+        int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe >= 0) {
+            int rc = ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+            ::close(probe);
+            if (rc == 0) {
+                std::fprintf(stderr, "error: %s already has a live daemon\n",
+                             path.c_str());
+                return 1;
+            }
+        }
+        ::unlink(path.c_str());
+    }
+
+    int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+        return 1;
+    }
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd, 16) != 0) {
+        std::fprintf(stderr, "error: cannot listen on %s: %s\n", path.c_str(),
+                     std::strerror(errno));
+        ::close(listen_fd);
+        return 1;
+    }
+
+    int wake[2] = {-1, -1};
+    if (::pipe(wake) != 0) {
+        std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+        ::close(listen_fd);
+        ::unlink(path.c_str());
+        return 1;
+    }
+    g_wake_fd = wake[1];
+
+    struct sigaction wake_action{};
+    wake_action.sa_handler = wake_on_signal;
+    sigemptyset(&wake_action.sa_mask);
+    struct sigaction old_term{}, old_int{}, old_pipe{};
+    struct sigaction ignore_action{};
+    ignore_action.sa_handler = SIG_IGN;
+    sigemptyset(&ignore_action.sa_mask);
+    ::sigaction(SIGTERM, &wake_action, &old_term);
+    ::sigaction(SIGINT, &wake_action, &old_int);
+    // A client vanishing mid-response must not kill the daemon.
+    ::sigaction(SIGPIPE, &ignore_action, &old_pipe);
+
+    // Built once, shared by every request: the warm semantic model and
+    // interned strings are the daemon's whole point. No progress callback —
+    // the daemon's stderr is a log, not a terminal.
+    core::AnalyzerOptions analyzer_options = options.analyzer;
+    analyzer_options.batch_progress = nullptr;
+    core::Analyzer analyzer(analyzer_options);
+    std::unique_ptr<ReportCache> cache;
+    if (options.cache) cache = std::make_unique<ReportCache>(*options.cache);
+
+    ServerState state;
+    state.analyzer = &analyzer;
+    state.cache = cache.get();
+    state.wake_fd = wake[1];
+
+    ConnectionSet connections;
+    std::vector<std::thread> workers;
+
+    log::info().kv("socket", path).kv("jobs", analyzer_options.jobs)
+        << "cache: daemon listening";
+
+    for (;;) {
+        pollfd fds[2] = {{wake[0], POLLIN, 0}, {listen_fd, POLLIN, 0}};
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (fds[0].revents != 0) break;  // signal or shutdown request
+        if ((fds[1].revents & POLLIN) == 0) continue;
+        int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        connections.add(conn);
+        workers.emplace_back(
+            [&state, &connections, conn] { serve_connection(state, connections, conn); });
+    }
+
+    // Clean shutdown: stop accepting, unblock in-flight connections, drain.
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    connections.shutdown_all();
+    for (std::thread& worker : workers) worker.join();
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+    g_wake_fd = -1;
+    ::close(wake[0]);
+    ::close(wake[1]);
+    if (cache) {
+        CacheStats s = cache->stats();
+        log::info()
+                .kv("hits", s.hits)
+                .kv("misses", s.misses)
+                .kv("corrupt_entries", s.corrupt_entries)
+            << "cache: daemon stopped";
+    } else {
+        log::info() << "cache: daemon stopped";
+    }
+    return 0;
+}
+
+int connect_and_analyze(const std::string& socket_path,
+                        const std::vector<std::string>& files,
+                        double connect_timeout_seconds) {
+    sockaddr_un addr{};
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "error: socket path too long: %s\n", socket_path.c_str());
+        return 1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+        return 1;
+    }
+    // Retry the connect: tests (and scripts) start daemon + client back to
+    // back, and the daemon needs a moment to bind.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(connect_timeout_seconds);
+    while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                         socket_path.c_str(), std::strerror(errno));
+            ::close(fd);
+            return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    int exit_code = 0;
+    std::string buffer;
+    char chunk[4096];
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        // Absolute paths: the daemon resolves them from its own cwd.
+        std::error_code ec;
+        std::filesystem::path absolute = std::filesystem::absolute(files[i], ec);
+        text::Json request = text::Json::object();
+        request.set("id", text::Json(static_cast<std::int64_t>(i + 1)));
+        request.set("file", text::Json(ec ? files[i] : absolute.string()));
+        if (!write_all(fd, request.dump() + "\n")) {
+            std::fprintf(stderr, "error: daemon connection lost\n");
+            ::close(fd);
+            return 1;
+        }
+        std::size_t newline = 0;
+        while ((newline = buffer.find('\n')) == std::string::npos) {
+            ssize_t n = ::read(fd, chunk, sizeof chunk);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) {
+                std::fprintf(stderr, "error: daemon closed the connection\n");
+                ::close(fd);
+                return 1;
+            }
+            buffer.append(chunk, static_cast<std::size_t>(n));
+        }
+        std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        std::printf("%s\n", line.c_str());
+        Result<text::Json> response = text::parse_json(line);
+        const text::Json* ok =
+            response.ok() && response.value().is_object() ? response.value().find("ok")
+                                                          : nullptr;
+        if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) exit_code = 1;
+    }
+    ::close(fd);
+    return exit_code;
+}
+
+}  // namespace extractocol::cache

@@ -1,0 +1,50 @@
+// Layer 2 of fleet-scale re-analysis: `extractocol --serve <socket>`, a
+// long-lived daemon over a Unix domain socket. One process keeps the
+// semantic model, interned strings, and the report cache warm; clients send
+// newline-delimited JSON requests and get one JSON response line each:
+//
+//   -> {"id": 1, "file": "/abs/path/app.xapk"}
+//   -> {"id": 2, "xapk": "<serialized app text>"}
+//   -> {"op": "ping"}
+//   -> {"op": "shutdown"}
+//   <- {"id": 1, "ok": true, "file": "...", "cached": true, "report": {...}}
+//   <- {"ok": false, "error": "..."}
+//
+// Misses run through Analyzer::analyze_batch (the daemon's --jobs pool);
+// hits replay the cache byte-identically. Each connection is served by its
+// own thread, so concurrent clients racing on the same miss exercise the
+// cache's atomic-rename last-writer-wins path. SIGTERM/SIGINT (or an
+// {"op":"shutdown"} request) stop the accept loop via a self-pipe, drain
+// open connections, and unlink the socket.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "core/analyzer.hpp"
+
+namespace extractocol::cache {
+
+struct ServeOptions {
+    std::string socket_path;
+    core::AnalyzerOptions analyzer;
+    /// Persistent cache to serve from; nullopt = every request analyzes.
+    std::optional<CacheOptions> cache;
+};
+
+/// Runs the daemon until SIGTERM/SIGINT or a shutdown request; returns the
+/// process exit code (0 on clean shutdown, 1 on setup failure).
+[[nodiscard]] int serve(const ServeOptions& options);
+
+/// Client mode (`--connect`): sends one analysis request per file to a
+/// running daemon and prints each raw JSON response line to stdout.
+/// Retries the initial connect until `connect_timeout_seconds` so a test
+/// can launch daemon and client back to back. Returns 0 iff every response
+/// was ok.
+[[nodiscard]] int connect_and_analyze(const std::string& socket_path,
+                                      const std::vector<std::string>& files,
+                                      double connect_timeout_seconds = 10.0);
+
+}  // namespace extractocol::cache

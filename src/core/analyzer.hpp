@@ -30,6 +30,12 @@
 
 namespace extractocol::core {
 
+/// Analyzer implementation version, embedded in every persistent cache
+/// entry (src/cache). Entries written by a different version are cleanly
+/// invalidated instead of served — bump this whenever a pipeline or report
+/// change can alter output bytes for the same input.
+inline constexpr std::string_view kAnalyzerVersion = "9";
+
 struct ReportTransaction {
     sig::TransactionSignature signature;
     /// Cached regex renderings.

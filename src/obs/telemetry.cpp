@@ -34,6 +34,11 @@ void RunTelemetry::set_fleet_accuracy(text::Json accuracy) {
     fleet_accuracy_ = std::move(accuracy);
 }
 
+void RunTelemetry::set_cache(text::Json cache) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_ = std::move(cache);
+}
+
 void RunTelemetry::add(AppRunRecord record) {
     std::lock_guard<std::mutex> lock(mutex_);
     records_.push_back(std::move(record));
@@ -88,6 +93,7 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
     std::optional<MetricsSnapshot> metrics;
     std::optional<text::Json> profile;
     std::optional<text::Json> fleet_accuracy;
+    std::optional<text::Json> cache;
     unsigned jobs = 1;
     std::uint64_t timestamp = 0;
     {
@@ -96,6 +102,7 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
         metrics = metrics_;
         profile = profile_summary_;
         fleet_accuracy = fleet_accuracy_;
+        cache = cache_;
         jobs = jobs_;
         timestamp = timestamp_unix_ms_;
     }
@@ -114,6 +121,14 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
             r.wall_seconds = 0;
             for (auto& [name, seconds] : r.phase_seconds) seconds = 0;
             r.peak_bytes = 0;
+        }
+        if (cache && cache->is_object()) {
+            // Entry payloads embed the cold run's measured timings, so the
+            // on-disk byte total varies run to run; the operation counts are
+            // deterministic per workload and survive normalization.
+            for (auto& [key, value] : cache->members()) {
+                if (key == "bytes") value = text::Json(std::int64_t{0});
+            }
         }
         if (metrics) {
             // The registry is process-global: histogram counts and gauge
@@ -176,6 +191,9 @@ text::Json RunTelemetry::manifest_json(bool normalize_resources) const {
     // Profile totals are deterministic counts (Profiler::summary_json), so
     // they need no normalization.
     if (profile) doc.set("profile", *profile);
+    // The cache block is the run's slice of the cache index: which lookups
+    // hit, missed, corrupted, or evicted this run.
+    if (cache) doc.set("cache", *cache);
     if (metrics) doc.set("metrics", metrics->to_json(NameStyle::kPrometheus));
     return doc;
 }

@@ -90,6 +90,13 @@ public:
     /// Attaches the fleet accuracy block (eval::FleetEval::accuracy_json) as
     /// the manifest fleet's "accuracy" section. Omitted when never set.
     void set_fleet_accuracy(text::Json accuracy);
+    /// Attaches the report-cache block (cache::ReportCache::stats_json) as
+    /// the manifest's "cache" section — the cache index a warm fleet run is
+    /// scheduled from. Omitted when the run used no cache. Normalization
+    /// zeroes only its "bytes" member (entry payloads embed measured
+    /// timings, so their size is a resource measurement; hit/miss/store
+    /// counts are deterministic per workload).
+    void set_cache(text::Json cache);
 
     void add(AppRunRecord record);
 
@@ -111,6 +118,7 @@ private:
     std::optional<MetricsSnapshot> metrics_;
     std::optional<text::Json> profile_summary_;
     std::optional<text::Json> fleet_accuracy_;
+    std::optional<text::Json> cache_;
     std::vector<AppRunRecord> records_;
 };
 

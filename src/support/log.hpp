@@ -51,6 +51,18 @@ Level threshold();
 void emit(Level level, const std::string& message);
 void emit(LogRecord record);
 
+// ------------------------------------------------- transient status line --
+// A single \r-overwritten stderr line (the CLI's --progress ETA display)
+// that must never interleave with log records. set_status_line redraws the
+// line, clearing to end-of-line first; emit() erases an active line before
+// the sink runs and redraws it afterwards, so records land on clean lines.
+// end_status_line prints the final text terminated with '\n' (idempotent,
+// no-op when no line is active) — callers run it before any other stderr
+// block and on error paths, so no stale partial line is ever left behind.
+
+void set_status_line(std::string text);
+void end_status_line();
+
 namespace detail {
 class Record {
 public:

@@ -1,0 +1,391 @@
+// Persistent report cache: content-addressed keys, strict codec round-trip,
+// the integrity ladder (every injected corruption must fall back to cold
+// analysis and never serve wrong output), clean version-skew invalidation,
+// concurrent writer/reader safety (atomic rename, last-writer-wins), size
+// eviction, and the cached-batch merge contract (errors never cached, input
+// order preserved, hits byte-identical to the stored cold run).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/codec.hpp"
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "support/hash.hpp"
+#include "xapk/serialize.hpp"
+
+using namespace extractocol;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh per-test cache directory under the system temp root; removed on
+/// destruction so reruns never see a previous run's entries.
+struct TempCacheDir {
+    explicit TempCacheDir(const std::string& name)
+        : path(fs::temp_directory_path() /
+               ("xt_cache_test_" + std::to_string(::getpid()) + "_" + name)) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempCacheDir() {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    fs::path path;
+};
+
+cache::CacheOptions options_for(const TempCacheDir& dir) {
+    cache::CacheOptions options;
+    options.dir = dir.path.string();
+    return options;
+}
+
+core::AnalysisReport analyze_text(const std::string& text) {
+    core::AnalyzerOptions options;
+    auto items = core::Analyzer(options).analyze_batch({{"app.xapk", text}});
+    EXPECT_EQ(items.size(), 1u);
+    EXPECT_TRUE(items[0].ok()) << items[0].error;
+    return std::move(*items[0].report);
+}
+
+std::string corpus_text(const std::string& name) {
+    return xapk::write_xapk(corpus::build_app(name).program);
+}
+
+std::size_t entry_count(const fs::path& dir) {
+    std::size_t n = 0;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+        std::string file = entry.path().filename().string();
+        if (!file.empty() && file.front() != '.') ++n;
+    }
+    return n;
+}
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+}  // namespace
+
+TEST(CacheTest, KeyIsAPureFunctionOfContent) {
+    std::string text = corpus_text("blippex");
+    std::string key = cache::ReportCache::key_for(text);
+    ASSERT_EQ(key.size(), 32u);
+    for (char c : key) {
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << key;
+    }
+    // Stable across calls and across re-serialization of the same program
+    // (the key sees bytes, never process-local interning state).
+    EXPECT_EQ(cache::ReportCache::key_for(text), key);
+    EXPECT_EQ(cache::ReportCache::key_for(corpus_text("blippex")), key);
+    // One flipped bit moves the key.
+    std::string flipped = text;
+    flipped[flipped.size() / 2] ^= 0x01;
+    EXPECT_NE(cache::ReportCache::key_for(flipped), key);
+    EXPECT_NE(cache::ReportCache::key_for(corpus_text("iFixIt")), key);
+}
+
+TEST(CacheTest, CodecRoundTripIsByteIdentical) {
+    // The strict codec must reproduce EVERY rendering byte-for-byte — the
+    // un-normalized JSON too, which includes measured timings (doubles are
+    // printed with enough digits to round-trip binary64 exactly).
+    std::vector<std::string> names = corpus::open_source_apps();
+    ASSERT_GE(names.size(), 3u);
+    names.resize(3);
+    for (const auto& name : names) {
+        core::AnalysisReport report = analyze_text(corpus_text(name));
+        Result<core::AnalysisReport> decoded =
+            cache::report_from_json(cache::report_to_json(report));
+        ASSERT_TRUE(decoded.ok()) << name << ": " << decoded.error().message;
+        EXPECT_EQ(decoded.value().to_text(), report.to_text()) << name;
+        EXPECT_EQ(decoded.value().to_json().dump_pretty(),
+                  report.to_json().dump_pretty())
+            << name;
+        EXPECT_EQ(decoded.value().audit.to_text(), report.audit.to_text()) << name;
+        EXPECT_EQ(decoded.value().audit.to_json().dump_pretty(),
+                  report.audit.to_json().dump_pretty())
+            << name;
+        EXPECT_EQ(decoded.value().stats.counters, report.stats.counters) << name;
+        ASSERT_EQ(decoded.value().transactions.size(), report.transactions.size());
+        for (std::size_t t = 0; t < report.transactions.size(); ++t) {
+            EXPECT_EQ(decoded.value().explain(t), report.explain(t))
+                << name << " provenance tree #" << t + 1;
+        }
+    }
+}
+
+TEST(CacheTest, StoreThenLoadReplaysTheReport) {
+    TempCacheDir dir("store_load");
+    cache::ReportCache store_cache(options_for(dir));
+    std::string text = corpus_text("blippex");
+    std::string key = cache::ReportCache::key_for(text);
+    core::AnalysisReport report = analyze_text(text);
+    ASSERT_TRUE(store_cache.store(key, report));
+    EXPECT_EQ(entry_count(dir.path), 1u);
+    EXPECT_GT(store_cache.bytes_on_disk(), 0u);
+
+    // A separate handle (a different process, morally) sees the entry.
+    cache::ReportCache load_cache(options_for(dir));
+    std::optional<core::AnalysisReport> loaded = load_cache.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->to_text(), report.to_text());
+    EXPECT_EQ(loaded->to_json().dump_pretty(), report.to_json().dump_pretty());
+    EXPECT_EQ(load_cache.stats().hits, 1u);
+    EXPECT_EQ(load_cache.stats().misses, 0u);
+    EXPECT_EQ(load_cache.stats().corrupt_entries, 0u);
+
+    // An absent key is a plain miss, not corruption.
+    EXPECT_FALSE(load_cache.load(std::string(32, '0')).has_value());
+    EXPECT_EQ(load_cache.stats().misses, 1u);
+    EXPECT_EQ(load_cache.stats().corrupt_entries, 0u);
+}
+
+TEST(CacheTest, EveryInjectedCorruptionFallsBackCold) {
+    // The integrity sweep: truncations, bit flips, garbage, wrong schema,
+    // appended bytes, an empty file. Every one must (a) load as nullopt,
+    // (b) be counted (corrupt, or eviction for clean invalidations),
+    // (c) be deleted, and (d) leave the cache able to re-store and then
+    // serve the CORRECT report — wrong output is never an outcome.
+    TempCacheDir dir("corruption");
+    cache::ReportCache report_cache(options_for(dir));
+    std::string text = corpus_text("blippex");
+    std::string key = cache::ReportCache::key_for(text);
+    core::AnalysisReport report = analyze_text(text);
+    std::string expected_text = report.to_text();
+
+    ASSERT_TRUE(report_cache.store(key, report));
+    fs::path entry = dir.path / (key + ".xce");
+    std::string pristine = read_file(entry);
+    ASSERT_FALSE(pristine.empty());
+
+    std::vector<std::pair<std::string, std::string>> mutations;
+    mutations.emplace_back("empty file", "");
+    mutations.emplace_back("wrong schema tag",
+                           "extractocol.cache/v0" + pristine.substr(19));
+    mutations.emplace_back("garbage", "not a cache entry at all\n{}");
+    mutations.emplace_back("appended bytes", pristine + "trailing garbage");
+    mutations.emplace_back("header only", pristine.substr(0, pristine.find('\n') + 1));
+    // The repo's deterministic PRNG: the mutation schedule must be
+    // reproducible in a failing log (no std::random_device).
+    SplitMix64 rng(0x5eed);
+    for (int i = 0; i < 8; ++i) {
+        // Truncation at a pseudo-random point (skip 0: that is "empty file").
+        std::size_t cut = 1 + rng.next_below(pristine.size() - 1);
+        mutations.emplace_back("truncated at " + std::to_string(cut),
+                               pristine.substr(0, cut));
+    }
+    for (int i = 0; i < 8; ++i) {
+        std::size_t at = rng.next_below(pristine.size());
+        std::string flipped = pristine;
+        flipped[at] ^= static_cast<char>(1u << rng.next_below(8));
+        if (flipped == pristine) continue;
+        mutations.emplace_back("bit flip at " + std::to_string(at), flipped);
+    }
+
+    for (const auto& [what, bytes] : mutations) {
+        write_file(entry, bytes);
+        cache::CacheStats before = report_cache.stats();
+        std::optional<core::AnalysisReport> loaded = report_cache.load(key);
+        cache::CacheStats after = report_cache.stats();
+        // Never wrong output: a mutated entry either fails validation
+        // (nullopt) or — only possible for a bit flip inside a JSON number
+        // of the payload that still checksums, which cannot happen since
+        // the checksum covers the payload — so it must be nullopt.
+        ASSERT_FALSE(loaded.has_value()) << what;
+        EXPECT_EQ(after.misses, before.misses + 1) << what;
+        EXPECT_EQ((after.corrupt_entries + after.evictions) -
+                      (before.corrupt_entries + before.evictions),
+                  1u)
+            << what;
+        EXPECT_FALSE(fs::exists(entry)) << what << ": corrupt entry not deleted";
+
+        // The fallback path: cold analysis + re-store serves the correct
+        // report again.
+        ASSERT_TRUE(report_cache.store(key, report)) << what;
+        std::optional<core::AnalysisReport> recovered = report_cache.load(key);
+        ASSERT_TRUE(recovered.has_value()) << what;
+        EXPECT_EQ(recovered->to_text(), expected_text) << what;
+    }
+    EXPECT_GT(report_cache.stats().corrupt_entries, 0u);
+}
+
+TEST(CacheTest, AnalyzerVersionSkewIsACleanInvalidation) {
+    TempCacheDir dir("version_skew");
+    std::string text = corpus_text("blippex");
+    std::string key = cache::ReportCache::key_for(text);
+    core::AnalysisReport report = analyze_text(text);
+    {
+        cache::CacheOptions old_options = options_for(dir);
+        old_options.analyzer_version = "0-test-old";
+        cache::ReportCache old_cache(old_options);
+        ASSERT_TRUE(old_cache.store(key, report));
+    }
+    cache::ReportCache new_cache(options_for(dir));
+    EXPECT_FALSE(new_cache.load(key).has_value());
+    cache::CacheStats stats = new_cache.stats();
+    // Intact-but-stale is an eviction, NOT corruption: the distinction keeps
+    // cache.corrupt_entries a real integrity alarm.
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.corrupt_entries, 0u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(entry_count(dir.path), 0u);
+}
+
+TEST(CacheTest, ConcurrentWritersAndReadersNeverSeeTornEntries) {
+    // Two writers race store() on the SAME key with different contents while
+    // readers load() continuously. Atomic rename publication means every
+    // successful load is byte-identical to one of the two stored reports —
+    // a torn mix would fail the checksum and show up as corruption, so
+    // corrupt_entries must stay 0. Run under tsan for the data-race angle.
+    TempCacheDir dir("concurrent");
+    cache::ReportCache report_cache(options_for(dir));
+    core::AnalysisReport report_a = analyze_text(corpus_text("blippex"));
+    core::AnalysisReport report_b = analyze_text(corpus_text("iFixIt"));
+    std::string text_a = report_a.to_text();
+    std::string text_b = report_b.to_text();
+    ASSERT_NE(text_a, text_b);
+    const std::string key(32, 'a');  // shared slot both writers fight over
+
+    constexpr int kRounds = 40;
+    std::thread writer_a([&] {
+        for (int i = 0; i < kRounds; ++i) (void)report_cache.store(key, report_a);
+    });
+    std::thread writer_b([&] {
+        for (int i = 0; i < kRounds; ++i) (void)report_cache.store(key, report_b);
+    });
+    std::size_t loads_ok = 0;
+    bool mismatch = false;
+    std::thread reader([&] {
+        for (int i = 0; i < kRounds * 2; ++i) {
+            if (std::optional<core::AnalysisReport> loaded = report_cache.load(key)) {
+                std::string got = loaded->to_text();
+                if (got != text_a && got != text_b) mismatch = true;
+                ++loads_ok;
+            }
+        }
+    });
+    writer_a.join();
+    writer_b.join();
+    reader.join();
+
+    EXPECT_FALSE(mismatch) << "a load returned a report neither writer stored";
+    EXPECT_EQ(report_cache.stats().corrupt_entries, 0u);
+    // Last-writer-wins: the surviving entry is one of the two, whole.
+    std::optional<core::AnalysisReport> final_report = report_cache.load(key);
+    ASSERT_TRUE(final_report.has_value());
+    std::string final_text = final_report->to_text();
+    EXPECT_TRUE(final_text == text_a || final_text == text_b);
+    EXPECT_GT(loads_ok, 0u);
+}
+
+TEST(CacheTest, EvictionKeepsTheDirectoryUnderMaxBytes) {
+    TempCacheDir dir("eviction");
+    std::string text = corpus_text("blippex");
+    core::AnalysisReport report = analyze_text(text);
+
+    // Size one entry, then cap the directory at ~2 entries and store 5.
+    std::uint64_t one_entry_bytes = 0;
+    {
+        cache::ReportCache sizer(options_for(dir));
+        ASSERT_TRUE(sizer.store(std::string(32, '0'), report));
+        one_entry_bytes = sizer.bytes_on_disk();
+        fs::remove(dir.path / (std::string(32, '0') + ".xce"));
+    }
+    ASSERT_GT(one_entry_bytes, 0u);
+
+    cache::CacheOptions capped = options_for(dir);
+    capped.max_bytes = one_entry_bytes * 2 + one_entry_bytes / 2;
+    cache::ReportCache report_cache(capped);
+    for (char c : {'1', '2', '3', '4', '5'}) {
+        ASSERT_TRUE(report_cache.store(std::string(32, c), report));
+    }
+    EXPECT_LE(report_cache.bytes_on_disk(), capped.max_bytes);
+    EXPECT_GE(report_cache.stats().evictions, 3u);
+    // The newest entry always survives its own store.
+    EXPECT_TRUE(report_cache.load(std::string(32, '5')).has_value());
+}
+
+TEST(CacheTest, CachedBatchMergesInOrderAndNeverCachesErrors) {
+    TempCacheDir dir("batch");
+    std::string text_a = corpus_text("blippex");
+    std::string text_b = corpus_text("iFixIt");
+    std::string poisoned = "not an xapk at all";
+
+    core::AnalyzerOptions options;
+    auto make_inputs = [&] {
+        std::vector<core::BatchInput> inputs;
+        inputs.push_back({"a.xapk", text_a});
+        inputs.push_back({"poisoned.xapk", poisoned});
+        inputs.push_back({"b.xapk", text_b});
+        return inputs;
+    };
+
+    cache::ReportCache cold_cache(options_for(dir));
+    cache::CachedBatch cold =
+        cache::analyze_batch_cached(options, &cold_cache, make_inputs());
+    ASSERT_EQ(cold.items.size(), 3u);
+    EXPECT_EQ(cold.hits, 0u);
+    EXPECT_EQ(cold.misses, 3u);
+    EXPECT_EQ(cold.items[0].file, "a.xapk");
+    EXPECT_EQ(cold.items[1].file, "poisoned.xapk");
+    EXPECT_EQ(cold.items[2].file, "b.xapk");
+    EXPECT_TRUE(cold.items[0].ok());
+    EXPECT_FALSE(cold.items[1].ok());
+    EXPECT_TRUE(cold.items[2].ok());
+    // Two entries on disk: the error was NOT cached.
+    EXPECT_EQ(entry_count(dir.path), 2u);
+    EXPECT_FALSE(
+        fs::exists(dir.path / (cache::ReportCache::key_for(poisoned) + ".xce")));
+
+    // Warm run: both healthy inputs hit; the poisoned one re-analyzes (and
+    // fails identically); everything stays in input order.
+    cache::ReportCache warm_cache(options_for(dir));
+    cache::CachedBatch warm =
+        cache::analyze_batch_cached(options, &warm_cache, make_inputs());
+    ASSERT_EQ(warm.items.size(), 3u);
+    EXPECT_EQ(warm.hits, 2u);
+    EXPECT_EQ(warm.misses, 1u);
+    EXPECT_EQ(warm.from_cache[0], 1);
+    EXPECT_EQ(warm.from_cache[1], 0);
+    EXPECT_EQ(warm.from_cache[2], 1);
+    EXPECT_EQ(warm.items[0].report->to_text(), cold.items[0].report->to_text());
+    EXPECT_EQ(warm.items[2].report->to_text(), cold.items[2].report->to_text());
+    EXPECT_EQ(warm.items[1].error, cold.items[1].error);
+    EXPECT_EQ(warm_cache.stats().hits, 2u);
+    EXPECT_EQ(warm_cache.stats().misses, 1u);
+
+    // The warm analyzer-reuse overload (the daemon's path) agrees.
+    core::Analyzer analyzer(options);
+    cache::ReportCache daemon_cache(options_for(dir));
+    cache::CachedBatch daemon =
+        cache::analyze_batch_cached(analyzer, &daemon_cache, make_inputs());
+    EXPECT_EQ(daemon.hits, 2u);
+    EXPECT_EQ(daemon.items[0].report->to_text(), cold.items[0].report->to_text());
+
+    // Null cache: everything misses, nothing stored beyond the 2 entries.
+    cache::CachedBatch uncached =
+        cache::analyze_batch_cached(options, nullptr, make_inputs());
+    EXPECT_EQ(uncached.hits, 0u);
+    EXPECT_EQ(uncached.misses, 3u);
+    EXPECT_EQ(uncached.items[0].report->to_text(), cold.items[0].report->to_text());
+}

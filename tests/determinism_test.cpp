@@ -6,10 +6,14 @@
 // with the dropped §5.1 coverage gap kept in `dropped_intent_contexts`.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "core/analyzer.hpp"
 #include "corpus/corpus.hpp"
 #include "eval/eval.hpp"
@@ -329,6 +333,129 @@ TEST(DeterminismTest, EvalTableAndSidecarAreByteIdenticalAcrossJobCounts) {
         EXPECT_EQ(result.second, baseline.second)
             << "eval sidecar diverged at jobs=" << jobs;
     }
+}
+
+TEST(DeterminismTest, WarmCacheReplayIsByteIdenticalToColdAcrossJobCounts) {
+    // The persistent cache holds the report stream's determinism bar from
+    // the other side: a 100%-hit warm run must reproduce the cold run's
+    // outputs byte-for-byte — the UN-normalized report JSON included, since
+    // a hit replays the cold run's stored timings rather than measuring new
+    // ones — at every --jobs value, through a batch with a poisoned input
+    // (whose error is re-derived cold each run, never cached).
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() /
+                   ("xt_determinism_cache_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    cache::CacheOptions cache_options;
+    cache_options.dir = dir.string();
+
+    auto make_inputs = [] {
+        std::vector<core::BatchInput> inputs;
+        for (const auto& name : {"blippex", "iFixIt"}) {
+            corpus::CorpusApp app = corpus::build_app(name);
+            inputs.push_back(
+                {std::string(name) + ".xapk", xapk::write_xapk(app.program)});
+        }
+        inputs.insert(inputs.begin() + 1, {"poisoned.xapk", "not an xapk at all"});
+        return inputs;
+    };
+
+    // One run end to end: reports, eval surfaces, and the normalized run
+    // manifest with the per-run cache block attached. Each run gets its own
+    // ReportCache handle so the manifest's hit/miss counts are the run's
+    // deltas (deterministic per workload), not process accumulations.
+    struct RunOutputs {
+        cache::CachedBatch batch;
+        std::string eval_table;
+        std::string eval_sidecar;
+        std::string manifest;
+    };
+    auto run = [&](unsigned jobs) {
+        core::AnalyzerOptions options;
+        options.jobs = jobs;
+        cache::ReportCache report_cache(cache_options);
+        RunOutputs out;
+        out.batch = cache::analyze_batch_cached(options, &report_cache,
+                                                make_inputs());
+        std::vector<eval::EvalResult> results;
+        for (const auto& item : out.batch.items) {
+            results.push_back(eval::evaluate_item(item));
+        }
+        eval::FleetEval fleet = eval::aggregate(results);
+        out.eval_table = eval::render_table(results, fleet);
+        out.eval_sidecar = eval::results_json(results, fleet).dump_pretty();
+        obs::RunTelemetry telemetry;
+        telemetry.set_jobs(jobs);
+        for (const auto& item : out.batch.items) {
+            telemetry.add(core::telemetry_record(item, options));
+        }
+        telemetry.set_cache(report_cache.stats_json());
+        out.manifest =
+            telemetry.manifest_json(/*normalize_resources=*/true).dump_pretty();
+        return out;
+    };
+
+    RunOutputs cold = run(1);
+    ASSERT_EQ(cold.batch.items.size(), 3u);
+    EXPECT_EQ(cold.batch.hits, 0u);
+    EXPECT_FALSE(cold.batch.items[1].ok());
+    {
+        // Exactly the two healthy reports were persisted: errors are never
+        // cached, so the poisoned input stays a cold path forever.
+        std::size_t entries = 0;
+        for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+            std::string name = entry.path().filename().string();
+            if (!name.empty() && name.front() != '.') ++entries;
+        }
+        EXPECT_EQ(entries, 2u);
+    }
+
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        RunOutputs warm = run(jobs);
+        ASSERT_EQ(warm.batch.items.size(), cold.batch.items.size())
+            << "jobs=" << jobs;
+        EXPECT_EQ(warm.batch.hits, 2u) << "jobs=" << jobs;
+        EXPECT_EQ(warm.batch.misses, 1u) << "jobs=" << jobs;
+        std::vector<char> expected_from_cache = {1, 0, 1};
+        EXPECT_EQ(warm.batch.from_cache, expected_from_cache) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < cold.batch.items.size(); ++i) {
+            const core::BatchItem& a = cold.batch.items[i];
+            const core::BatchItem& b = warm.batch.items[i];
+            EXPECT_EQ(b.file, a.file) << "jobs=" << jobs;
+            EXPECT_EQ(b.ok(), a.ok()) << "jobs=" << jobs;
+            EXPECT_EQ(b.error, a.error) << "jobs=" << jobs;
+            if (!a.ok() || !b.ok()) continue;
+            EXPECT_EQ(b.report->to_text(), a.report->to_text())
+                << a.file << " text diverged warm at jobs=" << jobs;
+            // Deliberately NOT normalized: the replay includes timings.
+            EXPECT_EQ(b.report->to_json().dump_pretty(),
+                      a.report->to_json().dump_pretty())
+                << a.file << " full JSON diverged warm at jobs=" << jobs;
+            EXPECT_EQ(b.report->audit.to_text(), a.report->audit.to_text())
+                << a.file << " audit diverged warm at jobs=" << jobs;
+            ASSERT_EQ(b.report->transactions.size(), a.report->transactions.size());
+            for (std::size_t t = 0; t < a.report->transactions.size(); ++t) {
+                EXPECT_EQ(b.report->explain(t), a.report->explain(t))
+                    << a.file << " provenance #" << t + 1 << " warm jobs=" << jobs;
+            }
+        }
+        EXPECT_EQ(warm.eval_table, cold.eval_table)
+            << "eval table diverged warm at jobs=" << jobs;
+        EXPECT_EQ(warm.eval_sidecar, cold.eval_sidecar)
+            << "eval sidecar diverged warm at jobs=" << jobs;
+        // The manifests differ only in the cache block's hit/miss split
+        // (cold: 0/3, warm: 2/1) — so compare warm manifests against the
+        // FIRST warm run, and check the cache block is present and stable.
+        EXPECT_NE(warm.manifest.find("\"cache\""), std::string::npos);
+        EXPECT_NE(warm.manifest.find("\"hits\": 2"), std::string::npos)
+            << warm.manifest;
+    }
+    RunOutputs warm_baseline = run(1);
+    for (unsigned jobs : {2u, 8u}) {
+        EXPECT_EQ(run(jobs).manifest, warm_baseline.manifest)
+            << "warm manifest diverged at jobs=" << jobs;
+    }
+    fs::remove_all(dir);
 }
 
 TEST(DeterminismTest, ProfileTableIsByteIdenticalAcrossJobCounts) {

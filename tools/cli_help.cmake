@@ -28,6 +28,7 @@ set(flags
   --json --audit --explain
   --scope --no-async-heuristic --async-hops --no-deobfuscation --max-steps
   --jobs --keep-going --fail-fast --progress
+  --cache-dir --cache-max-bytes --serve --connect
   --stats --metrics --metrics-prom --run-manifest --memtrack --trace
   --profile --profile-out --flamegraph
   --eval --eval-out
@@ -66,7 +67,8 @@ if(pos EQUAL -1)
 endif()
 
 # Value-taking options must name themselves when the value is missing.
-foreach(value_flag --profile-out --flamegraph --eval-out)
+foreach(value_flag --profile-out --flamegraph --eval-out
+                   --cache-dir --cache-max-bytes --serve --connect)
   execute_process(
     COMMAND "${EXTRACTOCOL}" ${value_flag}
     RESULT_VARIABLE rc_novalue

@@ -1,0 +1,147 @@
+# End-to-end daemon lifecycle check (ctest -P script).
+#
+# Starts `extractocol --serve <socket>` with a cache directory, then drives
+# it with `extractocol --connect`:
+#
+#   * the first request for an app analyzes cold ("cached": false);
+#   * the second request for the SAME app is served from the cache
+#     ("cached": true) with the identical report JSON;
+#   * a request for a nonexistent file comes back "ok": false without
+#     killing the daemon (the client exits 1);
+#   * SIGTERM shuts the daemon down cleanly: exit code 0, socket unlinked,
+#     and the shutdown line appears in its log.
+#
+# Expected definitions: EXTRACTOCOL, MAKE_CORPUS, WORK_DIR.
+
+foreach(var EXTRACTOCOL MAKE_CORPUS WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+find_program(SH_PROGRAM sh)
+if(NOT SH_PROGRAM)
+  message(STATUS "cli serve: no sh available, skipping daemon lifecycle test")
+  return()
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${MAKE_CORPUS}" "${WORK_DIR}/corpus"
+  RESULT_VARIABLE corpus_rc
+  OUTPUT_QUIET)
+if(NOT corpus_rc EQUAL 0)
+  message(FATAL_ERROR "make_corpus failed: ${corpus_rc}")
+endif()
+
+set(app "${WORK_DIR}/corpus/blippex.xapk")
+# Unix socket paths are capped near 108 bytes; build dirs can be deep, so
+# the socket lives under /tmp while everything else stays in WORK_DIR.
+string(RANDOM LENGTH 8 sock_tag)
+set(sock "/tmp/xt_serve_${sock_tag}.sock")
+file(REMOVE "${sock}")
+set(daemon_log "${WORK_DIR}/daemon.log")
+set(pid_file "${WORK_DIR}/daemon.pid")
+set(status_file "${WORK_DIR}/daemon.status")
+
+# Launch the daemon in the background; its exit code lands in status_file
+# once it terminates so the SIGTERM check below can read it. The daemon is
+# backgrounded INSIDE the wrapper shell so $! is extractocol's own pid (a
+# monitoring subshell's pid would swallow the SIGTERM below); the wrapper
+# then waits on it to capture the exit status.
+execute_process(
+  COMMAND "${SH_PROGRAM}" -c
+    "('${EXTRACTOCOL}' --serve '${sock}' --cache-dir '${WORK_DIR}/cache' --jobs 2 > '${daemon_log}' 2>&1 & echo $! > '${pid_file}'; wait $!; echo $? > '${status_file}') > /dev/null 2>&1 &"
+  RESULT_VARIABLE launch_rc)
+if(NOT launch_rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch the daemon: ${launch_rc}")
+endif()
+# The pid file is written by the detached wrapper; wait for it to appear.
+set(waited 0)
+while(NOT EXISTS "${pid_file}" AND waited LESS 50)
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+  math(EXPR waited "${waited} + 1")
+endwhile()
+if(NOT EXISTS "${pid_file}")
+  message(FATAL_ERROR "daemon wrapper never wrote ${pid_file}")
+endif()
+file(READ "${pid_file}" daemon_pid)
+string(STRIP "${daemon_pid}" daemon_pid)
+
+# --- request 1: cold miss ----------------------------------------------------
+# --connect retries the initial connect, so no sleep-and-hope here.
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --connect "${sock}" "${app}"
+  RESULT_VARIABLE rc1
+  OUTPUT_VARIABLE out1
+  ERROR_VARIABLE err1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "first --connect failed (${rc1}):\n${out1}\n${err1}")
+endif()
+string(FIND "${out1}" "\"cached\":false" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "first response must be a cache miss:\n${out1}")
+endif()
+string(FIND "${out1}" "\"ok\":true" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "first response must be ok:\n${out1}")
+endif()
+
+# --- request 2: warm hit, identical report -----------------------------------
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --connect "${sock}" "${app}"
+  RESULT_VARIABLE rc2
+  OUTPUT_VARIABLE out2
+  ERROR_VARIABLE err2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "second --connect failed (${rc2}):\n${out2}\n${err2}")
+endif()
+string(FIND "${out2}" "\"cached\":true" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "second response must be a cache hit:\n${out2}")
+endif()
+# Byte-identical replay: strip the one field that legitimately differs.
+string(REPLACE "\"cached\":false" "" norm1 "${out1}")
+string(REPLACE "\"cached\":true" "" norm2 "${out2}")
+if(NOT norm1 STREQUAL norm2)
+  message(FATAL_ERROR "warm response diverged from cold:\n${out1}\n--\n${out2}")
+endif()
+
+# --- request 3: a bad file errors without killing the daemon -----------------
+execute_process(
+  COMMAND "${EXTRACTOCOL}" --connect "${sock}" "${WORK_DIR}/does_not_exist.xapk"
+  RESULT_VARIABLE rc3
+  OUTPUT_VARIABLE out3
+  ERROR_QUIET)
+if(rc3 EQUAL 0)
+  message(FATAL_ERROR "a failed request must exit nonzero:\n${out3}")
+endif()
+string(FIND "${out3}" "\"ok\":false" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "failed request must answer ok:false:\n${out3}")
+endif()
+
+# --- SIGTERM: clean shutdown -------------------------------------------------
+execute_process(COMMAND "${SH_PROGRAM}" -c "kill -TERM ${daemon_pid}")
+# Wait (up to ~10s) for the exit status to land.
+set(waited 0)
+while(NOT EXISTS "${status_file}" AND waited LESS 100)
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+  math(EXPR waited "${waited} + 1")
+endwhile()
+if(NOT EXISTS "${status_file}")
+  message(FATAL_ERROR "daemon did not exit within 10s of SIGTERM")
+endif()
+file(READ "${status_file}" daemon_status)
+string(STRIP "${daemon_status}" daemon_status)
+if(NOT daemon_status STREQUAL "0")
+  file(READ "${daemon_log}" log_text)
+  message(FATAL_ERROR "daemon exited ${daemon_status}, expected 0:\n${log_text}")
+endif()
+if(EXISTS "${sock}")
+  message(FATAL_ERROR "daemon left its socket behind: ${sock}")
+endif()
+
+message(STATUS "cli serve: all checks passed")

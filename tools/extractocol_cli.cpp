@@ -57,6 +57,20 @@
 //   --eval-out <file>      write the full evaluation as an
 //                          extractocol.eval/v1 JSON sidecar (implies --eval
 //                          scoring; the stderr table still needs --eval)
+//   --cache-dir <dir>      persistent content-addressed report cache: an
+//                          input whose bytes were analyzed before (by this
+//                          analyzer version) replays the stored report
+//                          byte-identically instead of re-analyzing;
+//                          corrupt entries are detected, dropped, and fall
+//                          back to cold analysis
+//   --cache-max-bytes <n>  evict oldest cache entries past n bytes (0 =
+//                          unbounded, the default)
+//   --serve <socket>       run as a long-lived daemon on a Unix domain
+//                          socket: newline-delimited JSON requests in, one
+//                          report JSON line out, semantic models and the
+//                          cache kept warm across requests
+//   --connect <socket>     client mode: send each input path to a --serve
+//                          daemon and print the JSON response lines
 //   --progress             live "k/N apps, ETA" line on stderr during batch
 //                          analysis (stdout stays byte-deterministic)
 //   --memtrack             enable the tracking allocator: mem.live_bytes /
@@ -80,6 +94,8 @@
 #include <utility>
 #include <vector>
 
+#include "cache/cache.hpp"
+#include "cache/server.hpp"
 #include "core/analyzer.hpp"
 #include "eval/eval.hpp"
 #include "obs/metrics.hpp"
@@ -123,6 +139,18 @@ void print_usage(std::FILE* out, const char* argv0) {
                  "  --keep-going          report every app even after one fails (default)\n"
                  "  --fail-fast           stop emitting after the first failed input\n"
                  "  --progress            live \"k/N apps, ETA\" line on stderr\n"
+                 "caching:\n"
+                 "  --cache-dir DIR       persistent content-addressed report cache;\n"
+                 "                        hits skip analysis and replay the stored\n"
+                 "                        report byte-identically\n"
+                 "  --cache-max-bytes N   evict oldest entries past N bytes\n"
+                 "                        (0 = unbounded)\n"
+                 "serving:\n"
+                 "  --serve SOCKET        long-lived daemon on a Unix domain socket:\n"
+                 "                        newline-delimited JSON requests, report\n"
+                 "                        JSON responses, warm models and cache\n"
+                 "  --connect SOCKET      send each input to a --serve daemon and\n"
+                 "                        print the JSON response lines\n"
                  "telemetry:\n"
                  "  --stats               per-app analysis statistics on stderr\n"
                  "  --metrics             per-phase timings and metric counters on stderr\n"
@@ -241,6 +269,10 @@ int main(int argc, char** argv) {
     const char* metrics_prom_path = nullptr;
     const char* manifest_path = nullptr;
     const char* eval_out_path = nullptr;
+    const char* cache_dir = nullptr;
+    std::size_t cache_max_bytes = 0;
+    const char* serve_path = nullptr;
+    const char* connect_path = nullptr;
     std::vector<const char*> paths;
 
     // Options that consume a value report their own name when it is
@@ -290,6 +322,22 @@ int main(int argc, char** argv) {
             eval_flag = true;
         } else if (std::strcmp(arg, "--eval-out") == 0) {
             if (!(eval_out_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            if (!(cache_dir = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--cache-max-bytes") == 0) {
+            const char* value = value_of(i);
+            if (!value) return usage(argv[0]);
+            if (!parse_size(value, cache_max_bytes)) {
+                std::fprintf(
+                    stderr,
+                    "error: --cache-max-bytes expects a non-negative integer, got '%s'\n",
+                    value);
+                return usage(argv[0]);
+            }
+        } else if (std::strcmp(arg, "--serve") == 0) {
+            if (!(serve_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--connect") == 0) {
+            if (!(connect_path = value_of(i))) return usage(argv[0]);
         } else if (std::strcmp(arg, "--progress") == 0) {
             progress = true;
         } else if (std::strcmp(arg, "--memtrack") == 0) {
@@ -347,7 +395,17 @@ int main(int argc, char** argv) {
             paths.push_back(arg);
         }
     }
-    if (paths.empty()) return usage(argv[0]);
+    if (serve_path && connect_path) {
+        std::fprintf(stderr, "error: --serve and --connect are mutually exclusive\n");
+        return usage(argv[0]);
+    }
+    if (serve_path && !paths.empty()) {
+        std::fprintf(stderr,
+                     "error: --serve takes no inputs (clients send them over "
+                     "the socket)\n");
+        return usage(argv[0]);
+    }
+    if (paths.empty() && !serve_path) return usage(argv[0]);
     if (explain && paths.size() != 1) {
         std::fprintf(stderr, "error: --explain requires exactly one input\n");
         return usage(argv[0]);
@@ -378,6 +436,37 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (serve_path) {
+        // Daemon mode: analysis requests arrive over the socket; the batch
+        // pipeline below never runs. --metrics-prom is honored on the way
+        // out so an orchestrator can scrape the daemon's cache counters.
+        cache::ServeOptions serve_options;
+        serve_options.socket_path = serve_path;
+        options.jobs = jobs;
+        serve_options.analyzer = options;
+        if (cache_dir) {
+            cache::CacheOptions cache_options;
+            cache_options.dir = cache_dir;
+            cache_options.max_bytes = static_cast<std::uint64_t>(cache_max_bytes);
+            serve_options.cache = std::move(cache_options);
+        }
+        int serve_rc = cache::serve(serve_options);
+        if (metrics_prom_path) {
+            std::ofstream prom_out(metrics_prom_path);
+            if (!prom_out) {
+                std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                             metrics_prom_path);
+                return 1;
+            }
+            prom_out << obs::MetricsRegistry::global().snapshot().to_prometheus();
+        }
+        return serve_rc;
+    }
+    if (connect_path) {
+        return cache::connect_and_analyze(
+            connect_path, std::vector<std::string>(paths.begin(), paths.end()));
+    }
+
     std::vector<core::BatchInput> inputs(paths.size());
     for (std::size_t i = 0; i < paths.size(); ++i) {
         std::ifstream in(paths[i]);
@@ -399,11 +488,13 @@ int main(int argc, char** argv) {
     auto run_started = std::chrono::steady_clock::now();
     if (progress) {
         // Progress writes only to stderr, so stdout (the report stream)
-        // keeps its determinism guarantee. Workers report concurrently; the
-        // mutex keeps the \r-overwritten line from interleaving.
-        auto mutex = std::make_shared<std::mutex>();
-        options.batch_progress = [mutex, run_started](std::size_t done,
-                                                      std::size_t total) {
+        // keeps its determinism guarantee. The status line is routed through
+        // the log sink so diagnostics emitted mid-run erase it first and
+        // redraw it after — a warning never lands glued to a half-drawn
+        // "k/N apps" fragment, and the line is cleared to end-of-line on
+        // every redraw so a shrinking ETA leaves no stale tail.
+        options.batch_progress = [run_started](std::size_t done,
+                                               std::size_t total) {
             double elapsed = std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - run_started)
                                  .count();
@@ -411,9 +502,10 @@ int main(int argc, char** argv) {
                 done > 0 ? elapsed * static_cast<double>(total - done) /
                                static_cast<double>(done)
                          : 0.0;
-            std::lock_guard<std::mutex> lock(*mutex);
-            std::fprintf(stderr, "\r%zu/%zu apps, ETA %.0fs", done, total, eta);
-            std::fflush(stderr);
+            char line[96];
+            std::snprintf(line, sizeof(line), "%zu/%zu apps, ETA %.0fs", done,
+                          total, eta);
+            log::set_status_line(line);
         };
     }
     obs::MetricsSnapshot run_base = obs::MetricsRegistry::global().snapshot();
@@ -421,12 +513,29 @@ int main(int argc, char** argv) {
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::system_clock::now().time_since_epoch())
             .count());
-    core::Analyzer analyzer(options);
-    std::vector<core::BatchItem> items = analyzer.analyze_batch(std::move(inputs));
+    std::unique_ptr<cache::ReportCache> report_cache;
+    if (cache_dir) {
+        cache::CacheOptions cache_options;
+        cache_options.dir = cache_dir;
+        cache_options.max_bytes = static_cast<std::uint64_t>(cache_max_bytes);
+        report_cache = std::make_unique<cache::ReportCache>(cache_options);
+    }
+    std::vector<core::BatchItem> items;
+    if (report_cache) {
+        cache::CachedBatch cached = cache::analyze_batch_cached(
+            options, report_cache.get(), std::move(inputs));
+        items = std::move(cached.items);
+    } else {
+        core::Analyzer analyzer(options);
+        items = analyzer.analyze_batch(std::move(inputs));
+    }
     double run_wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - run_started)
             .count();
-    if (progress) std::fprintf(stderr, "\n");
+    // Terminates the status line on every exit from the batch — including
+    // the error paths below — so the next stderr writer starts on a fresh
+    // line. No-op when --progress was off or nothing was ever drawn.
+    log::end_status_line();
     if (memtrack_flag && support::memtrack::enabled()) {
         // Sampled here — never from inside the allocator hooks — so the
         // gauges themselves cannot recurse into tracked allocations.
@@ -626,6 +735,7 @@ int main(int argc, char** argv) {
             telemetry.set_profile_summary(obs::Profiler::global().summary_json());
         }
         if (do_eval) telemetry.set_fleet_accuracy(eval_fleet.accuracy_json());
+        if (report_cache) telemetry.set_cache(report_cache->stats_json());
         for (std::size_t i = 0; i < items.size(); ++i) {
             obs::AppRunRecord record = core::telemetry_record(items[i], options);
             if (do_eval && i < eval_results.size()) {
