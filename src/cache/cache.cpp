@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
+#include "support/sha256.hpp"
 
 namespace extractocol::cache {
 
@@ -77,17 +78,27 @@ ReportCache::ReportCache(CacheOptions options) : options_(std::move(options)) {
     m_corrupt_ = &obs::counter("cache.corrupt_entries");
     m_evictions_ = &obs::counter("cache.evictions");
     m_bytes_ = &obs::gauge("cache.bytes");
+    // One full scan at construction seeds the running total; after this,
+    // stores/removals adjust it incrementally (a per-operation rescan would
+    // make every cache touch O(entries) on large directories) and the
+    // eviction pass — which must scan anyway — resyncs it exactly.
+    bytes_estimate_.store(static_cast<std::int64_t>(bytes_on_disk()),
+                          std::memory_order_relaxed);
     update_bytes_gauge();
 }
 
 std::string ReportCache::key_for(std::string_view xapk_text) {
-    // Two independently-seeded passes give 128 bits of content address.
-    // Everything here is a pure function of the input bytes: no std::hash,
-    // no intern Symbols, no pointers — the key must mean the same thing to
-    // every process that ever opens this cache directory.
-    std::uint64_t h1 = fnv1a(xapk_text);
-    std::uint64_t h2 = fnv1a_seeded(xapk_text, mix64(h1 ^ 0x9e3779b97f4a7c15ull));
-    return hex16(h1) + hex16(h2);
+    // 128 bits of truncated SHA-256. The key must be collision-resistant,
+    // not just well-distributed: a key collision makes the cache serve one
+    // app's report for another app's bytes, and no envelope check can catch
+    // that (the key echo and payload checksum validate the entry, not the
+    // input). FNV-family hashes have adversarially constructible collisions,
+    // so they stay confined to the envelope checksum (accidental-corruption
+    // detection) and never decide identity. Everything here is a pure
+    // function of the input bytes: no std::hash, no intern Symbols, no
+    // pointers — the key must mean the same thing to every process that
+    // ever opens this cache directory.
+    return support::sha256_hex128(xapk_text);
 }
 
 std::filesystem::path ReportCache::entry_path(const std::string& key) const {
@@ -95,7 +106,8 @@ std::filesystem::path ReportCache::entry_path(const std::string& key) const {
 }
 
 void ReportCache::mark_corrupt(const std::filesystem::path& path,
-                               const std::string& key, const char* why) {
+                               const std::string& key, const char* why,
+                               std::uint64_t entry_bytes) {
     corrupt_.fetch_add(1, std::memory_order_relaxed);
     m_corrupt_->add();
     log::warn()
@@ -104,7 +116,8 @@ void ReportCache::mark_corrupt(const std::filesystem::path& path,
             .kv("reason", why)
         << "cache: corrupt entry dropped, falling back to cold analysis";
     std::error_code ec;
-    fs::remove(path, ec);  // best-effort; a locked file just stays corrupt
+    // best-effort; a locked file just stays corrupt
+    if (fs::remove(path, ec) && !ec) adjust_bytes(-static_cast<std::int64_t>(entry_bytes));
 }
 
 std::optional<core::AnalysisReport> ReportCache::load(const std::string& key) {
@@ -124,10 +137,9 @@ std::optional<core::AnalysisReport> ReportCache::load(const std::string& key) {
 
     // Every integrity failure funnels through here: count, delete, miss.
     auto corrupt = [&](const char* why) -> std::optional<core::AnalysisReport> {
-        mark_corrupt(path, key, why);
+        mark_corrupt(path, key, why, raw.size());
         misses_.fetch_add(1, std::memory_order_relaxed);
         m_misses_->add();
-        update_bytes_gauge();
         return std::nullopt;
     };
 
@@ -161,8 +173,7 @@ std::optional<core::AnalysisReport> ReportCache::load(const std::string& key) {
                 .kv("analyzer_version", options_.analyzer_version)
             << "cache: analyzer version skew, entry invalidated";
         std::error_code ec;
-        fs::remove(path, ec);
-        update_bytes_gauge();
+        if (fs::remove(path, ec) && !ec) adjust_bytes(-static_cast<std::int64_t>(raw.size()));
         return std::nullopt;
     }
     std::uint64_t expected_bytes = 0;
@@ -248,6 +259,13 @@ bool ReportCache::store(const std::string& key, const core::AnalysisReport& repo
             return false;
         }
     }
+    // Replaced-entry size, sampled just before the rename: the running byte
+    // total only needs the delta. A concurrent writer racing the same key
+    // can skew this sample, so the total is an estimate between eviction
+    // passes (which rescan and resync it exactly).
+    std::error_code size_ec;
+    std::uintmax_t replaced = fs::file_size(final_path, size_ec);
+    std::int64_t old_bytes = size_ec ? 0 : static_cast<std::int64_t>(replaced);
     // POSIX rename is atomic and replaces any existing entry whole:
     // last-writer-wins, and a concurrent reader sees either the old
     // complete envelope or the new one, never a mix.
@@ -259,10 +277,10 @@ bool ReportCache::store(const std::string& key, const core::AnalysisReport& repo
         fs::remove(temp, ec);
         return false;
     }
+    adjust_bytes(static_cast<std::int64_t>(header.size() + payload.size()) - old_bytes);
     stores_.fetch_add(1, std::memory_order_relaxed);
     m_stores_->add();
     if (options_.max_bytes > 0) evict_to_limit();
-    update_bytes_gauge();
     return true;
 }
 
@@ -311,7 +329,17 @@ void ReportCache::evict_to_limit() {
         total += static_cast<std::uint64_t>(size);
         entries.push_back({mtime, name, item.path(), static_cast<std::uint64_t>(size)});
     }
-    if (total <= options_.max_bytes) return;
+    // The pass scanned anyway — resync the running estimate to the exact
+    // on-disk total (minus whatever gets evicted below).
+    auto resync = [&] {
+        bytes_estimate_.store(static_cast<std::int64_t>(total),
+                              std::memory_order_relaxed);
+        update_bytes_gauge();
+    };
+    if (total <= options_.max_bytes) {
+        resync();
+        return;
+    }
     std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
         if (a.mtime != b.mtime) return a.mtime < b.mtime;
         return a.name < b.name;
@@ -326,10 +354,17 @@ void ReportCache::evict_to_limit() {
         log::info().kv("file", entry.path.string())
             << "cache: evicted oldest entry over max_bytes";
     }
+    resync();
+}
+
+void ReportCache::adjust_bytes(std::int64_t delta) {
+    bytes_estimate_.fetch_add(delta, std::memory_order_relaxed);
+    update_bytes_gauge();
 }
 
 void ReportCache::update_bytes_gauge() {
-    m_bytes_->set(static_cast<std::int64_t>(bytes_on_disk()));
+    std::int64_t bytes = bytes_estimate_.load(std::memory_order_relaxed);
+    m_bytes_->set(bytes > 0 ? bytes : 0);
 }
 
 CacheStats ReportCache::stats() const {
@@ -352,7 +387,8 @@ text::Json ReportCache::stats_json() const {
     obj.set("corrupt_entries",
             text::Json(static_cast<std::int64_t>(s.corrupt_entries)));
     obj.set("evictions", text::Json(static_cast<std::int64_t>(s.evictions)));
-    obj.set("bytes", text::Json(static_cast<std::int64_t>(bytes_on_disk())));
+    std::int64_t bytes = bytes_estimate_.load(std::memory_order_relaxed);
+    obj.set("bytes", text::Json(bytes > 0 ? bytes : std::int64_t{0}));
     return obj;
 }
 
@@ -397,12 +433,22 @@ void merge_misses(HitScan& scan, ReportCache* cache,
     for (std::size_t j = 0; j < analyzed.size(); ++j) {
         std::size_t i = scan.miss_index[j];
         scan.batch.items[i] = std::move(analyzed[j]);
+        if (!scan.batch.items[i].ok()) continue;
+        // Per-run counter deltas are snapshot windows of the process-global
+        // metrics registry; whenever analyses overlap — batch --jobs, or
+        // concurrent daemon connections — the windows contaminate each
+        // other, so the values are not a function of the input bytes. A
+        // cached report must be exactly that function, and it is stripped
+        // on the served copy too (not just the stored one) so a cold miss
+        // and its warm replay stay byte-identical. The aggregate registry
+        // (--metrics, --metrics-prom) keeps the exact counts.
+        core::AnalysisReport& report = *scan.batch.items[i].report;
+        report.stats.counters.clear();
+        report.audit.unmodeled_apis.clear();
         // Errors are never cached: a contained failure must re-analyze next
         // time (the failure may be environmental, and serving a stored
         // error for content that now analyzes would be wrong output).
-        if (cache != nullptr && scan.batch.items[i].ok()) {
-            cache->store(scan.keys[i], *scan.batch.items[i].report);
-        }
+        if (cache != nullptr) cache->store(scan.keys[i], report);
     }
 }
 

@@ -1,12 +1,21 @@
 // Persistent content-addressed report cache (ROADMAP item 2).
 //
 // Layer 1 of fleet-scale re-analysis: one on-disk entry per *content* of an
-// .xapk input. The key is a 128-bit FNV-1a digest of the raw serialized
-// text — two independently-seeded passes over the bytes, never std::hash
-// and never intern Symbol ids (the PR 7 stability contract: nothing
-// process-local may reach persisted state). A hit bypasses the whole
-// analyzer and replays the stored report byte-identically, including the
-// cold run's timings and counter deltas.
+// .xapk input. The key is truncated SHA-256 (128 bits) of the raw
+// serialized text — collision-resistant, because a key collision would make
+// the cache serve one app's report for another app's bytes and no envelope
+// check can catch that; never std::hash and never intern Symbol ids (the
+// PR 7 stability contract: nothing process-local may reach persisted
+// state). A hit bypasses the whole analyzer and replays the stored report
+// byte-identically, including the cold run's timings.
+//
+// Reports routed through analyze_batch_cached carry no per-run
+// stats.counters window and no counter-derived audit.unmodeled_apis table:
+// those are deltas of the process-global metrics registry, so overlapping
+// analyses (batch --jobs, concurrent daemon requests) contaminate each
+// other's windows — the values are not a function of the input bytes and
+// must never be persisted or served. The global registry (--metrics,
+// --metrics-prom) keeps the exact aggregates.
 //
 // On-disk envelope (`extractocol.cache/v1`): one ASCII header line
 //
@@ -76,8 +85,8 @@ class ReportCache {
 public:
     explicit ReportCache(CacheOptions options);
 
-    /// Content key of one input: 32 hex chars from two independently-seeded
-    /// FNV-1a passes over the raw bytes. A pure function of the text.
+    /// Content key of one input: 32 hex chars of truncated SHA-256 over the
+    /// raw bytes (collision-resistant). A pure function of the text.
     [[nodiscard]] static std::string key_for(std::string_view xapk_text);
 
     /// Loads and fully verifies the entry for `key`. Any integrity failure
@@ -100,10 +109,13 @@ public:
 private:
     [[nodiscard]] std::filesystem::path entry_path(const std::string& key) const;
     /// Counts + logs + deletes a corrupt entry (then the lookup misses).
+    /// `entry_bytes` is the deleted file's size, for the running total.
     void mark_corrupt(const std::filesystem::path& path, const std::string& key,
-                      const char* why);
+                      const char* why, std::uint64_t entry_bytes);
     /// Deletes oldest-mtime entries until the directory fits max_bytes.
     void evict_to_limit();
+    /// Applies a store/remove delta to the running total and the gauge.
+    void adjust_bytes(std::int64_t delta);
     void update_bytes_gauge();
 
     CacheOptions options_;
@@ -113,6 +125,12 @@ private:
     std::atomic<std::uint64_t> corrupt_{0};
     std::atomic<std::uint64_t> evictions_{0};
     std::atomic<std::uint64_t> temp_seq_{0};
+    /// Running bytes-on-disk total: seeded by one scan at construction,
+    /// adjusted per store/remove, resynced exactly by every eviction pass.
+    /// Keeps cache operations O(1) in the number of entries (a rescan per
+    /// store made every touch O(entries)); concurrent same-key writers can
+    /// drift it slightly between resyncs, which the gauge tolerates.
+    std::atomic<std::int64_t> bytes_estimate_{0};
     std::mutex evict_mutex_;
     // Registry instruments, acquired once; created only when a cache is
     // actually constructed so cacheless runs keep their counter baseline.
@@ -137,7 +155,10 @@ struct CachedBatch {
 /// Cache-aware analyze_batch: serves hits from `cache`, runs the misses
 /// through one Analyzer::analyze_batch (keeping the --jobs pool semantics),
 /// stores every successful miss, and merges results back in input order.
-/// Error items are never cached. `cache` may be null (everything misses).
+/// Error items are never cached. Successful reports are served with
+/// stats.counters / audit.unmodeled_apis stripped (see file comment) so a
+/// report on this path is a pure function of its input bytes. `cache` may
+/// be null (everything misses; reports are still stripped).
 /// This overload reuses a long-lived analyzer (the --serve daemon's warm
 /// semantic model).
 [[nodiscard]] CachedBatch analyze_batch_cached(const core::Analyzer& analyzer,

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -68,6 +69,57 @@ struct ConnectionSet {
         // SHUT_RDWR unblocks any read()/write() in flight; the connection
         // threads then fall out of their loops and close their fds.
         for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+    }
+};
+
+/// Per-connection threads with self-reported completion, so the accept loop
+/// can reap finished threads as it goes. A long-lived daemon must not keep
+/// one joinable std::thread per connection ever accepted: a finished but
+/// unjoined thread retains its pthread resources (stack included) until the
+/// join, which would grow the process without bound with connection count.
+struct WorkerSet {
+    std::mutex mutex;
+    std::map<std::thread::id, std::thread> active;
+    std::vector<std::thread::id> finished;
+
+    void add(std::thread worker) {
+        std::thread::id id = worker.get_id();
+        std::lock_guard<std::mutex> lock(mutex);
+        active.emplace(id, std::move(worker));
+    }
+    /// Called by a connection thread as its last act before returning.
+    void mark_finished(std::thread::id id) {
+        std::lock_guard<std::mutex> lock(mutex);
+        finished.push_back(id);
+    }
+    /// Joins every thread that announced completion. Joining under the lock
+    /// is safe: a finished thread never takes the lock again. An id not yet
+    /// in `active` (its spawner lost the registration race) stays queued
+    /// for the next pass.
+    void reap() {
+        std::lock_guard<std::mutex> lock(mutex);
+        std::vector<std::thread::id> pending;
+        for (std::thread::id id : finished) {
+            auto it = active.find(id);
+            if (it == active.end()) {
+                pending.push_back(id);
+                continue;
+            }
+            it->second.join();
+            active.erase(it);
+        }
+        finished = std::move(pending);
+    }
+    /// Shutdown drain. Threads may still be running, so they are joined
+    /// OUTSIDE the lock — a running thread needs it for mark_finished.
+    void join_all() {
+        std::map<std::thread::id, std::thread> taken;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            taken.swap(active);
+            finished.clear();
+        }
+        for (auto& [id, worker] : taken) worker.join();
     }
 };
 
@@ -274,12 +326,15 @@ int serve(const ServeOptions& options) {
     state.wake_fd = wake[1];
 
     ConnectionSet connections;
-    std::vector<std::thread> workers;
+    WorkerSet workers;
 
     log::info().kv("socket", path).kv("jobs", analyzer_options.jobs)
         << "cache: daemon listening";
 
     for (;;) {
+        // Reclaim finished connection threads before (possibly) blocking in
+        // poll, so idle periods don't pin completed threads either.
+        workers.reap();
         pollfd fds[2] = {{wake[0], POLLIN, 0}, {listen_fd, POLLIN, 0}};
         int rc = ::poll(fds, 2, -1);
         if (rc < 0) {
@@ -294,15 +349,17 @@ int serve(const ServeOptions& options) {
             break;
         }
         connections.add(conn);
-        workers.emplace_back(
-            [&state, &connections, conn] { serve_connection(state, connections, conn); });
+        workers.add(std::thread([&state, &connections, &workers, conn] {
+            serve_connection(state, connections, conn);
+            workers.mark_finished(std::this_thread::get_id());
+        }));
     }
 
     // Clean shutdown: stop accepting, unblock in-flight connections, drain.
     ::close(listen_fd);
     ::unlink(path.c_str());
     connections.shutdown_all();
-    for (std::thread& worker : workers) worker.join();
+    workers.join_all();
     ::sigaction(SIGTERM, &old_term, nullptr);
     ::sigaction(SIGINT, &old_int, nullptr);
     ::sigaction(SIGPIPE, &old_pipe, nullptr);

@@ -28,9 +28,12 @@ constexpr std::uint64_t fnv1a(std::string_view s) {
 }
 
 /// 64-bit FNV-1a with a caller-supplied basis. Seeding with independent
-/// bases yields independent hash streams over the same bytes — the
-/// content-addressed cache derives its 128-bit entry key from two passes
-/// (src/cache). Same stability contract as fnv1a.
+/// bases yields independent hash streams over the same bytes. Same
+/// stability contract as fnv1a — but the FNV family is NOT
+/// collision-resistant (collisions are adversarially constructible), so it
+/// is for checksums and bucketing only; anything that decides *identity*
+/// of persisted content must use support/sha256.hpp (the report cache key
+/// does).
 constexpr std::uint64_t fnv1a_seeded(std::string_view s, std::uint64_t basis) {
     std::uint64_t h = basis;
     for (char c : s) {

@@ -1,0 +1,261 @@
+#include "support/sha256.hpp"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define EXTRACTOCOL_SHA256_X86 1
+#endif
+
+namespace extractocol::support {
+
+namespace {
+
+constexpr std::uint32_t kRoundConstants[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu, 0x59f111f1u,
+    0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u, 0x243185beu, 0x550c7dc3u,
+    0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u, 0xc19bf174u, 0xe49b69c1u, 0xefbe4786u,
+    0x0fc19dc6u, 0x240ca1ccu, 0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau,
+    0x983e5152u, 0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu, 0x53380d13u,
+    0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u, 0xa2bfe8a1u, 0xa81a664bu,
+    0xc24b8b70u, 0xc76c51a3u, 0xd192e819u, 0xd6990624u, 0xf40e3585u, 0x106aa070u,
+    0x19a4c116u, 0x1e376c08u, 0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au,
+    0x5b9cca4fu, 0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+constexpr std::uint32_t rotr(std::uint32_t x, unsigned n) {
+    return (x >> n) | (x << (32 - n));
+}
+
+/// Portable FIPS 180-4 compression over `count` consecutive 64-byte blocks.
+void compress_portable(std::uint32_t h[8], const std::uint8_t* blocks,
+                       std::size_t count) {
+    for (std::size_t block_index = 0; block_index < count; ++block_index) {
+        const std::uint8_t* block = blocks + 64 * block_index;
+        std::uint32_t w[64];
+        for (int i = 0; i < 16; ++i) {
+            w[i] = (std::uint32_t(block[4 * i]) << 24) |
+                   (std::uint32_t(block[4 * i + 1]) << 16) |
+                   (std::uint32_t(block[4 * i + 2]) << 8) |
+                   std::uint32_t(block[4 * i + 3]);
+        }
+        for (int i = 16; i < 64; ++i) {
+            std::uint32_t s0 =
+                rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+            std::uint32_t s1 =
+                rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+        std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+        std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+        for (int i = 0; i < 64; ++i) {
+            std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+            std::uint32_t ch = (e & f) ^ (~e & g);
+            std::uint32_t t1 = hh + s1 + ch + kRoundConstants[i] + w[i];
+            std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+            std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+            std::uint32_t t2 = s0 + maj;
+            hh = g;
+            g = f;
+            f = e;
+            e = d + t1;
+            d = c;
+            c = b;
+            b = a;
+            a = t1 + t2;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+        h[5] += f;
+        h[6] += g;
+        h[7] += hh;
+    }
+}
+
+#ifdef EXTRACTOCOL_SHA256_X86
+
+// Helpers for the SHA-NI path. GCC requires the target attribute on every
+// function that touches the intrinsics (lambdas inside a target function do
+// not inherit it and fail to inline).
+__attribute__((target("sha,sse4.1"), always_inline)) inline __m128i k4(int i) {
+    return _mm_set_epi32(static_cast<int>(kRoundConstants[i + 3]),
+                         static_cast<int>(kRoundConstants[i + 2]),
+                         static_cast<int>(kRoundConstants[i + 1]),
+                         static_cast<int>(kRoundConstants[i]));
+}
+
+/// Four rounds over the 4-word group `words` (final w[i..i+3] values).
+__attribute__((target("sha,sse4.1"), always_inline)) inline void rounds4(
+    __m128i& state0, __m128i& state1, __m128i words, int i) {
+    __m128i msg = _mm_add_epi32(words, k4(i));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+}
+
+/// One message-schedule step: extends `target` from the two newest 4-word
+/// groups (prev, newest), matching w[i] = w[i-16] + s0 + w[i-7] + s1.
+__attribute__((target("sha,sse4.1"), always_inline)) inline void extend4(
+    __m128i& target, __m128i prev, __m128i newest) {
+    target = _mm_add_epi32(target, _mm_alignr_epi8(newest, prev, 4));
+    target = _mm_sha256msg2_epu32(target, newest);
+}
+
+/// SHA-NI compression (the Gulley/Walton x86 schedule). ~10x the portable
+/// throughput; matters because the cache keys EVERY input on EVERY run —
+/// warm lookups included — so digest speed is on the bench_warm_reanalysis
+/// critical path. Correctness is pinned by the same NIST vectors as the
+/// portable path (support_test runs both when the CPU allows).
+__attribute__((target("sha,sse4.1"))) void compress_shani(
+    std::uint32_t h[8], const std::uint8_t* blocks, std::size_t count) {
+    const __m128i kShuffle =
+        _mm_set_epi64x(0x0c0d0e0f08090a0bll, 0x0405060700010203ll);
+
+    // h[] is DCBA/HGFE word order; the sha256rnds2 instruction wants the
+    // state packed as ABEF/CDGH.
+    __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[0]));
+    __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[4]));
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);
+    state1 = _mm_shuffle_epi32(state1, 0x1B);
+    __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+    for (std::size_t block_index = 0; block_index < count; ++block_index) {
+        const auto* data =
+            reinterpret_cast<const __m128i*>(blocks + 64 * block_index);
+        const __m128i abef_save = state0;
+        const __m128i cdgh_save = state1;
+        __m128i msg0, msg1, msg2, msg3;
+
+        msg0 = _mm_shuffle_epi8(_mm_loadu_si128(data + 0), kShuffle);
+        msg1 = _mm_shuffle_epi8(_mm_loadu_si128(data + 1), kShuffle);
+        msg2 = _mm_shuffle_epi8(_mm_loadu_si128(data + 2), kShuffle);
+        msg3 = _mm_shuffle_epi8(_mm_loadu_si128(data + 3), kShuffle);
+
+        // In every group below, extend() reads the prior-group register
+        // BEFORE that register's sha256msg1 partial update overwrites its
+        // final word values.
+        rounds4(state0, state1, msg0, 0);
+        rounds4(state0, state1, msg1, 4);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+        rounds4(state0, state1, msg2, 8);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+        rounds4(state0, state1, msg3, 12);
+        extend4(msg0, msg2, msg3);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Uniform 16-round body; in the last iteration the trailing
+        // schedule ops compute words past w[63], which are never used.
+        for (int i = 16; i < 64; i += 16) {
+            rounds4(state0, state1, msg0, i);
+            extend4(msg1, msg3, msg0);
+            msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+            rounds4(state0, state1, msg1, i + 4);
+            extend4(msg2, msg0, msg1);
+            msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+            rounds4(state0, state1, msg2, i + 8);
+            extend4(msg3, msg1, msg2);
+            msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+            rounds4(state0, state1, msg3, i + 12);
+            extend4(msg0, msg2, msg3);
+            msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+        }
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+    }
+
+    tmp = _mm_shuffle_epi32(state0, 0x1B);
+    state1 = _mm_shuffle_epi32(state1, 0xB1);
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+    state1 = _mm_alignr_epi8(state1, tmp, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[0]), state0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[4]), state1);
+}
+
+#endif  // EXTRACTOCOL_SHA256_X86
+
+using CompressFn = void (*)(std::uint32_t[8], const std::uint8_t*, std::size_t);
+
+CompressFn resolve_compress() {
+#ifdef EXTRACTOCOL_SHA256_X86
+    if (__builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1")) {
+        return compress_shani;
+    }
+#endif
+    return compress_portable;
+}
+
+// Resolved once; both implementations produce identical digests (pinned by
+// the NIST vectors in support_test), so the choice is invisible — entries
+// keyed on one machine are found on any other.
+const CompressFn g_compress = resolve_compress();
+
+std::array<std::uint8_t, 32> digest_with(CompressFn compress, std::string_view data) {
+    std::uint32_t h[8] = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+                          0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+    std::size_t full_blocks = data.size() / 64;
+    compress(h, bytes, full_blocks);
+
+    // Final block(s): remaining bytes, 0x80, zero padding, 64-bit bit length.
+    std::uint8_t tail[128] = {};
+    std::size_t rest = data.size() - 64 * full_blocks;
+    std::memcpy(tail, bytes + 64 * full_blocks, rest);
+    tail[rest] = 0x80;
+    std::size_t tail_len = rest + 1 + 8 <= 64 ? 64 : 128;
+    std::uint64_t bit_length = std::uint64_t(data.size()) * 8;
+    for (int i = 0; i < 8; ++i) {
+        tail[tail_len - 1 - i] = static_cast<std::uint8_t>(bit_length >> (8 * i));
+    }
+    compress(h, tail, tail_len / 64);
+
+    std::array<std::uint8_t, 32> digest;
+    for (int i = 0; i < 8; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(h[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(h[i]);
+    }
+    return digest;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(std::string_view data) {
+    return digest_with(g_compress, data);
+}
+
+namespace detail {
+std::array<std::uint8_t, 32> sha256_portable(std::string_view data) {
+    return digest_with(compress_portable, data);
+}
+}  // namespace detail
+
+namespace {
+
+std::string hex_prefix(const std::array<std::uint8_t, 32>& digest, std::size_t bytes) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes * 2);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        out.push_back(kHex[digest[i] >> 4]);
+        out.push_back(kHex[digest[i] & 0xf]);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string sha256_hex(std::string_view data) { return hex_prefix(sha256(data), 32); }
+
+std::string sha256_hex128(std::string_view data) {
+    return hex_prefix(sha256(data), 16);
+}
+
+}  // namespace extractocol::support

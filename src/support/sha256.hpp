@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-4). The content-addressed cache keys entries by a
+// truncation of this digest: unlike FNV-1a (fine as a fast accidental-
+// corruption checksum, but collisions are adversarially constructible),
+// SHA-256 is collision-resistant, so two different inputs cannot be made
+// to share a cache entry. Same stability contract as support/hash.hpp:
+// output depends only on the input bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace extractocol::support {
+
+/// Full 32-byte SHA-256 digest of `data`.
+[[nodiscard]] std::array<std::uint8_t, 32> sha256(std::string_view data);
+
+/// Lowercase-hex digest, 64 characters.
+[[nodiscard]] std::string sha256_hex(std::string_view data);
+
+/// Lowercase-hex of the first 16 digest bytes (128 bits, 32 characters).
+/// Truncating SHA-256 preserves collision resistance at the truncated
+/// width — the cache key derivation (src/cache) uses exactly this.
+[[nodiscard]] std::string sha256_hex128(std::string_view data);
+
+namespace detail {
+/// The portable compression path, bypassing the hardware (SHA-NI) dispatch.
+/// Test-only: lets support_test pin the fallback against the same NIST
+/// vectors on machines where the dispatcher would always pick the fast
+/// path. Both paths must agree byte-for-byte — entries keyed by one build
+/// must be found by every other.
+[[nodiscard]] std::array<std::uint8_t, 32> sha256_portable(std::string_view data);
+}  // namespace detail
+
+}  // namespace extractocol::support

@@ -23,6 +23,7 @@
 #include "core/analyzer.hpp"
 #include "corpus/corpus.hpp"
 #include "support/hash.hpp"
+#include "support/sha256.hpp"
 #include "xapk/serialize.hpp"
 
 using namespace extractocol;
@@ -98,6 +99,10 @@ TEST(CacheTest, KeyIsAPureFunctionOfContent) {
     // (the key sees bytes, never process-local interning state).
     EXPECT_EQ(cache::ReportCache::key_for(text), key);
     EXPECT_EQ(cache::ReportCache::key_for(corpus_text("blippex")), key);
+    // The derivation is pinned: truncated SHA-256, because the key decides
+    // which app's report gets served and so must be collision-resistant
+    // (FNV-style hashes have constructible collisions).
+    EXPECT_EQ(key, support::sha256_hex128(text));
     // One flipped bit moves the key.
     std::string flipped = text;
     flipped[flipped.size() / 2] ^= 0x01;
@@ -323,6 +328,53 @@ TEST(CacheTest, EvictionKeepsTheDirectoryUnderMaxBytes) {
     EXPECT_GE(report_cache.stats().evictions, 3u);
     // The newest entry always survives its own store.
     EXPECT_TRUE(report_cache.load(std::string(32, '5')).has_value());
+}
+
+TEST(CacheTest, CachedPathCarriesNoProcessGlobalCounterWindows) {
+    // report.stats.counters (and the counter-derived unmodeled-API table)
+    // are deltas of the process-global metrics registry: overlapping
+    // analyses — batch --jobs, concurrent daemon connections — contaminate
+    // each other's windows. A cached report must be a pure function of its
+    // input bytes, so the cached path strips both on the SERVED report as
+    // well as the stored one (a cold miss and its warm replay must stay
+    // byte-identical).
+    TempCacheDir dir("counter_strip");
+    std::string text = corpus_text("blippex");
+
+    // A direct (uncached) analysis does populate counters — the stripping
+    // below must be the cache path's doing, not a no-op.
+    core::AnalysisReport direct = analyze_text(text);
+    ASSERT_FALSE(direct.stats.counters.empty());
+
+    core::AnalyzerOptions options;
+    auto one_input = [&] {
+        std::vector<core::BatchInput> inputs;
+        inputs.push_back({"app.xapk", text});
+        return inputs;
+    };
+    cache::ReportCache report_cache(options_for(dir));
+    cache::CachedBatch cold =
+        cache::analyze_batch_cached(options, &report_cache, one_input());
+    ASSERT_TRUE(cold.items[0].ok());
+    EXPECT_TRUE(cold.items[0].report->stats.counters.empty());
+    EXPECT_TRUE(cold.items[0].report->audit.unmodeled_apis.empty());
+
+    cache::CachedBatch warm =
+        cache::analyze_batch_cached(options, &report_cache, one_input());
+    ASSERT_TRUE(warm.items[0].ok());
+    EXPECT_EQ(warm.hits, 1u);
+    EXPECT_TRUE(warm.items[0].report->stats.counters.empty());
+    EXPECT_EQ(warm.items[0].report->to_json().dump_pretty(),
+              cold.items[0].report->to_json().dump_pretty())
+        << "warm replay diverged from the cold-served report";
+
+    // Null cache (e.g. a daemon without --cache-dir): still stripped, so
+    // concurrent requests cannot leak each other's counter windows.
+    cache::CachedBatch uncached =
+        cache::analyze_batch_cached(options, nullptr, one_input());
+    ASSERT_TRUE(uncached.items[0].ok());
+    EXPECT_TRUE(uncached.items[0].report->stats.counters.empty());
+    EXPECT_TRUE(uncached.items[0].report->audit.unmodeled_apis.empty());
 }
 
 TEST(CacheTest, CachedBatchMergesInOrderAndNeverCachesErrors) {

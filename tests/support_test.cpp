@@ -10,6 +10,7 @@
 #include "support/budget.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
+#include "support/sha256.hpp"
 #include "support/memtrack.hpp"
 #include "support/parallel.hpp"
 #include "support/result.hpp"
@@ -125,6 +126,43 @@ TEST(Hash, Fnv1aStable) {
     // Known FNV-1a vectors.
     EXPECT_EQ(extractocol::fnv1a(""), 14695981039346656037ull);
     EXPECT_NE(extractocol::fnv1a("a"), extractocol::fnv1a("b"));
+}
+
+TEST(Hash, Sha256KnownVectors) {
+    // FIPS 180-4 / NIST test vectors. The report cache keys entries by this
+    // digest, so the implementation must match the standard exactly —
+    // entries written by one build must be found by every other.
+    EXPECT_EQ(extractocol::support::sha256_hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(extractocol::support::sha256_hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(extractocol::support::sha256_hex(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+    // One million 'a': exercises the multi-block + length-padding paths.
+    EXPECT_EQ(extractocol::support::sha256_hex(std::string(1000000, 'a')),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+    EXPECT_EQ(extractocol::support::sha256_hex128(""),
+              "e3b0c44298fc1c149afbf4c8996fb924");
+    // Padding boundary cases: 55 bytes fits one final block, 56 forces two.
+    EXPECT_EQ(extractocol::support::sha256_hex(std::string(55, 'x')).size(), 64u);
+    EXPECT_NE(extractocol::support::sha256_hex(std::string(55, 'x')),
+              extractocol::support::sha256_hex(std::string(56, 'x')));
+}
+
+TEST(Hash, Sha256PortablePathMatchesDispatch) {
+    // On SHA-NI machines the dispatcher never exercises the portable
+    // fallback, so pin it explicitly: both paths must produce identical
+    // digests or caches written by one build would be invisible to another.
+    const std::string inputs[] = {
+        "", "abc", "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        std::string(55, 'x'), std::string(56, 'x'), std::string(1000000, 'a'),
+    };
+    for (const std::string& input : inputs) {
+        EXPECT_EQ(extractocol::support::detail::sha256_portable(input),
+                  extractocol::support::sha256(input))
+            << "input length " << input.size();
+    }
 }
 
 TEST(Hash, SplitMixDeterministic) {
