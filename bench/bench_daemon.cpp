@@ -1,0 +1,202 @@
+// Daemon round-trip cost: what a fleet client actually pays per request
+// once the analyzer is resident. Runs an in-process --serve daemon on a
+// temp Unix socket, primes the report cache with one corpus app, then
+// times three request classes over the newline-delimited JSON protocol:
+//
+//   * ping        — pure protocol overhead (parse, dispatch, telemetry);
+//   * status      — the admin plane's full status document;
+//   * xapk (warm) — a cached analysis round trip, report bytes included.
+//
+// The table reports requests/second plus p50/p95 wall latency measured
+// client-side, and closes with the daemon's own view (served count and
+// windowed latency) read back through the status op — the bench doubles
+// as an end-to-end check that request telemetry agrees with the client.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cache/server.hpp"
+#include "text/json.hpp"
+#include "xapk/serialize.hpp"
+
+using namespace extractocol;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int connect_daemon(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            ::close(fd);
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return fd;
+}
+
+/// One request line out, the raw response line back ("" on failure).
+std::string round_trip(int fd, const std::string& line) {
+    std::string out = line + "\n";
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return {};
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string buffer;
+    char chunk[65536];
+    std::size_t newline = 0;
+    while ((newline = buffer.find('\n')) == std::string::npos) {
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return {};
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    return buffer.substr(0, newline);
+}
+
+struct Timing {
+    double seconds = 0;     // total wall for the loop
+    double p50_ms = 0;
+    double p95_ms = 0;
+    std::size_t count = 0;
+    std::size_t response_bytes = 0;  // last response size, for context
+};
+
+Timing time_requests(int fd, const std::string& line, std::size_t count) {
+    Timing t;
+    t.count = count;
+    std::vector<double> samples;
+    samples.reserve(count);
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < count; ++i) {
+        auto begin = std::chrono::steady_clock::now();
+        std::string response = round_trip(fd, line);
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - begin)
+                .count());
+        t.response_bytes = response.size();
+        if (response.empty()) {
+            std::fprintf(stderr, "bench_daemon: request failed at %zu\n", i);
+            std::exit(1);
+        }
+    }
+    t.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::sort(samples.begin(), samples.end());
+    t.p50_ms = samples[samples.size() / 2];
+    t.p95_ms = samples[(samples.size() * 95) / 100];
+    return t;
+}
+
+void print_row(const char* name, const Timing& t) {
+    std::printf("%-12s %10zu %12.0f %10.3f %10.3f %12zu\n", name, t.count,
+                static_cast<double>(t.count) / t.seconds, t.p50_ms, t.p95_ms,
+                t.response_bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // A positional count shrinks the loops — the CI smoke mode.
+    std::size_t iterations = 2000;
+    if (argc > 1) iterations = static_cast<std::size_t>(std::atol(argv[1]));
+    if (iterations == 0) iterations = 1;
+
+    std::printf("== Daemon round-trip cost: ping / status / warm analysis ==\n\n");
+
+    fs::path dir = fs::temp_directory_path() /
+                   ("xt_bench_daemon_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    cache::ServeOptions options;
+    options.socket_path = (dir / "daemon.sock").string();
+    options.analyzer.jobs = 2;
+    cache::CacheOptions cache_options;
+    cache_options.dir = (dir / "cache").string();
+    options.cache = cache_options;
+
+    int rc = 0;
+    std::thread daemon([&options, &rc] { rc = cache::serve(options); });
+
+    int fd = connect_daemon(options.socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "bench_daemon: could not connect\n");
+        return 1;
+    }
+
+    corpus::CorpusApp app = corpus::build_app("blippex");
+    text::Json warm = text::Json::object();
+    warm.set("id", text::Json(std::int64_t{1}));
+    warm.set("xapk", text::Json(xapk::write_xapk(app.program)));
+    const std::string warm_line = warm.dump();
+
+    // Prime: the first analysis is the one cold miss; everything timed
+    // below replays from the cache.
+    if (round_trip(fd, warm_line).empty()) {
+        std::fprintf(stderr, "bench_daemon: priming request failed\n");
+        return 1;
+    }
+
+    std::printf("%-12s %10s %12s %10s %10s %12s\n", "request", "count",
+                "req/s", "p50 ms", "p95 ms", "resp bytes");
+    bench::print_rule(72);
+    Timing ping = time_requests(fd, R"({"op":"ping"})", iterations);
+    print_row("ping", ping);
+    Timing status = time_requests(fd, R"({"op":"status"})", iterations);
+    print_row("status", status);
+    Timing analysis = time_requests(fd, warm_line, iterations);
+    print_row("xapk warm", analysis);
+    bench::print_rule(72);
+
+    // The daemon's own account of the run, through the protocol itself.
+    std::string status_line = round_trip(fd, R"({"op":"status"})");
+    auto parsed = text::parse_json(status_line);
+    if (parsed.ok()) {
+        if (const text::Json* doc = parsed.value().find("status")) {
+            const text::Json* requests = doc->find("requests");
+            const text::Json* latency = doc->find("latency_ms");
+            if (requests != nullptr && latency != nullptr) {
+                std::printf(
+                    "\ndaemon view: served=%lld errors=%lld window=%.0fs\n",
+                    static_cast<long long>(requests->find("served")->as_int()),
+                    static_cast<long long>(requests->find("errors")->as_int()),
+                    latency->find("window_seconds")->as_double());
+            }
+        }
+    }
+
+    (void)round_trip(fd, R"({"op":"shutdown"})");
+    ::close(fd);
+    daemon.join();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    if (rc != 0) {
+        std::fprintf(stderr, "bench_daemon: daemon exited %d\n", rc);
+        return 1;
+    }
+    return 0;
+}

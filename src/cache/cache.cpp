@@ -425,6 +425,9 @@ HitScan scan_hits(ReportCache* cache, std::vector<core::BatchInput> inputs) {
     scan.miss_inputs.reserve(scan.miss_index.size());
     for (std::size_t i : scan.miss_index) scan.miss_inputs.push_back(std::move(inputs[i]));
     scan.batch.misses = scan.miss_inputs.size();
+    // Keys are still needed for the store step, so the batch gets a copy
+    // (empty strings when running cacheless — no key was ever computed).
+    scan.batch.keys = scan.keys;
     return scan;
 }
 

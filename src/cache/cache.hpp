@@ -148,6 +148,10 @@ struct CachedBatch {
     std::vector<core::BatchItem> items;
     /// Parallel to `items`: 1 when the report was replayed from the cache.
     std::vector<char> from_cache;
+    /// Parallel to `items`: the content key of each input (computed for the
+    /// hit/miss split anyway; exposed so the daemon's per-request telemetry
+    /// can attribute a request to its cache entry without re-hashing).
+    std::vector<std::string> keys;
     std::size_t hits = 0;
     std::size_t misses = 0;
 };

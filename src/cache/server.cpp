@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -21,6 +22,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "text/json.hpp"
 
@@ -125,9 +130,80 @@ struct WorkerSet {
 
 struct ServerState {
     const core::Analyzer* analyzer = nullptr;
+    const core::AnalyzerOptions* analyzer_options = nullptr;
     ReportCache* cache = nullptr;
     int wake_fd = -1;  // shutdown-request path (same pipe as the signals)
+
+    // --- observability (PR 10) ---
+    obs::RequestTelemetry* telemetry = nullptr;
+    obs::Journal* journal = nullptr;  // nullable: --journal not given
+    double slow_ms = -1;              // negative = slow logging disabled
+    std::chrono::steady_clock::time_point started{};
+    /// Registry baseline at daemon start; the metrics op reports
+    /// delta_since(base) so counters reflect the requests served, not
+    /// whatever ran in the process before serve().
+    obs::MetricsSnapshot base;
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> next_connection_id{0};
+    obs::Gauge* connections_active = nullptr;
+    obs::Gauge* requests_inflight = nullptr;
 };
+
+/// The status op's document (see server.hpp). Volatile fields — pid,
+/// uptime, ids, latency measurements — are what the determinism test
+/// normalizes; everything else is a function of the requests served.
+text::Json status_json(ServerState& state) {
+    text::Json doc = text::Json::object();
+    doc.set("analyzer", text::Json(std::string(core::kAnalyzerVersion)));
+    doc.set("pid", text::Json(static_cast<std::int64_t>(::getpid())));
+    double uptime = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                  state.started)
+                        .count();
+    doc.set("uptime_seconds", text::Json(uptime));
+
+    text::Json requests = text::Json::object();
+    requests.set("served",
+                 text::Json(static_cast<std::int64_t>(state.telemetry->served())));
+    requests.set("errors",
+                 text::Json(static_cast<std::int64_t>(state.telemetry->errors())));
+    // The request asking is itself still in flight, so this is >= 1.
+    requests.set("inflight", text::Json(state.requests_inflight->value()));
+    text::Json ops = text::Json::object();
+    for (const auto& [op, count] : state.telemetry->op_tally()) {
+        ops.set(op, text::Json(static_cast<std::int64_t>(count)));
+    }
+    requests.set("ops", std::move(ops));
+    doc.set("requests", std::move(requests));
+
+    text::Json connections = text::Json::object();
+    connections.set("active", text::Json(state.connections_active->value()));
+    connections.set("accepted",
+                    text::Json(static_cast<std::int64_t>(
+                        state.connections_accepted.load(std::memory_order_relaxed))));
+    doc.set("connections", std::move(connections));
+
+    text::Json latency = text::Json::object();
+    latency.set("window_seconds", text::Json(state.telemetry->window_seconds()));
+    latency.set("lifetime",
+                obs::histogram_stats_json(state.telemetry->latency_lifetime_ms()));
+    latency.set("window",
+                obs::histogram_stats_json(state.telemetry->latency_window_ms()));
+    doc.set("latency_ms", std::move(latency));
+
+    if (state.cache != nullptr) {
+        text::Json cache = state.cache->stats_json();
+        cache.set("window_hits",
+                  text::Json(static_cast<std::int64_t>(
+                      state.telemetry->window_cache_hits())));
+        cache.set("window_misses",
+                  text::Json(static_cast<std::int64_t>(
+                      state.telemetry->window_cache_misses())));
+        doc.set("cache", std::move(cache));
+    } else {
+        doc.set("cache", text::Json());
+    }
+    return doc;
+}
 
 text::Json error_response(const text::Json* id, const std::string& message) {
     text::Json response = text::Json::object();
@@ -137,10 +213,13 @@ text::Json error_response(const text::Json* id, const std::string& message) {
     return response;
 }
 
-/// Handles one request line; returns the response document and sets
-/// `shutdown` when the daemon should stop after responding.
+/// Handles one request line; returns the response document, sets `shutdown`
+/// when the daemon should stop after responding, and fills the telemetry
+/// skeleton of `record` (op, file, key, cached, phases). The caller derives
+/// outcome/error/wall/bytes from the response it is about to write, so the
+/// error paths here stay single-line.
 text::Json handle_request(ServerState& state, const std::string& line,
-                          bool& shutdown) {
+                          bool& shutdown, obs::RequestRecord& record) {
     Result<text::Json> parsed = text::parse_json(line);
     if (!parsed.ok()) {
         return error_response(nullptr, "bad request: " + parsed.error().message);
@@ -151,31 +230,76 @@ text::Json handle_request(ServerState& state, const std::string& line,
 
     if (const text::Json* op = request.find("op")) {
         if (!op->is_string()) return error_response(id, "bad request: 'op' must be a string");
-        if (op->as_string() == "ping") {
-            text::Json response = text::Json::object();
-            if (id != nullptr) response.set("id", *id);
+        const std::string& name = op->as_string();
+        text::Json response = text::Json::object();
+        if (id != nullptr) response.set("id", *id);
+        if (name == "ping") {
+            record.op = "ping";
             response.set("ok", text::Json(true));
             response.set("pong", text::Json(true));
+            // Echo identity so a client can assert which daemon (and which
+            // analyzer vintage) answered before trusting cached reports.
+            response.set("version", text::Json(std::string(core::kAnalyzerVersion)));
+            response.set("pid", text::Json(static_cast<std::int64_t>(::getpid())));
             response.set("cache", state.cache != nullptr ? state.cache->stats_json()
                                                          : text::Json());
             return response;
         }
-        if (op->as_string() == "shutdown") {
+        if (name == "status") {
+            record.op = "status";
+            response.set("ok", text::Json(true));
+            response.set("status", status_json(state));
+            return response;
+        }
+        if (name == "metrics") {
+            record.op = "metrics";
+            std::string format = "prometheus";
+            if (const text::Json* f = request.find("format")) {
+                if (!f->is_string()) {
+                    return error_response(id, "bad request: 'format' must be a string");
+                }
+                format = f->as_string();
+            }
+            if (format != "prometheus" && format != "json") {
+                return error_response(
+                    id, "bad request: unknown metrics format '" + format + "'");
+            }
+            obs::MetricsSnapshot delta =
+                obs::MetricsRegistry::global().snapshot().delta_since(state.base);
+            response.set("ok", text::Json(true));
+            response.set("format", text::Json(format));
+            if (format == "prometheus") {
+                response.set("metrics", text::Json(delta.to_prometheus()));
+            } else {
+                response.set("metrics", delta.to_json());
+            }
+            return response;
+        }
+        if (name == "health") {
+            record.op = "health";
+            response.set("ok", text::Json(true));
+            response.set("healthy", text::Json(true));
+            return response;
+        }
+        if (name == "shutdown") {
+            record.op = "shutdown";
             shutdown = true;
-            text::Json response = text::Json::object();
-            if (id != nullptr) response.set("id", *id);
             response.set("ok", text::Json(true));
             response.set("shutdown", text::Json(true));
             return response;
         }
-        return error_response(id, "bad request: unknown op '" + op->as_string() + "'");
+        // Unknown ops stay op="invalid" in telemetry: the tally and journal
+        // must not grow one bucket per misspelling a client invents.
+        return error_response(id, "bad request: unknown op '" + name + "'");
     }
 
     std::string label;
     std::string text;
     if (const text::Json* file = request.find("file")) {
         if (!file->is_string()) return error_response(id, "bad request: 'file' must be a string");
+        record.op = "file";
         label = file->as_string();
+        record.file = label;
         std::ifstream in(label, std::ios::binary);
         if (!in) return error_response(id, "cannot open " + label);
         std::ostringstream buffer;
@@ -183,7 +307,9 @@ text::Json handle_request(ServerState& state, const std::string& line,
         text = buffer.str();
     } else if (const text::Json* xapk = request.find("xapk")) {
         if (!xapk->is_string()) return error_response(id, "bad request: 'xapk' must be a string");
+        record.op = "xapk";
         label = "<inline>";
+        record.file = label;
         text = xapk->as_string();
     } else {
         return error_response(id, "bad request: expected 'file', 'xapk', or 'op'");
@@ -195,6 +321,11 @@ text::Json handle_request(ServerState& state, const std::string& line,
     CachedBatch batch =
         analyze_batch_cached(*state.analyzer, state.cache, std::move(inputs));
     const core::BatchItem& item = batch.items[0];
+    record.key = batch.keys[0];
+    record.cached = batch.hits > 0;
+    obs::AppRunRecord app = core::telemetry_record(item, *state.analyzer_options);
+    record.phase_seconds = std::move(app.phase_seconds);
+    record.peak_bytes = app.peak_bytes;
 
     text::Json response = text::Json::object();
     if (id != nullptr) response.set("id", *id);
@@ -211,7 +342,81 @@ text::Json handle_request(ServerState& state, const std::string& line,
     return response;
 }
 
+/// Renders "parse=1.2ms taint=3.4ms ..." for the slow-request log line.
+std::string phase_breakdown(
+    const std::vector<std::pair<std::string, double>>& phases) {
+    std::string out;
+    char buf[64];
+    for (const auto& [name, seconds] : phases) {
+        std::snprintf(buf, sizeof buf, "%s%s=%.3fms", out.empty() ? "" : " ",
+                      name.c_str(), seconds * 1000.0);
+        out += buf;
+    }
+    return out;
+}
+
+/// Runs one request end to end: telemetry id, timing, trace span, journal
+/// line, slow log. Returns the serialized response (newline included).
+std::string run_request(ServerState& state, std::uint64_t connection_id,
+                        const std::string& line, bool& shutdown) {
+    obs::RequestRecord record;
+    record.request_id = state.telemetry->next_request_id();
+    record.connection_id = connection_id;
+    record.op = "invalid";
+    state.requests_inflight->add(1);
+    auto start = std::chrono::steady_clock::now();
+    text::Json response = handle_request(state, line, shutdown, record);
+    auto end = std::chrono::steady_clock::now();
+    std::string payload = response.dump();
+    payload += '\n';  // compact dump has no raw newlines: one response = one line
+
+    record.wall_seconds = std::chrono::duration<double>(end - start).count();
+    record.response_bytes = payload.size();
+    const text::Json* ok = response.find("ok");
+    record.outcome = (ok != nullptr && ok->is_bool() && ok->as_bool()) ? "ok" : "error";
+    if (const text::Json* error = response.find("error");
+        error != nullptr && error->is_string()) {
+        record.error = error->as_string();
+    }
+
+    obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+    if (tracer.enabled()) {
+        obs::TraceEvent event;
+        event.name = "request." + record.op;  // bounded name set: ops, not ids
+        event.category = "daemon";
+        event.start_us = tracer.to_us(start);
+        event.duration_us = tracer.to_us(end) - event.start_us;
+        event.thread = tracer.thread_number();
+        tracer.record(std::move(event));
+    }
+    state.telemetry->record(record);
+    if (state.journal != nullptr) state.journal->append(record.to_json());
+    double ms = record.wall_seconds * 1000.0;
+    if (state.slow_ms >= 0 && ms >= state.slow_ms) {
+        log::warn()
+                .kv("request", record.request_id)
+                .kv("connection", record.connection_id)
+                .kv("op", record.op)
+                .kv("ms", ms)
+                .kv("cached", record.cached ? "true" : "false")
+                .kv("phases", phase_breakdown(record.phase_seconds))
+            << "daemon: slow request";
+    }
+    state.requests_inflight->add(-1);
+    return payload;
+}
+
 void serve_connection(ServerState& state, ConnectionSet& connections, int fd) {
+    std::uint64_t connection_id =
+        state.next_connection_id.fetch_add(1, std::memory_order_relaxed) + 1;
+    state.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    state.connections_active->add(1);
+    obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+    if (tracer.enabled()) {
+        // One labeled Perfetto row per connection, so request spans carry
+        // their connection attribution without per-span payloads.
+        tracer.name_current_thread("conn-" + std::to_string(connection_id));
+    }
     std::string buffer;
     char chunk[4096];
     bool shutdown = false;
@@ -229,9 +434,8 @@ void serve_connection(ServerState& state, ConnectionSet& connections, int fd) {
             std::string line = buffer.substr(0, newline);
             buffer.erase(0, newline + 1);
             if (line.empty()) continue;
-            text::Json response = handle_request(state, line, shutdown);
-            // Compact dump has no raw newlines, so one response = one line.
-            bool sent = write_all(fd, response.dump() + "\n");
+            std::string payload = run_request(state, connection_id, line, shutdown);
+            bool sent = write_all(fd, payload);
             if (shutdown) {
                 char byte = 'x';
                 [[maybe_unused]] ssize_t w = ::write(state.wake_fd, &byte, 1);
@@ -244,6 +448,7 @@ void serve_connection(ServerState& state, ConnectionSet& connections, int fd) {
         // A "line" past 64 MiB with no newline is not a protocol client.
         if (dead || buffer.size() > (64u << 20)) break;
     }
+    state.connections_active->add(-1);
     connections.remove(fd);
     ::close(fd);
 }
@@ -319,11 +524,29 @@ int serve(const ServeOptions& options) {
     core::Analyzer analyzer(analyzer_options);
     std::unique_ptr<ReportCache> cache;
     if (options.cache) cache = std::make_unique<ReportCache>(*options.cache);
+    obs::RequestTelemetry telemetry;
+    std::unique_ptr<obs::Journal> journal;
+    if (!options.journal_path.empty()) {
+        obs::JournalOptions journal_options;
+        journal_options.path = options.journal_path;
+        journal_options.max_bytes = options.journal_max_bytes;
+        journal = std::make_unique<obs::Journal>(std::move(journal_options));
+    }
 
     ServerState state;
     state.analyzer = &analyzer;
+    state.analyzer_options = &analyzer_options;
     state.cache = cache.get();
     state.wake_fd = wake[1];
+    state.telemetry = &telemetry;
+    state.journal = journal.get();
+    state.slow_ms = options.slow_ms;
+    state.started = std::chrono::steady_clock::now();
+    state.connections_active = &obs::gauge("daemon.connections.active");
+    state.requests_inflight = &obs::gauge("daemon.requests.inflight");
+    // Baseline AFTER analyzer/cache construction: their setup counters are
+    // not request work, and the metrics op must report only the latter.
+    state.base = obs::MetricsRegistry::global().snapshot();
 
     ConnectionSet connections;
     WorkerSet workers;
@@ -369,23 +592,29 @@ int serve(const ServeOptions& options) {
     if (cache) {
         CacheStats s = cache->stats();
         log::info()
+                .kv("requests", telemetry.served())
+                .kv("errors", telemetry.errors())
                 .kv("hits", s.hits)
                 .kv("misses", s.misses)
                 .kv("corrupt_entries", s.corrupt_entries)
             << "cache: daemon stopped";
     } else {
-        log::info() << "cache: daemon stopped";
+        log::info().kv("requests", telemetry.served()).kv("errors", telemetry.errors())
+            << "cache: daemon stopped";
     }
     return 0;
 }
 
-int connect_and_analyze(const std::string& socket_path,
-                        const std::vector<std::string>& files,
-                        double connect_timeout_seconds) {
+namespace {
+
+/// Connects to a daemon socket, retrying until the timeout: tests (and
+/// scripts) start daemon + client back to back, and the daemon needs a
+/// moment to bind. Returns the fd, or -1 with the error already printed.
+int connect_with_retry(const std::string& socket_path, double timeout_seconds) {
     sockaddr_un addr{};
     if (socket_path.size() >= sizeof(addr.sun_path)) {
         std::fprintf(stderr, "error: socket path too long: %s\n", socket_path.c_str());
-        return 1;
+        return -1;
     }
     addr.sun_family = AF_UNIX;
     std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
@@ -393,25 +622,52 @@ int connect_and_analyze(const std::string& socket_path,
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) {
         std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
-        return 1;
+        return -1;
     }
-    // Retry the connect: tests (and scripts) start daemon + client back to
-    // back, and the daemon needs a moment to bind.
     auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::duration<double>(connect_timeout_seconds);
+                    std::chrono::duration<double>(timeout_seconds);
     while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
         if (std::chrono::steady_clock::now() >= deadline) {
             std::fprintf(stderr, "error: cannot connect to %s: %s\n",
                          socket_path.c_str(), std::strerror(errno));
             ::close(fd);
-            return 1;
+            return -1;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+    return fd;
+}
+
+/// Reads one newline-terminated response into `line` (carrying partial data
+/// across calls in `buffer`). Returns false with the error printed when the
+/// daemon closes first.
+bool read_response_line(int fd, std::string& buffer, std::string& line) {
+    char chunk[4096];
+    std::size_t newline = 0;
+    while ((newline = buffer.find('\n')) == std::string::npos) {
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+            std::fprintf(stderr, "error: daemon closed the connection\n");
+            return false;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    return true;
+}
+
+}  // namespace
+
+int connect_and_analyze(const std::string& socket_path,
+                        const std::vector<std::string>& files,
+                        double connect_timeout_seconds) {
+    int fd = connect_with_retry(socket_path, connect_timeout_seconds);
+    if (fd < 0) return 1;
 
     int exit_code = 0;
     std::string buffer;
-    char chunk[4096];
     for (std::size_t i = 0; i < files.size(); ++i) {
         // Absolute paths: the daemon resolves them from its own cwd.
         std::error_code ec;
@@ -424,19 +680,11 @@ int connect_and_analyze(const std::string& socket_path,
             ::close(fd);
             return 1;
         }
-        std::size_t newline = 0;
-        while ((newline = buffer.find('\n')) == std::string::npos) {
-            ssize_t n = ::read(fd, chunk, sizeof chunk);
-            if (n < 0 && errno == EINTR) continue;
-            if (n <= 0) {
-                std::fprintf(stderr, "error: daemon closed the connection\n");
-                ::close(fd);
-                return 1;
-            }
-            buffer.append(chunk, static_cast<std::size_t>(n));
+        std::string line;
+        if (!read_response_line(fd, buffer, line)) {
+            ::close(fd);
+            return 1;
         }
-        std::string line = buffer.substr(0, newline);
-        buffer.erase(0, newline + 1);
         std::printf("%s\n", line.c_str());
         Result<text::Json> response = text::parse_json(line);
         const text::Json* ok =
@@ -446,6 +694,63 @@ int connect_and_analyze(const std::string& socket_path,
     }
     ::close(fd);
     return exit_code;
+}
+
+int connect_admin(const std::string& socket_path, const std::string& op,
+                  double connect_timeout_seconds) {
+    int fd = connect_with_retry(socket_path, connect_timeout_seconds);
+    if (fd < 0) return 1;
+
+    text::Json request = text::Json::object();
+    request.set("op", text::Json(op));
+    // The admin client's metrics view is the scrape format; the JSON form
+    // stays reachable through the raw protocol.
+    if (op == "metrics") request.set("format", text::Json("prometheus"));
+    if (!write_all(fd, request.dump() + "\n")) {
+        std::fprintf(stderr, "error: daemon connection lost\n");
+        ::close(fd);
+        return 1;
+    }
+    std::string buffer;
+    std::string line;
+    if (!read_response_line(fd, buffer, line)) {
+        ::close(fd);
+        return 1;
+    }
+    ::close(fd);
+
+    Result<text::Json> parsed = text::parse_json(line);
+    if (!parsed.ok() || !parsed.value().is_object()) {
+        std::fprintf(stderr, "error: bad daemon response: %s\n", line.c_str());
+        return 1;
+    }
+    const text::Json& response = parsed.value();
+    const text::Json* ok = response.find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+        const text::Json* error = response.find("error");
+        std::fprintf(stderr, "error: %s\n",
+                     error != nullptr && error->is_string() ? error->as_string().c_str()
+                                                            : line.c_str());
+        return 1;
+    }
+    if (op == "status") {
+        const text::Json* status = response.find("status");
+        if (status == nullptr) {
+            std::fprintf(stderr, "error: response carries no status: %s\n", line.c_str());
+            return 1;
+        }
+        std::printf("%s\n", status->dump_pretty().c_str());
+        return 0;
+    }
+    const text::Json* metrics = response.find("metrics");
+    if (metrics == nullptr || !metrics->is_string()) {
+        std::fprintf(stderr, "error: response carries no metrics text: %s\n",
+                     line.c_str());
+        return 1;
+    }
+    // The exposition text already ends each sample with '\n'.
+    std::fputs(metrics->as_string().c_str(), stdout);
+    return 0;
 }
 
 }  // namespace extractocol::cache

@@ -16,8 +16,27 @@
 // cache's atomic-rename last-writer-wins path. SIGTERM/SIGINT (or an
 // {"op":"shutdown"} request) stop the accept loop via a self-pipe, drain
 // open connections, and unlink the socket.
+//
+// Observability (PR 10): every request gets a monotonic id and becomes one
+// obs::RequestRecord — op, cache key, hit/miss, outcome, wall + per-phase
+// seconds, response bytes — folded into live telemetry (lifetime tallies
+// plus sliding-window registry instruments under `daemon.*`), optionally
+// appended to a JSONL access journal (--journal, size-rotated), and logged
+// with a per-phase breakdown when slower than --slow-ms. The admin plane
+// rides the same protocol:
+//
+//   -> {"op": "status"}                      <- {"ok":true,"status":{...}}
+//   -> {"op": "metrics"}                     <- {"ok":true,"metrics":"<prom text>"}
+//   -> {"op": "metrics", "format": "json"}   <- {"ok":true,"metrics":{...}}
+//   -> {"op": "health"}                      <- {"ok":true,"healthy":true}
+//
+// The metrics op reports the registry delta since daemon start, so counter
+// values are a function of the requests served, not of whatever ran in the
+// process before serve(). When tracing is on, each request records a
+// "request.<op>" trace span on its connection's thread ("conn-<n>").
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +51,13 @@ struct ServeOptions {
     core::AnalyzerOptions analyzer;
     /// Persistent cache to serve from; nullopt = every request analyzes.
     std::optional<CacheOptions> cache;
+    /// Access journal: one JSONL record per request (empty = no journal).
+    std::string journal_path;
+    /// Journal rotation threshold (see obs::JournalOptions).
+    std::uint64_t journal_max_bytes = 64ull << 20;
+    /// Log a per-phase breakdown for requests slower than this many
+    /// milliseconds (negative = disabled; 0 logs every request).
+    double slow_ms = -1;
 };
 
 /// Runs the daemon until SIGTERM/SIGINT or a shutdown request; returns the
@@ -46,5 +72,13 @@ struct ServeOptions {
 [[nodiscard]] int connect_and_analyze(const std::string& socket_path,
                                       const std::vector<std::string>& files,
                                       double connect_timeout_seconds = 10.0);
+
+/// Admin client (`--connect <sock> --status` / `--metrics-live`): sends one
+/// admin op to a running daemon and prints the result to stdout — "status"
+/// pretty-prints the daemon's status document, "metrics" prints the live
+/// Prometheus text exposition verbatim. Returns 0 iff the daemon answered
+/// ok (the error is printed to stderr otherwise).
+[[nodiscard]] int connect_admin(const std::string& socket_path, const std::string& op,
+                                double connect_timeout_seconds = 10.0);
 
 }  // namespace extractocol::cache

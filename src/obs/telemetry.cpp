@@ -4,6 +4,106 @@
 
 namespace extractocol::obs {
 
+text::Json RequestRecord::to_json() const {
+    text::Json obj = text::Json::object();
+    obj.set("request", text::Json(static_cast<std::int64_t>(request_id)));
+    obj.set("connection", text::Json(static_cast<std::int64_t>(connection_id)));
+    obj.set("op", text::Json(op));
+    if (!file.empty()) obj.set("file", text::Json(file));
+    if (!key.empty()) obj.set("key", text::Json(key));
+    obj.set("cached", text::Json(cached));
+    obj.set("outcome", text::Json(outcome));
+    if (!error.empty()) obj.set("error", text::Json(error));
+    obj.set("wall_seconds", text::Json(wall_seconds));
+    if (!phase_seconds.empty()) {
+        text::Json phases = text::Json::array();
+        for (const auto& [name, seconds] : phase_seconds) {
+            text::Json p = text::Json::object();
+            p.set("name", text::Json(name));
+            p.set("seconds", text::Json(seconds));
+            phases.push_back(std::move(p));
+        }
+        obj.set("phases", std::move(phases));
+    }
+    obj.set("response_bytes", text::Json(static_cast<std::int64_t>(response_bytes)));
+    if (peak_bytes > 0) {
+        obj.set("peak_bytes", text::Json(static_cast<std::int64_t>(peak_bytes)));
+    }
+    return obj;
+}
+
+RequestTelemetry::RequestTelemetry()
+    : latency_ms_(&MetricsRegistry::global().windowed_histogram("daemon.request_ms")),
+      requests_(&MetricsRegistry::global().windowed_counter("daemon.requests")),
+      request_errors_(&MetricsRegistry::global().windowed_counter("daemon.request_errors")),
+      cache_hits_(&MetricsRegistry::global().windowed_counter("daemon.cache.hits")),
+      cache_misses_(&MetricsRegistry::global().windowed_counter("daemon.cache.misses")) {}
+
+std::uint64_t RequestTelemetry::next_request_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void RequestTelemetry::record(const RequestRecord& record) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (record.outcome == "error") {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        request_errors_->add(1);
+    }
+    requests_->add(1);
+    latency_ms_->observe(record.wall_seconds * 1000.0);
+    // Only analysis ops travel through the cache; admin ops carry
+    // cached=false and must not dilute the hit rate.
+    if (record.op == "file" || record.op == "xapk") {
+        if (record.cached) {
+            cache_hits_->add(1);
+        } else {
+            cache_misses_->add(1);
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(ops_.begin(), ops_.end(),
+                           [&](const auto& p) { return p.first == record.op; });
+    if (it == ops_.end()) {
+        ops_.emplace_back(record.op, 1);
+        std::sort(ops_.begin(), ops_.end());
+    } else {
+        it->second += 1;
+    }
+}
+
+std::uint64_t RequestTelemetry::served() const {
+    return served_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t RequestTelemetry::errors() const {
+    return errors_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> RequestTelemetry::op_tally() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ops_;
+}
+
+HistogramStats RequestTelemetry::latency_lifetime_ms() const {
+    return latency_ms_->lifetime_stats();
+}
+
+HistogramStats RequestTelemetry::latency_window_ms() const {
+    return latency_ms_->window_stats();
+}
+
+std::uint64_t RequestTelemetry::window_cache_hits() const {
+    return cache_hits_->in_window();
+}
+
+std::uint64_t RequestTelemetry::window_cache_misses() const {
+    return cache_misses_->in_window();
+}
+
+double RequestTelemetry::window_seconds() const {
+    return latency_ms_->window_seconds();
+}
+
 void RunTelemetry::set_jobs(unsigned jobs) {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_ = jobs;

@@ -17,6 +17,7 @@
 // byte-identical at --jobs 1/2/8 — including the poisoned-input batch case.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -70,6 +71,88 @@ struct FleetStats {
     double apps_per_second = 0;  // apps / wall_seconds
     /// Per-app latency distribution (milliseconds).
     HistogramStats latency_ms;
+};
+
+// --------------------------------------------- request-scoped telemetry --
+// The --serve daemon's unit of attribution is one socket request, not one
+// batch run: production debugging needs "what did request 4217 cost and did
+// it hit the cache", which end-of-run aggregates cannot answer. Every
+// daemon request becomes one RequestRecord (the access-journal line and the
+// slow-request log), and RequestTelemetry folds the stream of records into
+// the live counters/windows the status/metrics admin ops report.
+
+/// Telemetry record of one daemon request. Deterministic skeleton (op,
+/// outcome, cached, error) per driven workload; ids, latencies, and sizes
+/// are measurements.
+struct RequestRecord {
+    /// Monotonic per-daemon id, assigned at arrival (1-based).
+    std::uint64_t request_id = 0;
+    /// Monotonic id of the connection that carried the request (1-based).
+    std::uint64_t connection_id = 0;
+    /// "file" | "xapk" | "ping" | "status" | "metrics" | "health" |
+    /// "shutdown" | "invalid" (unparseable / unknown requests).
+    std::string op;
+    /// Input label for analysis ops (the file path, or "<inline>").
+    std::string file;
+    /// Content-addressed cache key (analysis ops through a cache only).
+    std::string key;
+    /// True when the response replayed a cached report.
+    bool cached = false;
+    /// "ok" | "error".
+    std::string outcome;
+    /// The response's error message; non-empty iff outcome=="error".
+    std::string error;
+    double wall_seconds = 0;
+    /// Analysis per-phase wall times (for hits these replay the cold run's
+    /// stored timings — the phases are a property of the report).
+    std::vector<std::pair<std::string, double>> phase_seconds;
+    /// Size of the serialized response line (newline included).
+    std::uint64_t response_bytes = 0;
+    /// Peak tracked bytes (0 unless memtrack is on; concurrent requests
+    /// overlap, so treat as an upper bound — same caveat as batch mode).
+    std::uint64_t peak_bytes = 0;
+
+    /// The access-journal line (compact: one object, stable key order).
+    [[nodiscard]] text::Json to_json() const;
+};
+
+/// Folds the daemon's request stream into live telemetry: lifetime tallies
+/// for the status op, and windowed registry instruments (daemon.request_ms,
+/// daemon.requests, daemon.cache.hits/misses) so status/metrics can report
+/// last-minute percentiles and hit rates next to lifetime ones. All methods
+/// are thread-safe; one instance lives for the daemon's lifetime.
+class RequestTelemetry {
+public:
+    RequestTelemetry();
+
+    /// Assigns the next monotonic request id (1-based).
+    [[nodiscard]] std::uint64_t next_request_id();
+    /// Folds one completed request in (tallies + windowed instruments).
+    void record(const RequestRecord& record);
+
+    [[nodiscard]] std::uint64_t served() const;
+    [[nodiscard]] std::uint64_t errors() const;
+    /// Per-op completion tally, sorted by op name.
+    [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> op_tally() const;
+    [[nodiscard]] HistogramStats latency_lifetime_ms() const;
+    [[nodiscard]] HistogramStats latency_window_ms() const;
+    [[nodiscard]] std::uint64_t window_cache_hits() const;
+    [[nodiscard]] std::uint64_t window_cache_misses() const;
+    [[nodiscard]] double window_seconds() const;
+
+private:
+    std::atomic<std::uint64_t> next_id_{0};
+    std::atomic<std::uint64_t> served_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, std::uint64_t>> ops_;
+    // Registry windowed instruments, acquired once (instances are global to
+    // the process; per-daemon deltas come from the daemon's own tallies).
+    WindowedHistogram* latency_ms_;
+    WindowedCounter* requests_;
+    WindowedCounter* request_errors_;
+    WindowedCounter* cache_hits_;
+    WindowedCounter* cache_misses_;
 };
 
 /// Collects per-app records during a batch run and renders the run ledger.

@@ -1,0 +1,136 @@
+// Shared in-process --serve harness for daemon tests: runs cache::serve()
+// on a background thread against a temp Unix socket and exposes a minimal
+// raw-socket client, so tests exercise the real newline-delimited JSON
+// protocol end to end. Used by daemon_test.cpp (admin plane, journal,
+// stress) and determinism_test.cpp (status/metrics byte-identity).
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cache/server.hpp"
+#include "text/json.hpp"
+
+namespace extractocol::testing {
+
+/// Fresh per-test scratch directory (socket, journal, cache) under the
+/// system temp root; removed on destruction.
+struct TempDir {
+    explicit TempDir(const std::string& name)
+        : path(std::filesystem::temp_directory_path() /
+               ("xt_daemon_test_" + std::to_string(::getpid()) + "_" + name)) {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+    std::filesystem::path path;
+};
+
+/// serve() on a background thread; the destructor shuts it down over the
+/// protocol so every test path drains the daemon cleanly.
+class DaemonFixture {
+public:
+    explicit DaemonFixture(cache::ServeOptions options)
+        : socket_path_(options.socket_path),
+          thread_([options = std::move(options), this] {
+              rc_ = cache::serve(options);
+          }) {}
+
+    ~DaemonFixture() {
+        if (thread_.joinable()) {
+            int fd = connect_fd();
+            if (fd >= 0) {
+                (void)request(fd, R"({"op":"shutdown"})");
+                ::close(fd);
+            }
+            thread_.join();
+        }
+    }
+
+    /// Blocks until the daemon accepts connections; returns the client fd
+    /// (-1 on timeout).
+    int connect_fd(double timeout_seconds = 10.0) const {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+        while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            if (std::chrono::steady_clock::now() >= deadline) {
+                ::close(fd);
+                return -1;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        return fd;
+    }
+
+    /// One request line out, one parsed response back (null Json on a
+    /// transport or parse failure).
+    static text::Json request(int fd, const std::string& line) {
+        std::string out = line + "\n";
+        std::size_t sent = 0;
+        while (sent < out.size()) {
+            ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) return text::Json();
+            sent += static_cast<std::size_t>(n);
+        }
+        std::string buffer;
+        char chunk[4096];
+        std::size_t newline = 0;
+        while ((newline = buffer.find('\n')) == std::string::npos) {
+            ssize_t n = ::read(fd, chunk, sizeof chunk);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) return text::Json();
+            buffer.append(chunk, static_cast<std::size_t>(n));
+        }
+        auto parsed = text::parse_json(buffer.substr(0, newline));
+        return parsed.ok() ? parsed.value() : text::Json();
+    }
+
+    [[nodiscard]] int exit_code() const { return rc_; }
+
+private:
+    std::string socket_path_;
+    int rc_ = -1;
+    std::thread thread_;
+};
+
+inline bool response_ok(const text::Json& response) {
+    const text::Json* ok = response.is_object() ? response.find("ok") : nullptr;
+    return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+/// Parses a JSONL journal file into one Json per non-empty line; lines
+/// that fail to parse are skipped (callers asserting completeness should
+/// count lines themselves or trust append's single-line invariant).
+inline std::vector<text::Json> read_journal_file(const std::filesystem::path& path) {
+    std::vector<text::Json> records;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        auto parsed = text::parse_json(line);
+        if (parsed.ok()) records.push_back(parsed.value());
+    }
+    return records;
+}
+
+}  // namespace extractocol::testing

@@ -1,0 +1,367 @@
+// In-process daemon observability tests (PR 10): the --serve admin plane
+// (ping/status/metrics/health), per-request telemetry, the JSONL access
+// journal with rotation, and slow-request logging. serve() runs on a test
+// thread against a temp Unix socket; clients are raw sockets, so these
+// tests exercise the real protocol path end to end. The stress test drives
+// N concurrent clients with mixed ops and is the intended tsan workload:
+// request records, journal appends, windowed instruments, and the in-flight
+// gauges all race here if they can race at all.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/server.hpp"
+#include "core/analyzer.hpp"
+#include "corpus/corpus.hpp"
+#include "daemon_harness.hpp"
+#include "obs/metrics.hpp"
+#include "support/log.hpp"
+#include "text/json.hpp"
+#include "xapk/serialize.hpp"
+
+using namespace extractocol;
+using extractocol::testing::DaemonFixture;
+using extractocol::testing::TempDir;
+namespace fs = std::filesystem;
+using text::Json;
+
+namespace {
+
+cache::ServeOptions base_options(const TempDir& dir) {
+    cache::ServeOptions options;
+    options.socket_path = (dir.path / "daemon.sock").string();
+    options.analyzer.jobs = 1;
+    return options;
+}
+
+/// Serialized corpus app text for inline {"xapk": ...} requests.
+std::string corpus_text(const std::string& name) {
+    corpus::CorpusApp app = corpus::build_app(name);
+    return xapk::write_xapk(app.program);
+}
+
+std::string xapk_request(const std::string& text, int id) {
+    Json request = Json::object();
+    request.set("id", Json(static_cast<std::int64_t>(id)));
+    request.set("xapk", Json(text));
+    return request.dump();
+}
+
+std::vector<Json> read_journal(const fs::path& path) {
+    return extractocol::testing::read_journal_file(path);
+}
+
+bool ok_of(const Json& response) { return extractocol::testing::response_ok(response); }
+
+}  // namespace
+
+TEST(DaemonTest, PingEchoesVersionAndPid) {
+    TempDir dir("ping");
+    DaemonFixture daemon(base_options(dir));
+    int fd = daemon.connect_fd();
+    ASSERT_GE(fd, 0);
+    Json response = DaemonFixture::request(fd, R"({"op":"ping"})");
+    ::close(fd);
+    ASSERT_TRUE(ok_of(response));
+    EXPECT_TRUE(response.find("pong")->as_bool());
+    // The daemon runs in this process, so the echo is checkable exactly.
+    EXPECT_EQ(response.find("version")->as_string(), core::kAnalyzerVersion);
+    EXPECT_EQ(response.find("pid")->as_int(), static_cast<std::int64_t>(::getpid()));
+}
+
+TEST(DaemonTest, HealthAndUnknownOps) {
+    TempDir dir("health");
+    DaemonFixture daemon(base_options(dir));
+    int fd = daemon.connect_fd();
+    ASSERT_GE(fd, 0);
+    Json health = DaemonFixture::request(fd, R"({"op":"health"})");
+    ASSERT_TRUE(ok_of(health));
+    EXPECT_TRUE(health.find("healthy")->as_bool());
+    Json unknown = DaemonFixture::request(fd, R"({"op":"frobnicate"})");
+    EXPECT_FALSE(ok_of(unknown));
+    Json bad_format = DaemonFixture::request(fd, R"({"op":"metrics","format":"xml"})");
+    EXPECT_FALSE(ok_of(bad_format));
+    ::close(fd);
+}
+
+TEST(DaemonTest, StatusReportsRequestsCacheAndWindowedLatency) {
+    TempDir dir("status");
+    cache::ServeOptions options = base_options(dir);
+    cache::CacheOptions cache_options;
+    cache_options.dir = (dir.path / "cache").string();
+    options.cache = cache_options;
+    DaemonFixture daemon(options);
+
+    int fd = daemon.connect_fd();
+    ASSERT_GE(fd, 0);
+    std::string text = corpus_text("blippex");
+    Json cold = DaemonFixture::request(fd, xapk_request(text, 1));
+    ASSERT_TRUE(ok_of(cold));
+    EXPECT_FALSE(cold.find("cached")->as_bool());
+    Json warm = DaemonFixture::request(fd, xapk_request(text, 2));
+    ASSERT_TRUE(ok_of(warm));
+    EXPECT_TRUE(warm.find("cached")->as_bool());
+
+    Json response = DaemonFixture::request(fd, R"({"op":"status"})");
+    ASSERT_TRUE(ok_of(response));
+    const Json* status = response.find("status");
+    ASSERT_NE(status, nullptr);
+    EXPECT_EQ(status->find("analyzer")->as_string(), core::kAnalyzerVersion);
+    EXPECT_EQ(status->find("pid")->as_int(), static_cast<std::int64_t>(::getpid()));
+    EXPECT_GE(status->find("uptime_seconds")->as_double(), 0.0);
+
+    const Json* requests = status->find("requests");
+    ASSERT_NE(requests, nullptr);
+    // The status request itself is still in flight, so served counts only
+    // the two analyses — and inflight counts at least the status request.
+    EXPECT_EQ(requests->find("served")->as_int(), 2);
+    EXPECT_EQ(requests->find("errors")->as_int(), 0);
+    EXPECT_GE(requests->find("inflight")->as_int(), 1);
+    const Json* ops = requests->find("ops");
+    ASSERT_NE(ops, nullptr);
+    EXPECT_EQ(ops->find("xapk")->as_int(), 2);
+
+    const Json* connections = status->find("connections");
+    ASSERT_NE(connections, nullptr);
+    EXPECT_GE(connections->find("active")->as_int(), 1);
+    EXPECT_GE(connections->find("accepted")->as_int(), 1);
+
+    const Json* latency = status->find("latency_ms");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_DOUBLE_EQ(latency->find("window_seconds")->as_double(), 60.0);
+    // The latency instrument is the process-global windowed histogram, so
+    // earlier tests in this binary contribute samples too: lower bounds.
+    EXPECT_GE(latency->find("lifetime")->find("count")->as_int(), 2);
+    EXPECT_GE(latency->find("window")->find("count")->as_int(), 2);
+    EXPECT_FALSE(latency->find("window")->find("p95")->is_null());
+
+    const Json* cache_block = status->find("cache");
+    ASSERT_NE(cache_block, nullptr);
+    ASSERT_TRUE(cache_block->is_object());
+    EXPECT_EQ(cache_block->find("hits")->as_int(), 1);
+    EXPECT_EQ(cache_block->find("misses")->as_int(), 1);
+    // Window tallies are global instruments too (see above): lower bounds.
+    EXPECT_GE(cache_block->find("window_hits")->as_int(), 1);
+    EXPECT_GE(cache_block->find("window_misses")->as_int(), 1);
+    ::close(fd);
+}
+
+TEST(DaemonTest, MetricsOpServesPrometheusAndJsonDeltas) {
+    TempDir dir("metrics");
+    DaemonFixture daemon(base_options(dir));
+    int fd = daemon.connect_fd();
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(ok_of(DaemonFixture::request(fd, R"({"op":"ping"})")));
+
+    Json prom = DaemonFixture::request(fd, R"({"op":"metrics"})");
+    ASSERT_TRUE(ok_of(prom));
+    EXPECT_EQ(prom.find("format")->as_string(), "prometheus");
+    const std::string& exposition = prom.find("metrics")->as_string();
+    EXPECT_NE(exposition.find("# TYPE"), std::string::npos);
+    EXPECT_NE(exposition.find("daemon_requests"), std::string::npos);
+
+    Json as_json = DaemonFixture::request(fd, R"({"op":"metrics","format":"json"})");
+    ASSERT_TRUE(ok_of(as_json));
+    const Json* metrics = as_json.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->is_object());
+    // The metrics op reports the delta since daemon start: the ping above
+    // is visible, whatever this test process ran beforehand is not.
+    const Json* counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->find("daemon.requests"), nullptr);
+    EXPECT_EQ(counters->find("daemon.requests")->as_int(), 2);  // ping + prom scrape
+    ::close(fd);
+}
+
+TEST(DaemonTest, ConcurrentMixedClientsJournalEveryRequestDistinctly) {
+    TempDir dir("stress");
+    fs::path journal_path = dir.path / "access.jsonl";
+    constexpr int kClients = 8;
+    constexpr int kRoundsPerClient = 3;
+    // The +1 is the final accounting status request below.
+    constexpr int kRequests = kClients * kRoundsPerClient * 3 + 1;
+    {
+        cache::ServeOptions options = base_options(dir);
+        cache::CacheOptions cache_options;
+        cache_options.dir = (dir.path / "cache").string();
+        options.cache = cache_options;
+        options.journal_path = journal_path.string();
+        DaemonFixture daemon(options);
+
+        std::string text = corpus_text("blippex");
+        std::vector<std::thread> clients;
+        std::vector<int> failures(kClients, 0);
+        for (int c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                int fd = daemon.connect_fd();
+                if (fd < 0) {
+                    failures[c] = 1;
+                    return;
+                }
+                for (int round = 0; round < kRoundsPerClient; ++round) {
+                    // Mixed ops per round: one analysis (the first racers
+                    // collide on the same cache miss, the rest hit), one
+                    // ping, one status.
+                    if (!ok_of(DaemonFixture::request(fd, xapk_request(text, round))) ||
+                        !ok_of(DaemonFixture::request(fd, R"({"op":"ping"})")) ||
+                        !ok_of(DaemonFixture::request(fd, R"({"op":"status"})"))) {
+                        failures[c] = 1;
+                        return;
+                    }
+                }
+                ::close(fd);
+            });
+        }
+        for (auto& t : clients) t.join();
+        for (int c = 0; c < kClients; ++c) EXPECT_EQ(failures[c], 0) << "client " << c;
+
+        // One more connection to read the daemon's own accounting.
+        int fd = daemon.connect_fd();
+        ASSERT_GE(fd, 0);
+        Json response = DaemonFixture::request(fd, R"({"op":"status"})");
+        ::close(fd);
+        ASSERT_TRUE(ok_of(response));
+        const Json* status = response.find("status");
+        EXPECT_EQ(status->find("requests")->find("served")->as_int(), kRequests - 1);
+        EXPECT_EQ(status->find("requests")->find("errors")->as_int(), 0);
+        EXPECT_GE(status->find("connections")->find("accepted")->as_int(), kClients);
+        // ~DaemonFixture sends the shutdown request and joins serve().
+    }
+
+    // Once serve() returns every request has drained: the in-flight and
+    // active-connection gauges are back to zero (the registry is global,
+    // but no other daemon runs concurrently in this test binary).
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    ASSERT_NE(snap.counter("daemon.requests"), nullptr);
+    bool saw_inflight = false;
+    bool saw_active = false;
+    for (const auto& [name, value] : snap.gauges) {
+        if (name == "daemon.requests.inflight") {
+            saw_inflight = true;
+            EXPECT_EQ(value, 0) << name;
+        }
+        if (name == "daemon.connections.active") {
+            saw_active = true;
+            EXPECT_EQ(value, 0) << name;
+        }
+    }
+    EXPECT_TRUE(saw_inflight);
+    EXPECT_TRUE(saw_active);
+
+    // Every request — the shutdown included — left exactly one journal
+    // record, with daemon-wide distinct monotonic ids and a complete
+    // skeleton on each line.
+    std::vector<Json> records = read_journal(journal_path);
+    ASSERT_EQ(records.size(), static_cast<std::size_t>(kRequests) + 1);  // +shutdown
+    std::set<std::int64_t> ids;
+    for (const Json& record : records) {
+        ASSERT_TRUE(record.is_object());
+        ids.insert(record.find("request")->as_int());
+        EXPECT_GE(record.find("connection")->as_int(), 1);
+        EXPECT_FALSE(record.find("op")->as_string().empty());
+        EXPECT_EQ(record.find("outcome")->as_string(), "ok");
+        EXPECT_GE(record.find("wall_seconds")->as_double(), 0.0);
+        EXPECT_GT(record.find("response_bytes")->as_int(), 0);
+    }
+    EXPECT_EQ(ids.size(), records.size());  // ids are distinct...
+    EXPECT_EQ(*ids.begin(), 1);             // ...and dense from 1
+    EXPECT_EQ(*ids.rbegin(), static_cast<std::int64_t>(records.size()));
+
+    // Analysis records carry the cache attribution: exactly one cold miss
+    // for the shared text, every other xapk request replayed it.
+    int misses = 0;
+    int hits = 0;
+    for (const Json& record : records) {
+        if (record.find("op")->as_string() != "xapk") continue;
+        EXPECT_FALSE(record.find("key")->as_string().empty());
+        if (record.find("cached")->as_bool()) {
+            ++hits;
+        } else {
+            ++misses;
+        }
+    }
+    EXPECT_EQ(misses + hits, kClients * kRoundsPerClient);
+    EXPECT_GE(misses, 1);
+    EXPECT_GE(hits, kClients * (kRoundsPerClient - 1));
+}
+
+TEST(DaemonTest, JournalRotatesBySize) {
+    TempDir dir("rotate");
+    fs::path journal_path = dir.path / "access.jsonl";
+    {
+        cache::ServeOptions options = base_options(dir);
+        options.journal_path = journal_path.string();
+        options.journal_max_bytes = 512;  // a handful of ping records
+        DaemonFixture daemon(options);
+        int fd = daemon.connect_fd();
+        ASSERT_GE(fd, 0);
+        for (int i = 0; i < 16; ++i) {
+            ASSERT_TRUE(ok_of(DaemonFixture::request(fd, R"({"op":"ping"})")));
+        }
+        ::close(fd);
+    }
+    ASSERT_TRUE(fs::exists(journal_path));
+    fs::path rotated = journal_path;
+    rotated += ".1";
+    ASSERT_TRUE(fs::exists(rotated)) << "no rotation at 512-byte cap";
+    EXPECT_LE(fs::file_size(journal_path), 2u * 512u);
+    // Both generations stay line-parseable and no record was lost: the
+    // live file continues where the rotated-out one stopped.
+    std::vector<Json> current = read_journal(journal_path);
+    std::vector<Json> previous = read_journal(rotated);
+    EXPECT_FALSE(current.empty());
+    EXPECT_FALSE(previous.empty());
+    EXPECT_EQ(previous.back().find("request")->as_int() + 1,
+              current.front().find("request")->as_int());
+}
+
+TEST(DaemonTest, SlowMsLogsPerPhaseBreakdown) {
+    // Threshold 0 turns every request into a "slow" one, making the log
+    // path deterministic without real latency.
+    std::mutex mutex;
+    std::vector<log::LogRecord> records;
+    log::RecordSink previous = log::set_record_sink([&](const log::LogRecord& r) {
+        std::lock_guard<std::mutex> lock(mutex);
+        records.push_back(r);
+    });
+    {
+        TempDir dir("slow");
+        cache::ServeOptions options = base_options(dir);
+        options.slow_ms = 0;
+        DaemonFixture daemon(options);
+        int fd = daemon.connect_fd();
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(
+            ok_of(DaemonFixture::request(fd, xapk_request(corpus_text("blippex"), 1))));
+        ::close(fd);
+    }
+    log::set_record_sink(previous);
+
+    const log::LogRecord* slow = nullptr;
+    for (const log::LogRecord& r : records) {
+        if (r.message != "daemon: slow request") continue;
+        for (const auto& [key, value] : r.fields) {
+            if (key == "op" && value == "xapk") slow = &r;
+        }
+        if (slow != nullptr) break;
+    }
+    ASSERT_NE(slow, nullptr) << "no slow-request record for the analysis op";
+    bool saw_phases = false;
+    for (const auto& [key, value] : slow->fields) {
+        if (key == "phases") {
+            saw_phases = true;
+            // The per-phase breakdown names pipeline phases with timings.
+            EXPECT_NE(value.find("ms"), std::string::npos);
+            EXPECT_NE(value.find('='), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(saw_phases);
+}

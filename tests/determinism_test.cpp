@@ -8,7 +8,9 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +25,8 @@
 #include "support/memtrack.hpp"
 #include "xapk/serialize.hpp"
 #include "xir/ir.hpp"
+
+#include "daemon_harness.hpp"
 
 using namespace extractocol;
 
@@ -517,4 +521,146 @@ TEST(DeterminismTest, ProfileTableIsByteIdenticalAcrossJobCounts) {
         }
     }
     profiler.clear();
+}
+
+TEST(DeterminismTest, DaemonStatusMetricsAndJournalSkeletonAcrossJobCounts) {
+    // The admin plane holds the same determinism bar as the report stream:
+    // for one driven workload, the status document (volatile fields
+    // normalized), the metrics op's counter deltas, and the journal's
+    // record skeleton must be byte-identical at --jobs 1/2/8. The journal
+    // itself is a sidecar like --profile-out — its timings, ids, and sizes
+    // are measurements — so only the (op, outcome, cached) skeleton and the
+    // record count are compared.
+    namespace xtest = extractocol::testing;
+    namespace fs = std::filesystem;
+    corpus::CorpusApp app = corpus::build_app("blippex");
+    std::string text = xapk::write_xapk(app.program);
+
+    struct DaemonOutputs {
+        std::string status;      // normalized, pretty-printed
+        std::string counters;    // metrics-op counter deltas (json)
+        std::string prometheus;  // daemon_* counter sample lines only
+        std::string journal;     // one "op outcome cached" line per record
+    };
+
+    // Normalization mirrors the manifest convention: zero what is measured
+    // (pid, uptime, latency percentiles, byte sizes, temp paths) and what
+    // is process-global rather than per-daemon (the sliding-window tallies,
+    // which older runs in this same process leak into); keep what is a
+    // function of the driven workload (served/errors/ops, cache hit/miss).
+    auto normalize_status = [](text::Json status) {
+        for (auto& [key, value] : status.members()) {
+            if (key == "pid") value = text::Json(std::int64_t{0});
+            if (key == "uptime_seconds") value = text::Json(0.0);
+            if (key == "latency_ms") value = text::Json();
+            if (key == "cache" && value.is_object()) {
+                for (auto& [ckey, cvalue] : value.members()) {
+                    if (ckey == "dir") cvalue = text::Json(std::string());
+                    if (ckey == "bytes") cvalue = text::Json(std::int64_t{0});
+                    if (ckey == "window_hits" || ckey == "window_misses") {
+                        cvalue = text::Json(std::int64_t{0});
+                    }
+                }
+            }
+        }
+        return status.dump_pretty();
+    };
+
+    auto run = [&](unsigned jobs) {
+        xtest::TempDir dir("det_jobs" + std::to_string(jobs));
+        cache::ServeOptions options;
+        options.socket_path = (dir.path / "daemon.sock").string();
+        options.analyzer.jobs = jobs;
+        cache::CacheOptions cache_options;
+        cache_options.dir = (dir.path / "cache").string();
+        options.cache = cache_options;
+        fs::path journal_path = dir.path / "access.jsonl";
+        options.journal_path = journal_path.string();
+
+        DaemonOutputs out;
+        {
+            xtest::DaemonFixture daemon(options);
+            int fd = daemon.connect_fd();
+            EXPECT_GE(fd, 0);
+            if (fd < 0) return out;
+            auto xapk_line = [&](int id) {
+                text::Json request = text::Json::object();
+                request.set("id", text::Json(static_cast<std::int64_t>(id)));
+                request.set("xapk", text::Json(text));
+                return request.dump();
+            };
+            // Fixed workload: one miss, one hit, ping, then the admin ops.
+            EXPECT_TRUE(xtest::response_ok(
+                xtest::DaemonFixture::request(fd, xapk_line(1))));
+            EXPECT_TRUE(xtest::response_ok(
+                xtest::DaemonFixture::request(fd, xapk_line(2))));
+            EXPECT_TRUE(xtest::response_ok(
+                xtest::DaemonFixture::request(fd, R"({"op":"ping"})")));
+
+            text::Json status =
+                xtest::DaemonFixture::request(fd, R"({"op":"status"})");
+            EXPECT_TRUE(xtest::response_ok(status));
+            if (const text::Json* doc = status.find("status")) {
+                out.status = normalize_status(*doc);
+            }
+
+            text::Json metrics = xtest::DaemonFixture::request(
+                fd, R"({"op":"metrics","format":"json"})");
+            EXPECT_TRUE(xtest::response_ok(metrics));
+            if (const text::Json* doc = metrics.find("metrics")) {
+                // Counter deltas since daemon start are deterministic per
+                // workload at any --jobs; gauges and histograms are live
+                // measurements, so only the counters member is compared.
+                if (const text::Json* counters = doc->find("counters")) {
+                    out.counters = counters->dump_pretty();
+                }
+            }
+
+            text::Json prom =
+                xtest::DaemonFixture::request(fd, R"({"op":"metrics"})");
+            EXPECT_TRUE(xtest::response_ok(prom));
+            if (const text::Json* body = prom.find("metrics")) {
+                // From the exposition text keep the daemon counter samples
+                // (name + value); window gauges and latency summaries are
+                // measurements and excluded.
+                std::istringstream lines(body->as_string());
+                std::string line;
+                while (std::getline(lines, line)) {
+                    for (const char* name :
+                         {"daemon_requests ", "daemon_cache_hits ",
+                          "daemon_cache_misses "}) {
+                        if (line.rfind(name, 0) == 0) out.prometheus += line + "\n";
+                    }
+                }
+            }
+            // ~DaemonFixture drives the shutdown request.
+        }
+        for (const text::Json& record : xtest::read_journal_file(journal_path)) {
+            out.journal += record.find("op")->as_string() + " " +
+                           record.find("outcome")->as_string() + " " +
+                           (record.find("cached")->as_bool() ? "1" : "0") + "\n";
+        }
+        return out;
+    };
+
+    DaemonOutputs baseline = run(1);
+    ASSERT_FALSE(baseline.status.empty());
+    ASSERT_FALSE(baseline.counters.empty());
+    EXPECT_NE(baseline.prometheus.find("daemon_requests"), std::string::npos);
+    // Skeleton of the fixed workload, shutdown included.
+    EXPECT_EQ(baseline.journal,
+              "xapk ok 0\nxapk ok 1\nping ok 0\nstatus ok 0\nmetrics ok 0\n"
+              "metrics ok 0\nshutdown ok 0\n");
+
+    for (unsigned jobs : {2u, 8u}) {
+        DaemonOutputs parallel = run(jobs);
+        EXPECT_EQ(parallel.status, baseline.status)
+            << "status document diverged at jobs=" << jobs;
+        EXPECT_EQ(parallel.counters, baseline.counters)
+            << "metrics counter deltas diverged at jobs=" << jobs;
+        EXPECT_EQ(parallel.prometheus, baseline.prometheus)
+            << "prometheus counter samples diverged at jobs=" << jobs;
+        EXPECT_EQ(parallel.journal, baseline.journal)
+            << "journal skeleton diverged at jobs=" << jobs;
+    }
 }

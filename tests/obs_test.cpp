@@ -672,3 +672,203 @@ TEST(Trace, SpanAttributesMemoryToPhase) {
     }
     memtrack::set_enabled(false);
 }
+
+// ------------------------------------------------- windowed instruments --
+
+TEST(Metrics, HistogramStatsMergeFrom) {
+    obs::HistogramStats a;
+    obs::HistogramStats b;
+    auto observe = [](obs::HistogramStats& h, double v) {
+        if (h.count == 0) {
+            h.min = v;
+            h.max = v;
+        } else {
+            h.min = std::min(h.min, v);
+            h.max = std::max(h.max, v);
+        }
+        h.count += 1;
+        h.sum += v;
+        h.buckets[obs::HistogramStats::bucket_index(v)] += 1;
+    };
+    observe(a, 2.0);
+    observe(a, 8.0);
+    observe(b, 100.0);
+
+    obs::HistogramStats merged = a;
+    merged.merge_from(b);
+    EXPECT_EQ(merged.count, 3u);
+    EXPECT_DOUBLE_EQ(merged.sum, 110.0);
+    EXPECT_DOUBLE_EQ(merged.min, 2.0);
+    EXPECT_DOUBLE_EQ(merged.max, 100.0);
+
+    // Merging an empty summary changes nothing; merging INTO an empty one
+    // copies (including min/max, which have no samples to widen from).
+    obs::HistogramStats empty;
+    merged.merge_from(empty);
+    EXPECT_EQ(merged.count, 3u);
+    obs::HistogramStats target;
+    target.merge_from(a);
+    EXPECT_EQ(target.count, a.count);
+    EXPECT_DOUBLE_EQ(target.min, a.min);
+    EXPECT_DOUBLE_EQ(target.max, a.max);
+}
+
+TEST(Metrics, WindowedCounterMergesOnlyLiveBuckets) {
+    using Clock = std::chrono::steady_clock;
+    obs::MetricsRegistry registry;
+    obs::WindowedCounter& w = registry.windowed_counter("test.win.counter");
+    // Same instrument for the same name.
+    EXPECT_EQ(&registry.windowed_counter("test.win.counter"), &w);
+
+    Clock::time_point t0 = Clock::now();
+    w.add_at(3, t0);
+    w.add_at(4, t0 + std::chrono::seconds(7));  // lands in the next bucket
+    EXPECT_EQ(w.lifetime(), 7u);
+    EXPECT_EQ(w.in_window_at(t0 + std::chrono::seconds(7)), 7u);
+    // Window width is bucket_count * bucket_width = 60s: far enough out,
+    // the window is empty but the lifetime total survives.
+    EXPECT_EQ(w.in_window_at(t0 + std::chrono::seconds(120)), 0u);
+    EXPECT_EQ(w.lifetime(), 7u);
+    EXPECT_DOUBLE_EQ(w.window_seconds(), 60.0);
+}
+
+TEST(Metrics, WindowedCounterRecyclesSlots) {
+    using Clock = std::chrono::steady_clock;
+    obs::MetricsRegistry registry;
+    obs::WindowedCounter& w = registry.windowed_counter("test.win.recycle");
+    Clock::time_point t0 = Clock::now();
+    w.add_at(5, t0);
+    // One full ring later the same slot index comes around again; the old
+    // tally must be recycled, not added to.
+    w.add_at(1, t0 + std::chrono::seconds(60));
+    EXPECT_EQ(w.in_window_at(t0 + std::chrono::seconds(60)), 1u);
+    EXPECT_EQ(w.lifetime(), 6u);
+}
+
+TEST(Metrics, WindowedHistogramWindowAndZeroSampleContract) {
+    using Clock = std::chrono::steady_clock;
+    obs::MetricsRegistry registry;
+    obs::WindowedHistogram& w = registry.windowed_histogram("test.win.hist");
+    Clock::time_point t0 = Clock::now();
+    w.observe_at(10.0, t0);
+    w.observe_at(30.0, t0 + std::chrono::seconds(6));
+
+    obs::HistogramStats life = w.lifetime_stats();
+    EXPECT_EQ(life.count, 2u);
+    EXPECT_DOUBLE_EQ(life.min, 10.0);
+    EXPECT_DOUBLE_EQ(life.max, 30.0);
+
+    obs::HistogramStats window = w.window_stats_at(t0 + std::chrono::seconds(6));
+    EXPECT_EQ(window.count, 2u);
+    EXPECT_DOUBLE_EQ(window.sum, 40.0);
+
+    // Past the window, the merge has zero samples and must honor the
+    // zero-sample rendering contract: null percentiles, not 0.0.
+    obs::HistogramStats empty = w.window_stats_at(t0 + std::chrono::seconds(200));
+    EXPECT_EQ(empty.count, 0u);
+    Json rendered = obs::histogram_stats_json(empty);
+    EXPECT_TRUE(rendered.find("p95")->is_null());
+    EXPECT_TRUE(rendered.find("min")->is_null());
+}
+
+TEST(Metrics, WindowedInstrumentsRenderLifetimeAndWindow) {
+    using Clock = std::chrono::steady_clock;
+    obs::MetricsRegistry registry;
+    obs::WindowedCounter& c = registry.windowed_counter("test.win.render");
+    obs::WindowedHistogram& h = registry.windowed_histogram("test.win.render_ms");
+    Clock::time_point t0 = Clock::now();
+    c.add_at(9, t0);
+    h.observe_at(5.0, t0);
+
+    obs::MetricsSnapshot snap = registry.snapshot();
+    // Lifetime tally renders as a counter under the instrument's own name;
+    // the sliding-window merge rides under "<name>.window" (a gauge: the
+    // window total can shrink, which a counter must never do).
+    const std::uint64_t* lifetime = snap.counter("test.win.render");
+    ASSERT_NE(lifetime, nullptr);
+    EXPECT_EQ(*lifetime, 9u);
+    bool saw_window_gauge = false;
+    for (const auto& [name, value] : snap.gauges) {
+        if (name == "test.win.render.window") {
+            saw_window_gauge = true;
+            EXPECT_EQ(value, 9);
+        }
+    }
+    EXPECT_TRUE(saw_window_gauge);
+    ASSERT_NE(snap.histogram("test.win.render_ms"), nullptr);
+    ASSERT_NE(snap.histogram("test.win.render_ms.window"), nullptr);
+    EXPECT_EQ(snap.histogram("test.win.render_ms.window")->count, 1u);
+
+    registry.reset();
+    obs::MetricsSnapshot after = registry.snapshot();
+    const std::uint64_t* cleared = after.counter("test.win.render");
+    ASSERT_NE(cleared, nullptr);
+    EXPECT_EQ(*cleared, 0u);
+}
+
+TEST(Telemetry, RequestTelemetryTalliesAndWindows) {
+    obs::RequestTelemetry telemetry;
+    EXPECT_EQ(telemetry.next_request_id(), 1u);
+    EXPECT_EQ(telemetry.next_request_id(), 2u);
+
+    obs::RequestRecord hit;
+    hit.request_id = 1;
+    hit.op = "file";
+    hit.cached = true;
+    hit.outcome = "ok";
+    hit.wall_seconds = 0.002;
+    telemetry.record(hit);
+
+    obs::RequestRecord err;
+    err.request_id = 2;
+    err.op = "ping";
+    err.outcome = "error";
+    err.error = "boom";
+    err.wall_seconds = 0.001;
+    telemetry.record(err);
+
+    EXPECT_EQ(telemetry.served(), 2u);
+    EXPECT_EQ(telemetry.errors(), 1u);
+    auto ops = telemetry.op_tally();
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0].first, "file");  // sorted by op name
+    EXPECT_EQ(ops[0].second, 1u);
+    EXPECT_EQ(ops[1].first, "ping");
+    EXPECT_GE(telemetry.latency_lifetime_ms().count, 2u);
+    EXPECT_DOUBLE_EQ(telemetry.window_seconds(), 60.0);
+    // Only analysis ops count toward the cache hit/miss window.
+    EXPECT_GE(telemetry.window_cache_hits(), 1u);
+}
+
+TEST(Telemetry, RequestRecordJsonShape) {
+    obs::RequestRecord record;
+    record.request_id = 7;
+    record.connection_id = 2;
+    record.op = "file";
+    record.file = "app.xapk";
+    record.key = "deadbeef";
+    record.cached = true;
+    record.outcome = "ok";
+    record.wall_seconds = 0.25;
+    record.phase_seconds = {{"parse", 0.1}, {"taint", 0.15}};
+    record.response_bytes = 512;
+
+    Json doc = record.to_json();
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.find("request")->as_int(), 7);
+    EXPECT_EQ(doc.find("op")->as_string(), "file");
+    EXPECT_EQ(doc.find("key")->as_string(), "deadbeef");
+    EXPECT_TRUE(doc.find("cached")->as_bool());
+    EXPECT_EQ(doc.find("outcome")->as_string(), "ok");
+    ASSERT_NE(doc.find("phases"), nullptr);
+    EXPECT_EQ(doc.find("phases")->items().size(), 2u);
+    // Optional fields stay absent rather than rendering empty: the journal
+    // line is grep-fodder, not a fixed-width table.
+    EXPECT_EQ(doc.find("error"), nullptr);
+    EXPECT_EQ(doc.find("peak_bytes"), nullptr);
+
+    // A full round-trip through dump/parse survives.
+    auto parsed = parse_json(doc.dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), doc);
+}

@@ -29,6 +29,7 @@ set(flags
   --scope --no-async-heuristic --async-hops --no-deobfuscation --max-steps
   --jobs --keep-going --fail-fast --progress
   --cache-dir --cache-max-bytes --serve --connect
+  --status --metrics-live --journal --journal-max-bytes --slow-ms
   --stats --metrics --metrics-prom --run-manifest --memtrack --trace
   --profile --profile-out --flamegraph
   --eval --eval-out
@@ -68,7 +69,8 @@ endif()
 
 # Value-taking options must name themselves when the value is missing.
 foreach(value_flag --profile-out --flamegraph --eval-out
-                   --cache-dir --cache-max-bytes --serve --connect)
+                   --cache-dir --cache-max-bytes --serve --connect
+                   --journal --journal-max-bytes --slow-ms)
   execute_process(
     COMMAND "${EXTRACTOCOL}" ${value_flag}
     RESULT_VARIABLE rc_novalue

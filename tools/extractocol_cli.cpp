@@ -151,6 +151,18 @@ void print_usage(std::FILE* out, const char* argv0) {
                  "                        JSON responses, warm models and cache\n"
                  "  --connect SOCKET      send each input to a --serve daemon and\n"
                  "                        print the JSON response lines\n"
+                 "  --status              with --connect: print the daemon's live\n"
+                 "                        status document (uptime, requests, cache,\n"
+                 "                        windowed latency) as JSON\n"
+                 "  --metrics-live        with --connect: print the daemon's live\n"
+                 "                        metrics in Prometheus text format\n"
+                 "  --journal FILE        with --serve: append one JSONL access record\n"
+                 "                        per request (rotated to FILE.1 past the\n"
+                 "                        size limit)\n"
+                 "  --journal-max-bytes N rotate the --journal file past N bytes\n"
+                 "                        (default 64 MiB, 0 = never)\n"
+                 "  --slow-ms N           with --serve: log a per-phase breakdown for\n"
+                 "                        requests slower than N milliseconds\n"
                  "telemetry:\n"
                  "  --stats               per-app analysis statistics on stderr\n"
                  "  --metrics             per-phase timings and metric counters on stderr\n"
@@ -273,6 +285,13 @@ int main(int argc, char** argv) {
     std::size_t cache_max_bytes = 0;
     const char* serve_path = nullptr;
     const char* connect_path = nullptr;
+    bool status_flag = false;
+    bool metrics_live = false;
+    const char* journal_path = nullptr;
+    std::size_t journal_max_bytes = 64u << 20;
+    bool journal_max_bytes_set = false;
+    std::size_t slow_ms = 0;
+    bool slow_ms_set = false;
     std::vector<const char*> paths;
 
     // Options that consume a value report their own name when it is
@@ -338,6 +357,34 @@ int main(int argc, char** argv) {
             if (!(serve_path = value_of(i))) return usage(argv[0]);
         } else if (std::strcmp(arg, "--connect") == 0) {
             if (!(connect_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--status") == 0) {
+            status_flag = true;
+        } else if (std::strcmp(arg, "--metrics-live") == 0) {
+            metrics_live = true;
+        } else if (std::strcmp(arg, "--journal") == 0) {
+            if (!(journal_path = value_of(i))) return usage(argv[0]);
+        } else if (std::strcmp(arg, "--journal-max-bytes") == 0) {
+            const char* value = value_of(i);
+            if (!value) return usage(argv[0]);
+            if (!parse_size(value, journal_max_bytes)) {
+                std::fprintf(stderr,
+                             "error: --journal-max-bytes expects a non-negative "
+                             "integer, got '%s'\n",
+                             value);
+                return usage(argv[0]);
+            }
+            journal_max_bytes_set = true;
+        } else if (std::strcmp(arg, "--slow-ms") == 0) {
+            const char* value = value_of(i);
+            if (!value) return usage(argv[0]);
+            if (!parse_size(value, slow_ms)) {
+                std::fprintf(stderr,
+                             "error: --slow-ms expects a non-negative integer, "
+                             "got '%s'\n",
+                             value);
+                return usage(argv[0]);
+            }
+            slow_ms_set = true;
         } else if (std::strcmp(arg, "--progress") == 0) {
             progress = true;
         } else if (std::strcmp(arg, "--memtrack") == 0) {
@@ -405,7 +452,26 @@ int main(int argc, char** argv) {
                      "the socket)\n");
         return usage(argv[0]);
     }
-    if (paths.empty() && !serve_path) return usage(argv[0]);
+    if ((status_flag || metrics_live) && !connect_path) {
+        std::fprintf(stderr, "error: --status/--metrics-live require --connect\n");
+        return usage(argv[0]);
+    }
+    if (status_flag && metrics_live) {
+        std::fprintf(stderr, "error: --status and --metrics-live are mutually exclusive\n");
+        return usage(argv[0]);
+    }
+    if ((status_flag || metrics_live) && !paths.empty()) {
+        std::fprintf(stderr, "error: --status/--metrics-live take no inputs\n");
+        return usage(argv[0]);
+    }
+    if ((journal_path != nullptr || journal_max_bytes_set || slow_ms_set) &&
+        !serve_path) {
+        std::fprintf(stderr,
+                     "error: --journal/--journal-max-bytes/--slow-ms require --serve\n");
+        return usage(argv[0]);
+    }
+    bool admin_client = status_flag || metrics_live;
+    if (paths.empty() && !serve_path && !admin_client) return usage(argv[0]);
     if (explain && paths.size() != 1) {
         std::fprintf(stderr, "error: --explain requires exactly one input\n");
         return usage(argv[0]);
@@ -450,6 +516,9 @@ int main(int argc, char** argv) {
             cache_options.max_bytes = static_cast<std::uint64_t>(cache_max_bytes);
             serve_options.cache = std::move(cache_options);
         }
+        if (journal_path) serve_options.journal_path = journal_path;
+        serve_options.journal_max_bytes = static_cast<std::uint64_t>(journal_max_bytes);
+        if (slow_ms_set) serve_options.slow_ms = static_cast<double>(slow_ms);
         int serve_rc = cache::serve(serve_options);
         if (metrics_prom_path) {
             std::ofstream prom_out(metrics_prom_path);
@@ -460,9 +529,34 @@ int main(int argc, char** argv) {
             }
             prom_out << obs::MetricsRegistry::global().snapshot().to_prometheus();
         }
+        // The daemon honors --trace/--flamegraph on the way out, same as
+        // --metrics-prom: request spans accumulate while serving and the
+        // files are written once the accept loop drains.
+        if (flamegraph_path) {
+            std::ofstream flame_out(flamegraph_path);
+            if (!flame_out) {
+                std::fprintf(stderr, "error: cannot write flamegraph to %s\n",
+                             flamegraph_path);
+                return 1;
+            }
+            flame_out << obs::TraceRecorder::global().to_collapsed();
+        }
+        if (trace_path) {
+            std::ofstream trace_out(trace_path);
+            if (!trace_out) {
+                std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path);
+                return 1;
+            }
+            trace_out << obs::TraceRecorder::global().to_chrome_json().dump_pretty()
+                      << "\n";
+        }
         return serve_rc;
     }
     if (connect_path) {
+        if (admin_client) {
+            return cache::connect_admin(connect_path,
+                                        status_flag ? "status" : "metrics");
+        }
         return cache::connect_and_analyze(
             connect_path, std::vector<std::string>(paths.begin(), paths.end()));
     }
